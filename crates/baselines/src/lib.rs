@@ -1,0 +1,38 @@
+//! # minoaner-baselines
+//!
+//! The baseline systems of the paper's evaluation (§6, Table 3),
+//! implemented from their published descriptions so the comparison can be
+//! *run*, not just quoted:
+//!
+//! * [`bsl`] — the heavily fine-tuned value-only baseline: token n-grams ×
+//!   {TF, TF-IDF} × {Cosine, Jaccard, Generalized Jaccard, SiGMa} ×
+//!   20 thresholds = the paper's 420-configuration grid, resolved with
+//!   Unique Mapping Clustering;
+//! * [`paris`] — PARIS-style probabilistic matching on property
+//!   functionality (Suchanek et al., PVLDB 2011);
+//! * [`sigma`] — SiGMa-style greedy propagation from identical-name seeds
+//!   over aligned relations (Lacoste-Julien et al., KDD 2013);
+//! * [`rimom`] — RiMOM-IM-style iterative matching with the
+//!   one-left-object heuristic (Shao et al., JCST 2016);
+//! * [`linda`] — LINDA-style joint matching with edit-distance relation
+//!   compatibility (Böhm et al., CIKM 2012);
+//! * [`umc`] — Unique Mapping Clustering, shared by all of the above;
+//! * [`published`] — the paper's Table 3/Table 4 numbers, for printing
+//!   alongside measured results.
+//!
+//! Each analogue documents its simplifications in its module docs.
+
+pub mod bsl;
+pub mod linda;
+pub mod paris;
+pub mod published;
+pub mod rimom;
+pub mod sigma;
+pub mod umc;
+
+pub use bsl::{grid_search, BslConfig, BslReport};
+pub use linda::{run_linda, LindaConfig};
+pub use paris::{run_paris, ParisConfig};
+pub use rimom::{run_rimom, RimomConfig};
+pub use sigma::{run_sigma, SigmaConfig};
+pub use umc::unique_mapping_clustering;

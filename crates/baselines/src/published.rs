@@ -1,0 +1,115 @@
+//! The precision / recall / F1 numbers published in Table 3 of the paper,
+//! for printing alongside our measured results. The paper itself copied
+//! the SiGMa, LINDA and RiMOM rows from their original publications
+//! (those systems could not be run); PARIS and BSL were run by the
+//! authors; MinoanER is the paper's own result. `None` = not reported.
+
+/// One published Table 3 cell (percent).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PublishedQuality {
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+}
+
+impl PublishedQuality {
+    const fn new(precision: f64, recall: f64, f1: f64) -> Self {
+        Self { precision, recall, f1 }
+    }
+}
+
+/// The four evaluation datasets, in Table order.
+pub const DATASETS: [&str; 4] = ["Restaurant", "Rexa-DBLP", "BBCmusic-DBpedia", "YAGO-IMDb"];
+
+/// The systems of Table 3, in row order.
+pub const SYSTEMS: [&str; 6] = ["SiGMa", "LINDA", "RiMOM", "PARIS", "BSL", "MinoanER"];
+
+/// Published result for `system` on `dataset`, if the paper reports one.
+pub fn published(system: &str, dataset: &str) -> Option<PublishedQuality> {
+    let q = PublishedQuality::new;
+    Some(match (system, dataset) {
+        ("SiGMa", "Restaurant") => q(99.0, 94.0, 97.0),
+        ("SiGMa", "Rexa-DBLP") => q(97.0, 90.0, 94.0),
+        ("SiGMa", "YAGO-IMDb") => q(98.0, 85.0, 91.0),
+        ("LINDA", "Restaurant") => q(100.0, 63.0, 77.0),
+        ("RiMOM", "Restaurant") => q(86.0, 77.0, 81.0),
+        ("RiMOM", "Rexa-DBLP") => q(80.0, 72.0, 76.0),
+        ("PARIS", "Restaurant") => q(95.0, 88.0, 91.0),
+        ("PARIS", "Rexa-DBLP") => q(93.95, 89.0, 91.41),
+        ("PARIS", "BBCmusic-DBpedia") => q(19.40, 0.29, 0.51),
+        ("PARIS", "YAGO-IMDb") => q(94.0, 90.0, 92.0),
+        ("BSL", "Restaurant") => q(100.0, 100.0, 100.0),
+        ("BSL", "Rexa-DBLP") => q(96.57, 83.96, 89.82),
+        ("BSL", "BBCmusic-DBpedia") => q(85.20, 36.09, 50.70),
+        ("BSL", "YAGO-IMDb") => q(11.68, 4.87, 6.88),
+        ("MinoanER", "Restaurant") => q(100.0, 100.0, 100.0),
+        ("MinoanER", "Rexa-DBLP") => q(96.74, 95.34, 96.04),
+        ("MinoanER", "BBCmusic-DBpedia") => q(91.44, 88.55, 89.97),
+        ("MinoanER", "YAGO-IMDb") => q(91.02, 90.57, 90.79),
+        _ => return None,
+    })
+}
+
+/// Published Table 4 (per-rule) numbers: `(rule, dataset) → (P, R, F1)`.
+/// Rules are `"R1" | "R2" | "R3" | "noR4" | "noNeighbors"`.
+pub fn published_rule(rule: &str, dataset: &str) -> Option<PublishedQuality> {
+    let q = PublishedQuality::new;
+    Some(match (rule, dataset) {
+        ("R1", "Restaurant") => q(100.0, 68.54, 81.33),
+        ("R1", "Rexa-DBLP") => q(97.36, 87.47, 92.15),
+        ("R1", "BBCmusic-DBpedia") => q(99.85, 66.11, 79.55),
+        ("R1", "YAGO-IMDb") => q(97.55, 66.53, 79.11),
+        ("R2", "Restaurant") => q(100.0, 100.0, 100.0),
+        ("R2", "Rexa-DBLP") => q(96.15, 30.56, 46.38),
+        ("R2", "BBCmusic-DBpedia") => q(90.73, 37.01, 52.66),
+        ("R2", "YAGO-IMDb") => q(98.02, 69.14, 81.08),
+        ("R3", "Restaurant") => q(98.88, 98.88, 98.88),
+        ("R3", "Rexa-DBLP") => q(94.73, 94.73, 94.73),
+        ("R3", "BBCmusic-DBpedia") => q(81.49, 81.49, 81.49),
+        ("R3", "YAGO-IMDb") => q(90.51, 90.50, 90.50),
+        ("noR4", "Restaurant") => q(100.0, 100.0, 100.0),
+        ("noR4", "Rexa-DBLP") => q(96.03, 96.03, 96.03),
+        ("noR4", "BBCmusic-DBpedia") => q(89.93, 89.93, 89.93),
+        ("noR4", "YAGO-IMDb") => q(90.58, 90.57, 90.58),
+        ("noNeighbors", "Restaurant") => q(100.0, 100.0, 100.0),
+        ("noNeighbors", "Rexa-DBLP") => q(96.59, 95.26, 95.92),
+        ("noNeighbors", "BBCmusic-DBpedia") => q(89.22, 85.36, 87.25),
+        ("noNeighbors", "YAGO-IMDb") => q(88.05, 87.42, 87.73),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minoaner_reported_on_all_datasets() {
+        for d in DATASETS {
+            assert!(published("MinoanER", d).is_some(), "{d}");
+        }
+    }
+
+    #[test]
+    fn linda_reported_only_on_restaurant() {
+        assert!(published("LINDA", "Restaurant").is_some());
+        assert!(published("LINDA", "Rexa-DBLP").is_none());
+        assert!(published("LINDA", "YAGO-IMDb").is_none());
+    }
+
+    #[test]
+    fn paris_collapse_on_bbc_is_recorded() {
+        let q = published("PARIS", "BBCmusic-DBpedia").unwrap();
+        assert!(q.f1 < 1.0);
+    }
+
+    #[test]
+    fn rule_table_covers_all_rules_and_datasets() {
+        for rule in ["R1", "R2", "R3", "noR4", "noNeighbors"] {
+            for d in DATASETS {
+                assert!(published_rule(rule, d).is_some(), "{rule}/{d}");
+            }
+        }
+        assert!(published_rule("R9", "Restaurant").is_none());
+    }
+}

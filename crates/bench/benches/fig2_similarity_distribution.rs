@@ -1,0 +1,15 @@
+//! Regenerates **Figure 2** of the paper: the value-similarity vs
+//! max-neighbor-similarity distribution of the ground-truth matches of
+//! each dataset, as an ASCII density scatter with the regime summary
+//! (strongly vs nearly similar, identical-name share).
+
+use minoaner_eval::figures::fig2;
+use minoaner_eval::scale_from_env;
+
+fn main() {
+    let scale = scale_from_env();
+    let start = std::time::Instant::now();
+    let (_points, rendered) = fig2(scale);
+    println!("{rendered}");
+    println!("(computed in {:?})", start.elapsed());
+}

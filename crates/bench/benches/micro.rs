@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks for the hot paths: value-similarity kernel,
+//! token blocking, blocking-graph construction, and the full matching
+//! phase (Algorithm 2) on a prepared graph.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use minoaner_core::{Minoaner, RuleSet};
+use minoaner_dataflow::Executor;
+use minoaner_datagen::{generate, profiles};
+use minoaner_kb::stats::{value_sim, TokenEf};
+use std::hint::black_box;
+
+fn bench_value_sim(c: &mut Criterion) {
+    let d = generate(&profiles::restaurant());
+    let ef = TokenEf::compute(&d.pair);
+    let pairs = d.ground_truth.to_vec();
+    c.bench_function("value_sim/restaurant_gt", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &(l, r) in &pairs {
+                acc += value_sim(black_box(&d.pair), &ef, l, r);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_token_blocking(c: &mut Criterion) {
+    let d = generate(&profiles::restaurant());
+    c.bench_function("token_blocking/restaurant", |b| {
+        b.iter(|| black_box(minoaner_blocking::token::build_token_blocks(&d.pair)))
+    });
+}
+
+fn bench_graph_construction(c: &mut Criterion) {
+    let d = generate(&profiles::restaurant());
+    let exec = Executor::default();
+    let m = Minoaner::new();
+    c.bench_function("blocking_graph/restaurant", |b| {
+        b.iter(|| black_box(m.prepare(&exec, &d.pair)))
+    });
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let d = generate(&profiles::restaurant());
+    let exec = Executor::default();
+    let m = Minoaner::new();
+    let prepared = m.prepare(&exec, &d.pair);
+    c.bench_function("matching_rules/restaurant", |b| {
+        b.iter(|| black_box(m.match_prepared(&exec, &d.pair, &prepared, RuleSet::FULL)))
+    });
+}
+
+criterion_group!(benches, bench_value_sim, bench_token_blocking, bench_graph_construction, bench_matching);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+// The bench crate has no library code; see benches/.

@@ -1,0 +1,165 @@
+//! Block Filtering (Papadakis et al., the standard companion of Block
+//! Purging in the Meta-blocking literature \[27, 28\]): each entity keeps
+//! only a ratio `r` of its *smallest* blocks — the most discriminative
+//! ones — removing it from its larger, noisier blocks.
+//!
+//! Where Block Purging drops whole blocks, Block Filtering thins the
+//! remaining ones per entity, shrinking the β pass further at a small
+//! recall cost. MinoanER's paper applies purging only; filtering is
+//! provided here as an optional extra step and measured in the `ablations`
+//! bench.
+
+use minoaner_kb::{EntityId, Side};
+
+use crate::block::TokenBlocks;
+
+/// Fraction of each entity's (smallest-first) blocks to keep. The
+/// literature's default is 0.8.
+pub const DEFAULT_FILTER_RATIO: f64 = 0.8;
+
+/// Report of a filtering pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FilterReport {
+    /// Entity-in-block assignments before / after.
+    pub assignments_before: u64,
+    pub assignments_after: u64,
+    /// Aggregate comparisons before / after.
+    pub comparisons_before: u64,
+    pub comparisons_after: u64,
+}
+
+/// Applies Block Filtering in place: for every entity (on each side), keep
+/// it only in the `⌈ratio · n⌉` smallest of its `n` blocks. Blocks that
+/// lose all entities on either side are dropped.
+pub fn filter_blocks(blocks: &mut TokenBlocks, ratio: f64) -> FilterReport {
+    let ratio = ratio.clamp(0.0, 1.0);
+    let assignments_before: u64 = blocks
+        .blocks
+        .iter()
+        .map(|(_, b)| (b.left.len() + b.right.len()) as u64)
+        .sum();
+    let comparisons_before = blocks.total_comparisons();
+
+    // Block order by size (ascending): rank of each block.
+    let mut order: Vec<usize> = (0..blocks.blocks.len()).collect();
+    order.sort_by_key(|&i| blocks.blocks[i].1.comparisons());
+    let mut rank = vec![0usize; blocks.blocks.len()];
+    for (r, &i) in order.iter().enumerate() {
+        rank[i] = r;
+    }
+
+    // For each side: entity → its block indices, sorted by block rank.
+    for side in [Side::Left, Side::Right] {
+        let mut per_entity: std::collections::HashMap<EntityId, Vec<usize>> = Default::default();
+        for (bi, (_, b)) in blocks.blocks.iter().enumerate() {
+            let members = match side {
+                Side::Left => &b.left,
+                Side::Right => &b.right,
+            };
+            for &e in members {
+                per_entity.entry(e).or_default().push(bi);
+            }
+        }
+        let mut keep: std::collections::HashSet<(u32, usize)> = Default::default();
+        for (e, mut bis) in per_entity {
+            bis.sort_by_key(|&bi| rank[bi]);
+            let k = ((ratio * bis.len() as f64).ceil() as usize).max(1).min(bis.len());
+            for &bi in &bis[..k] {
+                keep.insert((e.0, bi));
+            }
+        }
+        for (bi, (_, b)) in blocks.blocks.iter_mut().enumerate() {
+            let members = match side {
+                Side::Left => &mut b.left,
+                Side::Right => &mut b.right,
+            };
+            members.retain(|e| keep.contains(&(e.0, bi)));
+        }
+    }
+    blocks.blocks.retain(|(_, b)| b.is_active());
+
+    FilterReport {
+        assignments_before,
+        assignments_after: blocks
+            .blocks
+            .iter()
+            .map(|(_, b)| (b.left.len() + b.right.len()) as u64)
+            .sum(),
+        comparisons_before,
+        comparisons_after: blocks.total_comparisons(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block;
+    use minoaner_kb::TokenId;
+
+    fn block(l: &[u32], r: &[u32]) -> Block {
+        Block {
+            left: l.iter().map(|&i| EntityId(i)).collect(),
+            right: r.iter().map(|&i| EntityId(i)).collect(),
+        }
+    }
+
+    fn collection(blocks: Vec<Block>) -> TokenBlocks {
+        TokenBlocks {
+            blocks: blocks.into_iter().enumerate().map(|(i, b)| (TokenId(i as u32), b)).collect(),
+        }
+    }
+
+    #[test]
+    fn keeps_smallest_blocks_per_entity() {
+        // Entity 0 appears in a tiny block and a huge one; ratio 0.5 keeps
+        // only the tiny one.
+        let mut blocks = collection(vec![
+            block(&[0], &[0]),                   // 1 comparison
+            block(&[0, 1, 2, 3], &[0, 1, 2, 3]), // 16 comparisons
+        ]);
+        let report = filter_blocks(&mut blocks, 0.5);
+        let big = blocks.blocks.iter().find(|(t, _)| t.0 == 1);
+        if let Some((_, b)) = big {
+            assert!(!b.left.contains(&EntityId(0)), "entity 0 must leave its big block");
+        }
+        assert!(report.comparisons_after < report.comparisons_before);
+    }
+
+    #[test]
+    fn ratio_one_is_identity() {
+        let original = collection(vec![block(&[0, 1], &[0]), block(&[1], &[0, 1])]);
+        let mut blocks = original.clone();
+        let report = filter_blocks(&mut blocks, 1.0);
+        assert_eq!(blocks.blocks, original.blocks);
+        assert_eq!(report.comparisons_before, report.comparisons_after);
+    }
+
+    #[test]
+    fn every_entity_keeps_at_least_one_block() {
+        let mut blocks = collection(vec![block(&[0, 1, 2], &[0, 1, 2])]);
+        filter_blocks(&mut blocks, 0.1);
+        // One block only: everyone keeps it (k >= 1).
+        assert_eq!(blocks.blocks.len(), 1);
+        assert_eq!(blocks.blocks[0].1.left.len(), 3);
+    }
+
+    #[test]
+    fn emptied_blocks_are_dropped() {
+        // Entity 0 is the big block's only left member; filtering it out
+        // at a strict ratio empties the block's left side entirely.
+        let mut blocks = collection(vec![
+            block(&[0], &[0]),
+            block(&[0], &[0, 1, 2, 3, 4, 5, 6, 7]),
+        ]);
+        filter_blocks(&mut blocks, 0.5);
+        assert_eq!(blocks.blocks.len(), 1, "the thinned-out block disappears");
+    }
+
+    #[test]
+    fn empty_collection_is_fine() {
+        let mut blocks = TokenBlocks::default();
+        let report = filter_blocks(&mut blocks, 0.8);
+        assert_eq!(report.comparisons_before, 0);
+        assert_eq!(report.comparisons_after, 0);
+    }
+}

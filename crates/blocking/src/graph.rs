@@ -1,0 +1,702 @@
+//! The disjunctive blocking graph (§3.2–3.3, Algorithm 1).
+//!
+//! Nodes are the entity descriptions of both KBs; an edge connects a
+//! candidate pair and carries three weights: `α` (1 iff the pair co-occurs
+//! alone in a name block), `β` (value similarity, computed from token-block
+//! sizes), and `γ` (neighbor similarity, aggregated from the `β` weights of
+//! the pair's top in-neighbors). Per node, only the K strongest edges by
+//! `β` and the K strongest by `γ` survive pruning, turning the undirected
+//! graph into a directed one — the input of the matching rules R1–R4.
+//!
+//! As in the paper (Example 3.5), the graph is never materialized as an
+//! explicit edge list: it is represented by per-node candidate lists
+//! retrieved from the blocking indices.
+
+use std::collections::HashMap;
+
+use minoaner_dataflow::Executor;
+use minoaner_kb::stats::RelationStats;
+use minoaner_kb::{EntityId, KbPair, Side};
+
+use crate::block::{NameBlocks, TokenBlocks};
+use crate::name::{alpha_pairs, alpha_pairs_dirty};
+
+/// Weighting scheme for the β (value) evidence pass.
+///
+/// The paper's valueSim (Def. 2.1) is "a variation of ARCS, a
+/// Meta-blocking weighting scheme" (§5); the classic alternatives from
+/// the Meta-blocking literature \[27\] are provided for the ablation bench —
+/// they share the same candidate generation but rank candidates
+/// differently. Note that rule R2's `β ≥ 1` threshold is calibrated for
+/// the ARCS-style scale; with other schemes R2 effectively degenerates and
+/// R1/R3 carry the workflow, which is part of what the ablation shows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BetaWeighting {
+    /// The paper's scheme: `Σ_b 1/log2(‖b‖+1)` over common blocks.
+    #[default]
+    Arcs,
+    /// Common Blocks Scheme: the number of common blocks.
+    Cbs,
+    /// Enhanced CBS: `CBS · ln(|B|/|B_i|) · ln(|B|/|B_j|)` — CBS dampened
+    /// for entities that appear in many blocks.
+    Ecbs,
+    /// Jaccard Scheme: `CBS / (|B_i| + |B_j| − CBS)`.
+    Js,
+}
+
+/// Configuration of graph construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphConfig {
+    /// `K`: candidates kept per entity, separately for value and neighbor
+    /// evidence (paper default 15).
+    pub top_k: usize,
+    /// `N`: most important relations per entity used for neighbor evidence
+    /// (paper default 3).
+    pub n_relations: usize,
+    /// β weighting scheme (the paper uses [`BetaWeighting::Arcs`]).
+    pub beta_weighting: BetaWeighting,
+    /// Adaptive pruning — the extension sketched in the paper's
+    /// conclusion ("set the parameters of pruning candidate pairs
+    /// dynamically, based on the local similarity distributions of each
+    /// node's candidates"): instead of a fixed top-K cut, each node keeps
+    /// the candidates whose weight stands out from its own candidate
+    /// distribution (≥ mean + ½·stddev), still capped at `top_k`.
+    pub adaptive_pruning: bool,
+    /// Reciprocal pruning, from the enhanced Meta-blocking line of work
+    /// the paper cites for its R4 idea \[28\]: a directed candidate edge is
+    /// retained only if its reverse also survives the other endpoint's
+    /// top-K cut. Stricter than the paper's graph (which defers
+    /// reciprocity to rule R4) — measured in the `ablations` bench.
+    pub reciprocal_pruning: bool,
+}
+
+impl Default for GraphConfig {
+    fn default() -> Self {
+        Self {
+            top_k: 15,
+            n_relations: 3,
+            beta_weighting: BetaWeighting::Arcs,
+            adaptive_pruning: false,
+            reciprocal_pruning: false,
+        }
+    }
+}
+
+/// A candidate on the other side, with the evidence weight that ranked it.
+pub type Candidate = (EntityId, f64);
+
+/// The pruned, directed disjunctive blocking graph.
+#[derive(Debug, Clone)]
+pub struct BlockingGraph {
+    /// Per side, per entity: top-K candidates by `β` (descending).
+    value_cands: [Vec<Vec<Candidate>>; 2],
+    /// Per side, per entity: top-K candidates by `γ` (descending).
+    neighbor_cands: [Vec<Vec<Candidate>>; 2],
+    /// α-pairs `(left, right)`, sorted: 1×1 name-block co-occurrences.
+    alpha: Vec<(EntityId, EntityId)>,
+}
+
+impl BlockingGraph {
+    /// The α evidence pairs (rule R1's input), sorted.
+    pub fn alpha_pairs(&self) -> &[(EntityId, EntityId)] {
+        &self.alpha
+    }
+
+    /// The entity's value candidates, strongest `β` first.
+    pub fn value_candidates(&self, side: Side, e: EntityId) -> &[Candidate] {
+        &self.value_cands[side.index()][e.index()]
+    }
+
+    /// The entity's neighbor candidates, strongest `γ` first.
+    pub fn neighbor_candidates(&self, side: Side, e: EntityId) -> &[Candidate] {
+        &self.neighbor_cands[side.index()][e.index()]
+    }
+
+    /// The `β` weight of the directed edge `from → to`, if retained.
+    pub fn beta(&self, from_side: Side, from: EntityId, to: EntityId) -> Option<f64> {
+        self.value_candidates(from_side, from)
+            .iter()
+            .find(|&&(c, _)| c == to)
+            .map(|&(_, w)| w)
+    }
+
+    /// Whether the directed edge `from → to` survived pruning (via any of
+    /// the three evidence kinds). Rule R4's reciprocity test calls this in
+    /// both directions.
+    pub fn has_directed_edge(&self, from_side: Side, from: EntityId, to: EntityId) -> bool {
+        if self.value_candidates(from_side, from).iter().any(|&(c, _)| c == to)
+            || self.neighbor_candidates(from_side, from).iter().any(|&(c, _)| c == to)
+        {
+            return true;
+        }
+        let pair = match from_side {
+            Side::Left => (from, to),
+            Side::Right => (to, from),
+        };
+        self.alpha.binary_search(&pair).is_ok()
+    }
+
+    /// Total retained directed edges (value + neighbor lists + α both ways).
+    pub fn num_directed_edges(&self) -> usize {
+        let lists: usize = self
+            .value_cands
+            .iter()
+            .chain(self.neighbor_cands.iter())
+            .map(|side| side.iter().map(Vec::len).sum::<usize>())
+            .sum();
+        lists + 2 * self.alpha.len()
+    }
+}
+
+/// Builds the pruned disjunctive blocking graph (Algorithm 1).
+///
+/// `token_blocks` should already be purged. Heavy phases (the two β passes)
+/// run as parallel stages on `executor`; the γ aggregation follows the
+/// paper's in-neighbor formulation (lines 20–33).
+pub fn build_blocking_graph(
+    executor: &Executor,
+    pair: &KbPair,
+    rels: &RelationStats,
+    token_blocks: &TokenBlocks,
+    name_blocks: &NameBlocks,
+    cfg: &GraphConfig,
+) -> BlockingGraph {
+    // --- Name evidence (lines 5-9) ---
+    let alpha = executor.time_stage("graph/alpha", || {
+        if pair.is_dirty() {
+            alpha_pairs_dirty(name_blocks)
+        } else {
+            alpha_pairs(name_blocks)
+        }
+    });
+
+    // --- Value evidence (lines 10-19): one β pass per direction ---
+    let block_weight: Vec<f64> = match cfg.beta_weighting {
+        BetaWeighting::Arcs => token_blocks
+            .blocks
+            .iter()
+            .map(|(_, b)| 1.0 / (b.comparisons() as f64 + 1.0).log2())
+            .collect(),
+        // The block-count schemes accumulate 1 per common block and apply
+        // their transformation when candidates are ranked.
+        BetaWeighting::Cbs | BetaWeighting::Ecbs | BetaWeighting::Js => {
+            vec![1.0; token_blocks.blocks.len()]
+        }
+    };
+
+    let value_left = beta_pass(
+        executor, pair, Side::Left, token_blocks, &block_weight, cfg.top_k,
+        cfg.beta_weighting, cfg.adaptive_pruning,
+    );
+    let value_right = beta_pass(
+        executor, pair, Side::Right, token_blocks, &block_weight, cfg.top_k,
+        cfg.beta_weighting, cfg.adaptive_pruning,
+    );
+
+    // --- Neighbor evidence (lines 20-33) ---
+    let (in_left, in_right) = executor.time_stage("graph/top-in-neighbors", || {
+        (top_in_neighbors(pair, rels, Side::Left, cfg.n_relations),
+         top_in_neighbors(pair, rels, Side::Right, cfg.n_relations))
+    });
+
+    let (neighbor_left, neighbor_right) = executor.time_stage("graph/gamma", || {
+        gamma_pass(pair, &value_left, &value_right, &in_left, &in_right, cfg.top_k, cfg.adaptive_pruning)
+    });
+
+    let mut graph = BlockingGraph {
+        value_cands: [value_left, value_right],
+        neighbor_cands: [neighbor_left, neighbor_right],
+        alpha,
+    };
+    if cfg.reciprocal_pruning {
+        apply_reciprocal_pruning(&mut graph);
+    }
+    graph
+}
+
+/// Drops every directed candidate edge whose reverse did not survive the
+/// other endpoint's cut (enhanced-Meta-blocking-style reciprocity [28]).
+fn apply_reciprocal_pruning(graph: &mut BlockingGraph) {
+    use std::collections::HashSet;
+    let collect = |lists: &[Vec<Candidate>]| -> HashSet<(u32, u32)> {
+        let mut set = HashSet::new();
+        for (from, cands) in lists.iter().enumerate() {
+            for &(to, _) in cands {
+                set.insert((from as u32, to.0));
+            }
+        }
+        set
+    };
+    // Value edges.
+    let left_edges = collect(&graph.value_cands[0]);
+    let right_edges = collect(&graph.value_cands[1]);
+    for (from, cands) in graph.value_cands[0].iter_mut().enumerate() {
+        cands.retain(|&(to, _)| right_edges.contains(&(to.0, from as u32)));
+    }
+    for (from, cands) in graph.value_cands[1].iter_mut().enumerate() {
+        cands.retain(|&(to, _)| left_edges.contains(&(to.0, from as u32)));
+    }
+    // Neighbor edges.
+    let left_n = collect(&graph.neighbor_cands[0]);
+    let right_n = collect(&graph.neighbor_cands[1]);
+    for (from, cands) in graph.neighbor_cands[0].iter_mut().enumerate() {
+        cands.retain(|&(to, _)| right_n.contains(&(to.0, from as u32)));
+    }
+    for (from, cands) in graph.neighbor_cands[1].iter_mut().enumerate() {
+        cands.retain(|&(to, _)| left_n.contains(&(to.0, from as u32)));
+    }
+}
+
+/// Computes each `side` entity's top-K value candidates on the other side:
+/// `β[j] += 1/log2(|b1|·|b2|+1)` for every shared block (line 14) — the
+/// Meta-blocking-style pass adapted to the paper's value similarity (or
+/// one of the alternative schemes, see [`BetaWeighting`]).
+#[allow(clippy::too_many_arguments)]
+fn beta_pass(
+    executor: &Executor,
+    pair: &KbPair,
+    side: Side,
+    token_blocks: &TokenBlocks,
+    block_weight: &[f64],
+    top_k: usize,
+    weighting: BetaWeighting,
+    adaptive: bool,
+) -> Vec<Vec<Candidate>> {
+    let kb = pair.kb(side);
+    let n = kb.len();
+
+    // Per-entity block counts on both sides, needed by ECBS/JS.
+    let needs_counts = matches!(weighting, BetaWeighting::Ecbs | BetaWeighting::Js);
+    let total_blocks = token_blocks.blocks.len() as f64;
+    let mut counts_self = vec![0u32; n];
+    let mut counts_other = vec![0u32; pair.kb(side.other()).len()];
+    if needs_counts {
+        for (_, b) in &token_blocks.blocks {
+            let (members_self, members_other) = match side {
+                Side::Left => (&b.left, &b.right),
+                Side::Right => (&b.right, &b.left),
+            };
+            for &e in members_self {
+                counts_self[e.index()] += 1;
+            }
+            for &e in members_other {
+                counts_other[e.index()] += 1;
+            }
+        }
+    }
+
+    // entity → indices of the blocks containing it on `side`.
+    let mut entity_blocks: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (bi, (_, b)) in token_blocks.blocks.iter().enumerate() {
+        let members = match side {
+            Side::Left => &b.left,
+            Side::Right => &b.right,
+        };
+        for &e in members {
+            entity_blocks[e.index()].push(u32::try_from(bi).expect("block count fits u32"));
+        }
+    }
+
+    let dirty = pair.is_dirty();
+    let tasks = executor.partitions().max(1);
+    let chunk = n.div_ceil(tasks).max(1);
+    let n_tasks = n.div_ceil(chunk);
+    let partials = executor.run_stage(&format!("graph/beta/{side:?}"), n_tasks, |t| {
+        let lo = t * chunk;
+        let hi = ((t + 1) * chunk).min(n);
+        let mut out: Vec<Vec<Candidate>> = Vec::with_capacity(hi - lo);
+        let mut acc: HashMap<u32, f64> = HashMap::new();
+        for (offset, blocks_of_entity) in entity_blocks[lo..hi].iter().enumerate() {
+            let this = (lo + offset) as u32;
+            acc.clear();
+            for &bi in blocks_of_entity {
+                let (_, b) = &token_blocks.blocks[bi as usize];
+                let others = match side {
+                    Side::Left => &b.right,
+                    Side::Right => &b.left,
+                };
+                let w = block_weight[bi as usize];
+                for &o in others {
+                    // Dirty ER: both sides mirror one KB, so the identity
+                    // pair carries no duplicate evidence.
+                    if dirty && o.0 == this {
+                        continue;
+                    }
+                    *acc.entry(o.0).or_insert(0.0) += w;
+                }
+            }
+            match weighting {
+                BetaWeighting::Arcs | BetaWeighting::Cbs => {}
+                BetaWeighting::Ecbs => {
+                    let self_factor =
+                        (total_blocks / f64::from(counts_self[this as usize].max(1))).ln().max(1e-9);
+                    for (o, cbs) in acc.iter_mut() {
+                        let other_factor =
+                            (total_blocks / f64::from(counts_other[*o as usize].max(1))).ln().max(1e-9);
+                        *cbs *= self_factor * other_factor;
+                    }
+                }
+                BetaWeighting::Js => {
+                    let bi = f64::from(counts_self[this as usize].max(1));
+                    for (o, cbs) in acc.iter_mut() {
+                        let bj = f64::from(counts_other[*o as usize].max(1));
+                        let denom = bi + bj - *cbs;
+                        *cbs = if denom > 0.0 { *cbs / denom } else { 0.0 };
+                    }
+                }
+            }
+            out.push(top_candidates(&acc, top_k, adaptive));
+        }
+        out
+    });
+    partials.into_iter().flatten().collect()
+}
+
+/// Selects the top-K `(entity, weight)` pairs, descending by weight with
+/// ascending-id tie-breaks for determinism; zero weights are dropped
+/// (trivial edges, §3.3). With `adaptive`, the node's own weight
+/// distribution sets a dynamic floor (mean + ½·stddev) before the cap.
+fn top_candidates(acc: &HashMap<u32, f64>, top_k: usize, adaptive: bool) -> Vec<Candidate> {
+    let mut cands: Vec<Candidate> = acc
+        .iter()
+        .filter(|&(_, &w)| w > 0.0)
+        .map(|(&e, &w)| (EntityId(e), w))
+        .collect();
+    cands.sort_unstable_by(|a, b| {
+        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+    });
+    if adaptive && cands.len() > 1 {
+        let n = cands.len() as f64;
+        let mean = cands.iter().map(|&(_, w)| w).sum::<f64>() / n;
+        let var = cands.iter().map(|&(_, w)| (w - mean).powi(2)).sum::<f64>() / n;
+        let floor = mean + 0.5 * var.sqrt();
+        let keep = cands.iter().take_while(|&&(_, w)| w >= floor).count();
+        // Always keep at least the strongest candidate.
+        cands.truncate(keep.max(1));
+    }
+    cands.truncate(top_k);
+    cands
+}
+
+/// `getTopInNeighbors` (lines 35-48): for every entity of `side`, the
+/// entities that list it among their top-N neighbors.
+fn top_in_neighbors(
+    pair: &KbPair,
+    rels: &RelationStats,
+    side: Side,
+    n_relations: usize,
+) -> Vec<Vec<EntityId>> {
+    let kb = pair.kb(side);
+    let mut reverse: Vec<Vec<EntityId>> = vec![Vec::new(); kb.len()];
+    for (e, _) in kb.iter() {
+        for nb in rels.top_n_neighbors(pair, side, e, n_relations) {
+            reverse[nb.index()].push(e);
+        }
+    }
+    reverse
+}
+
+/// γ aggregation (lines 20-33): every retained β edge `(i, j)` adds its β
+/// to `γ[(a, b)]` for all `a ∈ topInNeighbors(i)`, `b ∈ topInNeighbors(j)`,
+/// after which each node keeps its top-K neighbor candidates.
+///
+/// The β edge set is the union of both directions' retained value edges
+/// (each undirected pair counted once — the paper prunes "two directed
+/// [edges] with the same initial weights", §3.3), so γ is symmetric before
+/// its own directional pruning.
+#[allow(clippy::too_many_arguments)]
+fn gamma_pass(
+    pair: &KbPair,
+    value_left: &[Vec<Candidate>],
+    value_right: &[Vec<Candidate>],
+    in_left: &[Vec<EntityId>],
+    in_right: &[Vec<EntityId>],
+    top_k: usize,
+    adaptive: bool,
+) -> (Vec<Vec<Candidate>>, Vec<Vec<Candidate>>) {
+    // Union of retained β edges as (left, right) → β.
+    let mut beta_edges: HashMap<(u32, u32), f64> = HashMap::new();
+    for (i, cands) in value_left.iter().enumerate() {
+        for &(j, w) in cands {
+            beta_edges.insert((i as u32, j.0), w);
+        }
+    }
+    for (j, cands) in value_right.iter().enumerate() {
+        for &(i, w) in cands {
+            beta_edges.entry((i.0, j as u32)).or_insert(w);
+        }
+    }
+
+    let dirty = pair.is_dirty();
+    let mut gamma: HashMap<(u32, u32), f64> = HashMap::new();
+    for (&(i, j), &beta) in &beta_edges {
+        for &a in &in_left[i as usize] {
+            for &b in &in_right[j as usize] {
+                if dirty && a == b {
+                    continue;
+                }
+                *gamma.entry((a.0, b.0)).or_insert(0.0) += beta;
+            }
+        }
+    }
+
+    // Directional top-K.
+    let mut per_left: Vec<HashMap<u32, f64>> = vec![HashMap::new(); pair.kb(Side::Left).len()];
+    let mut per_right: Vec<HashMap<u32, f64>> = vec![HashMap::new(); pair.kb(Side::Right).len()];
+    for (&(a, b), &g) in &gamma {
+        per_left[a as usize].insert(b, g);
+        per_right[b as usize].insert(a, g);
+    }
+    let left = per_left.iter().map(|acc| top_candidates(acc, top_k, adaptive)).collect();
+    let right = per_right.iter().map(|acc| top_candidates(acc, top_k, adaptive)).collect();
+    (left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::build_name_blocks;
+    use crate::purge::purge_blocks;
+    use crate::token::build_token_blocks;
+    use minoaner_kb::stats::NameStats;
+    use minoaner_kb::{KbPairBuilder, Term};
+
+    fn eid(pair: &KbPair, side: Side, uri: &str) -> EntityId {
+        pair.kb(side).entity_by_uri(pair.uris().get(uri).unwrap()).unwrap()
+    }
+
+    /// The Figure 1 / Example 3.4 worked example: Wikidata-style KB on the
+    /// left, DBpedia-style on the right.
+    fn figure1_pair() -> KbPair {
+        let mut b = KbPairBuilder::new();
+        // Left (Wikidata-ish).
+        b.add_triple(Side::Left, "w:Restaurant1", "w:label", Term::Literal("Fat Duck Restaurant"));
+        b.add_triple(Side::Left, "w:Restaurant1", "w:hasChef", Term::Uri("w:JohnLakeA"));
+        b.add_triple(Side::Left, "w:Restaurant1", "w:territorial", Term::Uri("w:Bray"));
+        b.add_triple(Side::Left, "w:Restaurant1", "w:inCountry", Term::Uri("w:UK"));
+        b.add_triple(Side::Left, "w:JohnLakeA", "w:label", Term::Literal("J. Lake"));
+        b.add_triple(Side::Left, "w:JohnLakeA", "w:alias", Term::Literal("John Lake A chef celebrity"));
+        b.add_triple(Side::Left, "w:Bray", "w:label", Term::Literal("Bray Berkshire village"));
+        b.add_triple(Side::Left, "w:UK", "w:label", Term::Literal("United Kingdom"));
+        // Right (DBpedia-ish).
+        b.add_triple(Side::Right, "d:Restaurant2", "d:name", Term::Literal("The Fat Duck"));
+        b.add_triple(Side::Right, "d:Restaurant2", "d:headChef", Term::Uri("d:JonnyLake"));
+        b.add_triple(Side::Right, "d:Restaurant2", "d:county", Term::Uri("d:Berkshire"));
+        b.add_triple(Side::Right, "d:JonnyLake", "d:name", Term::Literal("J. Lake"));
+        b.add_triple(Side::Right, "d:JonnyLake", "d:bio", Term::Literal("Jonny Lake chef celebrity"));
+        b.add_triple(Side::Right, "d:Berkshire", "d:name", Term::Literal("Berkshire county Bray"));
+        b.finish()
+    }
+
+    fn build(pair: &KbPair, cfg: GraphConfig) -> BlockingGraph {
+        let exec = Executor::new(2);
+        let rels = RelationStats::compute(pair);
+        let names = NameStats::compute(pair, 2);
+        let mut tb = build_token_blocks(pair);
+        purge_blocks(&mut tb, pair.kb(Side::Left).len() + pair.kb(Side::Right).len());
+        let nb = build_name_blocks(pair, &names);
+        build_blocking_graph(&exec, pair, &rels, &tb, &nb, &cfg)
+    }
+
+    #[test]
+    fn alpha_edge_connects_uniquely_named_pair() {
+        let pair = figure1_pair();
+        let g = build(&pair, GraphConfig::default());
+        let chef_l = eid(&pair, Side::Left, "w:JohnLakeA");
+        let chef_r = eid(&pair, Side::Right, "d:JonnyLake");
+        // "J. Lake" is shared by exactly one entity per KB → α = 1.
+        assert!(g.alpha_pairs().contains(&(chef_l, chef_r)));
+        assert!(g.has_directed_edge(Side::Left, chef_l, chef_r));
+        assert!(g.has_directed_edge(Side::Right, chef_r, chef_l));
+    }
+
+    #[test]
+    fn beta_edges_reflect_shared_tokens() {
+        let pair = figure1_pair();
+        let g = build(&pair, GraphConfig::default());
+        let r1 = eid(&pair, Side::Left, "w:Restaurant1");
+        let r2 = eid(&pair, Side::Right, "d:Restaurant2");
+        // "fat" and "duck" are shared → a β edge between the restaurants.
+        let beta = g.beta(Side::Left, r1, r2).expect("restaurants share tokens");
+        assert!(beta > 0.0);
+        // β is symmetric across the two directed edges.
+        let back = g.beta(Side::Right, r2, r1).expect("reverse edge");
+        assert!((beta - back).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gamma_edge_connects_entities_with_matching_neighbors() {
+        let pair = figure1_pair();
+        let g = build(&pair, GraphConfig::default());
+        let r1 = eid(&pair, Side::Left, "w:Restaurant1");
+        let r2 = eid(&pair, Side::Right, "d:Restaurant2");
+        // The chefs (β>0 via shared "chef celebrity lake" tokens and names)
+        // are top neighbors of the restaurants → γ(r1, r2) > 0.
+        let gamma = g
+            .neighbor_candidates(Side::Left, r1)
+            .iter()
+            .find(|&&(c, _)| c == r2)
+            .map(|&(_, w)| w)
+            .expect("restaurants connected by neighbor evidence");
+        assert!(gamma > 0.0);
+    }
+
+    #[test]
+    fn gamma_equals_sum_of_contributing_betas() {
+        // Minimal configuration: one β edge between the only neighbors.
+        let mut b = KbPairBuilder::new();
+        b.add_triple(Side::Left, "l:parent", "l:rel", Term::Uri("l:child"));
+        b.add_triple(Side::Left, "l:child", "l:p", Term::Literal("unique shared tokens"));
+        b.add_triple(Side::Left, "l:parent", "l:p", Term::Literal("nothing common here"));
+        b.add_triple(Side::Right, "r:parent", "r:rel", Term::Uri("r:child"));
+        b.add_triple(Side::Right, "r:child", "r:p", Term::Literal("unique shared tokens"));
+        b.add_triple(Side::Right, "r:parent", "r:p", Term::Literal("totally different words"));
+        let pair = b.finish();
+        let g = build(&pair, GraphConfig::default());
+        let cl = eid(&pair, Side::Left, "l:child");
+        let cr = eid(&pair, Side::Right, "r:child");
+        let pl = eid(&pair, Side::Left, "l:parent");
+        let pr = eid(&pair, Side::Right, "r:parent");
+        let beta = g.beta(Side::Left, cl, cr).expect("children share tokens");
+        let gamma = g
+            .neighbor_candidates(Side::Left, pl)
+            .iter()
+            .find(|&&(c, _)| c == pr)
+            .map(|&(_, w)| w)
+            .expect("parents linked via children");
+        assert!((gamma - beta).abs() < 1e-12, "γ must equal the single contributing β");
+    }
+
+    #[test]
+    fn pruning_bounds_out_degree() {
+        let mut b = KbPairBuilder::new();
+        // One left entity sharing a token with many right entities.
+        b.add_triple(Side::Left, "l", "p", Term::Literal("shared"));
+        for i in 0..40 {
+            let uri = format!("r{i}");
+            b.add_triple(Side::Right, &uri, "p", Term::Literal(&format!("shared extra{i}")));
+        }
+        let pair = b.finish();
+        let cfg = GraphConfig { top_k: 5, n_relations: 3, ..GraphConfig::default() };
+        // Skip purging here: with one giant block purging would remove all
+        // evidence; the K-pruning is what we are testing.
+        let exec = Executor::new(2);
+        let rels = RelationStats::compute(&pair);
+        let names = NameStats::compute(&pair, 2);
+        let tb = build_token_blocks(&pair);
+        let nb = build_name_blocks(&pair, &names);
+        let g = build_blocking_graph(&exec, &pair, &rels, &tb, &nb, &cfg);
+        let l = eid(&pair, Side::Left, "l");
+        assert!(g.value_candidates(Side::Left, l).len() <= 5);
+    }
+
+    #[test]
+    fn candidates_are_sorted_descending() {
+        let pair = figure1_pair();
+        let g = build(&pair, GraphConfig::default());
+        for side in [Side::Left, Side::Right] {
+            for (e, _) in pair.kb(side).iter() {
+                for list in [g.value_candidates(side, e), g.neighbor_candidates(side, e)] {
+                    assert!(list.windows(2).all(|w| w[0].1 >= w[1].1));
+                    assert!(list.iter().all(|&(_, w)| w > 0.0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_edge_between_unrelated_entities() {
+        let pair = figure1_pair();
+        let g = build(&pair, GraphConfig::default());
+        let uk = eid(&pair, Side::Left, "w:UK");
+        let chef_r = eid(&pair, Side::Right, "d:JonnyLake");
+        assert!(!g.has_directed_edge(Side::Left, uk, chef_r));
+        assert_eq!(g.beta(Side::Left, uk, chef_r), None);
+    }
+
+    #[test]
+    fn alternative_beta_weightings_rank_candidates() {
+        let pair = figure1_pair();
+        let exec = Executor::new(1);
+        let rels = RelationStats::compute(&pair);
+        let names = NameStats::compute(&pair, 2);
+        let tb = build_token_blocks(&pair);
+        let nb = build_name_blocks(&pair, &names);
+        let r1 = eid(&pair, Side::Left, "w:Restaurant1");
+        let r2 = eid(&pair, Side::Right, "d:Restaurant2");
+        for scheme in [BetaWeighting::Cbs, BetaWeighting::Ecbs, BetaWeighting::Js] {
+            let cfg = GraphConfig { beta_weighting: scheme, ..GraphConfig::default() };
+            let g = build_blocking_graph(&exec, &pair, &rels, &tb, &nb, &cfg);
+            let beta = g.beta(Side::Left, r1, r2);
+            assert!(beta.is_some(), "{scheme:?}: restaurants must stay candidates");
+            assert!(beta.unwrap() > 0.0);
+        }
+        // CBS of the restaurants equals their number of common blocks.
+        let cfg = GraphConfig { beta_weighting: BetaWeighting::Cbs, ..GraphConfig::default() };
+        let g = build_blocking_graph(&exec, &pair, &rels, &tb, &nb, &cfg);
+        let cbs = g.beta(Side::Left, r1, r2).unwrap();
+        assert!((cbs - cbs.round()).abs() < 1e-9, "CBS is an integer count");
+        assert!(cbs >= 2.0, "fat+duck are common blocks");
+    }
+
+    #[test]
+    fn js_weights_are_normalized() {
+        let pair = figure1_pair();
+        let exec = Executor::new(1);
+        let rels = RelationStats::compute(&pair);
+        let names = NameStats::compute(&pair, 2);
+        let tb = build_token_blocks(&pair);
+        let nb = build_name_blocks(&pair, &names);
+        let cfg = GraphConfig { beta_weighting: BetaWeighting::Js, ..GraphConfig::default() };
+        let g = build_blocking_graph(&exec, &pair, &rels, &tb, &nb, &cfg);
+        for side in [Side::Left, Side::Right] {
+            for (e, _) in pair.kb(side).iter() {
+                for &(_, w) in g.value_candidates(side, e) {
+                    assert!((0.0..=1.0 + 1e-9).contains(&w), "JS weight out of range: {w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reciprocal_pruning_keeps_only_mutual_edges() {
+        let pair = figure1_pair();
+        let exec = Executor::new(1);
+        let rels = RelationStats::compute(&pair);
+        let names = NameStats::compute(&pair, 2);
+        let tb = build_token_blocks(&pair);
+        let nb = build_name_blocks(&pair, &names);
+        let cfg = GraphConfig { reciprocal_pruning: true, top_k: 2, ..GraphConfig::default() };
+        let g = build_blocking_graph(&exec, &pair, &rels, &tb, &nb, &cfg);
+        for (i, cands) in (0..pair.kb(Side::Left).len()).map(|i| {
+            (i, g.value_candidates(Side::Left, EntityId(i as u32)).to_vec())
+        }) {
+            for (to, _) in cands {
+                assert!(
+                    g.value_candidates(Side::Right, to).iter().any(|&(b, _)| b.0 == i as u32),
+                    "edge {i}->{to:?} kept without its reverse"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn graph_construction_is_deterministic_across_workers() {
+        let pair = figure1_pair();
+        let rels = RelationStats::compute(&pair);
+        let names = NameStats::compute(&pair, 2);
+        let mut tb = build_token_blocks(&pair);
+        purge_blocks(&mut tb, pair.kb(Side::Left).len() + pair.kb(Side::Right).len());
+        let nb = build_name_blocks(&pair, &names);
+        let cfg = GraphConfig::default();
+        let g1 = build_blocking_graph(&Executor::new(1), &pair, &rels, &tb, &nb, &cfg);
+        let g4 = build_blocking_graph(&Executor::new(4), &pair, &rels, &tb, &nb, &cfg);
+        assert_eq!(g1.alpha_pairs(), g4.alpha_pairs());
+        for side in [Side::Left, Side::Right] {
+            for (e, _) in pair.kb(side).iter() {
+                assert_eq!(g1.value_candidates(side, e), g4.value_candidates(side, e));
+                assert_eq!(g1.neighbor_candidates(side, e), g4.neighbor_candidates(side, e));
+            }
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! MinHash-LSH blocking — the locality-sensitive alternative discussed in
+//! the paper's related work (§5, \[24\]): entities are hashed multiple times
+//! with a banded MinHash family so that pairs above a Jaccard-similarity
+//! threshold are likely to share a bucket.
+//!
+//! The paper's criticism, which the `lsh_vs_token_blocking` comparison in
+//! the bench suite demonstrates, is that tuning the implied threshold is
+//! non-trivial and that recall collapses exactly on the *nearly similar*
+//! matches MinoanER cares about — token blocking is parameter-free and
+//! keeps them.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use minoaner_kb::{EntityId, KbPair, Side, TokenId};
+
+/// MinHash-LSH configuration. The implied Jaccard threshold is roughly
+/// `(1/bands)^(1/rows)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LshConfig {
+    /// Number of bands (each band is one bucket-granting hash).
+    pub bands: usize,
+    /// Rows (MinHash values) per band.
+    pub rows: usize,
+    /// Seed of the hash family.
+    pub seed: u64,
+}
+
+impl Default for LshConfig {
+    fn default() -> Self {
+        // 16 bands × 4 rows ≈ 0.5 Jaccard threshold.
+        Self { bands: 16, rows: 4, seed: 0x1511 }
+    }
+}
+
+impl LshConfig {
+    /// The approximate Jaccard similarity at which a pair has a 50% chance
+    /// of sharing a bucket.
+    pub fn implied_threshold(&self) -> f64 {
+        (1.0 / self.bands as f64).powf(1.0 / self.rows as f64)
+    }
+}
+
+fn minhash(tokens: &[TokenId], perm: u64) -> u64 {
+    let mut min = u64::MAX;
+    for &t in tokens {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        perm.hash(&mut h);
+        t.0.hash(&mut h);
+        min = min.min(h.finish());
+    }
+    min
+}
+
+fn band_signature(tokens: &[TokenId], band: usize, cfg: &LshConfig) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for row in 0..cfg.rows {
+        let perm = cfg
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((band * cfg.rows + row) as u64);
+        minhash(tokens, perm).hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Runs MinHash-LSH blocking over the token sets of both KBs and returns
+/// the distinct candidate pairs (pairs sharing at least one band bucket).
+pub fn lsh_candidate_pairs(pair: &KbPair, cfg: &LshConfig) -> Vec<(EntityId, EntityId)> {
+    let mut seen: std::collections::HashSet<(u32, u32)> = Default::default();
+    for band in 0..cfg.bands {
+        let mut buckets: HashMap<u64, (Vec<EntityId>, Vec<EntityId>)> = HashMap::new();
+        for (side, slot) in [(Side::Left, 0usize), (Side::Right, 1usize)] {
+            let kb = pair.kb(side);
+            for (id, _) in kb.iter() {
+                let toks = kb.tokens_of(id);
+                if toks.is_empty() {
+                    continue;
+                }
+                let sig = band_signature(toks, band, cfg);
+                let entry = buckets.entry(sig).or_default();
+                if slot == 0 {
+                    entry.0.push(id);
+                } else {
+                    entry.1.push(id);
+                }
+            }
+        }
+        for (_, (ls, rs)) in buckets {
+            // Guard against degenerate buckets, as Block Purging would.
+            if ls.len() * rs.len() > 100_000 {
+                continue;
+            }
+            for &l in &ls {
+                for &r in &rs {
+                    seen.insert((l.0, r.0));
+                }
+            }
+        }
+    }
+    let mut out: Vec<(EntityId, EntityId)> =
+        seen.into_iter().map(|(l, r)| (EntityId(l), EntityId(r))).collect();
+    out.sort_unstable();
+    out
+}
+
+/// Recall of a candidate-pair set against a ground truth (%), used to
+/// compare LSH with token blocking.
+pub fn candidate_recall(candidates: &[(EntityId, EntityId)], ground_truth: &[(EntityId, EntityId)]) -> f64 {
+    if ground_truth.is_empty() {
+        return 0.0;
+    }
+    let set: std::collections::HashSet<_> = candidates.iter().collect();
+    let hit = ground_truth.iter().filter(|p| set.contains(p)).count();
+    100.0 * hit as f64 / ground_truth.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minoaner_kb::{KbPairBuilder, Term};
+
+    fn pair_with_similarity_spectrum() -> (KbPair, Vec<(EntityId, EntityId)>) {
+        let mut b = KbPairBuilder::new();
+        // Identical pair (Jaccard 1.0), strongly similar (≈0.8),
+        // nearly similar (≈0.2).
+        let rows: &[(&str, &str)] = &[
+            ("alpha beta gamma delta epsilon", "alpha beta gamma delta epsilon"),
+            ("one two three four five", "one two three four junk"),
+            ("red green blue cyan magenta yellow black white", "red nope nada zilch none nothing void gone"),
+        ];
+        let mut gt = Vec::new();
+        for (i, (l, r)) in rows.iter().enumerate() {
+            b.add_triple(Side::Left, &format!("l{i}"), "p", Term::Literal(l));
+            b.add_triple(Side::Right, &format!("r{i}"), "q", Term::Literal(r));
+            gt.push((EntityId(i as u32), EntityId(i as u32)));
+        }
+        (b.finish(), gt)
+    }
+
+    #[test]
+    fn identical_pairs_always_collide() {
+        let (pair, _) = pair_with_similarity_spectrum();
+        let cands = lsh_candidate_pairs(&pair, &LshConfig::default());
+        assert!(cands.contains(&(EntityId(0), EntityId(0))), "identical sets must share every bucket");
+    }
+
+    #[test]
+    fn nearly_similar_pairs_are_often_missed() {
+        // With a strict configuration (high implied threshold), the
+        // Jaccard≈0.1 pair is very unlikely to collide — the paper's §5
+        // critique of LSH blocking.
+        let (pair, _) = pair_with_similarity_spectrum();
+        let cfg = LshConfig { bands: 2, rows: 8, seed: 7 };
+        assert!(cfg.implied_threshold() > 0.8);
+        let cands = lsh_candidate_pairs(&pair, &cfg);
+        assert!(
+            !cands.contains(&(EntityId(2), EntityId(2))),
+            "a Jaccard≈0.1 pair should miss under a 0.9-threshold family"
+        );
+    }
+
+    #[test]
+    fn implied_threshold_moves_with_banding() {
+        let loose = LshConfig { bands: 32, rows: 2, seed: 1 };
+        let strict = LshConfig { bands: 2, rows: 16, seed: 1 };
+        assert!(loose.implied_threshold() < strict.implied_threshold());
+    }
+
+    #[test]
+    fn recall_measurement() {
+        let (pair, gt) = pair_with_similarity_spectrum();
+        let cands = lsh_candidate_pairs(&pair, &LshConfig::default());
+        let r = candidate_recall(&cands, &gt);
+        assert!(r >= 33.0, "at least the identical pair is found: {r}");
+        assert_eq!(candidate_recall(&[], &gt), 0.0);
+        assert_eq!(candidate_recall(&cands, &[]), 0.0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (pair, _) = pair_with_similarity_spectrum();
+        let a = lsh_candidate_pairs(&pair, &LshConfig::default());
+        let b = lsh_candidate_pairs(&pair, &LshConfig::default());
+        assert_eq!(a, b);
+    }
+}

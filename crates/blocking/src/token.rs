@@ -1,0 +1,153 @@
+//! Token blocking (§3.1): every token appearing in the values of entities
+//! from both KBs defines one block. Token blocking is parameter-free and —
+//! critically for MinoanER — its block sizes *are* the entity frequencies,
+//! so value similarity (Def. 2.1) can be computed from the blocks alone.
+
+use minoaner_dataflow::Executor;
+use minoaner_kb::{EntityId, KbPair, Side, TokenId};
+
+use crate::block::{Block, TokenBlocks};
+
+/// Builds the token blocks sequentially.
+pub fn build_token_blocks(pair: &KbPair) -> TokenBlocks {
+    let n_tokens = pair.token_space();
+    let mut left: Vec<Vec<EntityId>> = vec![Vec::new(); n_tokens];
+    let mut right: Vec<Vec<EntityId>> = vec![Vec::new(); n_tokens];
+    invert(pair, Side::Left, &mut left);
+    invert(pair, Side::Right, &mut right);
+    assemble(left, right)
+}
+
+/// Builds the token blocks in parallel: each worker inverts a slice of the
+/// entity range, then the per-worker indices are merged. Equivalent to the
+/// sequential construction (verified by tests).
+pub fn build_token_blocks_parallel(executor: &Executor, pair: &KbPair) -> TokenBlocks {
+    let n_tokens = pair.token_space();
+    let mut sides: Vec<Vec<Vec<EntityId>>> = Vec::with_capacity(2);
+    for side in [Side::Left, Side::Right] {
+        let kb = pair.kb(side);
+        let n = kb.len();
+        let tasks = executor.partitions().max(1);
+        let chunk = n.div_ceil(tasks).max(1);
+        let partials = executor.run_stage(
+            &format!("token-blocking/{side:?}"),
+            n.div_ceil(chunk),
+            |t| {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                let mut inv: Vec<Vec<EntityId>> = vec![Vec::new(); n_tokens];
+                for i in lo..hi {
+                    let id = EntityId(i as u32);
+                    for &tok in kb.tokens_of(id) {
+                        inv[tok.index()].push(id);
+                    }
+                }
+                inv
+            },
+        );
+        // Merge partials; entity ids are produced in ascending order per
+        // chunk and chunks are disjoint ascending ranges, so concatenation
+        // in task order keeps each posting list sorted.
+        let mut merged: Vec<Vec<EntityId>> = vec![Vec::new(); n_tokens];
+        for partial in partials {
+            for (tok, ids) in partial.into_iter().enumerate() {
+                if !ids.is_empty() {
+                    merged[tok].extend(ids);
+                }
+            }
+        }
+        sides.push(merged);
+    }
+    let right = sides.pop().expect("two sides");
+    let left = sides.pop().expect("two sides");
+    assemble(left, right)
+}
+
+fn invert(pair: &KbPair, side: Side, inv: &mut [Vec<EntityId>]) {
+    let kb = pair.kb(side);
+    for (id, _) in kb.iter() {
+        for &tok in kb.tokens_of(id) {
+            inv[tok.index()].push(id);
+        }
+    }
+}
+
+fn assemble(left: Vec<Vec<EntityId>>, right: Vec<Vec<EntityId>>) -> TokenBlocks {
+    let mut blocks = Vec::new();
+    for (tok, (l, r)) in left.into_iter().zip(right).enumerate() {
+        if !l.is_empty() && !r.is_empty() {
+            blocks.push((TokenId(tok as u32), Block { left: l, right: r }));
+        }
+    }
+    TokenBlocks { blocks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minoaner_kb::{KbPairBuilder, Term};
+
+    fn pair() -> KbPair {
+        let mut b = KbPairBuilder::new();
+        b.add_triple(Side::Left, "l1", "p", Term::Literal("fat duck bray"));
+        b.add_triple(Side::Left, "l2", "p", Term::Literal("duck pond"));
+        b.add_triple(Side::Right, "r1", "p", Term::Literal("fat duck"));
+        b.add_triple(Side::Right, "r2", "p", Term::Literal("swan lake"));
+        b.finish()
+    }
+
+    #[test]
+    fn blocks_exist_only_for_shared_tokens() {
+        let p = pair();
+        let blocks = build_token_blocks(&p);
+        // Shared tokens: fat, duck. One-sided: bray, pond, swan, lake.
+        assert_eq!(blocks.len(), 2);
+        let token_names: Vec<&str> = blocks
+            .blocks
+            .iter()
+            .map(|(t, _)| p.tokens().resolve(minoaner_kb::Symbol(t.0)))
+            .collect();
+        assert!(token_names.contains(&"fat"));
+        assert!(token_names.contains(&"duck"));
+    }
+
+    #[test]
+    fn block_sizes_equal_entity_frequencies() {
+        let p = pair();
+        let blocks = build_token_blocks(&p);
+        let duck = TokenId(p.tokens().get("duck").unwrap().0);
+        let (_, b) = blocks.blocks.iter().find(|(t, _)| *t == duck).unwrap();
+        assert_eq!(b.left.len(), 2); // l1, l2
+        assert_eq!(b.right.len(), 1); // r1
+        assert_eq!(b.comparisons(), 2);
+    }
+
+    #[test]
+    fn posting_lists_are_sorted() {
+        let p = pair();
+        for (_, b) in &build_token_blocks(&p).blocks {
+            assert!(b.left.windows(2).all(|w| w[0] < w[1]));
+            assert!(b.right.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut b = KbPairBuilder::new();
+        for i in 0..200 {
+            let uri = format!("l{i}");
+            b.add_triple(Side::Left, &uri, "p", Term::Literal(&format!("tok{} shared common", i % 13)));
+        }
+        for i in 0..150 {
+            let uri = format!("r{i}");
+            b.add_triple(Side::Right, &uri, "p", Term::Literal(&format!("tok{} shared other", i % 7)));
+        }
+        let p = b.finish();
+        let seq = build_token_blocks(&p);
+        for workers in [1, 4] {
+            let exec = Executor::new(workers);
+            let par = build_token_blocks_parallel(&exec, &p);
+            assert_eq!(seq.blocks, par.blocks, "workers={workers}");
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Minimal, dependency-free command-line argument parsing for the
+//! `minoaner` binary.
+
+use std::fmt;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Clean-clean resolution of two N-Triples KBs.
+    Resolve(ResolveArgs),
+    /// Dirty-ER duplicate detection within one N-Triples KB.
+    Dedup(DedupArgs),
+    /// Multi-KB resolution: cluster entities across 3+ KBs.
+    Multi(MultiArgs),
+    /// Print Table-1-style statistics for a KB file.
+    Stats(StatsArgs),
+    /// Print usage.
+    Help,
+}
+
+/// Arguments of `minoaner resolve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolveArgs {
+    /// Left KB path (N-Triples).
+    pub left: String,
+    /// Right KB path (N-Triples).
+    pub right: String,
+    /// Optional ground-truth pair list for scoring.
+    pub ground_truth: Option<String>,
+    /// Worker threads (default: all cores).
+    pub workers: Option<usize>,
+    /// The four MinoanER parameters (defaults 2, 15, 3, 0.6).
+    pub k: usize,
+    pub top_k: usize,
+    pub n: usize,
+    pub theta: f64,
+    /// Emit matches as JSON instead of TSV.
+    pub json: bool,
+}
+
+/// Arguments of `minoaner dedup`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DedupArgs {
+    /// KB path (N-Triples).
+    pub input: String,
+    /// Worker threads (default: all cores).
+    pub workers: Option<usize>,
+    /// Emit duplicates as JSON instead of TSV.
+    pub json: bool,
+}
+
+/// Arguments of `minoaner multi`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiArgs {
+    /// Three or more KB paths.
+    pub inputs: Vec<String>,
+    pub workers: Option<usize>,
+    pub json: bool,
+}
+
+/// Arguments of `minoaner stats`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsArgs {
+    /// KB path.
+    pub input: String,
+    /// Attribute treated as the entity-type predicate (Table 1 "types").
+    pub type_attr: String,
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+pub const USAGE: &str = "\
+minoaner — schema-agnostic entity resolution (MinoanER, EDBT 2019)
+
+USAGE:
+    minoaner resolve --left <a.nt> --right <b.nt> [OPTIONS]
+    minoaner dedup   --input <kb.nt> [OPTIONS]
+    minoaner multi   --kb <a.nt> --kb <b.nt> --kb <c.nt> ... [OPTIONS]
+    minoaner stats   --input <kb.nt> [--type-attr <iri>]
+    minoaner help
+
+KB files ending in .ttl are parsed as Turtle (subset); everything else as
+N-Triples (subset).
+
+RESOLVE OPTIONS:
+    --left <path>           left KB, N-Triples
+    --right <path>          right KB, N-Triples
+    --ground-truth <path>   optional pair list (left-uri <TAB> right-uri) to score against
+    --workers <n>           dataflow workers (default: all cores)
+    --k <n>                 name attributes per KB (default 2)
+    --top-k <n>             candidates per entity (default 15)
+    --n <n>                 relations per entity (default 3)
+    --theta <f>             value/neighbor trade-off in (0,1) (default 0.6)
+    --json                  emit JSON instead of TSV
+
+DEDUP OPTIONS:
+    --input <path>          the dirty KB, N-Triples
+    --workers <n>           dataflow workers
+    --json                  emit JSON instead of TSV
+
+MULTI OPTIONS:
+    --kb <path>             a KB file (repeat 2+ times)
+    --workers <n>           dataflow workers
+    --json                  emit JSON instead of text clusters
+
+STATS OPTIONS:
+    --input <path>          the KB file
+    --type-attr <iri>       type predicate (default rdf:type)
+";
+
+/// Parses the command line (excluding `argv[0]`).
+pub fn parse(args: &[String]) -> Result<Command, ArgError> {
+    let mut it = args.iter();
+    let command = match it.next().map(String::as_str) {
+        Some("resolve") => "resolve",
+        Some("dedup") => "dedup",
+        Some("multi") => "multi",
+        Some("stats") => "stats",
+        Some("help") | Some("--help") | Some("-h") | None => return Ok(Command::Help),
+        Some(other) => return Err(ArgError(format!("unknown command {other:?}; try `minoaner help`"))),
+    };
+
+    let mut left = None;
+    let mut right = None;
+    let mut input = None;
+    let mut kbs: Vec<String> = Vec::new();
+    let mut type_attr = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type".to_owned();
+    let mut ground_truth = None;
+    let mut workers = None;
+    let mut k = 2usize;
+    let mut top_k = 15usize;
+    let mut n = 3usize;
+    let mut theta = 0.6f64;
+    let mut json = false;
+
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, ArgError> {
+            it.next().cloned().ok_or_else(|| ArgError(format!("{name} requires a value")))
+        };
+        match flag.as_str() {
+            "--left" => left = Some(value("--left")?),
+            "--right" => right = Some(value("--right")?),
+            "--input" => input = Some(value("--input")?),
+            "--kb" => kbs.push(value("--kb")?),
+            "--type-attr" => type_attr = value("--type-attr")?,
+            "--ground-truth" => ground_truth = Some(value("--ground-truth")?),
+            "--workers" => {
+                workers = Some(value("--workers")?.parse().map_err(|_| ArgError("--workers expects an integer".into()))?)
+            }
+            "--k" => k = value("--k")?.parse().map_err(|_| ArgError("--k expects an integer".into()))?,
+            "--top-k" => {
+                top_k = value("--top-k")?.parse().map_err(|_| ArgError("--top-k expects an integer".into()))?
+            }
+            "--n" => n = value("--n")?.parse().map_err(|_| ArgError("--n expects an integer".into()))?,
+            "--theta" => {
+                theta = value("--theta")?.parse().map_err(|_| ArgError("--theta expects a float".into()))?
+            }
+            "--json" => json = true,
+            other => return Err(ArgError(format!("unknown flag {other:?}; try `minoaner help`"))),
+        }
+    }
+
+    match command {
+        "resolve" => {
+            let left = left.ok_or_else(|| ArgError("resolve requires --left".into()))?;
+            let right = right.ok_or_else(|| ArgError("resolve requires --right".into()))?;
+            Ok(Command::Resolve(ResolveArgs { left, right, ground_truth, workers, k, top_k, n, theta, json }))
+        }
+        "dedup" => {
+            let input = input.ok_or_else(|| ArgError("dedup requires --input".into()))?;
+            Ok(Command::Dedup(DedupArgs { input, workers, json }))
+        }
+        "multi" => {
+            if kbs.len() < 2 {
+                return Err(ArgError("multi requires at least two --kb inputs".into()));
+            }
+            Ok(Command::Multi(MultiArgs { inputs: kbs, workers, json }))
+        }
+        "stats" => {
+            let input = input.ok_or_else(|| ArgError("stats requires --input".into()))?;
+            Ok(Command::Stats(StatsArgs { input, type_attr }))
+        }
+        _ => unreachable!(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_resolve_with_defaults() {
+        let cmd = parse(&strings(&["resolve", "--left", "a.nt", "--right", "b.nt"])).unwrap();
+        let Command::Resolve(a) = cmd else { panic!("expected resolve") };
+        assert_eq!(a.left, "a.nt");
+        assert_eq!(a.right, "b.nt");
+        assert_eq!((a.k, a.top_k, a.n), (2, 15, 3));
+        assert!((a.theta - 0.6).abs() < 1e-12);
+        assert!(!a.json);
+    }
+
+    #[test]
+    fn parses_all_options() {
+        let cmd = parse(&strings(&[
+            "resolve", "--left", "a", "--right", "b", "--ground-truth", "g", "--workers", "8",
+            "--k", "1", "--top-k", "5", "--n", "2", "--theta", "0.5", "--json",
+        ]))
+        .unwrap();
+        let Command::Resolve(a) = cmd else { panic!() };
+        assert_eq!(a.workers, Some(8));
+        assert_eq!(a.ground_truth.as_deref(), Some("g"));
+        assert_eq!((a.k, a.top_k, a.n), (1, 5, 2));
+        assert!(a.json);
+    }
+
+    #[test]
+    fn parses_dedup() {
+        let cmd = parse(&strings(&["dedup", "--input", "kb.nt", "--json"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Dedup(DedupArgs { input: "kb.nt".into(), workers: None, json: true })
+        );
+    }
+
+    #[test]
+    fn help_variants() {
+        for args in [vec![], strings(&["help"]), strings(&["--help"]), strings(&["-h"])] {
+            assert_eq!(parse(&args).unwrap(), Command::Help);
+        }
+    }
+
+    #[test]
+    fn parses_multi_and_stats() {
+        let cmd = parse(&strings(&["multi", "--kb", "a.nt", "--kb", "b.ttl", "--kb", "c.nt"])).unwrap();
+        let Command::Multi(m) = cmd else { panic!() };
+        assert_eq!(m.inputs.len(), 3);
+        let cmd = parse(&strings(&["stats", "--input", "kb.nt"])).unwrap();
+        let Command::Stats(s) = cmd else { panic!() };
+        assert!(s.type_attr.contains("rdf-syntax-ns#type"));
+        assert!(parse(&strings(&["multi", "--kb", "only-one.nt"])).is_err());
+        assert!(parse(&strings(&["stats"])).is_err());
+    }
+
+    #[test]
+    fn missing_required_flags_error() {
+        assert!(parse(&strings(&["resolve", "--left", "a"])).is_err());
+        assert!(parse(&strings(&["dedup"])).is_err());
+        assert!(parse(&strings(&["resolve", "--left"])).is_err(), "dangling value");
+        assert!(parse(&strings(&["frobnicate"])).is_err());
+        assert!(parse(&strings(&["resolve", "--left", "a", "--right", "b", "--bogus"])).is_err());
+    }
+}

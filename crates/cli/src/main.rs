@@ -1,0 +1,285 @@
+//! `minoaner` — command-line entity resolution over N-Triples KBs.
+//!
+//! ```sh
+//! minoaner resolve --left dbpedia.nt --right wikidata.nt --ground-truth gt.tsv
+//! minoaner dedup --input crawl.nt --json
+//! ```
+
+mod args;
+
+use std::collections::HashSet;
+use std::process::ExitCode;
+
+use minoaner_core::Minoaner;
+use minoaner_dataflow::Executor;
+use minoaner_eval::Quality;
+use minoaner_kb::dirty::DirtyKbBuilder;
+use minoaner_kb::parser::{load_ntriples, parse_ground_truth, parse_line, unescape};
+use minoaner_kb::turtle::load_turtle;
+use minoaner_kb::{KbPairBuilder, Side, Term};
+
+use minoaner_core::multi::{MultiKb, ObjectTerm};
+
+use args::{parse, Command, DedupArgs, MultiArgs, ResolveArgs, StatsArgs, USAGE};
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match parse(&argv) {
+        Ok(Command::Help) => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Ok(Command::Resolve(args)) => run(resolve(&args)),
+        Ok(Command::Dedup(args)) => run(dedup(&args)),
+        Ok(Command::Multi(args)) => run(multi(&args)),
+        Ok(Command::Stats(args)) => run(stats(&args)),
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(result: Result<(), String>) -> ExitCode {
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn executor(workers: Option<usize>) -> Executor {
+    match workers {
+        Some(w) => Executor::new(w),
+        None => Executor::default(),
+    }
+}
+
+/// Loads a KB file into the builder, picking the parser by extension:
+/// `.ttl` → Turtle subset, anything else → N-Triples subset.
+fn load_kb(builder: &mut KbPairBuilder, side: Side, path: &str) -> Result<usize, String> {
+    let doc = read(path)?;
+    let loaded = if path.ends_with(".ttl") {
+        load_turtle(builder, side, &doc)
+    } else {
+        load_ntriples(builder, side, &doc)
+    };
+    loaded.map_err(|e| format!("{path}: {e}"))
+}
+
+fn resolve(args: &ResolveArgs) -> Result<(), String> {
+    let mut builder = KbPairBuilder::new();
+    let nl = load_kb(&mut builder, Side::Left, &args.left)?;
+    let nr = load_kb(&mut builder, Side::Right, &args.right)?;
+    let pair = builder.finish();
+    eprintln!(
+        "loaded {} + {} triples ({} + {} entities)",
+        nl,
+        nr,
+        pair.kb(Side::Left).len(),
+        pair.kb(Side::Right).len()
+    );
+
+    let config = minoaner_core::MinoanerConfig {
+        name_attrs_k: args.k,
+        top_k: args.top_k,
+        n_relations: args.n,
+        theta: args.theta,
+        ..Default::default()
+    };
+    config.validate().map_err(|e| format!("invalid configuration: {e}"))?;
+
+    let exec = executor(args.workers);
+    let res = Minoaner::with_config(config).resolve(&exec, &pair);
+
+    if args.json {
+        let rows: Vec<serde_json::Value> = res
+            .matches
+            .iter()
+            .map(|&(l, r)| {
+                serde_json::json!({
+                    "left": pair.uri_of(Side::Left, l),
+                    "right": pair.uri_of(Side::Right, r),
+                })
+            })
+            .collect();
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
+    } else {
+        for &(l, r) in &res.matches {
+            println!("{}\t{}", pair.uri_of(Side::Left, l), pair.uri_of(Side::Right, r));
+        }
+    }
+
+    let c = res.rule_counts;
+    eprintln!(
+        "{} matches in {:.1} ms (R1={} R2={} R3={}, R4 removed {}; matching {:.0}% of runtime)",
+        res.matches.len(),
+        res.timings.total.as_secs_f64() * 1000.0,
+        c.r1,
+        c.r2,
+        c.r3,
+        c.removed_by_r4,
+        res.timings.matching_share(),
+    );
+
+    if let Some(gt_path) = &args.ground_truth {
+        let gt_doc = read(gt_path)?;
+        let uri_pairs = parse_ground_truth(&gt_doc).map_err(|e| format!("{gt_path}: {e}"))?;
+        let mut gt = Vec::new();
+        let mut unresolved = 0usize;
+        for (lu, ru) in &uri_pairs {
+            let l = pair.uris().get(lu).and_then(|s| pair.kb(Side::Left).entity_by_uri(s));
+            let r = pair.uris().get(ru).and_then(|s| pair.kb(Side::Right).entity_by_uri(s));
+            match (l, r) {
+                (Some(l), Some(r)) => gt.push((l, r)),
+                _ => unresolved += 1,
+            }
+        }
+        if unresolved > 0 {
+            eprintln!("warning: {unresolved} ground-truth pairs reference unknown URIs");
+        }
+        let q = Quality::evaluate(&res.matches, &gt);
+        eprintln!("quality vs ground truth: {q}");
+    }
+    Ok(())
+}
+
+/// Loads one KB file standalone and extracts its triples in a uniform
+/// owned form (entity references back to URIs, literals in normalized
+/// form) — the input shape of multi-KB resolution.
+fn load_triples(path: &str) -> Result<Vec<(String, String, ObjectTerm)>, String> {
+    let mut b = KbPairBuilder::new();
+    load_kb(&mut b, Side::Left, path)?;
+    let pair = b.finish();
+    let kb = pair.kb(Side::Left);
+    let mut out = Vec::new();
+    for (id, e) in kb.iter() {
+        let subject = pair.uri_of(Side::Left, id).to_owned();
+        for &(a, v) in &e.pairs {
+            let predicate = pair.attrs().resolve(minoaner_kb::Symbol(a.0)).to_owned();
+            let object = match v {
+                minoaner_kb::Value::Literal(l) => {
+                    ObjectTerm::Literal(pair.literals().resolve(minoaner_kb::Symbol(l.0)).to_owned())
+                }
+                minoaner_kb::Value::Ref(t) => ObjectTerm::Uri(pair.uri_of(Side::Left, t).to_owned()),
+            };
+            out.push((subject.clone(), predicate, object));
+        }
+    }
+    Ok(out)
+}
+
+fn multi(args: &MultiArgs) -> Result<(), String> {
+    let mut input = MultiKb::new();
+    for path in &args.inputs {
+        let idx = input.add_kb();
+        let triples = load_triples(path)?;
+        eprintln!("loaded {} triples from {path} (kb {idx})", triples.len());
+        for (s, p, o) in triples {
+            input.add_triple(idx, &s, &p, o);
+        }
+    }
+    let exec = executor(args.workers);
+    let res = Minoaner::new().resolve_multi(&exec, &input);
+
+    if args.json {
+        let rows: Vec<serde_json::Value> = res
+            .clusters
+            .iter()
+            .map(|cluster| {
+                serde_json::json!(cluster
+                    .iter()
+                    .map(|(kb, uri)| serde_json::json!({ "kb": kb, "uri": uri }))
+                    .collect::<Vec<_>>())
+            })
+            .collect();
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
+    } else {
+        for cluster in &res.clusters {
+            let parts: Vec<String> =
+                cluster.iter().map(|(kb, uri)| format!("{kb}:{uri}")).collect();
+            println!("{}", parts.join("	"));
+        }
+    }
+    for ((i, j), n) in &res.pairwise {
+        eprintln!("kb {i} vs kb {j}: {n} pairwise matches");
+    }
+    eprintln!("{} clusters across {} KBs", res.clusters.len(), args.inputs.len());
+    Ok(())
+}
+
+fn stats(args: &StatsArgs) -> Result<(), String> {
+    let mut b = KbPairBuilder::new();
+    let loaded = load_kb(&mut b, Side::Left, &args.input)?;
+    let pair = b.finish();
+    let s = minoaner_kb::dataset_stats::kb_stats(&pair, Side::Left, &args.type_attr);
+    println!("file:         {}", args.input);
+    println!("triples:      {loaded}");
+    println!("entities:     {}", s.entities);
+    println!("avg tokens:   {:.2}", s.avg_tokens);
+    println!("attributes:   {}", s.attributes);
+    println!("relations:    {}", s.relations);
+    println!("types:        {}", s.types);
+    println!("vocabularies: {}", s.vocabularies);
+    Ok(())
+}
+
+fn dedup(args: &DedupArgs) -> Result<(), String> {
+    let doc = read(&args.input)?;
+    let mut builder = DirtyKbBuilder::new();
+    let mut loaded = 0usize;
+    for (n, line) in doc.lines().enumerate() {
+        match parse_line(line) {
+            Ok(None) => {}
+            Ok(Some(t)) => {
+                match t.object {
+                    Term::Literal(l) => {
+                        let owned = unescape(l);
+                        builder.add_triple(t.subject, t.predicate, Term::Literal(&owned));
+                    }
+                    Term::Uri(u) => builder.add_triple(t.subject, t.predicate, Term::Uri(u)),
+                }
+                loaded += 1;
+            }
+            Err(message) => return Err(format!("{}: line {}: {message}", args.input, n + 1)),
+        }
+    }
+    let pair = builder.finish();
+    eprintln!("loaded {} triples ({} entities)", loaded, pair.kb(Side::Left).len());
+
+    let exec = executor(args.workers);
+    let res = Minoaner::new().resolve_dirty(&exec, &pair);
+
+    if args.json {
+        let rows: Vec<serde_json::Value> = res
+            .duplicates
+            .iter()
+            .map(|&(a, b)| {
+                serde_json::json!({
+                    "a": pair.uri_of(Side::Left, a),
+                    "b": pair.uri_of(Side::Left, b),
+                })
+            })
+            .collect();
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
+    } else {
+        for &(a, b) in &res.duplicates {
+            println!("{}\t{}", pair.uri_of(Side::Left, a), pair.uri_of(Side::Left, b));
+        }
+    }
+    let distinct: HashSet<_> =
+        res.duplicates.iter().flat_map(|&(a, b)| [a, b]).collect();
+    eprintln!(
+        "{} duplicate pairs over {} entities in {:.1} ms",
+        res.duplicates.len(),
+        distinct.len(),
+        res.inner.timings.total.as_secs_f64() * 1000.0,
+    );
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! # minoaner-core
+//!
+//! The primary contribution of the MinoanER paper (EDBT 2019): a fully
+//! automated, schema-agnostic, non-iterative, massively parallel entity
+//! resolution framework for the Web of Data.
+//!
+//! The entry point is [`Minoaner`]: build a [`minoaner_kb::KbPair`], pick an
+//! [`Executor`] with the desired parallelism, and call
+//! [`Minoaner::resolve`]. The pipeline computes KB statistics, builds the
+//! composite blocks and the pruned disjunctive blocking graph (Algorithm 1,
+//! in `minoaner-blocking`), and applies the four matching rules R1–R4
+//! (Algorithm 2, [`matcher`]).
+//!
+//! ```
+//! use minoaner_core::{Minoaner, MinoanerConfig};
+//! use minoaner_dataflow::Executor;
+//! use minoaner_kb::{KbPairBuilder, Side, Term};
+//!
+//! let mut b = KbPairBuilder::new();
+//! b.add_triple(Side::Left, "w:R1", "w:label", Term::Literal("The Fat Duck"));
+//! b.add_triple(Side::Right, "d:R2", "d:name", Term::Literal("Fat Duck"));
+//! let pair = b.finish();
+//!
+//! let exec = Executor::new(2);
+//! let resolution = Minoaner::new().resolve(&exec, &pair);
+//! assert_eq!(resolution.matches.len(), 1);
+//! ```
+
+pub mod clusters;
+pub mod config;
+pub mod dirty;
+pub mod extensions;
+pub mod matcher;
+pub mod multi;
+pub mod pipeline;
+
+pub use config::{MinoanerConfig, RuleSet};
+pub use dirty::DirtyResolution;
+pub use extensions::{ensemble_resolve, resolve_adaptive, EnsembleResolution};
+pub use multi::{MultiKb, MultiResolution, ObjectTerm};
+pub use matcher::{MatchOutcome, Rule, RuleCounts};
+pub use pipeline::{Minoaner, PipelineTimings, PreparedGraph, Resolution};
+
+// Re-export for the doctest-friendly API surface.
+pub use minoaner_dataflow::Executor;

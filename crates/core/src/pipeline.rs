@@ -1,0 +1,289 @@
+//! The end-to-end MinoanER pipeline, mirroring the Spark architecture of
+//! Figure 4: statistics and blocking run first (name blocking, token
+//! blocking and top-neighbor extraction conceptually in parallel), the
+//! disjunctive blocking graph is weighted and pruned (Algorithm 1), and the
+//! four matching rules run with synchronization only at rule boundaries
+//! (Algorithm 2).
+
+use std::time::{Duration, Instant};
+
+use minoaner_blocking::graph::{build_blocking_graph, BlockingGraph, GraphConfig};
+use minoaner_blocking::name::build_name_blocks;
+use minoaner_blocking::purge::{purge_blocks, PurgeReport};
+use minoaner_blocking::token::build_token_blocks_parallel;
+use minoaner_blocking::{NameBlocks, TokenBlocks};
+use minoaner_dataflow::{Executor, StageLog};
+use minoaner_kb::stats::{NameStats, RelationStats};
+use minoaner_kb::{EntityId, KbPair};
+
+use crate::config::{MinoanerConfig, RuleSet};
+use crate::matcher::{run_matching, MatchOutcome, RuleCounts};
+
+/// Wall-clock breakdown of a pipeline run. §6.2 of the paper reports both
+/// total time and the matching phase's share of it.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineTimings {
+    /// End-to-end wall time.
+    pub total: Duration,
+    /// Time spent in Algorithm 2 (the `matching/*` stages).
+    pub matching: Duration,
+    /// Full per-stage log from the executor.
+    pub stages: StageLog,
+}
+
+impl PipelineTimings {
+    /// The matching phase's share of total time, in percent.
+    pub fn matching_share(&self) -> f64 {
+        if self.total.is_zero() {
+            0.0
+        } else {
+            100.0 * self.matching.as_secs_f64() / self.total.as_secs_f64()
+        }
+    }
+}
+
+/// Result of resolving a KB pair.
+#[derive(Debug, Clone)]
+pub struct Resolution {
+    /// Matched pairs `(left, right)`.
+    pub matches: Vec<(EntityId, EntityId)>,
+    /// Per-rule match counts.
+    pub rule_counts: RuleCounts,
+    /// What Block Purging did to the token blocks.
+    pub purge: Option<PurgeReport>,
+    /// Wall-clock breakdown.
+    pub timings: PipelineTimings,
+}
+
+/// Intermediate state exposed for ablations and analysis: everything
+/// Algorithm 2 needs, so matching variants can re-run without re-blocking.
+#[derive(Debug)]
+pub struct PreparedGraph {
+    pub graph: BlockingGraph,
+    pub token_blocks: TokenBlocks,
+    pub name_blocks: NameBlocks,
+    pub purge: Option<PurgeReport>,
+    pub relation_stats: RelationStats,
+    pub name_stats: NameStats,
+}
+
+/// The MinoanER resolver.
+#[derive(Debug, Clone, Default)]
+pub struct Minoaner {
+    config: MinoanerConfig,
+}
+
+impl Minoaner {
+    /// A resolver with the paper's default configuration `(2, 15, 3, 0.6)`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A resolver with an explicit configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid ([`MinoanerConfig::validate`]).
+    pub fn with_config(config: MinoanerConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid MinoanER configuration: {e}");
+        }
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MinoanerConfig {
+        &self.config
+    }
+
+    /// Runs statistics, blocking and graph construction (Algorithm 1).
+    pub fn prepare(&self, executor: &Executor, pair: &KbPair) -> PreparedGraph {
+        let relation_stats = executor.time_stage("stats/relations", || RelationStats::compute(pair));
+        let name_stats =
+            executor.time_stage("stats/names", || NameStats::compute(pair, self.config.name_attrs_k));
+
+        let mut token_blocks = build_token_blocks_parallel(executor, pair);
+        let total_entities = pair.kb(minoaner_kb::Side::Left).len() + pair.kb(minoaner_kb::Side::Right).len();
+        let purge = self
+            .config
+            .purge_blocks
+            .then(|| executor.time_stage("blocking/purge", || purge_blocks(&mut token_blocks, total_entities)));
+        let name_blocks =
+            executor.time_stage("blocking/names", || build_name_blocks(pair, &name_stats));
+
+        let graph_cfg = GraphConfig {
+            top_k: self.config.top_k,
+            n_relations: self.config.n_relations,
+            ..GraphConfig::default()
+        };
+        let graph =
+            build_blocking_graph(executor, pair, &relation_stats, &token_blocks, &name_blocks, &graph_cfg);
+
+        PreparedGraph { graph, token_blocks, name_blocks, purge, relation_stats, name_stats }
+    }
+
+    /// Runs Algorithm 2 on a prepared graph with an explicit rule set.
+    pub fn match_prepared(
+        &self,
+        executor: &Executor,
+        pair: &KbPair,
+        prepared: &PreparedGraph,
+        rules: RuleSet,
+    ) -> MatchOutcome {
+        run_matching(executor, pair, &prepared.graph, &self.config, rules)
+    }
+
+    /// End-to-end resolution with the full rule set.
+    pub fn resolve(&self, executor: &Executor, pair: &KbPair) -> Resolution {
+        self.resolve_with_rules(executor, pair, RuleSet::FULL)
+    }
+
+    /// End-to-end resolution with an explicit rule set (Table 4 ablations).
+    pub fn resolve_with_rules(&self, executor: &Executor, pair: &KbPair, rules: RuleSet) -> Resolution {
+        executor.reset_metrics();
+        let start = Instant::now();
+        let prepared = self.prepare(executor, pair);
+        let outcome = self.match_prepared(executor, pair, &prepared, rules);
+        let total = start.elapsed();
+
+        let stages = executor.stage_log();
+        let matching = stages.total_matching(|n| n.starts_with("matching/"));
+        Resolution {
+            matches: outcome.matches,
+            rule_counts: outcome.counts,
+            purge: prepared.purge,
+            timings: PipelineTimings { total, matching, stages },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minoaner_kb::{KbPairBuilder, Side, Term};
+
+    /// A small but complete scenario: restaurants with chefs and places,
+    /// heterogeneous schemas, some matchable by name, some only via values
+    /// or neighbors.
+    fn scenario() -> (KbPair, Vec<(EntityId, EntityId)>) {
+        let mut b = KbPairBuilder::new();
+        let data: &[(&str, &str, &str, &str)] = &[
+            // (id, name, tokens, chef-name)
+            ("fatduck", "The Fat Duck", "michelin molecular bray berkshire", "heston blumenthal"),
+            ("frenchlaundry", "French Laundry", "yountville california napa", "thomas keller"),
+            ("noma", "Noma", "copenhagen nordic foraging rene", "rene redzepi"),
+            ("elbulli", "El Bulli", "roses catalonia spain avantgarde", "ferran adria"),
+        ];
+        for (id, name, toks, chef) in data {
+            let l_uri = format!("w:{id}");
+            let r_uri = format!("d:{id}");
+            let l_chef = format!("w:chef_{id}");
+            let r_chef = format!("d:chef_{id}");
+            b.add_triple(Side::Left, &l_uri, "w:label", Term::Literal(name));
+            b.add_triple(Side::Left, &l_uri, "w:desc", Term::Literal(toks));
+            b.add_triple(Side::Left, &l_uri, "w:hasChef", Term::Uri(&l_chef));
+            b.add_triple(Side::Left, &l_chef, "w:label", Term::Literal(chef));
+            b.add_triple(Side::Right, &r_uri, "d:name", Term::Literal(name));
+            b.add_triple(Side::Right, &r_uri, "d:about", Term::Literal(toks));
+            b.add_triple(Side::Right, &r_uri, "d:headChef", Term::Uri(&r_chef));
+            b.add_triple(Side::Right, &r_chef, "d:name", Term::Literal(chef));
+        }
+        let pair = b.finish();
+        let mut gt = Vec::new();
+        for (id, ..) in data {
+            for (l, r) in [(format!("w:{id}"), format!("d:{id}")), (format!("w:chef_{id}"), format!("d:chef_{id}"))] {
+                let le = pair.kb(Side::Left).entity_by_uri(pair.uris().get(&l).unwrap()).unwrap();
+                let re = pair.kb(Side::Right).entity_by_uri(pair.uris().get(&r).unwrap()).unwrap();
+                gt.push((le, re));
+            }
+        }
+        (pair, gt)
+    }
+
+    #[test]
+    fn resolves_clean_scenario_perfectly() {
+        let (pair, gt) = scenario();
+        let exec = Executor::new(2);
+        let res = Minoaner::new().resolve(&exec, &pair);
+        let mut found = res.matches.clone();
+        found.sort_unstable();
+        let mut expected = gt.clone();
+        expected.sort_unstable();
+        assert_eq!(found, expected, "all ground-truth pairs should be found");
+    }
+
+    #[test]
+    fn rule_counts_sum_to_matches() {
+        let (pair, _) = scenario();
+        let exec = Executor::new(2);
+        let res = Minoaner::new().resolve(&exec, &pair);
+        let c = res.rule_counts;
+        assert_eq!(c.r1 + c.r2 + c.r3, res.matches.len() + c.removed_by_r4);
+    }
+
+    #[test]
+    fn name_rule_fires_on_distinct_names() {
+        let (pair, _) = scenario();
+        let exec = Executor::new(1);
+        let res = Minoaner::new().resolve(&exec, &pair);
+        assert!(res.rule_counts.r1 > 0, "distinct shared names must be matched by R1");
+    }
+
+    #[test]
+    fn ablation_r1_only_finds_fewer_or_equal_matches() {
+        let (pair, _) = scenario();
+        let exec = Executor::new(2);
+        let m = Minoaner::new();
+        let full = m.resolve(&exec, &pair);
+        let r1 = m.resolve_with_rules(&exec, &pair, RuleSet::R1_ONLY);
+        assert!(r1.matches.len() <= full.matches.len());
+        assert_eq!(r1.rule_counts.r2, 0);
+        assert_eq!(r1.rule_counts.r3, 0);
+    }
+
+    #[test]
+    fn timings_cover_matching_share() {
+        let (pair, _) = scenario();
+        let exec = Executor::new(2);
+        let res = Minoaner::new().resolve(&exec, &pair);
+        assert!(res.timings.total >= res.timings.matching);
+        let share = res.timings.matching_share();
+        assert!((0.0..=100.0).contains(&share));
+        assert!(!res.timings.stages.stages().is_empty());
+    }
+
+    #[test]
+    fn deterministic_across_worker_counts() {
+        let (pair, _) = scenario();
+        let m = Minoaner::new();
+        let r1 = m.resolve(&Executor::new(1), &pair);
+        let r4 = m.resolve(&Executor::new(4), &pair);
+        let mut a = r1.matches;
+        let mut b = r4.matches;
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid MinoanER configuration")]
+    fn invalid_config_panics() {
+        Minoaner::with_config(MinoanerConfig { theta: 2.0, ..MinoanerConfig::default() });
+    }
+
+    #[test]
+    fn unique_mapping_produces_partial_matching() {
+        let (pair, _) = scenario();
+        let exec = Executor::new(2);
+        let res = Minoaner::new().resolve(&exec, &pair);
+        let mut lefts: Vec<_> = res.matches.iter().map(|&(l, _)| l).collect();
+        let mut rights: Vec<_> = res.matches.iter().map(|&(_, r)| r).collect();
+        lefts.sort_unstable();
+        rights.sort_unstable();
+        let l_len = lefts.len();
+        let r_len = rights.len();
+        lefts.dedup();
+        rights.dedup();
+        assert_eq!(lefts.len(), l_len, "each left entity matched at most once");
+        assert_eq!(rights.len(), r_len, "each right entity matched at most once");
+    }
+}

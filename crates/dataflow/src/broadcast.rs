@@ -1,0 +1,54 @@
+//! Broadcast variables: read-only values shared by every task of every
+//! stage, the analogue of Spark's `sc.broadcast`.
+//!
+//! In MinoanER the matches found by rule R1 are broadcast so that later
+//! rules skip them (§4.1); in a shared-memory engine a broadcast is just an
+//! atomically reference-counted handle, but keeping the explicit type makes
+//! pipeline code read like the paper's dataflow.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply clonable, read-only handle to a value shared across tasks.
+#[derive(Debug)]
+pub struct Broadcast<T>(Arc<T>);
+
+impl<T> Broadcast<T> {
+    /// Wraps a value for sharing.
+    pub fn new(value: T) -> Self {
+        Self(Arc::new(value))
+    }
+
+    /// The shared value.
+    pub fn value(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> Clone for Broadcast<T> {
+    fn clone(&self) -> Self {
+        Self(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Deref for Broadcast<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_shares_without_copying() {
+        let b = Broadcast::new(vec![1, 2, 3]);
+        let c = b.clone();
+        assert_eq!(b.value(), c.value());
+        assert!(std::ptr::eq(b.value(), c.value()));
+        assert_eq!(b[1], 2); // Deref through to the Vec.
+    }
+}

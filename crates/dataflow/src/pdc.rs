@@ -1,0 +1,413 @@
+//! `Pdc<T>` — a *partitioned dataflow collection*, the engine's analogue of
+//! a Spark RDD: an immutable, partitioned dataset transformed by
+//! whole-stage operators (map / filter / flat-map / shuffle / join), each
+//! executed in parallel across partitions with a barrier at the end.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+use parking_lot::Mutex;
+
+use crate::pool::Executor;
+
+/// Deterministic hasher so that shuffle partitioning (and therefore the
+/// whole dataflow) is reproducible across runs and worker counts.
+pub type DetHasher = BuildHasherDefault<std::collections::hash_map::DefaultHasher>;
+
+/// A deterministic `HashMap` used throughout the engine.
+pub type DetHashMap<K, V> = HashMap<K, V, DetHasher>;
+
+fn partition_of<K: Hash>(key: &K, parts: usize) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % parts as u64) as usize
+}
+
+/// A partitioned collection of `T`.
+#[derive(Debug, Clone)]
+pub struct Pdc<T> {
+    parts: Vec<Vec<T>>,
+}
+
+impl<T: Send> Pdc<T> {
+    /// Distributes `data` round-robin-by-chunk into `executor.partitions()`
+    /// partitions, preserving global order across partition boundaries.
+    pub fn from_vec(executor: &Executor, data: Vec<T>) -> Self {
+        Self::from_vec_with_parts(data, executor.partitions())
+    }
+
+    /// Distributes `data` into exactly `parts` partitions.
+    pub fn from_vec_with_parts(mut data: Vec<T>, parts: usize) -> Self {
+        let parts = parts.max(1);
+        let n = data.len();
+        let chunk = n.div_ceil(parts).max(1);
+        let mut out = Vec::with_capacity(parts);
+        // Drain from the front in order; later partitions may be empty.
+        let mut rest = data.split_off(0);
+        for _ in 0..parts {
+            if rest.len() <= chunk {
+                out.push(std::mem::take(&mut rest));
+            } else {
+                let tail = rest.split_off(chunk);
+                out.push(std::mem::replace(&mut rest, tail));
+            }
+        }
+        Self { parts: out }
+    }
+
+    /// Wraps pre-partitioned data.
+    pub fn from_parts(parts: Vec<Vec<T>>) -> Self {
+        Self { parts }
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.parts.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the collection holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parts.iter().all(Vec::is_empty)
+    }
+
+    /// Borrow the partitions (for operators needing custom access).
+    pub fn partitions(&self) -> &[Vec<T>] {
+        &self.parts
+    }
+
+    /// Consumes the collection into its partitions.
+    pub fn into_parts(self) -> Vec<Vec<T>> {
+        self.parts
+    }
+
+    /// Gathers every element into one `Vec`, in partition order.
+    pub fn collect(self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.len());
+        for p in self.parts {
+            out.extend(p);
+        }
+        out
+    }
+
+    /// Runs a consuming per-partition transformation in parallel: the core
+    /// primitive every other operator is built on.
+    pub fn map_partitions<U, F>(self, executor: &Executor, name: &str, f: F) -> Pdc<U>
+    where
+        U: Send,
+        F: Fn(usize, Vec<T>) -> Vec<U> + Sync,
+    {
+        let n = self.parts.len();
+        let slots: Vec<Mutex<Option<Vec<T>>>> =
+            self.parts.into_iter().map(|p| Mutex::new(Some(p))).collect();
+        let parts = executor.run_stage(name, n, |i| {
+            let part = slots[i].lock().take().expect("partition taken once");
+            f(i, part)
+        });
+        Pdc { parts }
+    }
+
+    /// Element-wise transformation.
+    pub fn map<U, F>(self, executor: &Executor, name: &str, f: F) -> Pdc<U>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        self.map_partitions(executor, name, |_, part| part.into_iter().map(&f).collect())
+    }
+
+    /// Element-wise transformation producing zero or more outputs each.
+    pub fn flat_map<U, I, F>(self, executor: &Executor, name: &str, f: F) -> Pdc<U>
+    where
+        U: Send,
+        I: IntoIterator<Item = U>,
+        F: Fn(T) -> I + Sync,
+    {
+        self.map_partitions(executor, name, |_, part| part.into_iter().flat_map(&f).collect())
+    }
+
+    /// Keeps the elements satisfying `pred`.
+    pub fn filter<F>(self, executor: &Executor, name: &str, pred: F) -> Pdc<T>
+    where
+        F: Fn(&T) -> bool + Sync,
+    {
+        self.map_partitions(executor, name, |_, part| part.into_iter().filter(&pred).collect())
+    }
+}
+
+impl<K, V> Pdc<(K, V)>
+where
+    K: Hash + Eq + Send,
+    V: Send,
+{
+    /// Re-partitions by key hash so that equal keys land in the same
+    /// partition (the shuffle primitive).
+    pub fn shuffle_by_key(self, executor: &Executor, name: &str) -> Pdc<(K, V)> {
+        let nparts = self.parts.len().max(1);
+        // Map side: each partition splits its records into per-target buckets.
+        let bucketed = self.map_partitions(executor, &format!("{name}/shuffle-write"), |_, part| {
+            let mut buckets: Vec<Vec<(K, V)>> = (0..nparts).map(|_| Vec::new()).collect();
+            for (k, v) in part {
+                let t = partition_of(&k, nparts);
+                buckets[t].push((k, v));
+            }
+            vec![buckets]
+        });
+        // Exchange: transpose buckets (cheap pointer moves, sequential).
+        let mut incoming: Vec<Vec<Vec<(K, V)>>> = (0..nparts).map(|_| Vec::new()).collect();
+        for mut produced in bucketed.into_parts() {
+            if let Some(buckets) = produced.pop() {
+                for (t, bucket) in buckets.into_iter().enumerate() {
+                    incoming[t].push(bucket);
+                }
+            }
+        }
+        // Reduce side: concatenate.
+        let stitched = Pdc::from_parts(incoming);
+        stitched.map_partitions(executor, &format!("{name}/shuffle-read"), |_, groups| {
+            let mut out = Vec::new();
+            for g in groups {
+                out.extend(g);
+            }
+            out
+        })
+    }
+
+    /// Groups values by key (`groupByKey`). Key order within a partition is
+    /// the deterministic first-seen order after the deterministic shuffle.
+    pub fn group_by_key(self, executor: &Executor, name: &str) -> Pdc<(K, Vec<V>)> {
+        self.shuffle_by_key(executor, name)
+            .map_partitions(executor, &format!("{name}/group"), |_, part| {
+                group_in_order(part)
+            })
+    }
+
+    /// Merges values per key with `combine` (`reduceByKey`), combining
+    /// locally before the shuffle like Spark's map-side combiner.
+    pub fn reduce_by_key<F>(self, executor: &Executor, name: &str, combine: F) -> Pdc<(K, V)>
+    where
+        F: Fn(V, V) -> V + Sync,
+    {
+        let locally = self.map_partitions(executor, &format!("{name}/combine"), |_, part| {
+            reduce_in_place(part, &combine)
+        });
+        let shuffled = locally.shuffle_by_key(executor, name);
+        shuffled.map_partitions(executor, &format!("{name}/reduce"), |_, part| {
+            reduce_in_place(part, &combine)
+        })
+    }
+
+    /// Inner hash join on the key: every `(k, v)` pairs with every `(k, w)`.
+    pub fn join<W>(self, other: Pdc<(K, W)>, executor: &Executor, name: &str) -> Pdc<(K, (V, W))>
+    where
+        W: Send + Clone,
+        K: Clone,
+        V: Clone,
+    {
+        let nparts = self.parts.len().max(other.partitions().len()).max(1);
+        let left = resize_parts(self, nparts).shuffle_by_key(executor, &format!("{name}/left"));
+        let right = resize_parts(other, nparts).shuffle_by_key(executor, &format!("{name}/right"));
+        type Slots<K, W> = Vec<Mutex<Option<Vec<(K, W)>>>>;
+        let right_slots: Slots<K, W> =
+            right.into_parts().into_iter().map(|p| Mutex::new(Some(p))).collect();
+        left.map_partitions(executor, &format!("{name}/probe"), |i, lpart| {
+            let rpart = right_slots[i].lock().take().expect("right partition taken once");
+            let mut build: DetHashMap<K, Vec<W>> = DetHashMap::default();
+            for (k, w) in rpart {
+                build.entry(k).or_default().push(w);
+            }
+            let mut out = Vec::new();
+            for (k, v) in lpart {
+                if let Some(ws) = build.get(&k) {
+                    for w in ws {
+                        out.push((k.clone(), (v.clone(), w.clone())));
+                    }
+                }
+            }
+            out
+        })
+    }
+}
+
+fn resize_parts<T: Send>(pdc: Pdc<T>, nparts: usize) -> Pdc<T> {
+    if pdc.num_partitions() == nparts {
+        return pdc;
+    }
+    Pdc::from_vec_with_parts(pdc.collect(), nparts)
+}
+
+/// Reduces `(K, V)` records to one value per key, preserving first-seen key
+/// order, without requiring `K: Clone`.
+fn reduce_in_place<K, V, F>(part: Vec<(K, V)>, combine: &F) -> Vec<(K, V)>
+where
+    K: Hash + Eq,
+    F: Fn(V, V) -> V,
+{
+    let mut index: DetHashMap<K, usize> = DetHashMap::default();
+    let mut values: Vec<Option<V>> = Vec::new();
+    for (k, v) in part {
+        match index.get(&k) {
+            Some(&i) => {
+                let prev = values[i].take().expect("value present");
+                values[i] = Some(combine(prev, v));
+            }
+            None => {
+                index.insert(k, values.len());
+                values.push(Some(v));
+            }
+        }
+    }
+    let mut pairs: Vec<(K, usize)> = index.into_iter().collect();
+    pairs.sort_by_key(|&(_, i)| i);
+    pairs
+        .into_iter()
+        .map(|(k, i)| (k, values[i].take().expect("value present")))
+        .collect()
+}
+
+/// Groups `(K, V)` records into `(K, Vec<V>)`, preserving first-seen key
+/// order and within-key value order.
+fn group_in_order<K, V>(part: Vec<(K, V)>) -> Vec<(K, Vec<V>)>
+where
+    K: Hash + Eq,
+{
+    let mut index: DetHashMap<K, usize> = DetHashMap::default();
+    let mut groups: Vec<Vec<V>> = Vec::new();
+    for (k, v) in part {
+        match index.get(&k) {
+            Some(&i) => groups[i].push(v),
+            None => {
+                index.insert(k, groups.len());
+                groups.push(vec![v]);
+            }
+        }
+    }
+    let mut pairs: Vec<(K, usize)> = index.into_iter().collect();
+    pairs.sort_by_key(|&(_, i)| i);
+    pairs
+        .into_iter()
+        .map(|(k, i)| (k, std::mem::take(&mut groups[i])))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exec(workers: usize, parts: usize) -> Executor {
+        Executor::with_config(crate::pool::ExecutorConfig { workers, partitions: parts })
+    }
+
+    #[test]
+    fn from_vec_preserves_order_on_collect() {
+        let e = exec(4, 7);
+        let data: Vec<u32> = (0..100).collect();
+        let pdc = Pdc::from_vec(&e, data.clone());
+        assert_eq!(pdc.num_partitions(), 7);
+        assert_eq!(pdc.collect(), data);
+    }
+
+    #[test]
+    fn from_vec_with_fewer_items_than_partitions() {
+        let pdc = Pdc::from_vec_with_parts(vec![1, 2], 8);
+        assert_eq!(pdc.num_partitions(), 8);
+        assert_eq!(pdc.len(), 2);
+        assert_eq!(pdc.collect(), vec![1, 2]);
+    }
+
+    #[test]
+    fn map_applies_elementwise() {
+        let e = exec(3, 5);
+        let out = Pdc::from_vec(&e, (0..50).collect::<Vec<i64>>())
+            .map(&e, "double", |x| x * 2)
+            .collect();
+        assert_eq!(out, (0..50).map(|x| x * 2).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn filter_and_flat_map() {
+        let e = exec(2, 3);
+        let out = Pdc::from_vec(&e, (0..10).collect::<Vec<u32>>())
+            .filter(&e, "even", |x| x % 2 == 0)
+            .flat_map(&e, "dup", |x| vec![x, x])
+            .collect();
+        assert_eq!(out, vec![0, 0, 2, 2, 4, 4, 6, 6, 8, 8]);
+    }
+
+    #[test]
+    fn group_by_key_collects_all_values() {
+        let e = exec(4, 6);
+        let data: Vec<(u32, u32)> = (0..120).map(|i| (i % 10, i)).collect();
+        let mut grouped = Pdc::from_vec(&e, data).group_by_key(&e, "group").collect();
+        grouped.sort_by_key(|&(k, _)| k);
+        assert_eq!(grouped.len(), 10);
+        for (k, vs) in grouped {
+            assert_eq!(vs.len(), 12);
+            assert!(vs.iter().all(|v| v % 10 == k));
+            // Within-key order is the original order.
+            assert!(vs.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn reduce_by_key_matches_sequential_fold() {
+        let e = exec(4, 5);
+        let data: Vec<(u8, u64)> = (0..1000u64).map(|i| ((i % 7) as u8, i)).collect();
+        let mut expected: std::collections::BTreeMap<u8, u64> = Default::default();
+        for &(k, v) in &data {
+            *expected.entry(k).or_insert(0) += v;
+        }
+        let mut reduced = Pdc::from_vec(&e, data).reduce_by_key(&e, "sum", |a, b| a + b).collect();
+        reduced.sort_by_key(|&(k, _)| k);
+        assert_eq!(reduced, expected.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn join_produces_cross_product_per_key() {
+        let e = exec(2, 4);
+        let left = Pdc::from_vec(&e, vec![(1, 'a'), (1, 'b'), (2, 'c'), (3, 'd')]);
+        let right = Pdc::from_vec(&e, vec![(1, 10), (2, 20), (2, 21), (4, 40)]);
+        let mut joined = left.join(right, &e, "join").collect();
+        joined.sort();
+        assert_eq!(joined, vec![(1, ('a', 10)), (1, ('b', 10)), (2, ('c', 20)), (2, ('c', 21))]);
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_across_worker_counts() {
+        let data: Vec<(u32, u32)> = (0..500).map(|i| (i % 37, i)).collect();
+        let run = |workers| {
+            let e = exec(workers, 9);
+            Pdc::from_vec(&e, data.clone()).group_by_key(&e, "g").collect()
+        };
+        let a = run(1);
+        let b = run(8);
+        assert_eq!(a, b, "grouping must not depend on the worker count");
+    }
+
+    #[test]
+    fn empty_collection_ops() {
+        let e = exec(2, 3);
+        let empty: Pdc<(u32, u32)> = Pdc::from_vec(&e, vec![]);
+        assert!(empty.is_empty());
+        let grouped = empty.group_by_key(&e, "g");
+        assert_eq!(grouped.len(), 0);
+    }
+
+    #[test]
+    fn reduce_in_place_preserves_first_seen_order() {
+        let part = vec![("b", 1), ("a", 2), ("b", 3), ("c", 4), ("a", 5)];
+        let out = reduce_in_place(part, &|x, y| x + y);
+        assert_eq!(out, vec![("b", 4), ("a", 7), ("c", 4)]);
+    }
+
+    #[test]
+    fn group_in_order_preserves_orders() {
+        let part = vec![("x", 1), ("y", 2), ("x", 3)];
+        let out = group_in_order(part);
+        assert_eq!(out, vec![("x", vec![1, 3]), ("y", vec![2])]);
+    }
+}

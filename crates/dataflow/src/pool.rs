@@ -1,0 +1,243 @@
+//! The executor: a bounded pool of workers running stages of independent
+//! tasks with a barrier after every stage.
+//!
+//! This mirrors the execution model the paper gets from Spark (§4.1,
+//! Figure 4): each stage is split into tasks (one per partition), tasks run
+//! on however many workers are available, and the stage completes only when
+//! every task has finished (the dashed synchronization edges of Figure 4).
+//! The worker count is the knob behind the Figure 6 scalability experiment.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::metrics::{StageLog, StageMetric};
+
+/// Configuration of an [`Executor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutorConfig {
+    /// Number of worker threads running tasks concurrently.
+    pub workers: usize,
+    /// Number of partitions (= tasks per stage). The paper uses a
+    /// parallelism factor of 3 tasks per core so that task sizes stay
+    /// constant as cores vary (§6.2); [`ExecutorConfig::for_workers`]
+    /// follows that convention.
+    pub partitions: usize,
+}
+
+impl ExecutorConfig {
+    /// The paper's setup: `partitions = 3 × total machine cores`, held
+    /// constant while `workers` varies.
+    pub fn for_workers(workers: usize) -> Self {
+        let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
+        Self { workers: workers.max(1), partitions: 3 * cores }
+    }
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
+        Self { workers: cores, partitions: 3 * cores }
+    }
+}
+
+/// Runs dataflow stages on a fixed number of workers, recording per-stage
+/// metrics.
+#[derive(Debug)]
+pub struct Executor {
+    config: ExecutorConfig,
+    log: Mutex<StageLog>,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Self::with_config(ExecutorConfig::default())
+    }
+}
+
+impl Executor {
+    /// An executor with `workers` workers and the default partition count.
+    pub fn new(workers: usize) -> Self {
+        Self::with_config(ExecutorConfig::for_workers(workers))
+    }
+
+    /// An executor with an explicit configuration.
+    pub fn with_config(config: ExecutorConfig) -> Self {
+        assert!(config.workers >= 1, "at least one worker required");
+        assert!(config.partitions >= 1, "at least one partition required");
+        Self { config, log: Mutex::new(StageLog::default()) }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.config.workers
+    }
+
+    /// Number of partitions a collection is split into by default.
+    pub fn partitions(&self) -> usize {
+        self.config.partitions
+    }
+
+    /// Runs `n` independent tasks, returning their results in task order,
+    /// and records the stage under `name`. Tasks are pulled dynamically by
+    /// up to [`Self::workers`] worker threads (work-stealing-lite), so
+    /// skewed task sizes still balance.
+    pub fn run_stage<T, F>(&self, name: &str, n: usize, task: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let start = Instant::now();
+        let results = self.run_tasks(n, &task);
+        self.log.lock().push(StageMetric { name: name.to_owned(), wall: start.elapsed(), tasks: n });
+        results
+    }
+
+    fn run_tasks<T, F>(&self, n: usize, task: &F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.config.workers.min(n);
+        if workers <= 1 {
+            return (0..n).map(task).collect();
+        }
+
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        {
+            // Hand each in-flight task a distinct &mut slot through a raw
+            // pointer: the dynamic counter guarantees every index is
+            // claimed exactly once, so the writes never alias.
+            struct SlotPtr<T>(*mut Option<T>);
+            unsafe impl<T: Send> Send for SlotPtr<T> {}
+            unsafe impl<T: Send> Sync for SlotPtr<T> {}
+
+            let next = AtomicUsize::new(0);
+            let ptr = SlotPtr(slots.as_mut_ptr());
+            let ptr = &ptr;
+            crossbeam::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|_| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let out = task(i);
+                        // SAFETY: i is unique to this iteration (fetch_add)
+                        // and in bounds; slots outlives the scope.
+                        unsafe { *ptr.0.add(i) = Some(out) };
+                    });
+                }
+            })
+            .expect("dataflow worker panicked");
+        }
+        slots.into_iter().map(|s| s.expect("task completed")).collect()
+    }
+
+    /// Times an arbitrary closure as a named stage (for sequential steps
+    /// that should still show up in the stage log).
+    pub fn time_stage<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.log.lock().push(StageMetric { name: name.to_owned(), wall: start.elapsed(), tasks: 1 });
+        out
+    }
+
+    /// Snapshot of the stage log.
+    pub fn stage_log(&self) -> StageLog {
+        self.log.lock().clone()
+    }
+
+    /// Clears the stage log (e.g. between experiment repetitions).
+    pub fn reset_metrics(&self) {
+        self.log.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn run_stage_returns_results_in_task_order() {
+        let exec = Executor::new(4);
+        let out = exec.run_stage("square", 100, |i| i * i);
+        assert_eq!(out.len(), 100);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn run_stage_with_zero_tasks() {
+        let exec = Executor::new(2);
+        let out: Vec<usize> = exec.run_stage("empty", 0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_worker_is_sequential() {
+        let exec = Executor::new(1);
+        let order = Mutex::new(Vec::new());
+        exec.run_stage("seq", 10, |i| order.lock().push(i));
+        assert_eq!(*order.lock(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let exec = Executor::new(8);
+        let counter = AtomicU64::new(0);
+        exec.run_stage("count", 1000, |_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn metrics_record_stages_in_order() {
+        let exec = Executor::new(2);
+        exec.run_stage("first", 4, |i| i);
+        exec.time_stage("second", || ());
+        let log = exec.stage_log();
+        let names: Vec<_> = log.stages().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["first", "second"]);
+        assert_eq!(log.stages()[0].tasks, 4);
+        exec.reset_metrics();
+        assert!(exec.stage_log().stages().is_empty());
+    }
+
+    #[test]
+    fn config_for_workers_uses_parallelism_factor_three() {
+        let cfg = ExecutorConfig::for_workers(2);
+        assert_eq!(cfg.workers, 2);
+        let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
+        assert_eq!(cfg.partitions, 3 * cores);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        Executor::with_config(ExecutorConfig { workers: 0, partitions: 1 });
+    }
+
+    #[test]
+    fn heavy_skew_still_completes() {
+        // One huge task plus many small ones: dynamic pulling must not
+        // deadlock or drop tasks.
+        let exec = Executor::new(4);
+        let out = exec.run_stage("skew", 16, |i| {
+            if i == 0 {
+                (0..100_000u64).sum::<u64>()
+            } else {
+                i as u64
+            }
+        });
+        assert_eq!(out[0], 4_999_950_000);
+        assert_eq!(out[5], 5);
+    }
+}

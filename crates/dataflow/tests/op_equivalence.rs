@@ -1,0 +1,150 @@
+//! Property tests: every dataflow operator agrees with a sequential
+//! reference implementation, for arbitrary inputs, partition counts and
+//! worker counts — the correctness contract that makes Figure 6's worker
+//! knob safe to turn.
+
+use minoaner_dataflow::{Executor, ExecutorConfig, Pdc};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn exec(workers: usize, parts: usize) -> Executor {
+    Executor::with_config(ExecutorConfig { workers, partitions: parts })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn map_matches_sequential(
+        data in prop::collection::vec(-1000i64..1000, 0..200),
+        workers in 1usize..5,
+        parts in 1usize..9,
+    ) {
+        let e = exec(workers, parts);
+        let expected: Vec<i64> = data.iter().map(|x| x * 3 - 1).collect();
+        let got = Pdc::from_vec(&e, data).map(&e, "m", |x| x * 3 - 1).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn filter_flat_map_matches_sequential(
+        data in prop::collection::vec(0u32..50, 0..200),
+        workers in 1usize..5,
+        parts in 1usize..9,
+    ) {
+        let e = exec(workers, parts);
+        let expected: Vec<u32> = data
+            .iter()
+            .filter(|&&x| x % 3 != 0)
+            .flat_map(|&x| vec![x, x + 1])
+            .collect();
+        let got = Pdc::from_vec(&e, data)
+            .filter(&e, "f", |x| x % 3 != 0)
+            .flat_map(&e, "fm", |x| vec![x, x + 1])
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn reduce_by_key_matches_btreemap_fold(
+        data in prop::collection::vec((0u8..12, -50i64..50), 0..300),
+        workers in 1usize..5,
+        parts in 1usize..9,
+    ) {
+        let e = exec(workers, parts);
+        let mut expected: BTreeMap<u8, i64> = BTreeMap::new();
+        for &(k, v) in &data {
+            *expected.entry(k).or_insert(0) += v;
+        }
+        let mut got = Pdc::from_vec(&e, data).reduce_by_key(&e, "r", |a, b| a + b).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, expected.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn group_by_key_preserves_multiset_and_value_order(
+        data in prop::collection::vec((0u8..8, 0u32..1000), 0..200),
+        workers in 1usize..5,
+        parts in 1usize..9,
+    ) {
+        let e = exec(workers, parts);
+        let mut expected: BTreeMap<u8, Vec<u32>> = BTreeMap::new();
+        for &(k, v) in &data {
+            expected.entry(k).or_default().push(v);
+        }
+        let mut got = Pdc::from_vec(&e, data).group_by_key(&e, "g").collect();
+        got.sort_by_key(|&(k, _)| k);
+        prop_assert_eq!(got, expected.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn join_matches_nested_loops(
+        left in prop::collection::vec((0u8..6, 0u32..100), 0..60),
+        right in prop::collection::vec((0u8..6, 0u32..100), 0..60),
+        workers in 1usize..4,
+        parts in 1usize..7,
+    ) {
+        let e = exec(workers, parts);
+        let mut expected: Vec<(u8, (u32, u32))> = Vec::new();
+        for &(kl, vl) in &left {
+            for &(kr, vr) in &right {
+                if kl == kr {
+                    expected.push((kl, (vl, vr)));
+                }
+            }
+        }
+        expected.sort_unstable();
+        let mut got = Pdc::from_vec(&e, left).join(Pdc::from_vec(&e, right), &e, "j").collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn distinct_matches_set_semantics(
+        data in prop::collection::vec(0u16..40, 0..200),
+        workers in 1usize..5,
+        parts in 1usize..9,
+    ) {
+        let e = exec(workers, parts);
+        let mut expected: Vec<u16> = data.clone();
+        expected.sort_unstable();
+        expected.dedup();
+        let mut got = Pdc::from_vec(&e, data).distinct(&e, "d").collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn fold_is_worker_count_invariant(
+        data in prop::collection::vec(1u64..100, 0..200),
+        parts in 1usize..9,
+    ) {
+        let product_mod: u64 = {
+            let e = exec(1, parts);
+            Pdc::from_vec(&e, data.clone()).fold(&e, "p", 1u64, |a, x| (a * x) % 1_000_003, |a, b| (a * b) % 1_000_003)
+        };
+        for workers in [2, 4] {
+            let e = exec(workers, parts);
+            let again = Pdc::from_vec(&e, data.clone())
+                .fold(&e, "p", 1u64, |a, x| (a * x) % 1_000_003, |a, b| (a * b) % 1_000_003);
+            prop_assert_eq!(again, product_mod);
+        }
+    }
+
+    #[test]
+    fn count_by_key_matches_reference(
+        data in prop::collection::vec(0u8..10, 0..300),
+        workers in 1usize..5,
+        parts in 1usize..9,
+    ) {
+        let e = exec(workers, parts);
+        let mut expected: BTreeMap<u8, u64> = BTreeMap::new();
+        for &k in &data {
+            *expected.entry(k).or_insert(0) += 1;
+        }
+        let keyed: Vec<(u8, ())> = data.into_iter().map(|k| (k, ())).collect();
+        let mut got = Pdc::from_vec(&e, keyed).count_by_key(&e, "c").collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, expected.into_iter().collect::<Vec<_>>());
+    }
+}

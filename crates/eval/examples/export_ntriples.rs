@@ -1,0 +1,25 @@
+//! Developer tool: exports a generated benchmark dataset as N-Triples +
+//! ground-truth TSV, ready for the `minoaner` CLI:
+//!
+//! ```sh
+//! cargo run --release -p minoaner-eval --example export_ntriples
+//! minoaner resolve --left /tmp/left.nt --right /tmp/right.nt --ground-truth /tmp/gt.tsv
+//! ```
+
+fn main() {
+    let d = minoaner_datagen::generate(&minoaner_datagen::profiles::restaurant().scaled(0.5));
+    std::fs::write("/tmp/left.nt", minoaner_kb::parser::write_ntriples(&d.pair, minoaner_kb::Side::Left))
+        .expect("write left");
+    std::fs::write("/tmp/right.nt", minoaner_kb::parser::write_ntriples(&d.pair, minoaner_kb::Side::Right))
+        .expect("write right");
+    let mut gt = String::new();
+    for &(l, r) in &d.ground_truth {
+        gt.push_str(&format!(
+            "{}\t{}\n",
+            d.pair.uri_of(minoaner_kb::Side::Left, l),
+            d.pair.uri_of(minoaner_kb::Side::Right, r)
+        ));
+    }
+    std::fs::write("/tmp/gt.tsv", gt).expect("write gt");
+    eprintln!("wrote /tmp/left.nt /tmp/right.nt /tmp/gt.tsv");
+}

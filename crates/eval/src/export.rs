@@ -1,0 +1,85 @@
+//! JSON export of experiment results, for downstream plotting or CI
+//! regression tracking: every table/figure builder's structured rows are
+//! serialized under one top-level document.
+
+use std::path::Path;
+
+use minoaner_dataflow::Executor;
+use serde::Serialize;
+
+use crate::figures::{fig2, fig5, fig6};
+use crate::tables::{table1, table2, table3, table4};
+
+/// The complete experiment dump.
+#[derive(Debug, Serialize)]
+pub struct ExperimentDump {
+    pub scale: f64,
+    pub table1: Vec<crate::tables::Table1Row>,
+    pub table2: Vec<crate::tables::Table2Row>,
+    pub table3: Vec<crate::tables::Table3Row>,
+    pub table4: Vec<crate::tables::Table4Row>,
+    pub fig2: Vec<crate::figures::Fig2Point>,
+    pub fig5: Vec<crate::sweeps::SensitivityPoint>,
+    pub fig6: Vec<crate::sweeps::ScalabilityPoint>,
+}
+
+/// Runs every experiment at `scale` and collects the structured rows.
+/// This is the expensive full sweep — minutes at scale 1.
+pub fn run_all(executor: &Executor, scale: f64, fig6_reps: usize) -> ExperimentDump {
+    ExperimentDump {
+        scale,
+        table1: table1(scale).0,
+        table2: table2(scale).0,
+        table3: table3(executor, scale).0,
+        table4: table4(executor, scale).0,
+        fig2: fig2(scale).0,
+        fig5: fig5(executor, scale).0,
+        fig6: fig6(scale, fig6_reps).0,
+    }
+}
+
+/// Serializes a dump to pretty JSON.
+pub fn to_json(dump: &ExperimentDump) -> String {
+    serde_json::to_string_pretty(dump).expect("experiment rows are serializable")
+}
+
+/// Writes the dump to `path`.
+pub fn write_json(dump: &ExperimentDump, path: &Path) -> std::io::Result<()> {
+    std::fs::write(path, to_json(dump))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dump_serializes_and_round_trips_structure() {
+        let exec = Executor::new(2);
+        let dump = run_all(&exec, 0.1, 1);
+        let json = to_json(&dump);
+        let value: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        for key in ["table1", "table2", "table3", "table4", "fig2", "fig5", "fig6"] {
+            assert!(
+                value.get(key).map(|v| v.is_array()).unwrap_or(false),
+                "missing or non-array {key}"
+            );
+        }
+        assert_eq!(value["table1"].as_array().unwrap().len(), 4);
+        assert!(!value["fig2"].as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn write_json_creates_the_file() {
+        let exec = Executor::new(1);
+        // Tiny scale: this test exercises the I/O path, not the numbers.
+        let mut dump = run_all(&exec, 0.05, 1);
+        dump.fig5.truncate(2);
+        let dir = std::env::temp_dir().join("minoaner-test-export");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dump.json");
+        write_json(&dump, &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("table3"));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,166 @@
+//! String interning for tokens, attribute names and entity URIs.
+//!
+//! Every string that the framework repeatedly compares — value tokens,
+//! attribute (predicate) names, entity names and URIs — is mapped once to a
+//! dense `u32` symbol. All downstream similarity computations (value
+//! similarity, blocking, neighbor evidence) then operate on integers, which
+//! keeps the hot loops allocation-free and cache-friendly.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A dense identifier handed out by an [`Interner`].
+///
+/// Symbols are only meaningful relative to the interner that produced them;
+/// the type parameter-free design keeps the API simple, while the distinct
+/// wrapper types in [`crate::model`] ([`crate::model::TokenId`],
+/// [`crate::model::AttrId`], …) prevent cross-domain mixups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// The symbol as a zero-based index into the interner's storage.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// An append-only string interner.
+///
+/// Interning the same string twice returns the same [`Symbol`]; symbols are
+/// dense and start at zero, so they can index directly into side tables
+/// (entity-frequency arrays, importance vectors, …).
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    map: HashMap<Box<str>, Symbol>,
+    strings: Vec<Box<str>>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty interner with capacity for `n` distinct strings.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            map: HashMap::with_capacity(n),
+            strings: Vec::with_capacity(n),
+        }
+    }
+
+    /// Interns `s`, returning its symbol. Idempotent.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Symbol(u32::try_from(self.strings.len()).expect("interner overflow: >u32::MAX distinct strings"));
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.map.insert(boxed, sym);
+        sym
+    }
+
+    /// Looks up a string without interning it.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.map.get(s).copied()
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if `sym` was not produced by this interner.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether no strings have been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates over `(Symbol, &str)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Symbol(i as u32), s.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("hello");
+        let b = i.intern("hello");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let mut i = Interner::new();
+        let a = i.intern("a");
+        let b = i.intern("b");
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn symbols_are_dense_and_ordered() {
+        let mut i = Interner::new();
+        for (n, s) in ["x", "y", "z"].iter().enumerate() {
+            let sym = i.intern(s);
+            assert_eq!(sym.index(), n);
+        }
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut i = Interner::new();
+        let sym = i.intern("restaurant");
+        assert_eq!(i.resolve(sym), "restaurant");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("missing"), None);
+        let sym = i.intern("present");
+        assert_eq!(i.get("present"), Some(sym));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn iter_yields_in_interning_order() {
+        let mut i = Interner::new();
+        i.intern("first");
+        i.intern("second");
+        let collected: Vec<_> = i.iter().map(|(_, s)| s.to_string()).collect();
+        assert_eq!(collected, vec!["first", "second"]);
+    }
+
+    #[test]
+    fn empty_interner() {
+        let i = Interner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.len(), 0);
+    }
+}

@@ -1,0 +1,298 @@
+//! Parsers for the on-disk formats of the paper's benchmark datasets:
+//! an N-Triples subset for the KBs and a two-column pair list for the
+//! ground truth. With these, the real Restaurant / Rexa-DBLP /
+//! BBCmusic-DBpedia / YAGO-IMDb dumps can be dropped into the pipeline.
+
+use crate::model::Side;
+use crate::store::{KbPairBuilder, Term};
+use std::fmt;
+
+/// A parse failure, with the 1-based line number where it occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// One parsed triple, borrowed from the input line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Triple<'a> {
+    pub subject: &'a str,
+    pub predicate: &'a str,
+    pub object: Term<'a>,
+}
+
+/// Parses one N-Triples line. Returns `Ok(None)` for blank lines and
+/// `#` comments.
+///
+/// Supported: `<uri>` terms, `"literal"` objects (with `\"`, `\\`, `\n`,
+/// `\t` escapes), optional `@lang` tags and `^^<datatype>` suffixes (both
+/// ignored), and the terminating `.`.
+pub fn parse_line(line: &str) -> Result<Option<Triple<'_>>, String> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Ok(None);
+    }
+    let rest = trimmed;
+    let (subject, rest) = take_uri(rest)?;
+    let rest = rest.trim_start();
+    let (predicate, rest) = take_uri(rest)?;
+    let rest = rest.trim_start();
+    let (object, rest) = take_object(rest)?;
+    let rest = rest.trim_start();
+    if !rest.starts_with('.') {
+        return Err("expected terminating '.'".to_owned());
+    }
+    Ok(Some(Triple { subject, predicate, object }))
+}
+
+fn take_uri(s: &str) -> Result<(&str, &str), String> {
+    let rest = s
+        .strip_prefix('<')
+        .ok_or_else(|| format!("expected '<', found {:?}", s.chars().next()))?;
+    let end = rest.find('>').ok_or("unterminated URI")?;
+    Ok((&rest[..end], &rest[end + 1..]))
+}
+
+fn take_object(s: &str) -> Result<(Term<'_>, &str), String> {
+    if s.starts_with('<') {
+        let (uri, rest) = take_uri(s)?;
+        return Ok((Term::Uri(uri), rest));
+    }
+    let rest = s
+        .strip_prefix('"')
+        .ok_or_else(|| format!("expected '<' or '\"', found {:?}", s.chars().next()))?;
+    // Find the closing unescaped quote.
+    let mut escaped = false;
+    for (i, c) in rest.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' => escaped = true,
+            '"' => {
+                let lit = &rest[..i];
+                let mut tail = &rest[i + 1..];
+                // Skip @lang or ^^<datatype>.
+                if let Some(t) = tail.strip_prefix('@') {
+                    let end = t.find([' ', '\t', '.']).unwrap_or(t.len());
+                    tail = &t[end..];
+                } else if let Some(t) = tail.strip_prefix("^^") {
+                    let (_, t) = take_uri(t)?;
+                    tail = t;
+                }
+                return Ok((Term::Literal(lit), tail));
+            }
+            _ => {}
+        }
+    }
+    Err("unterminated literal".to_owned())
+}
+
+/// Unescapes the N-Triples string escapes supported by [`parse_line`].
+pub fn unescape(lit: &str) -> String {
+    if !lit.contains('\\') {
+        return lit.to_owned();
+    }
+    let mut out = String::with_capacity(lit.len());
+    let mut chars = lit.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some(other) => out.push(other),
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Loads an N-Triples document into one side of a [`KbPairBuilder`].
+pub fn load_ntriples(builder: &mut KbPairBuilder, side: Side, input: &str) -> Result<usize, ParseError> {
+    let mut loaded = 0;
+    for (n, line) in input.lines().enumerate() {
+        match parse_line(line) {
+            Ok(None) => {}
+            Ok(Some(t)) => {
+                let object = match t.object {
+                    Term::Literal(l) => {
+                        let owned = unescape(l);
+                        builder.add_triple(side, t.subject, t.predicate, Term::Literal(&owned));
+                        loaded += 1;
+                        continue;
+                    }
+                    Term::Uri(u) => Term::Uri(u),
+                };
+                builder.add_triple(side, t.subject, t.predicate, object);
+                loaded += 1;
+            }
+            Err(message) => return Err(ParseError { line: n + 1, message }),
+        }
+    }
+    Ok(loaded)
+}
+
+/// Serializes one side of a [`crate::store::KbPair`] back to N-Triples.
+/// Literals are written in their normalized form; entity references become
+/// URI objects. `load_ntriples` of the output reconstructs an equivalent
+/// KB (round-trip property, tested in the integration suite).
+pub fn write_ntriples(pair: &crate::store::KbPair, side: Side) -> String {
+    use std::fmt::Write as _;
+    let kb = pair.kb(side);
+    let mut out = String::new();
+    for (id, e) in kb.iter() {
+        let subject = pair.uri_of(side, id);
+        for &(a, v) in &e.pairs {
+            let predicate = pair.attrs().resolve(crate::interner::Symbol(a.0));
+            match v {
+                crate::model::Value::Literal(l) => {
+                    let lit = pair.literals().resolve(crate::interner::Symbol(l.0));
+                    let escaped = lit.replace('\\', "\\\\").replace('"', "\\\"");
+                    let _ = writeln!(out, "<{subject}> <{predicate}> \"{escaped}\" .");
+                }
+                crate::model::Value::Ref(t) => {
+                    let _ = writeln!(out, "<{subject}> <{predicate}> <{}> .", pair.uri_of(side, t));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Parses a ground-truth pair list: one `left-uri <TAB> right-uri` (or
+/// whitespace-separated) pair per line; blank lines and `#` comments are
+/// skipped. URIs may be bare or angle-bracketed.
+pub fn parse_ground_truth(input: &str) -> Result<Vec<(String, String)>, ParseError> {
+    let mut out = Vec::new();
+    for (n, line) in input.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let (Some(a), Some(b)) = (parts.next(), parts.next()) else {
+            return Err(ParseError { line: n + 1, message: "expected two URIs".to_owned() });
+        };
+        let strip = |s: &str| s.trim_start_matches('<').trim_end_matches('>').to_owned();
+        out.push((strip(a), strip(b)));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Side;
+
+    #[test]
+    fn parses_uri_object() {
+        let t = parse_line("<http://a> <http://p> <http://b> .").unwrap().unwrap();
+        assert_eq!(t.subject, "http://a");
+        assert_eq!(t.predicate, "http://p");
+        assert_eq!(t.object, Term::Uri("http://b"));
+    }
+
+    #[test]
+    fn parses_literal_object() {
+        let t = parse_line(r#"<http://a> <http://p> "The Fat Duck" ."#).unwrap().unwrap();
+        assert_eq!(t.object, Term::Literal("The Fat Duck"));
+    }
+
+    #[test]
+    fn parses_literal_with_lang_and_datatype() {
+        let t = parse_line(r#"<a> <p> "Bray"@en ."#).unwrap().unwrap();
+        assert_eq!(t.object, Term::Literal("Bray"));
+        let t = parse_line(r#"<a> <p> "1995"^^<http://www.w3.org/2001/XMLSchema#gYear> ."#)
+            .unwrap()
+            .unwrap();
+        assert_eq!(t.object, Term::Literal("1995"));
+    }
+
+    #[test]
+    fn parses_escaped_quote_inside_literal() {
+        let t = parse_line(r#"<a> <p> "he said \"hi\"" ."#).unwrap().unwrap();
+        assert_eq!(t.object, Term::Literal(r#"he said \"hi\""#));
+        assert_eq!(unescape(r#"he said \"hi\""#), r#"he said "hi""#);
+    }
+
+    #[test]
+    fn skips_blank_lines_and_comments() {
+        assert_eq!(parse_line("").unwrap(), None);
+        assert_eq!(parse_line("   # comment").unwrap(), None);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_line("<a> <p>").is_err());
+        assert!(parse_line("<a> <p> <b>").is_err()); // missing '.'
+        assert!(parse_line(r#"<a> <p> "unterminated ."#).is_err());
+        assert!(parse_line("no-brackets <p> <b> .").is_err());
+    }
+
+    #[test]
+    fn unescape_handles_common_escapes() {
+        assert_eq!(unescape(r"a\nb"), "a\nb");
+        assert_eq!(unescape(r"a\tb"), "a\tb");
+        assert_eq!(unescape(r"a\\b"), "a\\b");
+        assert_eq!(unescape("plain"), "plain");
+    }
+
+    #[test]
+    fn load_ntriples_end_to_end() {
+        let doc = r#"
+# restaurants
+<http://w/Restaurant1> <http://w/label> "The Fat Duck" .
+<http://w/Restaurant1> <http://w/hasChef> <http://w/JohnLakeA> .
+<http://w/JohnLakeA> <http://w/label> "John Lake A" .
+"#;
+        let mut b = KbPairBuilder::new();
+        let n = load_ntriples(&mut b, Side::Left, doc).unwrap();
+        assert_eq!(n, 3);
+        b.add_triple(Side::Right, "x", "p", Term::Literal("y"));
+        let pair = b.finish();
+        assert_eq!(pair.kb(Side::Left).len(), 2);
+        let r1 = pair
+            .kb(Side::Left)
+            .entity_by_uri(pair.uris().get("http://w/Restaurant1").unwrap())
+            .unwrap();
+        assert_eq!(pair.kb(Side::Left).neighbors_of(r1).count(), 1);
+    }
+
+    #[test]
+    fn load_ntriples_reports_line_numbers() {
+        let doc = "<a> <p> <b> .\nbroken line\n";
+        let mut b = KbPairBuilder::new();
+        let err = load_ntriples(&mut b, Side::Left, doc).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn ground_truth_parsing() {
+        let gt = "# pairs\n<http://a/1>\thttp://b/1\nhttp://a/2 http://b/2\n\n";
+        let pairs = parse_ground_truth(gt).unwrap();
+        assert_eq!(
+            pairs,
+            vec![
+                ("http://a/1".to_owned(), "http://b/1".to_owned()),
+                ("http://a/2".to_owned(), "http://b/2".to_owned()),
+            ]
+        );
+        assert!(parse_ground_truth("only-one-uri").is_err());
+    }
+}

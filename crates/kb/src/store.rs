@@ -1,0 +1,478 @@
+//! In-memory storage for a clean-clean ER task: two knowledge bases sharing
+//! one interning space for tokens, literals, attributes and URIs.
+//!
+//! The shared interners are what make the whole framework schema-agnostic
+//! *and* fast: a token appearing in both KBs maps to the same [`TokenId`], so
+//! token blocking and value similarity never compare strings.
+
+use std::collections::HashMap;
+
+use crate::interner::{Interner, Symbol};
+use crate::model::{AttrId, Entity, EntityId, LiteralId, Side, TokenId, Value};
+use crate::tokenize::{normalize_name, tokenize, uri_local_name};
+
+/// One clean (duplicate-free) knowledge base.
+#[derive(Debug)]
+pub struct Kb {
+    side: Side,
+    entities: Vec<Entity>,
+    uri_index: HashMap<Symbol, EntityId>,
+    /// Sorted, deduplicated token ids appearing in each entity's literals.
+    token_sets: Vec<Box<[TokenId]>>,
+    /// Total token *occurrences* per entity (multiset size — Table 1's
+    /// "av. tokens" statistic counts occurrences, not distinct tokens).
+    token_occurrences: Vec<u32>,
+}
+
+impl Kb {
+    /// Which side of the pair this KB is.
+    pub fn side(&self) -> Side {
+        self.side
+    }
+
+    /// Number of entity descriptions.
+    pub fn len(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Whether the KB holds no descriptions.
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty()
+    }
+
+    /// The entity with the given id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn entity(&self, id: EntityId) -> &Entity {
+        &self.entities[id.index()]
+    }
+
+    /// All entities, indexable by [`EntityId::index`].
+    pub fn entities(&self) -> &[Entity] {
+        &self.entities
+    }
+
+    /// Iterates over `(EntityId, &Entity)`.
+    pub fn iter(&self) -> impl Iterator<Item = (EntityId, &Entity)> {
+        self.entities
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EntityId(i as u32), e))
+    }
+
+    /// Looks an entity up by its interned URI.
+    pub fn entity_by_uri(&self, uri: Symbol) -> Option<EntityId> {
+        self.uri_index.get(&uri).copied()
+    }
+
+    /// The sorted, deduplicated tokens of an entity's literal values.
+    pub fn tokens_of(&self, id: EntityId) -> &[TokenId] {
+        &self.token_sets[id.index()]
+    }
+
+    /// Total token occurrences in the entity's literal values.
+    pub fn token_occurrences_of(&self, id: EntityId) -> u32 {
+        self.token_occurrences[id.index()]
+    }
+
+    /// Total number of triples (attribute–value pairs) in the KB.
+    pub fn triple_count(&self) -> usize {
+        self.entities.iter().map(Entity::triple_count).sum()
+    }
+
+    /// The neighbors of an entity (targets of its relations), with
+    /// duplicates if an entity is referenced via several relations.
+    pub fn neighbors_of(&self, id: EntityId) -> impl Iterator<Item = EntityId> + '_ {
+        self.entity(id).relation_pairs().map(|(_, n)| n)
+    }
+}
+
+/// A pair of clean KBs plus the shared interning space.
+#[derive(Debug)]
+pub struct KbPair {
+    tokens: Interner,
+    literals: Interner,
+    attrs: Interner,
+    uris: Interner,
+    /// Token sequence (order and duplicates preserved) of each normalized
+    /// literal, indexed by [`LiteralId`]. Order is needed by the n-gram
+    /// baselines; MinoanER itself only uses the deduplicated sets.
+    literal_tokens: Vec<Box<[TokenId]>>,
+    kbs: [Kb; 2],
+    /// Dirty-ER marker: both sides are views of the *same* KB, with equal
+    /// [`EntityId`]s denoting the same description (see
+    /// [`crate::dirty::DirtyKbBuilder`]).
+    dirty: bool,
+}
+
+impl KbPair {
+    /// The KB on the given side.
+    pub fn kb(&self, side: Side) -> &Kb {
+        &self.kbs[side.index()]
+    }
+
+    /// The side whose KB has fewer entities (ties go to `Left`). Rule R2 of
+    /// the matcher scans the smaller KB for efficiency (§4).
+    pub fn smaller_side(&self) -> Side {
+        if self.kb(Side::Left).len() <= self.kb(Side::Right).len() {
+            Side::Left
+        } else {
+            Side::Right
+        }
+    }
+
+    /// Token interner (token string ↔ [`TokenId`]).
+    pub fn tokens(&self) -> &Interner {
+        &self.tokens
+    }
+
+    /// Literal interner (normalized literal ↔ [`LiteralId`]).
+    pub fn literals(&self) -> &Interner {
+        &self.literals
+    }
+
+    /// Attribute interner (attribute name ↔ [`AttrId`]).
+    pub fn attrs(&self) -> &Interner {
+        &self.attrs
+    }
+
+    /// URI interner.
+    pub fn uris(&self) -> &Interner {
+        &self.uris
+    }
+
+    /// The token sequence of a normalized literal.
+    pub fn literal_token_seq(&self, lit: LiteralId) -> &[TokenId] {
+        &self.literal_tokens[lit.index()]
+    }
+
+    /// Number of distinct tokens across both KBs.
+    pub fn token_space(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Number of distinct attributes across both KBs.
+    pub fn attr_space(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Number of distinct normalized literals across both KBs.
+    pub fn literal_space(&self) -> usize {
+        self.literals.len()
+    }
+
+    /// Resolves the URI of an entity to its string form.
+    pub fn uri_of(&self, side: Side, id: EntityId) -> &str {
+        self.uris.resolve(self.kb(side).entity(id).uri)
+    }
+
+    /// Whether this pair is a *dirty-ER* self-pair: both sides view the
+    /// same KB, and equal ids refer to the same description. Blocking and
+    /// matching skip identity pairs in that case (§2 of the paper notes
+    /// clean-clean techniques "can be easily generalized to … a single
+    /// dirty KB").
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Marks the pair as a dirty-ER self-pair. Used by
+    /// [`crate::dirty::DirtyKbBuilder`]; both sides must hold the same
+    /// descriptions in the same order.
+    pub(crate) fn mark_dirty(&mut self) {
+        assert_eq!(
+            self.kbs[0].len(),
+            self.kbs[1].len(),
+            "a dirty pair must mirror the same KB on both sides"
+        );
+        self.dirty = true;
+    }
+}
+
+/// Object term of a triple being added to a [`KbPairBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Term<'a> {
+    /// A literal value.
+    Literal(&'a str),
+    /// A URI. If it identifies an entity of the same KB it becomes a
+    /// relation edge; otherwise its local name is stored as a literal.
+    Uri(&'a str),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum RawValue {
+    Literal(LiteralId),
+    UriRef(Symbol),
+}
+
+#[derive(Debug)]
+struct RawEntity {
+    uri: Symbol,
+    pairs: Vec<(AttrId, RawValue)>,
+}
+
+/// Builder assembling a [`KbPair`] from triples or programmatic calls.
+///
+/// Entity references are resolved in a second pass at [`finish`]: a URI
+/// object pointing at a subject of the same KB becomes a [`Value::Ref`];
+/// any other URI object is stored as a literal holding its local name.
+///
+/// [`finish`]: KbPairBuilder::finish
+#[derive(Debug, Default)]
+pub struct KbPairBuilder {
+    tokens: Interner,
+    literals: Interner,
+    attrs: Interner,
+    uris: Interner,
+    literal_tokens: Vec<Box<[TokenId]>>,
+    raw: [Vec<RawEntity>; 2],
+    uri_to_idx: [HashMap<Symbol, usize>; 2],
+}
+
+impl KbPairBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or retrieves) the entity with the given URI on `side`.
+    pub fn entity(&mut self, side: Side, uri: &str) -> EntityId {
+        let sym = self.uris.intern(uri);
+        let slot = &mut self.uri_to_idx[side.index()];
+        if let Some(&idx) = slot.get(&sym) {
+            return EntityId(idx as u32);
+        }
+        let idx = self.raw[side.index()].len();
+        self.raw[side.index()].push(RawEntity { uri: sym, pairs: Vec::new() });
+        slot.insert(sym, idx);
+        EntityId(idx as u32)
+    }
+
+    /// Adds one attribute–value pair to an existing entity.
+    pub fn add_pair(&mut self, side: Side, entity: EntityId, attr: &str, object: Term<'_>) {
+        let attr = AttrId(self.attrs.intern(attr).0);
+        let raw = match object {
+            Term::Literal(s) => RawValue::Literal(self.intern_literal(s)),
+            Term::Uri(u) => RawValue::UriRef(self.uris.intern(u)),
+        };
+        self.raw[side.index()][entity.index()].pairs.push((attr, raw));
+    }
+
+    /// Convenience: registers the subject if needed and adds the triple.
+    pub fn add_triple(&mut self, side: Side, subject: &str, predicate: &str, object: Term<'_>) {
+        let e = self.entity(side, subject);
+        self.add_pair(side, e, predicate, object);
+    }
+
+    fn intern_literal(&mut self, value: &str) -> LiteralId {
+        let normalized = normalize_name(value);
+        let before = self.literals.len();
+        let sym = self.literals.intern(&normalized);
+        if self.literals.len() > before {
+            let seq: Vec<TokenId> = tokenize(&normalized)
+                .map(|t| TokenId(self.tokens.intern(&t).0))
+                .collect();
+            self.literal_tokens.push(seq.into_boxed_slice());
+        }
+        LiteralId(sym.0)
+    }
+
+    /// Resolves references and produces the immutable [`KbPair`].
+    pub fn finish(mut self) -> KbPair {
+        let mut kbs = Vec::with_capacity(2);
+        for side in [Side::Left, Side::Right] {
+            let raws = std::mem::take(&mut self.raw[side.index()]);
+            let uri_to_idx = std::mem::take(&mut self.uri_to_idx[side.index()]);
+
+            // Pass 1: resolve URI objects to entity refs where possible. A
+            // URI that is not a subject in this KB contributes its local
+            // name as a literal (it still carries token evidence).
+            let mut entities = Vec::with_capacity(raws.len());
+            for raw in &raws {
+                let mut pairs = Vec::with_capacity(raw.pairs.len());
+                for &(attr, value) in &raw.pairs {
+                    let v = match value {
+                        RawValue::Literal(l) => Value::Literal(l),
+                        RawValue::UriRef(sym) => match uri_to_idx.get(&sym) {
+                            Some(&idx) => Value::Ref(EntityId(idx as u32)),
+                            None => {
+                                let local = uri_local_name(self.uris.resolve(sym)).to_owned();
+                                Value::Literal(self.intern_literal(&local))
+                            }
+                        },
+                    };
+                    pairs.push((attr, v));
+                }
+                entities.push(Entity { uri: raw.uri, pairs });
+            }
+
+            // Pass 2: per-entity token sets (sorted + dedup) and occurrence
+            // counts, derived from the literal token sequences.
+            let mut token_sets = Vec::with_capacity(entities.len());
+            let mut token_occurrences = Vec::with_capacity(entities.len());
+            for e in &entities {
+                let mut toks: Vec<TokenId> = Vec::new();
+                let mut occ = 0u32;
+                for (_, lit) in e.literal_pairs() {
+                    let seq = &self.literal_tokens[lit.index()];
+                    occ += seq.len() as u32;
+                    toks.extend_from_slice(seq);
+                }
+                toks.sort_unstable();
+                toks.dedup();
+                token_sets.push(toks.into_boxed_slice());
+                token_occurrences.push(occ);
+            }
+
+            let uri_index = uri_to_idx
+                .into_iter()
+                .map(|(sym, idx)| (sym, EntityId(idx as u32)))
+                .collect();
+
+            kbs.push(Kb { side, entities, uri_index, token_sets, token_occurrences });
+        }
+
+        let right = kbs.pop().expect("two KBs");
+        let left = kbs.pop().expect("two KBs");
+        KbPair {
+            tokens: self.tokens,
+            literals: self.literals,
+            attrs: self.attrs,
+            uris: self.uris,
+            literal_tokens: self.literal_tokens,
+            kbs: [left, right],
+            dirty: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_pair() -> KbPair {
+        let mut b = KbPairBuilder::new();
+        b.add_triple(Side::Left, "w:Restaurant1", "w:label", Term::Literal("The Fat Duck"));
+        b.add_triple(Side::Left, "w:Restaurant1", "w:hasChef", Term::Uri("w:JohnLakeA"));
+        b.add_triple(Side::Left, "w:JohnLakeA", "w:label", Term::Literal("John Lake A"));
+        b.add_triple(Side::Right, "d:Restaurant2", "d:name", Term::Literal("Fat Duck Bray"));
+        b.add_triple(Side::Right, "d:Restaurant2", "d:headChef", Term::Uri("d:JonnyLake"));
+        b.add_triple(Side::Right, "d:JonnyLake", "d:name", Term::Literal("Jonny Lake"));
+        b.finish()
+    }
+
+    #[test]
+    fn builder_counts_entities_and_triples() {
+        let pair = sample_pair();
+        assert_eq!(pair.kb(Side::Left).len(), 2);
+        assert_eq!(pair.kb(Side::Right).len(), 2);
+        assert_eq!(pair.kb(Side::Left).triple_count(), 3);
+        assert_eq!(pair.kb(Side::Right).triple_count(), 3);
+    }
+
+    #[test]
+    fn uri_objects_become_refs_when_subject_exists() {
+        let pair = sample_pair();
+        let kb = pair.kb(Side::Left);
+        let r1 = kb.entity_by_uri(pair.uris().get("w:Restaurant1").unwrap()).unwrap();
+        let neighbors: Vec<_> = kb.neighbors_of(r1).collect();
+        assert_eq!(neighbors.len(), 1);
+        let chef = neighbors[0];
+        assert_eq!(pair.uri_of(Side::Left, chef), "w:JohnLakeA");
+    }
+
+    #[test]
+    fn dangling_uri_objects_become_local_name_literals() {
+        let mut b = KbPairBuilder::new();
+        b.add_triple(Side::Left, "w:E", "w:country", Term::Uri("http://ex.org/resource/United_Kingdom"));
+        b.add_triple(Side::Right, "d:X", "d:p", Term::Literal("x"));
+        let pair = b.finish();
+        let kb = pair.kb(Side::Left);
+        let e = kb.entity_by_uri(pair.uris().get("w:E").unwrap()).unwrap();
+        assert_eq!(kb.neighbors_of(e).count(), 0);
+        // local name "United_Kingdom" tokenizes to {united, kingdom}
+        let toks: Vec<&str> = kb
+            .tokens_of(e)
+            .iter()
+            .map(|t| pair.tokens().resolve(crate::interner::Symbol(t.0)))
+            .collect();
+        let mut toks = toks;
+        toks.sort_unstable();
+        assert_eq!(toks, vec!["kingdom", "united"]);
+    }
+
+    #[test]
+    fn token_sets_are_sorted_dedup_and_shared_across_kbs() {
+        let pair = sample_pair();
+        let l = pair.kb(Side::Left);
+        let r = pair.kb(Side::Right);
+        let r1 = l.entity_by_uri(pair.uris().get("w:Restaurant1").unwrap()).unwrap();
+        let r2 = r.entity_by_uri(pair.uris().get("d:Restaurant2").unwrap()).unwrap();
+        let t1 = l.tokens_of(r1);
+        let t2 = r.tokens_of(r2);
+        assert!(t1.windows(2).all(|w| w[0] < w[1]));
+        // "fat" and "duck" are shared tokens; ids must be comparable across KBs.
+        let shared: Vec<_> = t1.iter().filter(|t| t2.contains(t)).collect();
+        assert_eq!(shared.len(), 2);
+    }
+
+    #[test]
+    fn token_occurrences_count_multiset_size() {
+        let mut b = KbPairBuilder::new();
+        b.add_triple(Side::Left, "a", "p", Term::Literal("x x y"));
+        b.add_triple(Side::Right, "b", "p", Term::Literal("z"));
+        let pair = b.finish();
+        let kb = pair.kb(Side::Left);
+        let e = kb.entity_by_uri(pair.uris().get("a").unwrap()).unwrap();
+        assert_eq!(kb.token_occurrences_of(e), 3);
+        assert_eq!(kb.tokens_of(e).len(), 2);
+    }
+
+    #[test]
+    fn literal_interning_is_normalized() {
+        let mut b = KbPairBuilder::new();
+        let e = b.entity(Side::Left, "a");
+        b.add_pair(Side::Left, e, "p", Term::Literal("J.  Lake"));
+        b.add_pair(Side::Left, e, "q", Term::Literal("j lake"));
+        b.add_triple(Side::Right, "b", "p", Term::Literal("other"));
+        let pair = b.finish();
+        // Both spellings normalize to "j lake" and intern to one literal.
+        assert!(pair.literals().get("j lake").is_some());
+        assert_eq!(pair.literal_space(), 2);
+    }
+
+    #[test]
+    fn smaller_side_detection() {
+        let pair = sample_pair();
+        assert_eq!(pair.smaller_side(), Side::Left);
+        let mut b = KbPairBuilder::new();
+        b.add_triple(Side::Left, "a", "p", Term::Literal("x"));
+        b.add_triple(Side::Left, "b", "p", Term::Literal("x"));
+        b.add_triple(Side::Right, "c", "p", Term::Literal("x"));
+        assert_eq!(b.finish().smaller_side(), Side::Right);
+    }
+
+    #[test]
+    fn entity_registration_is_idempotent() {
+        let mut b = KbPairBuilder::new();
+        let e1 = b.entity(Side::Left, "same");
+        let e2 = b.entity(Side::Left, "same");
+        assert_eq!(e1, e2);
+        // Same URI on the other side is a *different* entity.
+        let e3 = b.entity(Side::Right, "same");
+        assert_eq!(e3, EntityId(0));
+    }
+
+    #[test]
+    fn literal_token_seq_preserves_order_and_duplicates() {
+        let mut b = KbPairBuilder::new();
+        b.add_triple(Side::Left, "a", "p", Term::Literal("to be or not to be"));
+        b.add_triple(Side::Right, "b", "p", Term::Literal("be"));
+        let pair = b.finish();
+        let lit = LiteralId(pair.literals().get("to be or not to be").unwrap().0);
+        let seq = pair.literal_token_seq(lit);
+        assert_eq!(seq.len(), 6);
+        assert_eq!(seq[0], seq[4]); // "to" repeats
+        assert_eq!(seq[1], seq[5]); // "be" repeats
+    }
+}

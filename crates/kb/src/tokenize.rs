@@ -1,0 +1,113 @@
+//! Tokenization and normalization of literal values.
+//!
+//! MinoanER's value similarity (§2.1) works on the *tokens* (single words)
+//! appearing in attribute values, case-insensitively; numbers and dates are
+//! handled like strings (footnote 4). Name matching (§3.1) compares whole
+//! normalized literals.
+
+/// Splits a literal into lower-cased alphanumeric tokens.
+///
+/// A token is a maximal run of alphanumeric characters; everything else
+/// (whitespace, punctuation, symbols) is a separator. The iterator yields
+/// owned lowercase strings to keep Unicode case-folding correct.
+pub fn tokenize(value: &str) -> impl Iterator<Item = String> + '_ {
+    value
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_lowercase())
+}
+
+/// Normalizes a literal for whole-value (name) comparison: lowercase, with
+/// every separator run collapsed to a single space and outer whitespace
+/// trimmed. `"J.  Lake "` and `"j Lake"` normalize identically.
+pub fn normalize_name(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    let mut pending_sep = false;
+    for c in value.chars() {
+        if c.is_alphanumeric() {
+            if pending_sep && !out.is_empty() {
+                out.push(' ');
+            }
+            pending_sep = false;
+            for lc in c.to_lowercase() {
+                out.push(lc);
+            }
+        } else {
+            pending_sep = true;
+        }
+    }
+    out
+}
+
+/// Extracts the local name of a URI (the part after the last `/`, `#` or
+/// `:`), used when a URI value points outside the KB and must be treated as
+/// a literal.
+pub fn uri_local_name(uri: &str) -> &str {
+    uri.rsplit(['/', '#', ':']).next().unwrap_or(uri)
+}
+
+/// Extracts the namespace (vocabulary) prefix of a URI: everything up to and
+/// including the last `/` or `#`. Used for the Table 1 "vocabularies"
+/// statistic.
+pub fn uri_namespace(uri: &str) -> &str {
+    match uri.rfind(['/', '#']) {
+        Some(i) => &uri[..=i],
+        None => "",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_splits_on_non_alphanumeric() {
+        let toks: Vec<_> = tokenize("The Fat Duck, Bray (UK)").collect();
+        assert_eq!(toks, vec!["the", "fat", "duck", "bray", "uk"]);
+    }
+
+    #[test]
+    fn tokenize_keeps_numbers_and_dates() {
+        let toks: Vec<_> = tokenize("founded 1995-08-24").collect();
+        assert_eq!(toks, vec!["founded", "1995", "08", "24"]);
+    }
+
+    #[test]
+    fn tokenize_empty_and_punct_only() {
+        assert_eq!(tokenize("").count(), 0);
+        assert_eq!(tokenize("--- !!!").count(), 0);
+    }
+
+    #[test]
+    fn tokenize_is_lowercase() {
+        let toks: Vec<_> = tokenize("DBpedia YAGO").collect();
+        assert_eq!(toks, vec!["dbpedia", "yago"]);
+    }
+
+    #[test]
+    fn normalize_name_collapses_separators() {
+        assert_eq!(normalize_name("J.  Lake "), "j lake");
+        assert_eq!(normalize_name("j Lake"), "j lake");
+        assert_eq!(normalize_name("  The--Fat Duck"), "the fat duck");
+    }
+
+    #[test]
+    fn normalize_name_empty() {
+        assert_eq!(normalize_name(""), "");
+        assert_eq!(normalize_name("!!"), "");
+    }
+
+    #[test]
+    fn uri_local_name_variants() {
+        assert_eq!(uri_local_name("http://example.org/resource/Bray"), "Bray");
+        assert_eq!(uri_local_name("http://example.org/onto#headChef"), "headChef");
+        assert_eq!(uri_local_name("plain"), "plain");
+    }
+
+    #[test]
+    fn uri_namespace_variants() {
+        assert_eq!(uri_namespace("http://example.org/resource/Bray"), "http://example.org/resource/");
+        assert_eq!(uri_namespace("http://example.org/onto#headChef"), "http://example.org/onto#");
+        assert_eq!(uri_namespace("plain"), "");
+    }
+}

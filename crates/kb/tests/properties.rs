@@ -1,0 +1,135 @@
+//! Property tests for the KB substrate: tokenizer/normalizer invariants,
+//! interner laws, N-Triples serialization round-trips with adversarial
+//! content, and Turtle/N-Triples load equivalence.
+
+use minoaner_kb::parser::{load_ntriples, write_ntriples};
+use minoaner_kb::tokenize::{normalize_name, tokenize};
+use minoaner_kb::{Interner, KbPairBuilder, Side, Term};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn tokenize_produces_lowercase_alphanumeric(s in ".{0,60}") {
+        for tok in tokenize(&s) {
+            prop_assert!(!tok.is_empty());
+            prop_assert!(tok.chars().all(|c| c.is_alphanumeric()));
+            prop_assert_eq!(tok.to_lowercase(), tok.clone());
+        }
+    }
+
+    #[test]
+    fn normalize_is_idempotent(s in ".{0,60}") {
+        let once = normalize_name(&s);
+        let twice = normalize_name(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn normalize_agrees_with_tokenize(s in ".{0,60}") {
+        // The normalized literal's tokens equal the raw literal's tokens.
+        let via_norm: Vec<String> = tokenize(&normalize_name(&s)).collect();
+        let direct: Vec<String> = tokenize(&s).collect();
+        prop_assert_eq!(via_norm, direct);
+    }
+
+    #[test]
+    fn interner_is_a_bijection(strings in prop::collection::vec(".{0,20}", 0..40)) {
+        let mut interner = Interner::new();
+        let symbols: Vec<_> = strings.iter().map(|s| interner.intern(s)).collect();
+        for (s, &sym) in strings.iter().zip(&symbols) {
+            prop_assert_eq!(interner.resolve(sym), s.as_str());
+            prop_assert_eq!(interner.get(s), Some(sym));
+        }
+        // Distinct strings ↔ distinct symbols.
+        let mut unique_strings = strings.clone();
+        unique_strings.sort();
+        unique_strings.dedup();
+        let mut unique_symbols = symbols.clone();
+        unique_symbols.sort();
+        unique_symbols.dedup();
+        prop_assert_eq!(unique_strings.len(), unique_symbols.len());
+        prop_assert_eq!(interner.len(), unique_strings.len());
+    }
+
+    /// Arbitrary (printable) literals and URIs survive the
+    /// write → parse round trip with identical KB structure.
+    #[test]
+    fn ntriples_round_trip(
+        literals in prop::collection::vec("[ -~]{0,30}", 1..12),
+        edges in prop::collection::vec((0usize..12, 0usize..12), 0..8),
+    ) {
+        let mut b = KbPairBuilder::new();
+        for (i, lit) in literals.iter().enumerate() {
+            b.add_triple(Side::Left, &format!("http://e/{i}"), "http://p/v", Term::Literal(lit));
+        }
+        for &(from, to) in &edges {
+            let (from, to) = (from % literals.len(), to % literals.len());
+            b.add_triple(
+                Side::Left,
+                &format!("http://e/{from}"),
+                "http://p/rel",
+                Term::Uri(&format!("http://e/{to}")),
+            );
+        }
+        b.add_triple(Side::Right, "http://r/0", "http://p/v", Term::Literal("x"));
+        let pair = b.finish();
+
+        let doc = write_ntriples(&pair, Side::Left);
+        let mut b2 = KbPairBuilder::new();
+        let n = load_ntriples(&mut b2, Side::Left, &doc).expect("own output parses");
+        b2.add_triple(Side::Right, "http://r/0", "http://p/v", Term::Literal("x"));
+        let reloaded = b2.finish();
+
+        prop_assert_eq!(n, pair.kb(Side::Left).triple_count());
+        prop_assert_eq!(reloaded.kb(Side::Left).len(), pair.kb(Side::Left).len());
+        prop_assert_eq!(reloaded.kb(Side::Left).triple_count(), pair.kb(Side::Left).triple_count());
+        // Token sets per entity are identical (ids may differ; compare via strings).
+        for (id, _) in pair.kb(Side::Left).iter() {
+            let orig: Vec<&str> = pair
+                .kb(Side::Left)
+                .tokens_of(id)
+                .iter()
+                .map(|t| pair.tokens().resolve(minoaner_kb::Symbol(t.0)))
+                .collect();
+            let re: Vec<&str> = reloaded
+                .kb(Side::Left)
+                .tokens_of(id)
+                .iter()
+                .map(|t| reloaded.tokens().resolve(minoaner_kb::Symbol(t.0)))
+                .collect();
+            let mut orig = orig;
+            let mut re = re;
+            orig.sort_unstable();
+            re.sort_unstable();
+            prop_assert_eq!(orig, re);
+        }
+    }
+
+    /// The same simple document loads identically via Turtle and N-Triples.
+    #[test]
+    fn turtle_matches_ntriples(
+        values in prop::collection::vec("[a-z]{1,8}( [a-z]{1,8}){0,3}", 1..8),
+    ) {
+        let mut nt = String::new();
+        let mut ttl = String::from("@prefix e: <http://e/> .\n@prefix p: <http://p/> .\n");
+        for (i, v) in values.iter().enumerate() {
+            nt.push_str(&format!("<http://e/{i}> <http://p/v> \"{v}\" .\n"));
+            ttl.push_str(&format!("e:{i} p:v \"{v}\" .\n"));
+        }
+        let mut b1 = KbPairBuilder::new();
+        load_ntriples(&mut b1, Side::Left, &nt).expect("nt parses");
+        b1.add_triple(Side::Right, "r", "p", Term::Literal("x"));
+        let p1 = b1.finish();
+
+        let mut b2 = KbPairBuilder::new();
+        minoaner_kb::turtle::load_turtle(&mut b2, Side::Left, &ttl).expect("ttl parses");
+        b2.add_triple(Side::Right, "r", "p", Term::Literal("x"));
+        let p2 = b2.finish();
+
+        prop_assert_eq!(p1.kb(Side::Left).len(), p2.kb(Side::Left).len());
+        prop_assert_eq!(p1.kb(Side::Left).triple_count(), p2.kb(Side::Left).triple_count());
+        prop_assert_eq!(p1.token_space(), p2.token_space());
+    }
+}

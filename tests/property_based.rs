@@ -1,0 +1,165 @@
+//! Property-based integration tests (proptest): invariants of the value
+//! similarity metric (Proposition 1 of the paper), the blocking layer, the
+//! pruned graph, the matcher, and unique mapping clustering — on randomly
+//! generated KB pairs.
+
+use minoaner::baselines::umc::unique_mapping_clustering;
+use minoaner::blocking::graph::{build_blocking_graph, GraphConfig};
+use minoaner::blocking::name::build_name_blocks;
+use minoaner::blocking::token::build_token_blocks;
+use minoaner::kb::stats::{value_sim, NameStats, RelationStats, TokenEf};
+use minoaner::{EntityId, Executor, KbPairBuilder, Minoaner, Side, Term};
+use proptest::prelude::*;
+
+/// A random literal made of tokens from a tiny vocabulary, so overlaps are
+/// common and the interesting code paths fire.
+fn literal_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(0..25u8, 1..6).prop_map(|toks| {
+        toks.iter().map(|t| format!("w{t}")).collect::<Vec<_>>().join(" ")
+    })
+}
+
+/// A random clean-clean KB pair: per side, a handful of entities with
+/// random literals and random intra-KB relation edges.
+fn pair_strategy() -> impl Strategy<Value = (minoaner::KbPair, usize, usize)> {
+    let side = || prop::collection::vec(prop::collection::vec(literal_strategy(), 1..4), 1..8);
+    (side(), side(), prop::collection::vec((0..8usize, 0..8usize), 0..6)).prop_map(
+        |(left, right, edges)| {
+            let mut b = KbPairBuilder::new();
+            for (side_tag, entities) in [(Side::Left, &left), (Side::Right, &right)] {
+                let prefix = if side_tag == Side::Left { "l" } else { "r" };
+                for (i, lits) in entities.iter().enumerate() {
+                    let uri = format!("{prefix}:{i}");
+                    let e = b.entity(side_tag, &uri);
+                    for (j, lit) in lits.iter().enumerate() {
+                        b.add_pair(side_tag, e, &format!("{prefix}:attr{j}"), Term::Literal(lit));
+                    }
+                }
+                for &(from, to) in &edges {
+                    let (from, to) = (from % entities.len(), to % entities.len());
+                    if from != to {
+                        let f = format!("{prefix}:{from}");
+                        let t = format!("{prefix}:{to}");
+                        let e = b.entity(side_tag, &f);
+                        b.add_pair(side_tag, e, &format!("{prefix}:rel"), Term::Uri(&t));
+                    }
+                }
+            }
+            let (nl, nr) = (left.len(), right.len());
+            (b.finish(), nl, nr)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Proposition 1: valueSim is non-negative and bounded by the
+    /// self-similarity of either argument.
+    #[test]
+    fn value_sim_metric_properties((pair, nl, nr) in pair_strategy()) {
+        let ef = TokenEf::compute(&pair);
+        let self_weight = |side: Side, e: EntityId| -> f64 {
+            pair.kb(side).tokens_of(e).iter().map(|&t| ef.token_weight(t)).sum()
+        };
+        for l in 0..nl.min(4) {
+            for r in 0..nr.min(4) {
+                let (le, re) = (EntityId(l as u32), EntityId(r as u32));
+                let s = value_sim(&pair, &ef, le, re);
+                prop_assert!(s >= 0.0);
+                prop_assert!(s <= self_weight(Side::Left, le) + 1e-9,
+                    "sim exceeds left self-similarity");
+                prop_assert!(s <= self_weight(Side::Right, re) + 1e-9,
+                    "sim exceeds right self-similarity");
+            }
+        }
+    }
+
+    /// Blocking completeness: any cross-KB pair sharing a token co-occurs
+    /// in the (unpurged) token blocks.
+    #[test]
+    fn token_blocking_is_complete((pair, nl, nr) in pair_strategy()) {
+        let blocks = build_token_blocks(&pair);
+        for l in 0..nl {
+            for r in 0..nr {
+                let (le, re) = (EntityId(l as u32), EntityId(r as u32));
+                let tl = pair.kb(Side::Left).tokens_of(le);
+                let tr = pair.kb(Side::Right).tokens_of(re);
+                let shares = tl.iter().any(|t| tr.contains(t));
+                if shares {
+                    let co_occurs = blocks.blocks.iter().any(|(_, b)| {
+                        b.left.contains(&le) && b.right.contains(&re)
+                    });
+                    prop_assert!(co_occurs, "pair sharing a token must share a block");
+                }
+            }
+        }
+    }
+
+    /// Graph pruning invariants: candidate lists are bounded by K, sorted
+    /// by weight, and every β weight is positive.
+    #[test]
+    fn graph_pruning_invariants((pair, nl, nr) in pair_strategy(), k in 1..6usize) {
+        let exec = Executor::new(1);
+        let rels = RelationStats::compute(&pair);
+        let names = NameStats::compute(&pair, 2);
+        let tb = build_token_blocks(&pair);
+        let nb = build_name_blocks(&pair, &names);
+        let cfg = GraphConfig { top_k: k, n_relations: 2, ..GraphConfig::default() };
+        let g = build_blocking_graph(&exec, &pair, &rels, &tb, &nb, &cfg);
+        for (side, n) in [(Side::Left, nl), (Side::Right, nr)] {
+            for i in 0..n {
+                let e = EntityId(i as u32);
+                for list in [g.value_candidates(side, e), g.neighbor_candidates(side, e)] {
+                    prop_assert!(list.len() <= k, "candidate list exceeds K");
+                    prop_assert!(list.windows(2).all(|w| w[0].1 >= w[1].1), "not sorted");
+                    prop_assert!(list.iter().all(|&(_, w)| w > 0.0), "trivial edge kept");
+                }
+            }
+        }
+    }
+
+    /// The matcher always yields a partial one-to-one mapping, and every
+    /// match is connected in the pruned graph in both directions (R4).
+    #[test]
+    fn matcher_produces_reciprocal_partial_matching((pair, _nl, _nr) in pair_strategy()) {
+        let exec = Executor::new(1);
+        let m = Minoaner::new();
+        let prepared = m.prepare(&exec, &pair);
+        let outcome = m.match_prepared(&exec, &pair, &prepared, minoaner::RuleSet::FULL);
+        let mut lefts: Vec<_> = outcome.matches.iter().map(|&(l, _)| l).collect();
+        lefts.sort_unstable();
+        let n = lefts.len();
+        lefts.dedup();
+        prop_assert_eq!(lefts.len(), n, "left endpoint reused");
+        for &(l, r) in &outcome.matches {
+            prop_assert!(prepared.graph.has_directed_edge(Side::Left, l, r));
+            prop_assert!(prepared.graph.has_directed_edge(Side::Right, r, l));
+        }
+    }
+
+    /// UMC invariants: output is a partial matching; scores of accepted
+    /// pairs respect the threshold; accepting order never assigns a worse
+    /// pair when a better one was available for the same entities.
+    #[test]
+    fn umc_invariants(
+        pairs in prop::collection::vec((0..10u32, 0..10u32, 0.0..1.0f64), 0..40),
+        threshold in 0.0..1.0f64,
+    ) {
+        let scored: Vec<(EntityId, EntityId, f64)> =
+            pairs.iter().map(|&(l, r, s)| (EntityId(l), EntityId(r), s)).collect();
+        let result = unique_mapping_clustering(scored.clone(), threshold);
+        let mut seen_l = std::collections::HashSet::new();
+        let mut seen_r = std::collections::HashSet::new();
+        for &(l, r) in &result {
+            prop_assert!(seen_l.insert(l), "left endpoint reused");
+            prop_assert!(seen_r.insert(r), "right endpoint reused");
+            let best = scored
+                .iter()
+                .filter(|&&(pl, pr, _)| pl == l && pr == r)
+                .map(|&(_, _, s)| s)
+                .fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(best >= threshold, "accepted pair below threshold");
+        }
+    }
+}

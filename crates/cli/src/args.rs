@@ -36,6 +36,8 @@ pub struct ResolveArgs {
     pub theta: f64,
     /// Emit matches as JSON instead of TSV.
     pub json: bool,
+    /// Skip malformed N-Triples lines instead of aborting the load.
+    pub lenient: bool,
 }
 
 /// Arguments of `minoaner dedup`.
@@ -47,6 +49,8 @@ pub struct DedupArgs {
     pub workers: Option<usize>,
     /// Emit duplicates as JSON instead of TSV.
     pub json: bool,
+    /// Skip malformed N-Triples lines instead of aborting the load.
+    pub lenient: bool,
 }
 
 /// Arguments of `minoaner multi`.
@@ -56,6 +60,8 @@ pub struct MultiArgs {
     pub inputs: Vec<String>,
     pub workers: Option<usize>,
     pub json: bool,
+    /// Skip malformed N-Triples lines instead of aborting the load.
+    pub lenient: bool,
 }
 
 /// Arguments of `minoaner stats`.
@@ -65,6 +71,8 @@ pub struct StatsArgs {
     pub input: String,
     /// Attribute treated as the entity-type predicate (Table 1 "types").
     pub type_attr: String,
+    /// Skip malformed N-Triples lines instead of aborting the load.
+    pub lenient: bool,
 }
 
 /// A parse failure with a user-facing message.
@@ -91,6 +99,18 @@ USAGE:
 
 KB files ending in .ttl are parsed as Turtle (subset); everything else as
 N-Triples (subset).
+
+COMMON OPTIONS (all commands):
+    --strict                abort on the first malformed N-Triples line (default)
+    --lenient               skip malformed N-Triples lines, reporting exact counts
+                            (Turtle inputs are always strict)
+
+EXIT CODES:
+    0  success
+    1  I/O failure (unreadable input file)
+    2  bad arguments or invalid configuration
+    3  input parse failure (strict mode)
+    4  dataflow execution failure (task panic or stage timeout)
 
 RESOLVE OPTIONS:
     --left <path>           left KB, N-Triples
@@ -142,6 +162,7 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
     let mut n = 3usize;
     let mut theta = 0.6f64;
     let mut json = false;
+    let mut lenient = false;
 
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<String, ArgError> {
@@ -166,6 +187,8 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                 theta = value("--theta")?.parse().map_err(|_| ArgError("--theta expects a float".into()))?
             }
             "--json" => json = true,
+            "--lenient" => lenient = true,
+            "--strict" => lenient = false,
             other => return Err(ArgError(format!("unknown flag {other:?}; try `minoaner help`"))),
         }
     }
@@ -174,21 +197,23 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
         "resolve" => {
             let left = left.ok_or_else(|| ArgError("resolve requires --left".into()))?;
             let right = right.ok_or_else(|| ArgError("resolve requires --right".into()))?;
-            Ok(Command::Resolve(ResolveArgs { left, right, ground_truth, workers, k, top_k, n, theta, json }))
+            Ok(Command::Resolve(ResolveArgs {
+                left, right, ground_truth, workers, k, top_k, n, theta, json, lenient,
+            }))
         }
         "dedup" => {
             let input = input.ok_or_else(|| ArgError("dedup requires --input".into()))?;
-            Ok(Command::Dedup(DedupArgs { input, workers, json }))
+            Ok(Command::Dedup(DedupArgs { input, workers, json, lenient }))
         }
         "multi" => {
             if kbs.len() < 2 {
                 return Err(ArgError("multi requires at least two --kb inputs".into()));
             }
-            Ok(Command::Multi(MultiArgs { inputs: kbs, workers, json }))
+            Ok(Command::Multi(MultiArgs { inputs: kbs, workers, json, lenient }))
         }
         "stats" => {
             let input = input.ok_or_else(|| ArgError("stats requires --input".into()))?;
-            Ok(Command::Stats(StatsArgs { input, type_attr }))
+            Ok(Command::Stats(StatsArgs { input, type_attr, lenient }))
         }
         _ => unreachable!(),
     }
@@ -232,8 +257,37 @@ mod tests {
         let cmd = parse(&strings(&["dedup", "--input", "kb.nt", "--json"])).unwrap();
         assert_eq!(
             cmd,
-            Command::Dedup(DedupArgs { input: "kb.nt".into(), workers: None, json: true })
+            Command::Dedup(DedupArgs {
+                input: "kb.nt".into(),
+                workers: None,
+                json: true,
+                lenient: false,
+            })
         );
+    }
+
+    #[test]
+    fn strict_is_the_default_and_lenient_flips_it() {
+        let cmd = parse(&strings(&["resolve", "--left", "a", "--right", "b"])).unwrap();
+        let Command::Resolve(a) = cmd else { panic!() };
+        assert!(!a.lenient, "strict by default");
+
+        let cmd =
+            parse(&strings(&["resolve", "--left", "a", "--right", "b", "--lenient"])).unwrap();
+        let Command::Resolve(a) = cmd else { panic!() };
+        assert!(a.lenient);
+
+        // Later flag wins, so scripts can append an override.
+        let cmd = parse(&strings(&[
+            "dedup", "--input", "kb.nt", "--lenient", "--strict",
+        ]))
+        .unwrap();
+        let Command::Dedup(a) = cmd else { panic!() };
+        assert!(!a.lenient);
+
+        let cmd = parse(&strings(&["stats", "--input", "kb.nt", "--lenient"])).unwrap();
+        let Command::Stats(s) = cmd else { panic!() };
+        assert!(s.lenient);
     }
 
     #[test]

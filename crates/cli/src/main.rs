@@ -2,25 +2,81 @@
 //!
 //! ```sh
 //! minoaner resolve --left dbpedia.nt --right wikidata.nt --ground-truth gt.tsv
-//! minoaner dedup --input crawl.nt --json
+//! minoaner dedup --input crawl.nt --json --lenient
 //! ```
+//!
+//! Bad input never panics the binary: every failure is mapped to a
+//! contexted message on stderr and a stable exit code — 1 for I/O, 2 for
+//! bad arguments or configuration, 3 for parse failures, 4 for dataflow
+//! execution failures.
 
 mod args;
 
 use std::collections::HashSet;
+use std::fmt;
 use std::process::ExitCode;
 
 use minoaner_core::Minoaner;
-use minoaner_dataflow::Executor;
+use minoaner_dataflow::{DataflowError, Executor};
 use minoaner_eval::Quality;
 use minoaner_kb::dirty::DirtyKbBuilder;
-use minoaner_kb::parser::{load_ntriples, parse_ground_truth, parse_line, unescape};
+use minoaner_kb::parser::{
+    load_ntriples_with_mode, parse_ground_truth, parse_line, unescape, ParseMode, ParseReport,
+};
 use minoaner_kb::turtle::load_turtle;
 use minoaner_kb::{KbPairBuilder, Side, Term};
 
 use minoaner_core::multi::{MultiKb, ObjectTerm};
 
 use args::{parse, Command, DedupArgs, MultiArgs, ResolveArgs, StatsArgs, USAGE};
+
+/// Exit code for bad arguments or an invalid configuration.
+const EXIT_BAD_ARGS: u8 = 2;
+/// Exit code for a strict-mode input parse failure.
+const EXIT_PARSE: u8 = 3;
+/// Exit code for a dataflow execution failure (task panic, stage timeout).
+const EXIT_DATAFLOW: u8 = 4;
+
+/// A CLI failure: a user-facing message plus the exit code class it maps
+/// to. Everything the subcommands can hit is funneled through this type so
+/// no error path panics and every message carries its input context.
+#[derive(Debug)]
+enum CliError {
+    /// Unreadable input file (exit 1).
+    Io(String),
+    /// Invalid configuration discovered after argument parsing (exit 2).
+    Usage(String),
+    /// Malformed input in strict mode (exit 3).
+    Parse(String),
+    /// The execution engine reported a failure (exit 4).
+    Dataflow(DataflowError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Io(m) | CliError::Usage(m) | CliError::Parse(m) => write!(f, "{m}"),
+            CliError::Dataflow(e) => write!(f, "dataflow execution failed: {e}"),
+        }
+    }
+}
+
+impl CliError {
+    fn exit_code(&self) -> ExitCode {
+        match self {
+            CliError::Io(_) => ExitCode::FAILURE,
+            CliError::Usage(_) => ExitCode::from(EXIT_BAD_ARGS),
+            CliError::Parse(_) => ExitCode::from(EXIT_PARSE),
+            CliError::Dataflow(_) => ExitCode::from(EXIT_DATAFLOW),
+        }
+    }
+}
+
+impl From<DataflowError> for CliError {
+    fn from(e: DataflowError) -> Self {
+        CliError::Dataflow(e)
+    }
+}
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -35,23 +91,23 @@ fn main() -> ExitCode {
         Ok(Command::Stats(args)) => run(stats(&args)),
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::from(2)
+            ExitCode::from(EXIT_BAD_ARGS)
         }
     }
 }
 
-fn run(result: Result<(), String>) -> ExitCode {
+fn run(result: Result<(), CliError>) -> ExitCode {
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            e.exit_code()
         }
     }
 }
 
-fn read(path: &str) -> Result<String, String> {
-    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+fn read(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))
 }
 
 fn executor(workers: Option<usize>) -> Executor {
@@ -61,22 +117,56 @@ fn executor(workers: Option<usize>) -> Executor {
     }
 }
 
-/// Loads a KB file into the builder, picking the parser by extension:
-/// `.ttl` → Turtle subset, anything else → N-Triples subset.
-fn load_kb(builder: &mut KbPairBuilder, side: Side, path: &str) -> Result<usize, String> {
-    let doc = read(path)?;
-    let loaded = if path.ends_with(".ttl") {
-        load_turtle(builder, side, &doc)
+fn parse_mode(lenient: bool) -> ParseMode {
+    if lenient {
+        ParseMode::Lenient
     } else {
-        load_ntriples(builder, side, &doc)
-    };
-    loaded.map_err(|e| format!("{path}: {e}"))
+        ParseMode::Strict
+    }
 }
 
-fn resolve(args: &ResolveArgs) -> Result<(), String> {
+/// Prints a lenient load's loss accounting when anything was skipped.
+fn report_skips(path: &str, report: &ParseReport) {
+    if report.skipped == 0 {
+        return;
+    }
+    eprintln!("warning: {path}: skipped {} malformed lines", report.skipped);
+    for err in &report.first_errors {
+        eprintln!("warning: {path}: {err}");
+    }
+    if report.skipped > report.first_errors.len() {
+        eprintln!(
+            "warning: {path}: … and {} more",
+            report.skipped - report.first_errors.len()
+        );
+    }
+}
+
+/// Loads a KB file into the builder, picking the parser by extension:
+/// `.ttl` → Turtle subset, anything else → N-Triples subset. The mode
+/// applies to N-Triples only; the Turtle parser is always strict.
+fn load_kb(
+    builder: &mut KbPairBuilder,
+    side: Side,
+    path: &str,
+    mode: ParseMode,
+) -> Result<usize, CliError> {
+    let doc = read(path)?;
+    if path.ends_with(".ttl") {
+        return load_turtle(builder, side, &doc)
+            .map_err(|e| CliError::Parse(format!("{path}: {e}")));
+    }
+    let report = load_ntriples_with_mode(builder, side, &doc, mode)
+        .map_err(|e| CliError::Parse(format!("{path}: {e}")))?;
+    report_skips(path, &report);
+    Ok(report.parsed)
+}
+
+fn resolve(args: &ResolveArgs) -> Result<(), CliError> {
+    let mode = parse_mode(args.lenient);
     let mut builder = KbPairBuilder::new();
-    let nl = load_kb(&mut builder, Side::Left, &args.left)?;
-    let nr = load_kb(&mut builder, Side::Right, &args.right)?;
+    let nl = load_kb(&mut builder, Side::Left, &args.left, mode)?;
+    let nr = load_kb(&mut builder, Side::Right, &args.right, mode)?;
     let pair = builder.finish();
     eprintln!(
         "loaded {} + {} triples ({} + {} entities)",
@@ -93,10 +183,10 @@ fn resolve(args: &ResolveArgs) -> Result<(), String> {
         theta: args.theta,
         ..Default::default()
     };
-    config.validate().map_err(|e| format!("invalid configuration: {e}"))?;
+    config.validate().map_err(|e| CliError::Usage(format!("invalid configuration: {e}")))?;
 
     let exec = executor(args.workers);
-    let res = Minoaner::with_config(config).resolve(&exec, &pair);
+    let res = Minoaner::with_config(config).try_resolve(&exec, &pair)?;
 
     if args.json {
         let rows: Vec<serde_json::Value> = res
@@ -130,7 +220,8 @@ fn resolve(args: &ResolveArgs) -> Result<(), String> {
 
     if let Some(gt_path) = &args.ground_truth {
         let gt_doc = read(gt_path)?;
-        let uri_pairs = parse_ground_truth(&gt_doc).map_err(|e| format!("{gt_path}: {e}"))?;
+        let uri_pairs = parse_ground_truth(&gt_doc)
+            .map_err(|e| CliError::Parse(format!("{gt_path}: {e}")))?;
         let mut gt = Vec::new();
         let mut unresolved = 0usize;
         for (lu, ru) in &uri_pairs {
@@ -153,9 +244,12 @@ fn resolve(args: &ResolveArgs) -> Result<(), String> {
 /// Loads one KB file standalone and extracts its triples in a uniform
 /// owned form (entity references back to URIs, literals in normalized
 /// form) — the input shape of multi-KB resolution.
-fn load_triples(path: &str) -> Result<Vec<(String, String, ObjectTerm)>, String> {
+fn load_triples(
+    path: &str,
+    mode: ParseMode,
+) -> Result<Vec<(String, String, ObjectTerm)>, CliError> {
     let mut b = KbPairBuilder::new();
-    load_kb(&mut b, Side::Left, path)?;
+    load_kb(&mut b, Side::Left, path, mode)?;
     let pair = b.finish();
     let kb = pair.kb(Side::Left);
     let mut out = Vec::new();
@@ -175,18 +269,19 @@ fn load_triples(path: &str) -> Result<Vec<(String, String, ObjectTerm)>, String>
     Ok(out)
 }
 
-fn multi(args: &MultiArgs) -> Result<(), String> {
+fn multi(args: &MultiArgs) -> Result<(), CliError> {
+    let mode = parse_mode(args.lenient);
     let mut input = MultiKb::new();
     for path in &args.inputs {
         let idx = input.add_kb();
-        let triples = load_triples(path)?;
+        let triples = load_triples(path, mode)?;
         eprintln!("loaded {} triples from {path} (kb {idx})", triples.len());
         for (s, p, o) in triples {
             input.add_triple(idx, &s, &p, o);
         }
     }
     let exec = executor(args.workers);
-    let res = Minoaner::new().resolve_multi(&exec, &input);
+    let res = Minoaner::new().try_resolve_multi(&exec, &input)?;
 
     if args.json {
         let rows: Vec<serde_json::Value> = res
@@ -214,9 +309,10 @@ fn multi(args: &MultiArgs) -> Result<(), String> {
     Ok(())
 }
 
-fn stats(args: &StatsArgs) -> Result<(), String> {
+fn stats(args: &StatsArgs) -> Result<(), CliError> {
+    let mode = parse_mode(args.lenient);
     let mut b = KbPairBuilder::new();
-    let loaded = load_kb(&mut b, Side::Left, &args.input)?;
+    let loaded = load_kb(&mut b, Side::Left, &args.input, mode)?;
     let pair = b.finish();
     let s = minoaner_kb::dataset_stats::kb_stats(&pair, Side::Left, &args.type_attr);
     println!("file:         {}", args.input);
@@ -230,10 +326,10 @@ fn stats(args: &StatsArgs) -> Result<(), String> {
     Ok(())
 }
 
-fn dedup(args: &DedupArgs) -> Result<(), String> {
+fn dedup(args: &DedupArgs) -> Result<(), CliError> {
     let doc = read(&args.input)?;
     let mut builder = DirtyKbBuilder::new();
-    let mut loaded = 0usize;
+    let mut report = ParseReport::default();
     for (n, line) in doc.lines().enumerate() {
         match parse_line(line) {
             Ok(None) => {}
@@ -245,16 +341,20 @@ fn dedup(args: &DedupArgs) -> Result<(), String> {
                     }
                     Term::Uri(u) => builder.add_triple(t.subject, t.predicate, Term::Uri(u)),
                 }
-                loaded += 1;
+                report.parsed += 1;
             }
-            Err(message) => return Err(format!("{}: line {}: {message}", args.input, n + 1)),
+            Err(err) if args.lenient => report.record_skip(err.at_line(n + 1)),
+            Err(err) => {
+                return Err(CliError::Parse(format!("{}: {}", args.input, err.at_line(n + 1))))
+            }
         }
     }
+    report_skips(&args.input, &report);
     let pair = builder.finish();
-    eprintln!("loaded {} triples ({} entities)", loaded, pair.kb(Side::Left).len());
+    eprintln!("loaded {} triples ({} entities)", report.parsed, pair.kb(Side::Left).len());
 
     let exec = executor(args.workers);
-    let res = Minoaner::new().resolve_dirty(&exec, &pair);
+    let res = Minoaner::new().try_resolve_dirty(&exec, &pair)?;
 
     if args.json {
         let rows: Vec<serde_json::Value> = res

@@ -37,6 +37,22 @@ impl Minoaner {
         let duplicates = canonicalize_dirty_matches(&inner.matches);
         DirtyResolution { duplicates, inner }
     }
+
+    /// Fallible variant of [`Minoaner::resolve_dirty`]: dataflow failures
+    /// come back as a structured [`DataflowError`] instead of a panic.
+    ///
+    /// The dirty-pair precondition is still an assertion — passing a
+    /// clean-clean pair is a caller bug, not a runtime fault.
+    pub fn try_resolve_dirty(
+        &self,
+        executor: &Executor,
+        pair: &KbPair,
+    ) -> Result<DirtyResolution, minoaner_dataflow::DataflowError> {
+        assert!(pair.is_dirty(), "resolve_dirty requires a DirtyKbBuilder-built pair");
+        let inner = self.try_resolve(executor, pair)?;
+        let duplicates = canonicalize_dirty_matches(&inner.matches);
+        Ok(DirtyResolution { duplicates, inner })
+    }
 }
 
 #[cfg(test)]

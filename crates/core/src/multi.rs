@@ -92,6 +92,18 @@ impl Minoaner {
     /// Resolves `k` clean KBs pairwise and merges the matches into
     /// k-partite clusters.
     pub fn resolve_multi(&self, executor: &Executor, input: &MultiKb) -> MultiResolution {
+        self.try_resolve_multi(executor, input)
+            .unwrap_or_else(|e| std::panic::panic_any(e))
+    }
+
+    /// Fallible variant of [`Minoaner::resolve_multi`]: a dataflow failure
+    /// in any pairwise resolution aborts the whole multi-KB run with a
+    /// structured [`minoaner_dataflow::DataflowError`].
+    pub fn try_resolve_multi(
+        &self,
+        executor: &Executor,
+        input: &MultiKb,
+    ) -> Result<MultiResolution, minoaner_dataflow::DataflowError> {
         assert!(input.len() >= 2, "multi-KB resolution needs at least two KBs");
         let mut uf: UnionFind<MultiNode> = UnionFind::new();
         // Cluster membership guard: root → kb indices already present.
@@ -101,7 +113,7 @@ impl Minoaner {
         for i in 0..input.len() {
             for j in (i + 1)..input.len() {
                 let pair = input.pair(i, j);
-                let res = self.resolve(executor, &pair);
+                let res = self.try_resolve(executor, &pair)?;
                 pairwise.push(((i, j), res.matches.len()));
                 for &(l, r) in &res.matches {
                     let a: MultiNode = (i, pair.uri_of(Side::Left, l).to_owned());
@@ -111,7 +123,7 @@ impl Minoaner {
             }
         }
 
-        MultiResolution { clusters: uf.clusters(2), pairwise }
+        Ok(MultiResolution { clusters: uf.clusters(2), pairwise })
     }
 }
 

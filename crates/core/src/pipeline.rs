@@ -5,6 +5,7 @@
 //! four matching rules run with synchronization only at rule boundaries
 //! (Algorithm 2).
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 use minoaner_blocking::graph::{build_blocking_graph, BlockingGraph, GraphConfig};
@@ -12,7 +13,7 @@ use minoaner_blocking::name::build_name_blocks;
 use minoaner_blocking::purge::{purge_blocks, PurgeReport};
 use minoaner_blocking::token::build_token_blocks_parallel;
 use minoaner_blocking::{NameBlocks, TokenBlocks};
-use minoaner_dataflow::{Executor, StageLog};
+use minoaner_dataflow::{DataflowError, Executor, StageLog};
 use minoaner_kb::stats::{NameStats, RelationStats};
 use minoaner_kb::{EntityId, KbPair};
 
@@ -154,6 +155,33 @@ impl Minoaner {
             timings: PipelineTimings { total, matching, stages },
         }
     }
+
+    /// End-to-end resolution that surfaces dataflow failures as a
+    /// structured [`DataflowError`] instead of unwinding through the
+    /// caller. See [`Minoaner::try_resolve_with_rules`].
+    pub fn try_resolve(&self, executor: &Executor, pair: &KbPair) -> Result<Resolution, DataflowError> {
+        self.try_resolve_with_rules(executor, pair, RuleSet::FULL)
+    }
+
+    /// Fallible variant of [`Minoaner::resolve_with_rules`].
+    ///
+    /// The pipeline's internal stages run on the executor's infallible
+    /// operators, which re-raise task failures as a structured panic
+    /// payload; this boundary catches that payload and converts it back
+    /// into the [`DataflowError`] it carries (a genuine user-code panic in
+    /// a stage closure arrives as [`DataflowError::TaskPanicked`] too, via
+    /// the executor's panic isolation). The executor and its stage log
+    /// remain usable after a failure — workers are joined at the stage
+    /// barrier before the error propagates.
+    pub fn try_resolve_with_rules(
+        &self,
+        executor: &Executor,
+        pair: &KbPair,
+        rules: RuleSet,
+    ) -> Result<Resolution, DataflowError> {
+        catch_unwind(AssertUnwindSafe(|| self.resolve_with_rules(executor, pair, rules)))
+            .map_err(DataflowError::from_panic)
+    }
 }
 
 #[cfg(test)]
@@ -262,6 +290,20 @@ mod tests {
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn try_resolve_agrees_with_resolve_on_healthy_input() {
+        let (pair, _) = scenario();
+        let m = Minoaner::new();
+        let plain = m.resolve(&Executor::new(2), &pair);
+        let fallible = m.try_resolve(&Executor::new(2), &pair).expect("healthy run succeeds");
+        let mut a = plain.matches;
+        let mut b = fallible.matches;
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert_eq!(plain.rule_counts, fallible.rule_counts);
     }
 
     #[test]

@@ -31,6 +31,14 @@ impl<T> Clone for Broadcast<T> {
     }
 }
 
+// A broadcast is a read-only handle: no task can mutate it, so observing it
+// after another task's unwind cannot expose a broken invariant. Declaring
+// unwind safety here lets task closures that capture broadcasts cross the
+// fault-isolation boundary (`catch_unwind`) without `AssertUnwindSafe`
+// wrappers at every call site.
+impl<T> std::panic::RefUnwindSafe for Broadcast<T> {}
+impl<T> std::panic::UnwindSafe for Broadcast<T> {}
+
 impl<T> Deref for Broadcast<T> {
     type Target = T;
 
@@ -50,5 +58,18 @@ mod tests {
         assert_eq!(b.value(), c.value());
         assert!(std::ptr::eq(b.value(), c.value()));
         assert_eq!(b[1], 2); // Deref through to the Vec.
+    }
+
+    #[test]
+    fn broadcast_is_unwind_safe() {
+        // Compiles without AssertUnwindSafe because Broadcast declares
+        // unwind safety, and survives a caught panic intact.
+        let b = Broadcast::new(vec![1, 2, 3]);
+        let caught = std::panic::catch_unwind(|| {
+            assert_eq!(b[0], 1);
+            panic!("boom");
+        });
+        assert!(caught.is_err());
+        assert_eq!(b[2], 3);
     }
 }

@@ -1,0 +1,159 @@
+//! Structured dataflow failures.
+//!
+//! The paper's implementation inherits task-level fault tolerance from
+//! Spark (§4.1): a task that throws is retried on another executor, and a
+//! stage fails with a precise cause only after the retry budget is spent.
+//! This module is the hand-rolled engine's analogue: instead of letting a
+//! worker panic unwind through `crossbeam::scope` and abort the whole
+//! process, every task failure is captured and surfaced as a
+//! [`DataflowError`] carrying the stage name, the task index, the attempt
+//! count and the panic payload.
+
+use std::any::Any;
+use std::fmt;
+use std::time::Duration;
+
+/// A failure of a fault-tolerant dataflow stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataflowError {
+    /// A task panicked on every allowed attempt (retries exhausted). Under
+    /// [`crate::pool::FailureAction::Fail`] this is returned as soon as one
+    /// task exhausts its budget.
+    TaskPanicked {
+        /// Name of the stage the task belonged to.
+        stage: String,
+        /// Task index within the stage (= partition index for `Pdc` ops).
+        task: usize,
+        /// How many attempts were made (1 = no retries were allowed).
+        attempts: u32,
+        /// The captured panic payload, rendered as a string.
+        payload: String,
+    },
+    /// The stage exceeded its deadline before all tasks completed.
+    ///
+    /// Deadlines are checked cooperatively at task boundaries (the engine
+    /// cannot preempt a running task, just as Spark cannot preempt a task
+    /// thread), so a stage with a stalled task returns this error once the
+    /// stall resolves or another worker observes the deadline.
+    StageTimeout {
+        /// Name of the stage.
+        stage: String,
+        /// The configured deadline that was exceeded.
+        deadline: Duration,
+        /// Tasks that completed successfully before the deadline fired.
+        completed: usize,
+        /// Total tasks in the stage.
+        tasks: usize,
+    },
+}
+
+impl DataflowError {
+    /// The stage the error originated in.
+    pub fn stage(&self) -> &str {
+        match self {
+            DataflowError::TaskPanicked { stage, .. } => stage,
+            DataflowError::StageTimeout { stage, .. } => stage,
+        }
+    }
+
+    /// Renders a panic payload as a human-readable string. Panics carry
+    /// `&str` or `String` payloads in practice; anything else is opaque.
+    pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+        if let Some(s) = payload.downcast_ref::<&'static str>() {
+            (*s).to_owned()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_owned()
+        }
+    }
+
+    /// Recovers a structured error from a caught panic payload.
+    ///
+    /// The engine's infallible entry points ([`crate::Executor::run_stage`]
+    /// and the consuming `Pdc` operators) report failures by panicking with
+    /// a `DataflowError` payload; catching that unwind at a pipeline
+    /// boundary and calling `from_panic` restores the structured error.
+    /// Foreign payloads are wrapped as a single-attempt [`Self::TaskPanicked`]
+    /// in the synthetic stage `"<unwound>"`.
+    pub fn from_panic(payload: Box<dyn Any + Send>) -> DataflowError {
+        match payload.downcast::<DataflowError>() {
+            Ok(e) => *e,
+            Err(other) => DataflowError::TaskPanicked {
+                stage: "<unwound>".to_owned(),
+                task: 0,
+                attempts: 1,
+                payload: Self::panic_message(other.as_ref()),
+            },
+        }
+    }
+}
+
+impl fmt::Display for DataflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataflowError::TaskPanicked { stage, task, attempts, payload } => write!(
+                f,
+                "stage {stage:?}: task {task} panicked after {attempts} attempt(s): {payload}"
+            ),
+            DataflowError::StageTimeout { stage, deadline, completed, tasks } => write!(
+                f,
+                "stage {stage:?}: deadline of {deadline:?} exceeded with {completed}/{tasks} tasks complete"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DataflowError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DataflowError::TaskPanicked {
+            stage: "shuffle".into(),
+            task: 3,
+            attempts: 2,
+            payload: "boom".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("shuffle") && s.contains("task 3") && s.contains("boom"));
+        assert_eq!(e.stage(), "shuffle");
+
+        let t = DataflowError::StageTimeout {
+            stage: "map".into(),
+            deadline: Duration::from_millis(50),
+            completed: 1,
+            tasks: 4,
+        };
+        assert!(t.to_string().contains("1/4"));
+        assert_eq!(t.stage(), "map");
+    }
+
+    #[test]
+    fn from_panic_round_trips_structured_errors() {
+        let original = DataflowError::TaskPanicked {
+            stage: "s".into(),
+            task: 1,
+            attempts: 1,
+            payload: "p".into(),
+        };
+        let boxed: Box<dyn Any + Send> = Box::new(original.clone());
+        assert_eq!(DataflowError::from_panic(boxed), original);
+    }
+
+    #[test]
+    fn from_panic_wraps_foreign_payloads() {
+        let caught = std::panic::catch_unwind(|| panic!("plain panic")).unwrap_err();
+        let e = DataflowError::from_panic(caught);
+        match e {
+            DataflowError::TaskPanicked { stage, payload, .. } => {
+                assert_eq!(stage, "<unwound>");
+                assert!(payload.contains("plain panic"));
+            }
+            other => panic!("unexpected: {other}"),
+        }
+    }
+}

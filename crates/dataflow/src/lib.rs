@@ -18,6 +18,13 @@
 //! * **Broadcast variables** ([`Broadcast`]) for the R1-match exclusion set.
 //! * **Per-stage metrics** ([`StageLog`]) so the harness can report the
 //!   matching phase's share of total runtime (§6.2).
+//! * **Task-level fault tolerance**: every task is panic-isolated, and the
+//!   fallible operators (`try_run_stage`, `try_map_partitions`,
+//!   `try_shuffle`) apply a [`FaultPolicy`] — bounded retries, stage
+//!   deadlines, and fail-fast vs. skip-partition semantics — returning a
+//!   structured [`DataflowError`] instead of unwinding through the worker
+//!   pool. A deterministic fault-injection harness lives behind the
+//!   `fault-inject` feature (`faultinject` module).
 //!
 //! ```
 //! use minoaner_dataflow::{Executor, Pdc};
@@ -32,12 +39,16 @@
 //! ```
 
 pub mod broadcast;
+pub mod error;
+#[cfg(feature = "fault-inject")]
+pub mod faultinject;
 pub mod metrics;
 pub mod ops;
 pub mod pdc;
 pub mod pool;
 
 pub use broadcast::Broadcast;
+pub use error::DataflowError;
 pub use metrics::{StageLog, StageMetric};
 pub use pdc::{DetHashMap, Pdc};
-pub use pool::{Executor, ExecutorConfig};
+pub use pool::{Executor, ExecutorConfig, FailureAction, FaultPolicy, StageOutput};

@@ -4,6 +4,12 @@
 //! time and the share of time spent in the matching phase. Every dataflow
 //! stage records its wall-clock duration here so the evaluation harness can
 //! break a pipeline run down by stage without external profiling.
+//!
+//! Since the fault-tolerance layer landed, every stage also records what
+//! the fault machinery did: total task attempts, retries beyond the first
+//! attempt, and partitions skipped under
+//! [`crate::pool::FailureAction::SkipPartition`] — so silent data loss is
+//! impossible: any drop is visible in the log.
 
 use std::time::Duration;
 
@@ -16,6 +22,20 @@ pub struct StageMetric {
     pub wall: Duration,
     /// Number of parallel tasks the stage was split into.
     pub tasks: usize,
+    /// Total task attempts, including retries. Equals `tasks` for a
+    /// fault-free run of a completed stage.
+    pub attempts: usize,
+    /// Attempts beyond the first per task (`attempts - tasks that ran`).
+    pub retries: usize,
+    /// Tasks whose partition was dropped after exhausting retries.
+    pub skipped: usize,
+}
+
+impl StageMetric {
+    /// A fault-free stage record (no retries, nothing skipped).
+    pub fn clean(name: &str, wall: Duration, tasks: usize) -> Self {
+        Self { name: name.to_owned(), wall, tasks, attempts: tasks, retries: 0, skipped: 0 }
+    }
 }
 
 /// An ordered record of executed stages.
@@ -35,6 +55,11 @@ impl StageLog {
         &self.stages
     }
 
+    /// The most recent record for the stage named `name`, if any.
+    pub fn find(&self, name: &str) -> Option<&StageMetric> {
+        self.stages.iter().rev().find(|s| s.name == name)
+    }
+
     /// Total wall-clock time across stages.
     pub fn total(&self) -> Duration {
         self.stages.iter().map(|s| s.wall).sum()
@@ -43,6 +68,22 @@ impl StageLog {
     /// Sum of the durations of stages whose name matches `pred`.
     pub fn total_matching(&self, pred: impl Fn(&str) -> bool) -> Duration {
         self.stages.iter().filter(|s| pred(&s.name)).map(|s| s.wall).sum()
+    }
+
+    /// Total task attempts across stages.
+    pub fn total_attempts(&self) -> usize {
+        self.stages.iter().map(|s| s.attempts).sum()
+    }
+
+    /// Total retried attempts across stages.
+    pub fn total_retries(&self) -> usize {
+        self.stages.iter().map(|s| s.retries).sum()
+    }
+
+    /// Total skipped partitions across stages — the exact data-loss count
+    /// of a run under `FailureAction::SkipPartition`.
+    pub fn total_skipped(&self) -> usize {
+        self.stages.iter().map(|s| s.skipped).sum()
     }
 
     /// Clears the log.
@@ -58,12 +99,33 @@ mod tests {
     #[test]
     fn log_accumulates_and_totals() {
         let mut log = StageLog::default();
-        log.push(StageMetric { name: "a".into(), wall: Duration::from_millis(10), tasks: 4 });
-        log.push(StageMetric { name: "b".into(), wall: Duration::from_millis(5), tasks: 2 });
+        log.push(StageMetric::clean("a", Duration::from_millis(10), 4));
+        log.push(StageMetric::clean("b", Duration::from_millis(5), 2));
         assert_eq!(log.stages().len(), 2);
         assert_eq!(log.total(), Duration::from_millis(15));
         assert_eq!(log.total_matching(|n| n == "b"), Duration::from_millis(5));
+        assert_eq!(log.total_attempts(), 6);
+        assert_eq!(log.total_retries(), 0);
         log.clear();
         assert!(log.stages().is_empty());
+    }
+
+    #[test]
+    fn fault_counters_accumulate() {
+        let mut log = StageLog::default();
+        log.push(StageMetric {
+            name: "flaky".into(),
+            wall: Duration::from_millis(1),
+            tasks: 4,
+            attempts: 6,
+            retries: 2,
+            skipped: 1,
+        });
+        log.push(StageMetric::clean("clean", Duration::from_millis(1), 3));
+        assert_eq!(log.total_attempts(), 9);
+        assert_eq!(log.total_retries(), 2);
+        assert_eq!(log.total_skipped(), 1);
+        assert_eq!(log.find("flaky").unwrap().retries, 2);
+        assert!(log.find("absent").is_none());
     }
 }

@@ -55,6 +55,24 @@ where
     }
 }
 
+impl<T> Pdc<T>
+where
+    T: Send + Sync,
+{
+    /// Fault-tolerant count, run under the executor's
+    /// [`crate::pool::FaultPolicy`]. Under `SkipPartition` the count
+    /// excludes dropped partitions — the drop itself is visible in the
+    /// stage log's `skipped` counter.
+    pub fn try_count(
+        self,
+        executor: &Executor,
+        name: &str,
+    ) -> Result<usize, crate::error::DataflowError> {
+        let counted = self.try_map_partitions(executor, name, |_, part| vec![part.len()])?;
+        Ok(counted.collect().into_iter().sum())
+    }
+}
+
 impl<K, V> Pdc<(K, V)>
 where
     K: Send + Hash + Eq,
@@ -159,7 +177,7 @@ mod tests {
     use crate::pool::ExecutorConfig;
 
     fn exec(workers: usize, parts: usize) -> Executor {
-        Executor::with_config(ExecutorConfig { workers, partitions: parts })
+        Executor::with_config(ExecutorConfig { workers, partitions: parts, ..Default::default() })
     }
 
     #[test]
@@ -210,6 +228,13 @@ mod tests {
         let mut counts = Pdc::from_vec(&e, data).count_by_key(&e, "cbk").collect();
         counts.sort_unstable();
         assert_eq!(counts, vec![(0, 25), (1, 25), (2, 25), (3, 25)]);
+    }
+
+    #[test]
+    fn try_count_matches_count() {
+        let e = exec(3, 4);
+        let n = Pdc::from_vec(&e, (0..37).collect::<Vec<i32>>()).try_count(&e, "tc").unwrap();
+        assert_eq!(n, 37);
     }
 
     #[test]

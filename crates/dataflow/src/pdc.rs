@@ -8,6 +8,7 @@ use std::hash::{BuildHasherDefault, Hash, Hasher};
 
 use parking_lot::Mutex;
 
+use crate::error::DataflowError;
 use crate::pool::Executor;
 
 /// Deterministic hasher so that shuffle partitioning (and therefore the
@@ -36,22 +37,24 @@ impl<T: Send> Pdc<T> {
         Self::from_vec_with_parts(data, executor.partitions())
     }
 
-    /// Distributes `data` into exactly `parts` partitions.
-    pub fn from_vec_with_parts(mut data: Vec<T>, parts: usize) -> Self {
+    /// Distributes `data` into exactly `parts` partitions (`parts = 0` is
+    /// treated as 1). Global order is preserved across partition
+    /// boundaries: concatenating the partitions yields `data`. When
+    /// `parts > data.len()`, the first `data.len()` partitions hold one
+    /// element each and the rest are empty, so downstream stages still see
+    /// exactly `parts` tasks.
+    pub fn from_vec_with_parts(data: Vec<T>, parts: usize) -> Self {
         let parts = parts.max(1);
         let n = data.len();
         let chunk = n.div_ceil(parts).max(1);
         let mut out = Vec::with_capacity(parts);
-        // Drain from the front in order; later partitions may be empty.
-        let mut rest = data.split_off(0);
+        // Move elements straight out of the source vector; the earlier
+        // `split_off(0)` implementation copied the entire buffer first.
+        let mut it = data.into_iter();
         for _ in 0..parts {
-            if rest.len() <= chunk {
-                out.push(std::mem::take(&mut rest));
-            } else {
-                let tail = rest.split_off(chunk);
-                out.push(std::mem::replace(&mut rest, tail));
-            }
+            out.push(it.by_ref().take(chunk).collect());
         }
+        debug_assert!(it.next().is_none(), "chunk * parts >= n leaves nothing behind");
         Self { parts: out }
     }
 
@@ -136,6 +139,32 @@ impl<T: Send> Pdc<T> {
         F: Fn(&T) -> bool + Sync,
     {
         self.map_partitions(executor, name, |_, part| part.into_iter().filter(&pred).collect())
+    }
+}
+
+impl<T: Send + Sync> Pdc<T> {
+    /// Fault-tolerant per-partition transformation, run under the
+    /// executor's [`crate::pool::FaultPolicy`].
+    ///
+    /// Unlike [`Self::map_partitions`], the closure *borrows* its
+    /// partition, so a retried attempt re-reads the intact input — this is
+    /// what makes retries sound. Under
+    /// [`crate::pool::FailureAction::SkipPartition`] a partition whose task
+    /// exhausts its retries becomes an empty output partition; the loss is
+    /// recorded in the executor's [`crate::StageLog`] (`skipped` counter).
+    pub fn try_map_partitions<U, F>(
+        self,
+        executor: &Executor,
+        name: &str,
+        f: F,
+    ) -> Result<Pdc<U>, DataflowError>
+    where
+        U: Send,
+        F: Fn(usize, &[T]) -> Vec<U> + Sync,
+    {
+        let parts = self.parts;
+        let out = executor.try_run_stage(name, parts.len(), |i| f(i, &parts[i]))?;
+        Ok(Pdc { parts: out.results.into_iter().map(Option::unwrap_or_default).collect() })
     }
 }
 
@@ -233,6 +262,66 @@ where
     }
 }
 
+impl<K, V> Pdc<(K, V)>
+where
+    K: Hash + Eq + Send + Sync + Clone,
+    V: Send + Sync + Clone,
+{
+    /// Fault-tolerant shuffle, run under the executor's
+    /// [`crate::pool::FaultPolicy`]. Produces the same deterministic
+    /// placement as [`Self::shuffle_by_key`]; the `Clone` bounds exist
+    /// because retried map-side tasks must re-read their input partition
+    /// instead of consuming it.
+    ///
+    /// Under `SkipPartition`, a dropped *write* task loses that input
+    /// partition's records and a dropped *read* task loses one hash
+    /// bucket's records; both losses appear in the stage log.
+    pub fn try_shuffle(self, executor: &Executor, name: &str) -> Result<Pdc<(K, V)>, DataflowError> {
+        let nparts = self.parts.len().max(1);
+        // Map side: each partition splits its records into per-target buckets.
+        let bucketed = self.try_map_partitions(executor, &format!("{name}/shuffle-write"), |_, part| {
+            let mut buckets: Vec<Vec<(K, V)>> = (0..nparts).map(|_| Vec::new()).collect();
+            for (k, v) in part {
+                let t = partition_of(k, nparts);
+                buckets[t].push((k.clone(), v.clone()));
+            }
+            vec![buckets]
+        })?;
+        // Exchange: transpose buckets (cheap pointer moves, sequential).
+        let mut incoming: Vec<Vec<Vec<(K, V)>>> = (0..nparts).map(|_| Vec::new()).collect();
+        for mut produced in bucketed.into_parts() {
+            if let Some(buckets) = produced.pop() {
+                for (t, bucket) in buckets.into_iter().enumerate() {
+                    incoming[t].push(bucket);
+                }
+            }
+        }
+        // Reduce side: concatenate.
+        let stitched = Pdc::from_parts(incoming);
+        stitched.try_map_partitions(executor, &format!("{name}/shuffle-read"), |_, groups| {
+            let mut out = Vec::new();
+            for g in groups {
+                out.extend(g.iter().cloned());
+            }
+            out
+        })
+    }
+
+    /// Fault-tolerant `groupByKey` built on [`Self::try_shuffle`]; yields
+    /// the same deterministic grouping as [`Self::group_by_key`] when no
+    /// partition is skipped.
+    pub fn try_group_by_key(
+        self,
+        executor: &Executor,
+        name: &str,
+    ) -> Result<Pdc<(K, Vec<V>)>, DataflowError> {
+        let shuffled = self.try_shuffle(executor, name)?;
+        shuffled.try_map_partitions(executor, &format!("{name}/group"), |_, part| {
+            group_in_order(part.to_vec())
+        })
+    }
+}
+
 fn resize_parts<T: Send>(pdc: Pdc<T>, nparts: usize) -> Pdc<T> {
     if pdc.num_partitions() == nparts {
         return pdc;
@@ -299,7 +388,11 @@ mod tests {
     use super::*;
 
     fn exec(workers: usize, parts: usize) -> Executor {
-        Executor::with_config(crate::pool::ExecutorConfig { workers, partitions: parts })
+        Executor::with_config(crate::pool::ExecutorConfig {
+            workers,
+            partitions: parts,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -409,5 +502,121 @@ mod tests {
         let part = vec![("x", 1), ("y", 2), ("x", 3)];
         let out = group_in_order(part);
         assert_eq!(out, vec![("x", vec![1, 3]), ("y", vec![2])]);
+    }
+
+    #[test]
+    fn from_vec_with_zero_parts_becomes_one() {
+        let pdc = Pdc::from_vec_with_parts(vec![1, 2, 3], 0);
+        assert_eq!(pdc.num_partitions(), 1);
+        assert_eq!(pdc.collect(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn from_vec_with_more_parts_than_items() {
+        let pdc = Pdc::from_vec_with_parts(vec![10, 20, 30], 7);
+        assert_eq!(pdc.num_partitions(), 7);
+        // One element per leading partition, empties after.
+        assert_eq!(pdc.partitions()[0], vec![10]);
+        assert_eq!(pdc.partitions()[1], vec![20]);
+        assert_eq!(pdc.partitions()[2], vec![30]);
+        for p in &pdc.partitions()[3..] {
+            assert!(p.is_empty());
+        }
+        assert_eq!(pdc.collect(), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn from_vec_with_exact_chunk_boundaries() {
+        let pdc = Pdc::from_vec_with_parts((0..12).collect::<Vec<u32>>(), 4);
+        assert_eq!(pdc.num_partitions(), 4);
+        for (i, p) in pdc.partitions().iter().enumerate() {
+            assert_eq!(p.len(), 3, "partition {i} should hold exactly 3 elements");
+        }
+        assert_eq!(pdc.collect(), (0..12).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn from_vec_preserves_order_for_awkward_sizes() {
+        for (n, parts) in [(0usize, 3usize), (1, 3), (5, 3), (6, 4), (100, 7), (3, 3)] {
+            let data: Vec<usize> = (0..n).collect();
+            let pdc = Pdc::from_vec_with_parts(data.clone(), parts);
+            assert_eq!(pdc.num_partitions(), parts, "n={n} parts={parts}");
+            assert_eq!(pdc.collect(), data, "n={n} parts={parts}");
+        }
+    }
+
+    #[test]
+    fn try_map_partitions_matches_infallible_path() {
+        let e = exec(3, 5);
+        let data: Vec<u32> = (0..40).collect();
+        let fallible = Pdc::from_vec(&e, data.clone())
+            .try_map_partitions(&e, "x2", |_, part| part.iter().map(|x| x * 2).collect())
+            .unwrap()
+            .collect();
+        let infallible = Pdc::from_vec(&e, data)
+            .map_partitions(&e, "x2", |_, part| part.into_iter().map(|x| x * 2).collect())
+            .collect();
+        assert_eq!(fallible, infallible);
+    }
+
+    #[test]
+    fn try_map_partitions_surfaces_task_panics() {
+        let e = exec(2, 4);
+        let err = Pdc::from_vec(&e, (0..40u32).collect::<Vec<_>>())
+            .try_map_partitions::<u32, _>(&e, "poison", |i, part| {
+                if i == 2 {
+                    panic!("partition 2 is bad");
+                }
+                part.to_vec()
+            })
+            .unwrap_err();
+        match err {
+            DataflowError::TaskPanicked { task, .. } => assert_eq!(task, 2),
+            other => panic!("unexpected: {other}"),
+        }
+    }
+
+    #[test]
+    fn try_shuffle_matches_shuffle_by_key() {
+        let e = exec(4, 6);
+        let data: Vec<(u32, u32)> = (0..200).map(|i| (i % 13, i)).collect();
+        let fallible =
+            Pdc::from_vec(&e, data.clone()).try_shuffle(&e, "s").unwrap().collect();
+        let infallible = Pdc::from_vec(&e, data).shuffle_by_key(&e, "s").collect();
+        assert_eq!(fallible, infallible);
+    }
+
+    #[test]
+    fn try_group_by_key_matches_group_by_key() {
+        let e = exec(4, 6);
+        let data: Vec<(u32, u32)> = (0..120).map(|i| (i % 10, i)).collect();
+        let fallible =
+            Pdc::from_vec(&e, data.clone()).try_group_by_key(&e, "g").unwrap().collect();
+        let infallible = Pdc::from_vec(&e, data).group_by_key(&e, "g").collect();
+        assert_eq!(fallible, infallible);
+    }
+
+    #[test]
+    fn skip_partition_drops_exactly_the_poisoned_partition() {
+        use crate::pool::{ExecutorConfig, FaultPolicy};
+        let e = Executor::with_config(ExecutorConfig {
+            workers: 2,
+            partitions: 4,
+            fault_policy: FaultPolicy::skip_after(0),
+        });
+        let out = Pdc::from_vec(&e, (0..40u32).collect::<Vec<_>>())
+            .try_map_partitions(&e, "lossy", |i, part| {
+                if i == 1 {
+                    panic!("poisoned");
+                }
+                part.to_vec()
+            })
+            .unwrap();
+        assert_eq!(out.num_partitions(), 4);
+        assert!(out.partitions()[1].is_empty(), "poisoned partition becomes empty");
+        // Partitions are 10 elements each; exactly one was dropped.
+        assert_eq!(out.len(), 30);
+        let log = e.stage_log();
+        assert_eq!(log.find("lossy").unwrap().skipped, 1);
     }
 }

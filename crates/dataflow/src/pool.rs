@@ -6,13 +6,99 @@
 //! on however many workers are available, and the stage completes only when
 //! every task has finished (the dashed synchronization edges of Figure 4).
 //! The worker count is the knob behind the Figure 6 scalability experiment.
+//!
+//! Fault tolerance: every task runs under `catch_unwind`, so a panicking
+//! task no longer unwinds through the worker scope and kills the run.
+//! A [`FaultPolicy`] decides what happens next — bounded retries with an
+//! optional backoff, a cooperative per-stage deadline, and a choice between
+//! failing the stage with a precise [`DataflowError`] or skipping the
+//! poisoned partition with the loss recorded in the [`StageLog`].
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
+use crate::error::DataflowError;
 use crate::metrics::{StageLog, StageMetric};
+
+/// What to do with a task that keeps panicking after its retry budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailureAction {
+    /// Fail the whole stage with [`DataflowError::TaskPanicked`] (default).
+    #[default]
+    Fail,
+    /// Drop the task's partition, complete the stage, and record the loss
+    /// in the stage metrics. The matching analogue of Spark jobs that
+    /// blacklist bad input splits rather than failing the job.
+    SkipPartition,
+}
+
+/// Fault-handling policy for a stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPolicy {
+    /// Additional attempts allowed per task after the first one panics.
+    pub max_retries: u32,
+    /// Sleep between attempts of the same task.
+    pub retry_backoff: Duration,
+    /// Wall-clock budget for the whole stage, checked cooperatively at
+    /// task boundaries. `None` disables the deadline.
+    pub stage_deadline: Option<Duration>,
+    /// What to do once a task exhausts its retries.
+    pub on_task_failure: FailureAction,
+}
+
+impl FaultPolicy {
+    /// No retries, no deadline, fail fast: the policy of the infallible
+    /// operators and the default for new executors.
+    pub const fn none() -> Self {
+        Self {
+            max_retries: 0,
+            retry_backoff: Duration::ZERO,
+            stage_deadline: None,
+            on_task_failure: FailureAction::Fail,
+        }
+    }
+
+    /// A fail-fast policy allowing `max_retries` retries per task.
+    pub const fn retries(max_retries: u32) -> Self {
+        Self {
+            max_retries,
+            retry_backoff: Duration::ZERO,
+            stage_deadline: None,
+            on_task_failure: FailureAction::Fail,
+        }
+    }
+
+    /// A policy that skips poisoned partitions after `max_retries` retries.
+    pub const fn skip_after(max_retries: u32) -> Self {
+        Self {
+            max_retries,
+            retry_backoff: Duration::ZERO,
+            stage_deadline: None,
+            on_task_failure: FailureAction::SkipPartition,
+        }
+    }
+
+    /// Returns `self` with a stage deadline set.
+    pub const fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.stage_deadline = Some(deadline);
+        self
+    }
+
+    /// Returns `self` with a retry backoff set.
+    pub const fn with_backoff(mut self, backoff: Duration) -> Self {
+        self.retry_backoff = backoff;
+        self
+    }
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        Self::none()
+    }
+}
 
 /// Configuration of an [`Executor`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,6 +110,10 @@ pub struct ExecutorConfig {
     /// constant as cores vary (§6.2); [`ExecutorConfig::for_workers`]
     /// follows that convention.
     pub partitions: usize,
+    /// Fault policy applied by the fallible (`try_*`) stage runners.
+    /// Infallible operators always run under [`FaultPolicy::none`] because
+    /// their consuming closures cannot be safely re-attempted.
+    pub fault_policy: FaultPolicy,
 }
 
 impl ExecutorConfig {
@@ -31,15 +121,56 @@ impl ExecutorConfig {
     /// constant while `workers` varies.
     pub fn for_workers(workers: usize) -> Self {
         let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
-        Self { workers: workers.max(1), partitions: 3 * cores }
+        Self { workers: workers.max(1), partitions: 3 * cores, fault_policy: FaultPolicy::none() }
     }
 }
 
 impl Default for ExecutorConfig {
     fn default() -> Self {
         let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
-        Self { workers: cores, partitions: 3 * cores }
+        Self { workers: cores, partitions: 3 * cores, fault_policy: FaultPolicy::none() }
     }
+}
+
+/// The result of a fault-tolerant stage that completed (possibly with
+/// skipped partitions, if the policy allows them).
+#[derive(Debug)]
+pub struct StageOutput<T> {
+    /// Per-task results in task order. `None` marks a task that exhausted
+    /// its retries under [`FailureAction::SkipPartition`].
+    pub results: Vec<Option<T>>,
+    /// Indices of the skipped tasks, ascending.
+    pub skipped: Vec<usize>,
+    /// Total task attempts, including retries.
+    pub attempts: usize,
+    /// Attempts beyond the first per task (`attempts - tasks run`).
+    pub retries: usize,
+}
+
+impl<T> StageOutput<T> {
+    /// Unwraps a stage that skipped nothing into plain per-task results.
+    ///
+    /// # Panics
+    /// Panics if any task was skipped.
+    pub fn expect_complete(self) -> Vec<T> {
+        assert!(self.skipped.is_empty(), "stage skipped {} task(s)", self.skipped.len());
+        self.results.into_iter().map(|r| r.expect("completed task")).collect()
+    }
+}
+
+/// Attempt accounting for one stage run, recorded in the [`StageLog`]
+/// whether the stage succeeded or failed.
+#[derive(Debug, Default, Clone, Copy)]
+struct TaskCounters {
+    attempts: usize,
+    retries: usize,
+    skipped: usize,
+}
+
+/// A task's terminal state, written into its result slot.
+enum TaskOutcome<T> {
+    Ok(T),
+    Failed { payload: String, attempts: u32 },
 }
 
 /// Runs dataflow stages on a fixed number of workers, recording per-stage
@@ -79,63 +210,214 @@ impl Executor {
         self.config.partitions
     }
 
+    /// The fault policy applied by the `try_*` stage runners.
+    pub fn fault_policy(&self) -> FaultPolicy {
+        self.config.fault_policy
+    }
+
     /// Runs `n` independent tasks, returning their results in task order,
     /// and records the stage under `name`. Tasks are pulled dynamically by
     /// up to [`Self::workers`] worker threads (work-stealing-lite), so
     /// skewed task sizes still balance.
+    ///
+    /// Runs under [`FaultPolicy::none`]: a panicking task fails the stage
+    /// immediately. The failure is re-raised in the calling thread as a
+    /// panic whose payload is the structured [`DataflowError`], so a
+    /// pipeline boundary can recover it with [`DataflowError::from_panic`].
+    /// Use [`Self::try_run_stage`] for `Result`-based handling, retries,
+    /// deadlines and partition skipping.
     pub fn run_stage<T, F>(&self, name: &str, n: usize, task: F) -> Vec<T>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
-        let start = Instant::now();
-        let results = self.run_tasks(n, &task);
-        self.log.lock().push(StageMetric { name: name.to_owned(), wall: start.elapsed(), tasks: n });
-        results
+        match self.try_run_stage_with_policy(name, n, task, FaultPolicy::none()) {
+            Ok(out) => {
+                out.results.into_iter().map(|r| r.expect("no skips under FaultPolicy::none")).collect()
+            }
+            Err(e) => std::panic::panic_any(e),
+        }
     }
 
-    fn run_tasks<T, F>(&self, n: usize, task: &F) -> Vec<T>
+    /// Fault-tolerant stage runner using the executor's configured
+    /// [`FaultPolicy`]. Tasks may be attempted more than once, so `task`
+    /// must be safe to re-run for the same index (idempotent and not
+    /// consuming its input).
+    pub fn try_run_stage<T, F>(
+        &self,
+        name: &str,
+        n: usize,
+        task: F,
+    ) -> Result<StageOutput<T>, DataflowError>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        self.try_run_stage_with_policy(name, n, task, self.config.fault_policy)
+    }
+
+    /// Like [`Self::try_run_stage`] with an explicit per-stage policy.
+    pub fn try_run_stage_with_policy<T, F>(
+        &self,
+        name: &str,
+        n: usize,
+        task: F,
+        policy: FaultPolicy,
+    ) -> Result<StageOutput<T>, DataflowError>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let start = Instant::now();
+        let (result, counters) = self.try_run_tasks(name, n, &task, &policy);
+        self.log.lock().push(StageMetric {
+            name: name.to_owned(),
+            wall: start.elapsed(),
+            tasks: n,
+            attempts: counters.attempts,
+            retries: counters.retries,
+            skipped: counters.skipped,
+        });
+        result.map(|results| {
+            let skipped: Vec<usize> =
+                results.iter().enumerate().filter_map(|(i, r)| r.is_none().then_some(i)).collect();
+            StageOutput { results, skipped, attempts: counters.attempts, retries: counters.retries }
+        })
+    }
+
+    /// The stage engine: dynamic task pulling with per-task panic
+    /// isolation, bounded retries, a cooperative deadline, and either
+    /// fail-fast or skip semantics. Returns per-task results plus attempt
+    /// accounting (recorded in the log even when the stage fails).
+    fn try_run_tasks<T, F>(
+        &self,
+        stage: &str,
+        n: usize,
+        task: &F,
+        policy: &FaultPolicy,
+    ) -> (Result<Vec<Option<T>>, DataflowError>, TaskCounters)
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let mut counters = TaskCounters::default();
         if n == 0 {
-            return Vec::new();
+            return (Ok(Vec::new()), counters);
         }
         let workers = self.config.workers.min(n);
+        let start = Instant::now();
+
+        // One attempt loop for one task: catch the unwind, retry within
+        // budget (sleeping the backoff between attempts), and report the
+        // terminal outcome plus the number of attempts used.
+        let run_one = |i: usize| -> (TaskOutcome<T>, u32) {
+            let mut attempt: u32 = 0;
+            loop {
+                attempt += 1;
+                match std::panic::catch_unwind(AssertUnwindSafe(|| task(i))) {
+                    Ok(value) => return (TaskOutcome::Ok(value), attempt),
+                    Err(payload) => {
+                        if attempt > policy.max_retries {
+                            let payload = DataflowError::panic_message(payload.as_ref());
+                            return (TaskOutcome::Failed { payload, attempts: attempt }, attempt);
+                        }
+                        if !policy.retry_backoff.is_zero() {
+                            std::thread::sleep(policy.retry_backoff);
+                        }
+                    }
+                }
+            }
+        };
+
+        let slots: Vec<Mutex<Option<TaskOutcome<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let fatal = AtomicBool::new(false);
+        let timed_out = AtomicBool::new(false);
+        let attempts_total = AtomicUsize::new(0);
+
+        // Invariant relied on below: a worker never exits between claiming
+        // an index and writing its slot, so when neither abort flag is set,
+        // every index 0..n has a populated slot after the join.
+        let worker_loop = || loop {
+            if fatal.load(Ordering::SeqCst) || timed_out.load(Ordering::SeqCst) {
+                break;
+            }
+            if let Some(deadline) = policy.stage_deadline {
+                if start.elapsed() >= deadline {
+                    timed_out.store(true, Ordering::SeqCst);
+                    break;
+                }
+            }
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            let (outcome, used) = run_one(i);
+            attempts_total.fetch_add(used as usize, Ordering::Relaxed);
+            let failed = matches!(outcome, TaskOutcome::Failed { .. });
+            *slots[i].lock() = Some(outcome);
+            if failed && policy.on_task_failure == FailureAction::Fail {
+                fatal.store(true, Ordering::SeqCst);
+                break;
+            }
+        };
+
         if workers <= 1 {
-            return (0..n).map(task).collect();
-        }
-
-        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-        {
-            // Hand each in-flight task a distinct &mut slot through a raw
-            // pointer: the dynamic counter guarantees every index is
-            // claimed exactly once, so the writes never alias.
-            struct SlotPtr<T>(*mut Option<T>);
-            unsafe impl<T: Send> Send for SlotPtr<T> {}
-            unsafe impl<T: Send> Sync for SlotPtr<T> {}
-
-            let next = AtomicUsize::new(0);
-            let ptr = SlotPtr(slots.as_mut_ptr());
-            let ptr = &ptr;
+            worker_loop();
+        } else {
             crossbeam::scope(|scope| {
                 for _ in 0..workers {
-                    scope.spawn(|_| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        let out = task(i);
-                        // SAFETY: i is unique to this iteration (fetch_add)
-                        // and in bounds; slots outlives the scope.
-                        unsafe { *ptr.0.add(i) = Some(out) };
-                    });
+                    scope.spawn(|_| worker_loop());
                 }
             })
-            .expect("dataflow worker panicked");
+            .expect("dataflow workers never unwind: tasks are panic-isolated");
         }
-        slots.into_iter().map(|s| s.expect("task completed")).collect()
+
+        counters.attempts = attempts_total.load(Ordering::Relaxed);
+        let ran = slots.iter().filter(|s| s.lock().is_some()).count();
+        counters.retries = counters.attempts.saturating_sub(ran);
+
+        if fatal.load(Ordering::SeqCst) {
+            // Report the lowest-indexed failed task for determinism.
+            for (i, slot) in slots.iter().enumerate() {
+                let guard = slot.lock();
+                if let Some(TaskOutcome::Failed { payload, attempts }) = guard.as_ref() {
+                    let err = DataflowError::TaskPanicked {
+                        stage: stage.to_owned(),
+                        task: i,
+                        attempts: *attempts,
+                        payload: payload.clone(),
+                    };
+                    return (Err(err), counters);
+                }
+            }
+            unreachable!("fatal flag set without a failed slot");
+        }
+
+        if timed_out.load(Ordering::SeqCst) {
+            let completed =
+                slots.iter().filter(|s| matches!(s.lock().as_ref(), Some(TaskOutcome::Ok(_)))).count();
+            let err = DataflowError::StageTimeout {
+                stage: stage.to_owned(),
+                deadline: policy.stage_deadline.unwrap_or_default(),
+                completed,
+                tasks: n,
+            };
+            return (Err(err), counters);
+        }
+
+        let mut results: Vec<Option<T>> = Vec::with_capacity(n);
+        for slot in slots {
+            match slot.into_inner() {
+                Some(TaskOutcome::Ok(value)) => results.push(Some(value)),
+                Some(TaskOutcome::Failed { .. }) => {
+                    counters.skipped += 1;
+                    results.push(None);
+                }
+                None => unreachable!("no abort flag set, so every task must have run"),
+            }
+        }
+        (Ok(results), counters)
     }
 
     /// Times an arbitrary closure as a named stage (for sequential steps
@@ -143,7 +425,14 @@ impl Executor {
     pub fn time_stage<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
         let start = Instant::now();
         let out = f();
-        self.log.lock().push(StageMetric { name: name.to_owned(), wall: start.elapsed(), tasks: 1 });
+        self.log.lock().push(StageMetric {
+            name: name.to_owned(),
+            wall: start.elapsed(),
+            tasks: 1,
+            attempts: 1,
+            retries: 0,
+            skipped: 0,
+        });
         out
     }
 
@@ -207,6 +496,8 @@ mod tests {
         let names: Vec<_> = log.stages().iter().map(|s| s.name.as_str()).collect();
         assert_eq!(names, vec!["first", "second"]);
         assert_eq!(log.stages()[0].tasks, 4);
+        assert_eq!(log.stages()[0].attempts, 4);
+        assert_eq!(log.stages()[0].retries, 0);
         exec.reset_metrics();
         assert!(exec.stage_log().stages().is_empty());
     }
@@ -217,12 +508,13 @@ mod tests {
         assert_eq!(cfg.workers, 2);
         let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
         assert_eq!(cfg.partitions, 3 * cores);
+        assert_eq!(cfg.fault_policy, FaultPolicy::none());
     }
 
     #[test]
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
-        Executor::with_config(ExecutorConfig { workers: 0, partitions: 1 });
+        Executor::with_config(ExecutorConfig { workers: 0, partitions: 1, ..Default::default() });
     }
 
     #[test]
@@ -239,5 +531,144 @@ mod tests {
         });
         assert_eq!(out[0], 4_999_950_000);
         assert_eq!(out[5], 5);
+    }
+
+    #[test]
+    fn try_run_stage_isolates_a_panicking_task() {
+        let exec = Executor::new(4);
+        let err = exec
+            .try_run_stage("poison", 8, |i| {
+                if i == 3 {
+                    panic!("task 3 is poisoned");
+                }
+                i
+            })
+            .unwrap_err();
+        match err {
+            DataflowError::TaskPanicked { stage, task, attempts, payload } => {
+                assert_eq!(stage, "poison");
+                assert_eq!(task, 3);
+                assert_eq!(attempts, 1);
+                assert!(payload.contains("poisoned"));
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn retry_recovers_a_flaky_task() {
+        let exec = Executor::with_config(ExecutorConfig {
+            workers: 2,
+            partitions: 4,
+            fault_policy: FaultPolicy::retries(2),
+        });
+        let failures = AtomicU64::new(0);
+        let out = exec
+            .try_run_stage("flaky", 4, |i| {
+                if i == 1 && failures.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("first attempt fails");
+                }
+                i * 10
+            })
+            .unwrap();
+        let values = out.expect_complete();
+        assert_eq!(values, vec![0, 10, 20, 30]);
+        let log = exec.stage_log();
+        assert_eq!(log.stages()[0].attempts, 5, "4 tasks + 1 retry");
+        assert_eq!(log.stages()[0].retries, 1);
+        assert_eq!(log.stages()[0].skipped, 0);
+    }
+
+    #[test]
+    fn skip_partition_records_the_loss() {
+        let exec = Executor::with_config(ExecutorConfig {
+            workers: 3,
+            partitions: 6,
+            fault_policy: FaultPolicy::skip_after(0),
+        });
+        let out = exec
+            .try_run_stage("lossy", 6, |i| {
+                if i % 3 == 0 {
+                    panic!("bad partition {i}");
+                }
+                i
+            })
+            .unwrap();
+        assert_eq!(out.skipped, vec![0, 3]);
+        assert_eq!(out.results[0], None);
+        assert_eq!(out.results[1], Some(1));
+        let log = exec.stage_log();
+        assert_eq!(log.stages()[0].skipped, 2);
+        assert_eq!(log.total_skipped(), 2);
+    }
+
+    #[test]
+    fn deadline_fires_instead_of_hanging() {
+        let exec = Executor::with_config(ExecutorConfig {
+            workers: 2,
+            partitions: 4,
+            fault_policy: FaultPolicy::none().with_deadline(Duration::from_millis(30)),
+        });
+        let err = exec
+            .try_run_stage("stall", 4, |i| {
+                if i == 0 {
+                    std::thread::sleep(Duration::from_millis(200));
+                }
+                i
+            })
+            .unwrap_err();
+        match err {
+            DataflowError::StageTimeout { stage, tasks, .. } => {
+                assert_eq!(stage, "stall");
+                assert_eq!(tasks, 4);
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn run_stage_panics_with_structured_payload() {
+        let exec = Executor::new(2);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            exec.run_stage("boom", 4, |i| {
+                if i == 2 {
+                    panic!("kaboom");
+                }
+                i
+            })
+        }))
+        .unwrap_err();
+        let err = DataflowError::from_panic(caught);
+        match err {
+            DataflowError::TaskPanicked { stage, task, .. } => {
+                assert_eq!(stage, "boom");
+                assert_eq!(task, 2);
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn single_worker_honors_fault_policy() {
+        let exec = Executor::with_config(ExecutorConfig {
+            workers: 1,
+            partitions: 3,
+            fault_policy: FaultPolicy::skip_after(1),
+        });
+        let tries = AtomicU64::new(0);
+        let out = exec
+            .try_run_stage("seq-faults", 3, |i| {
+                if i == 1 {
+                    tries.fetch_add(1, Ordering::SeqCst);
+                    panic!("always fails");
+                }
+                i
+            })
+            .unwrap();
+        assert_eq!(out.skipped, vec![1]);
+        assert_eq!(tries.load(Ordering::SeqCst), 2, "1 attempt + 1 retry");
+        let log = exec.stage_log();
+        assert_eq!(log.stages()[0].attempts, 4, "2 clean tasks + 2 attempts on task 1");
+        assert_eq!(log.stages()[0].retries, 1);
     }
 }

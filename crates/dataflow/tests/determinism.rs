@@ -1,0 +1,133 @@
+//! Property tests: the dataflow's shuffle and group-by are deterministic —
+//! identical output regardless of worker count (1, 2, 8), across the
+//! fallible and infallible operator variants, and (with the `fault-inject`
+//! feature) in the presence of injected-then-retried faults.
+
+use minoaner_dataflow::{Executor, ExecutorConfig, FaultPolicy, Pdc};
+use proptest::prelude::*;
+
+fn exec_with(workers: usize, parts: usize, fault_policy: FaultPolicy) -> Executor {
+    Executor::with_config(ExecutorConfig { workers, partitions: parts, fault_policy })
+}
+
+fn grouped(
+    data: &[(u8, u16)],
+    workers: usize,
+    parts: usize,
+) -> Vec<(u8, Vec<u16>)> {
+    let e = exec_with(workers, parts, FaultPolicy::none());
+    Pdc::from_vec(&e, data.to_vec()).group_by_key(&e, "g").collect()
+}
+
+fn try_grouped(
+    data: &[(u8, u16)],
+    workers: usize,
+    parts: usize,
+) -> Vec<(u8, Vec<u16>)> {
+    let e = exec_with(workers, parts, FaultPolicy::retries(1));
+    Pdc::from_vec(&e, data.to_vec()).try_group_by_key(&e, "g").unwrap().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn group_by_key_ignores_worker_count(
+        data in prop::collection::vec((any::<u8>(), any::<u16>()), 0..300),
+        parts in 1usize..12,
+    ) {
+        let w1 = grouped(&data, 1, parts);
+        let w2 = grouped(&data, 2, parts);
+        let w8 = grouped(&data, 8, parts);
+        prop_assert_eq!(&w1, &w2);
+        prop_assert_eq!(&w1, &w8);
+    }
+
+    #[test]
+    fn try_group_by_key_agrees_with_infallible_grouping(
+        data in prop::collection::vec((any::<u8>(), any::<u16>()), 0..300),
+        parts in 1usize..12,
+    ) {
+        for workers in [1usize, 2, 8] {
+            let infallible = grouped(&data, workers, parts);
+            let fallible = try_grouped(&data, workers, parts);
+            prop_assert_eq!(&infallible, &fallible, "workers = {}", workers);
+        }
+    }
+
+    #[test]
+    fn try_shuffle_is_deterministic_across_worker_counts(
+        data in prop::collection::vec((any::<u8>(), any::<u16>()), 0..300),
+        parts in 1usize..12,
+    ) {
+        let run = |workers: usize| {
+            let e = exec_with(workers, parts, FaultPolicy::none());
+            Pdc::from_vec(&e, data.clone()).try_shuffle(&e, "s").unwrap().collect()
+        };
+        let w1: Vec<(u8, u16)> = run(1);
+        let w2 = run(2);
+        let w8 = run(8);
+        prop_assert_eq!(&w1, &w2);
+        prop_assert_eq!(&w1, &w8);
+    }
+
+    #[test]
+    fn from_vec_round_trips_for_any_partitioning(
+        data in prop::collection::vec(any::<u32>(), 0..400),
+        parts in 0usize..20,
+    ) {
+        let pdc = Pdc::from_vec_with_parts(data.clone(), parts);
+        prop_assert_eq!(pdc.num_partitions(), parts.max(1));
+        prop_assert_eq!(pdc.collect(), data);
+    }
+}
+
+#[cfg(feature = "fault-inject")]
+mod injected {
+    use super::*;
+    use minoaner_dataflow::faultinject::FaultPlan;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Determinism under faults: for any data, any seed, and any
+        /// worker count, a run whose map tasks panic per a seeded schedule
+        /// and are retried produces exactly the fault-free output, and the
+        /// engine's retry count equals the number of injected faults.
+        #[test]
+        fn injected_then_retried_runs_are_identical(
+            data in prop::collection::vec((any::<u8>(), any::<u16>()), 0..200),
+            seed in any::<u64>(),
+            workers in prop::sample::select(vec![1usize, 2, 8]),
+        ) {
+            let parts = 6usize;
+            let clean_exec = exec_with(workers, parts, FaultPolicy::none());
+            let clean = Pdc::from_vec(&clean_exec, data.clone())
+                .try_map_partitions(&clean_exec, "m", |_, part| {
+                    part.iter().map(|&(k, v)| (k, v ^ 0x5A5A)).collect()
+                })
+                .unwrap()
+                .try_group_by_key(&clean_exec, "g")
+                .unwrap()
+                .collect();
+
+            let plan = FaultPlan::new();
+            let scheduled = plan.seed_first_attempt_panics("m", parts, seed, 400);
+            let faulty_exec = exec_with(workers, parts, FaultPolicy::retries(1));
+            let faulty = Pdc::from_vec(&faulty_exec, data)
+                .try_map_partitions(&faulty_exec, "m", |i, part| {
+                    plan.before_task("m", i);
+                    part.iter().map(|&(k, v)| (k, v ^ 0x5A5A)).collect()
+                })
+                .unwrap()
+                .try_group_by_key(&faulty_exec, "g")
+                .unwrap()
+                .collect();
+
+            prop_assert_eq!(clean, faulty);
+            prop_assert_eq!(plan.fired_panics(), scheduled);
+            let log = faulty_exec.stage_log();
+            prop_assert_eq!(log.find("m").unwrap().retries, scheduled);
+        }
+    }
+}

@@ -8,7 +8,7 @@ use proptest::prelude::*;
 use std::collections::BTreeMap;
 
 fn exec(workers: usize, parts: usize) -> Executor {
-    Executor::with_config(ExecutorConfig { workers, partitions: parts })
+    Executor::with_config(ExecutorConfig { workers, partitions: parts, ..Default::default() })
 }
 
 proptest! {

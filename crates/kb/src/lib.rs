@@ -35,4 +35,5 @@ pub mod turtle;
 
 pub use interner::{Interner, Symbol};
 pub use model::{AttrId, Entity, EntityId, LiteralId, Side, TokenId, Value};
+pub use parser::{ParseError, ParseMode, ParseReport, SyntaxError};
 pub use store::{Kb, KbPair, KbPairBuilder, Term};

@@ -53,6 +53,6 @@ pub use minoaner_eval as eval;
 pub use minoaner_kb as kb;
 
 pub use minoaner_core::{MatchOutcome, Minoaner, MinoanerConfig, Resolution, Rule, RuleSet};
-pub use minoaner_dataflow::{Executor, ExecutorConfig};
+pub use minoaner_dataflow::{DataflowError, Executor, ExecutorConfig, FailureAction, FaultPolicy};
 pub use minoaner_eval::Quality;
 pub use minoaner_kb::{EntityId, KbPair, KbPairBuilder, Side, Term};

@@ -1,0 +1,121 @@
+//! End-to-end pipeline bench over a datagen world at worker counts
+//! 1/2/4/8, in two parts:
+//!
+//! 1. An instrumented sweep: each worker count runs the full pipeline
+//!    through [`Minoaner::try_resolve_traced`] `MINOANER_REPS` times and
+//!    the resulting [`RunTrace`]s are condensed into `BENCH_pipeline.json`
+//!    (schema in `minoaner_bench`). The binary re-reads and validates what
+//!    it wrote and exits nonzero on any schema violation — CI's gate.
+//! 2. A criterion group (`pipeline/resolve`) over the same worker counts
+//!    for statistically rigorous timings; criterion CLI flags (`--quick`,
+//!    filters, baselines) pass through.
+//!
+//! Env knobs: `MINOANER_SCALE` (dataset size, default 1.0),
+//! `MINOANER_REPS` (sweep repetitions, default 3), `MINOANER_BENCH_OUT`
+//! (report path, default `BENCH_pipeline.json`).
+
+use criterion::Criterion;
+use minoaner_bench::{BenchPoint, PipelineReport, BENCH_SCHEMA_VERSION};
+use minoaner_core::{Minoaner, RuleSet};
+use minoaner_dataflow::{Executor, TRACE_SCHEMA_VERSION};
+use minoaner_datagen::{profiles, GeneratedDataset};
+use minoaner_eval::{dataset_at_scale, scale_from_env};
+use std::hint::black_box;
+use std::process::ExitCode;
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn sweep(dataset: &GeneratedDataset, scale: f64, reps: usize) -> PipelineReport {
+    let minoaner = Minoaner::new();
+    let mut points: Vec<BenchPoint> = Vec::new();
+    let mut baseline_mean_ms = 0.0f64;
+
+    for workers in WORKER_COUNTS {
+        let mut exec = Executor::new(workers);
+        let mut wall_ms: Vec<f64> = Vec::with_capacity(reps);
+        let mut last = None;
+        for _ in 0..reps {
+            let (res, trace) = minoaner
+                .try_resolve_traced(&mut exec, &dataset.pair, RuleSet::FULL)
+                .expect("pipeline bench run failed");
+            trace.validate().expect("run trace failed validation");
+            wall_ms.push(trace.total_wall.as_secs_f64() * 1000.0);
+            last = Some((res, trace));
+        }
+        let (res, trace) = last.expect("reps ≥ 1");
+        let mean = wall_ms.iter().sum::<f64>() / wall_ms.len() as f64;
+        let min = wall_ms.iter().cloned().fold(f64::INFINITY, f64::min);
+        if workers == WORKER_COUNTS[0] {
+            baseline_mean_ms = mean;
+        }
+        points.push(BenchPoint {
+            workers,
+            partitions: exec.partitions(),
+            wall_ms_mean: mean,
+            wall_ms_min: min,
+            speedup: baseline_mean_ms / mean,
+            matches: res.matches.len() as u64,
+            comparisons_after_purge: trace.counter("blocking/comparisons_after_purge"),
+            shuffle_bytes: trace.stages.iter().map(|s| s.io.shuffle_bytes).sum(),
+        });
+        eprintln!(
+            "pipeline sweep: {workers} workers → {mean:.1} ms mean ({} matches)",
+            res.matches.len()
+        );
+    }
+
+    PipelineReport {
+        schema_version: BENCH_SCHEMA_VERSION,
+        trace_schema_version: TRACE_SCHEMA_VERSION,
+        dataset: "restaurant".into(),
+        scale,
+        reps,
+        points,
+    }
+}
+
+fn criterion_sweep(dataset: &GeneratedDataset) {
+    let mut c = Criterion::default().configure_from_args();
+    let mut group = c.benchmark_group("pipeline/resolve");
+    group.sample_size(10);
+    let minoaner = Minoaner::new();
+    for workers in WORKER_COUNTS {
+        let exec = Executor::new(workers);
+        group.bench_function(format!("workers/{workers}"), |b| {
+            b.iter(|| black_box(minoaner.try_resolve(&exec, &dataset.pair).expect("resolve")))
+        });
+    }
+    group.finish();
+    c.final_summary();
+}
+
+fn main() -> ExitCode {
+    let scale = scale_from_env();
+    let reps: usize =
+        std::env::var("MINOANER_REPS").ok().and_then(|s| s.parse().ok()).unwrap_or(3).max(1);
+    let out_path =
+        std::env::var("MINOANER_BENCH_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".into());
+
+    let dataset = dataset_at_scale(&profiles::restaurant(), scale);
+    let report = sweep(&dataset, scale, reps);
+    std::fs::write(&out_path, report.to_json()).expect("cannot write bench report");
+    eprintln!("wrote {out_path} ({} points)", report.points.len());
+
+    // Validate what actually landed on disk, not the in-memory value:
+    // this is the schema gate CI relies on.
+    let on_disk = std::fs::read_to_string(&out_path).expect("cannot re-read bench report");
+    let parsed = match PipelineReport::from_json(&on_disk) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {out_path} is not valid report JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = parsed.validate() {
+        eprintln!("error: {out_path} failed schema validation: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    criterion_sweep(&dataset);
+    ExitCode::SUCCESS
+}

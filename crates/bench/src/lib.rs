@@ -1,1 +1,204 @@
-// The bench crate has no library code; see benches/.
+//! # minoaner-bench
+//!
+//! Shared support for the benchmark targets in `benches/`: the versioned
+//! schema of `BENCH_pipeline.json`, the machine-readable output of the
+//! `pipeline` bench (a worker-count sweep of the full resolution pipeline
+//! instrumented through [`minoaner_dataflow::RunTrace`]).
+//!
+//! The schema is validated both by the bench binary itself (it re-reads
+//! and checks what it wrote, exiting nonzero on failure — the hook CI
+//! uses) and by the tests here.
+
+use serde::{Deserialize, Serialize};
+
+/// Version of the `BENCH_pipeline.json` schema. Bump on breaking changes
+/// to [`PipelineReport`].
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// One worker count of the pipeline sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchPoint {
+    /// Dataflow workers used for this point.
+    pub workers: usize,
+    /// Partitions the executor derived from the worker count.
+    pub partitions: usize,
+    /// Mean end-to-end wall time over the repetitions, milliseconds.
+    pub wall_ms_mean: f64,
+    /// Fastest repetition, milliseconds.
+    pub wall_ms_min: f64,
+    /// Speedup vs the 1-worker mean (first point ≡ 1.0).
+    pub speedup: f64,
+    /// Matches found (identical across worker counts by construction).
+    pub matches: u64,
+    /// `blocking/comparisons_after_purge` from the run trace.
+    pub comparisons_after_purge: u64,
+    /// Total shuffle volume from the run trace, bytes.
+    pub shuffle_bytes: u64,
+}
+
+/// The top-level contents of `BENCH_pipeline.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// [`BENCH_SCHEMA_VERSION`] at write time.
+    pub schema_version: u32,
+    /// [`minoaner_dataflow::TRACE_SCHEMA_VERSION`] of the traces the
+    /// points were extracted from.
+    pub trace_schema_version: u32,
+    /// Datagen profile name.
+    pub dataset: String,
+    /// `MINOANER_SCALE` the dataset was generated at.
+    pub scale: f64,
+    /// Repetitions per worker count.
+    pub reps: usize,
+    /// One point per worker count, ascending.
+    pub points: Vec<BenchPoint>,
+}
+
+impl PipelineReport {
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("PipelineReport serialization cannot fail")
+    }
+
+    /// Parses a report previously produced by [`Self::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Checks the report against the schema invariants, returning the
+    /// first violation. This is the gate the bench binary (and CI) runs
+    /// after writing `BENCH_pipeline.json`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema_version != BENCH_SCHEMA_VERSION {
+            return Err(format!(
+                "schema_version {} does not match supported version {BENCH_SCHEMA_VERSION}",
+                self.schema_version
+            ));
+        }
+        if self.trace_schema_version != minoaner_dataflow::TRACE_SCHEMA_VERSION {
+            return Err(format!(
+                "trace_schema_version {} does not match supported version {}",
+                self.trace_schema_version,
+                minoaner_dataflow::TRACE_SCHEMA_VERSION
+            ));
+        }
+        if self.dataset.is_empty() {
+            return Err("dataset name is empty".into());
+        }
+        if !(self.scale > 0.0) {
+            return Err(format!("scale must be positive, got {}", self.scale));
+        }
+        if self.reps == 0 {
+            return Err("reps must be ≥ 1".into());
+        }
+        if self.points.is_empty() {
+            return Err("no bench points recorded".into());
+        }
+        let mut prev_workers = 0usize;
+        for (i, p) in self.points.iter().enumerate() {
+            if p.workers <= prev_workers {
+                return Err(format!(
+                    "point {i}: worker counts must be positive and strictly ascending \
+                     ({prev_workers} then {})",
+                    p.workers
+                ));
+            }
+            prev_workers = p.workers;
+            if p.partitions < p.workers {
+                return Err(format!(
+                    "point {i}: {} partitions cannot be fewer than {} workers",
+                    p.partitions, p.workers
+                ));
+            }
+            if !(p.wall_ms_mean > 0.0) || !(p.wall_ms_min > 0.0) {
+                return Err(format!("point {i}: wall times must be positive"));
+            }
+            if p.wall_ms_min > p.wall_ms_mean {
+                return Err(format!(
+                    "point {i}: min wall time {} exceeds mean {}",
+                    p.wall_ms_min, p.wall_ms_mean
+                ));
+            }
+            if !(p.speedup > 0.0) {
+                return Err(format!("point {i}: speedup must be positive, got {}", p.speedup));
+            }
+        }
+        if (self.points[0].speedup - 1.0).abs() > 1e-9 {
+            return Err(format!(
+                "first point is the speedup baseline and must be 1.0, got {}",
+                self.points[0].speedup
+            ));
+        }
+        let matches = self.points[0].matches;
+        if self.points.iter().any(|p| p.matches != matches) {
+            return Err("match counts differ across worker counts (nondeterminism)".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PipelineReport {
+        let point = |workers: usize, mean: f64| BenchPoint {
+            workers,
+            partitions: workers * 3,
+            wall_ms_mean: mean,
+            wall_ms_min: mean * 0.9,
+            speedup: 40.0 / mean,
+            matches: 88,
+            comparisons_after_purge: 1234,
+            shuffle_bytes: 5678,
+        };
+        PipelineReport {
+            schema_version: BENCH_SCHEMA_VERSION,
+            trace_schema_version: minoaner_dataflow::TRACE_SCHEMA_VERSION,
+            dataset: "restaurant".into(),
+            scale: 1.0,
+            reps: 3,
+            points: vec![point(1, 40.0), point(2, 24.0), point(4, 15.0), point(8, 11.0)],
+        }
+    }
+
+    #[test]
+    fn sample_report_round_trips_and_validates() {
+        let report = sample();
+        report.validate().expect("sample is valid");
+        let back = PipelineReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn validation_rejects_schema_drift() {
+        let mut r = sample();
+        r.schema_version += 1;
+        assert!(r.validate().unwrap_err().contains("schema_version"));
+    }
+
+    #[test]
+    fn validation_rejects_unordered_workers_and_bad_baseline() {
+        let mut r = sample();
+        r.points.swap(0, 1);
+        assert!(r.validate().unwrap_err().contains("ascending"));
+
+        let mut r = sample();
+        r.points[0].speedup = 2.0;
+        assert!(r.validate().unwrap_err().contains("baseline"));
+    }
+
+    #[test]
+    fn validation_rejects_nondeterministic_matches() {
+        let mut r = sample();
+        r.points[2].matches += 1;
+        assert!(r.validate().unwrap_err().contains("worker counts"));
+    }
+
+    #[test]
+    fn validation_rejects_empty_points() {
+        let mut r = sample();
+        r.points.clear();
+        assert!(r.validate().is_err());
+    }
+}

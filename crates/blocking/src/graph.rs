@@ -14,7 +14,7 @@
 
 use std::collections::HashMap;
 
-use minoaner_dataflow::Executor;
+use minoaner_dataflow::{Executor, StageIo};
 use minoaner_kb::stats::RelationStats;
 use minoaner_kb::{EntityId, KbPair, Side};
 
@@ -211,6 +211,8 @@ pub fn build_blocking_graph(
     if cfg.reciprocal_pruning {
         apply_reciprocal_pruning(&mut graph);
     }
+    executor.emit_counter("blocking/alpha_pairs", graph.alpha.len() as u64);
+    executor.emit_counter("blocking/graph_directed_edges", graph.num_directed_edges() as u64);
     graph
 }
 
@@ -349,7 +351,11 @@ fn beta_pass(
         }
         out
     });
-    partials.into_iter().flatten().collect()
+    let lists: Vec<Vec<Candidate>> = partials.into_iter().flatten().collect();
+    let retained: u64 = lists.iter().map(|c| c.len() as u64).sum();
+    executor
+        .annotate_last_stage(&format!("graph/beta/{side:?}"), StageIo::items(n as u64, retained));
+    lists
 }
 
 /// Selects the top-K `(entity, weight)` pairs, descending by weight with

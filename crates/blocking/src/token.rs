@@ -3,7 +3,7 @@
 //! critically for MinoanER — its block sizes *are* the entity frequencies,
 //! so value similarity (Def. 2.1) can be computed from the blocks alone.
 
-use minoaner_dataflow::Executor;
+use minoaner_dataflow::{Executor, StageIo};
 use minoaner_kb::{EntityId, KbPair, Side, TokenId};
 
 use crate::block::{Block, TokenBlocks};
@@ -56,11 +56,19 @@ pub fn build_token_blocks_parallel(executor: &Executor, pair: &KbPair) -> TokenB
                 }
             }
         }
+        let postings: u64 = merged.iter().map(|ids| ids.len() as u64).sum();
+        executor.annotate_last_stage(
+            &format!("token-blocking/{side:?}"),
+            StageIo::items(n as u64, postings),
+        );
         sides.push(merged);
     }
     let right = sides.pop().expect("two sides");
     let left = sides.pop().expect("two sides");
-    assemble(left, right)
+    let blocks = assemble(left, right);
+    executor.emit_counter("blocking/token_blocks_built", blocks.len() as u64);
+    executor.emit_counter("blocking/token_block_comparisons", blocks.total_comparisons());
+    blocks
 }
 
 fn invert(pair: &KbPair, side: Side, inv: &mut [Vec<EntityId>]) {

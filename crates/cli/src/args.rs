@@ -38,6 +38,8 @@ pub struct ResolveArgs {
     pub json: bool,
     /// Skip malformed N-Triples lines instead of aborting the load.
     pub lenient: bool,
+    /// Write a JSON run trace (stage wall times, counters) to this path.
+    pub report: Option<String>,
 }
 
 /// Arguments of `minoaner dedup`.
@@ -122,6 +124,8 @@ RESOLVE OPTIONS:
     --n <n>                 relations per entity (default 3)
     --theta <f>             value/neighbor trade-off in (0,1) (default 0.6)
     --json                  emit JSON instead of TSV
+    --report <path>         write a JSON run trace (per-stage wall times, item
+                            counts, shuffle volume, fault and domain counters)
 
 DEDUP OPTIONS:
     --input <path>          the dirty KB, N-Triples
@@ -163,6 +167,7 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
     let mut theta = 0.6f64;
     let mut json = false;
     let mut lenient = false;
+    let mut report = None;
 
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<String, ArgError> {
@@ -187,6 +192,7 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                 theta = value("--theta")?.parse().map_err(|_| ArgError("--theta expects a float".into()))?
             }
             "--json" => json = true,
+            "--report" => report = Some(value("--report")?),
             "--lenient" => lenient = true,
             "--strict" => lenient = false,
             other => return Err(ArgError(format!("unknown flag {other:?}; try `minoaner help`"))),
@@ -198,7 +204,7 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
             let left = left.ok_or_else(|| ArgError("resolve requires --left".into()))?;
             let right = right.ok_or_else(|| ArgError("resolve requires --right".into()))?;
             Ok(Command::Resolve(ResolveArgs {
-                left, right, ground_truth, workers, k, top_k, n, theta, json, lenient,
+                left, right, ground_truth, workers, k, top_k, n, theta, json, lenient, report,
             }))
         }
         "dedup" => {
@@ -250,6 +256,18 @@ mod tests {
         assert_eq!(a.ground_truth.as_deref(), Some("g"));
         assert_eq!((a.k, a.top_k, a.n), (1, 5, 2));
         assert!(a.json);
+        assert_eq!(a.report, None);
+    }
+
+    #[test]
+    fn parses_report_path() {
+        let cmd = parse(&strings(&[
+            "resolve", "--left", "a", "--right", "b", "--report", "run.json",
+        ]))
+        .unwrap();
+        let Command::Resolve(a) = cmd else { panic!() };
+        assert_eq!(a.report.as_deref(), Some("run.json"));
+        assert!(parse(&strings(&["resolve", "--left", "a", "--right", "b", "--report"])).is_err());
     }
 
     #[test]

@@ -176,17 +176,33 @@ fn resolve(args: &ResolveArgs) -> Result<(), CliError> {
         pair.kb(Side::Right).len()
     );
 
-    let config = minoaner_core::MinoanerConfig {
-        name_attrs_k: args.k,
-        top_k: args.top_k,
-        n_relations: args.n,
-        theta: args.theta,
-        ..Default::default()
-    };
-    config.validate().map_err(|e| CliError::Usage(format!("invalid configuration: {e}")))?;
+    let config = minoaner_core::MinoanerConfig::builder()
+        .name_attrs_k(args.k)
+        .top_k(args.top_k)
+        .n_relations(args.n)
+        .theta(args.theta)
+        .build()
+        .map_err(|e| CliError::Usage(format!("invalid configuration: {e}")))?;
 
-    let exec = executor(args.workers);
-    let res = Minoaner::with_config(config).try_resolve(&exec, &pair)?;
+    let mut exec = executor(args.workers);
+    let minoaner = Minoaner::with_config(config);
+    let res = if let Some(report_path) = &args.report {
+        let (res, trace) = minoaner.try_resolve_traced(
+            &mut exec,
+            &pair,
+            minoaner_core::RuleSet::FULL,
+        )?;
+        std::fs::write(report_path, trace.to_json())
+            .map_err(|e| CliError::Io(format!("cannot write {report_path}: {e}")))?;
+        eprintln!(
+            "wrote run trace ({} stages, {} counters) to {report_path}",
+            trace.stages.len(),
+            trace.counters.len()
+        );
+        res
+    } else {
+        minoaner.try_resolve(&exec, &pair)?
+    };
 
     if args.json {
         let rows: Vec<serde_json::Value> = res

@@ -3,8 +3,48 @@
 //! The paper's sensitivity analysis (§6.1, Figure 5) varies four
 //! parameters — `k`, `K`, `N`, `θ` — and settles on the global default
 //! `(2, 15, 3, 0.6)`, which is also the default here.
+//!
+//! Construct configurations through [`MinoanerConfig::builder`], which
+//! validates every parameter and returns a [`ConfigError`] naming the
+//! first violated constraint. Direct struct-literal construction is
+//! deprecated in examples and docs (the fields stay public for the eval
+//! sweeps); a literal bypasses validation until the value reaches
+//! [`crate::Minoaner::with_config`].
+
+use std::fmt;
 
 use serde::{Deserialize, Serialize};
+
+/// A violated [`MinoanerConfig`] constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `name_attrs_k` (`k`) was zero; at least one global name attribute
+    /// per KB is required.
+    ZeroNameAttrs,
+    /// `top_k` (`K`) was zero; each entity must keep at least one
+    /// candidate per evidence kind.
+    ZeroTopK,
+    /// `n_relations` (`N`) was zero; neighbor evidence needs at least one
+    /// relation per entity.
+    ZeroRelations,
+    /// `theta` (`θ`) fell outside the open interval `(0, 1)`.
+    ThetaOutOfRange(f64),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroNameAttrs => write!(f, "name_attrs_k (k) must be ≥ 1"),
+            ConfigError::ZeroTopK => write!(f, "top_k (K) must be ≥ 1"),
+            ConfigError::ZeroRelations => write!(f, "n_relations (N) must be ≥ 1"),
+            ConfigError::ThetaOutOfRange(theta) => {
+                write!(f, "theta (θ) must lie in (0, 1), got {theta}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// The four MinoanER parameters plus engine toggles.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -42,22 +82,89 @@ impl Default for MinoanerConfig {
 }
 
 impl MinoanerConfig {
-    /// Validates parameter ranges, returning a description of the first
-    /// violated constraint.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Starts a validated builder from the paper's defaults.
+    ///
+    /// ```
+    /// use minoaner_core::MinoanerConfig;
+    ///
+    /// let config = MinoanerConfig::builder().top_k(10).theta(0.5).build().unwrap();
+    /// assert_eq!(config.top_k, 10);
+    /// assert!(MinoanerConfig::builder().top_k(0).build().is_err());
+    /// ```
+    pub fn builder() -> MinoanerConfigBuilder {
+        MinoanerConfigBuilder::default()
+    }
+
+    /// Validates parameter ranges, returning the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.name_attrs_k == 0 {
-            return Err("name_attrs_k (k) must be ≥ 1".into());
+            return Err(ConfigError::ZeroNameAttrs);
         }
         if self.top_k == 0 {
-            return Err("top_k (K) must be ≥ 1".into());
+            return Err(ConfigError::ZeroTopK);
         }
         if self.n_relations == 0 {
-            return Err("n_relations (N) must be ≥ 1".into());
+            return Err(ConfigError::ZeroRelations);
         }
         if !(0.0 < self.theta && self.theta < 1.0) {
-            return Err(format!("theta (θ) must lie in (0, 1), got {}", self.theta));
+            return Err(ConfigError::ThetaOutOfRange(self.theta));
         }
         Ok(())
+    }
+}
+
+/// Builder for [`MinoanerConfig`]: the supported construction path.
+///
+/// Every unset parameter keeps the paper's default; [`Self::build`]
+/// validates the result so an invalid configuration can never silently
+/// reach the pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct MinoanerConfigBuilder {
+    config: MinoanerConfig,
+}
+
+impl MinoanerConfigBuilder {
+    /// Sets `k`, the number of global name attributes per KB.
+    pub fn name_attrs_k(mut self, k: usize) -> Self {
+        self.config.name_attrs_k = k;
+        self
+    }
+
+    /// Sets `K`, the candidates kept per entity per evidence kind.
+    pub fn top_k(mut self, top_k: usize) -> Self {
+        self.config.top_k = top_k;
+        self
+    }
+
+    /// Sets `N`, the most important relations per entity.
+    pub fn n_relations(mut self, n: usize) -> Self {
+        self.config.n_relations = n;
+        self
+    }
+
+    /// Sets `θ`, rule R3's rank-aggregation trade-off.
+    pub fn theta(mut self, theta: f64) -> Self {
+        self.config.theta = theta;
+        self
+    }
+
+    /// Enables or disables Block Purging.
+    pub fn purge_blocks(mut self, purge: bool) -> Self {
+        self.config.purge_blocks = purge;
+        self
+    }
+
+    /// Enables or disables unique-mapping conflict resolution.
+    pub fn unique_mapping(mut self, unique: bool) -> Self {
+        self.config.unique_mapping = unique;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<MinoanerConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -111,15 +218,47 @@ mod tests {
     #[test]
     fn validation_rejects_out_of_range() {
         let bad = [
-            MinoanerConfig { theta: 1.0, ..MinoanerConfig::default() },
-            MinoanerConfig { theta: 0.0, ..MinoanerConfig::default() },
-            MinoanerConfig { top_k: 0, ..MinoanerConfig::default() },
-            MinoanerConfig { name_attrs_k: 0, ..MinoanerConfig::default() },
-            MinoanerConfig { n_relations: 0, ..MinoanerConfig::default() },
+            (MinoanerConfig { theta: 1.0, ..MinoanerConfig::default() }, ConfigError::ThetaOutOfRange(1.0)),
+            (MinoanerConfig { theta: 0.0, ..MinoanerConfig::default() }, ConfigError::ThetaOutOfRange(0.0)),
+            (MinoanerConfig { top_k: 0, ..MinoanerConfig::default() }, ConfigError::ZeroTopK),
+            (MinoanerConfig { name_attrs_k: 0, ..MinoanerConfig::default() }, ConfigError::ZeroNameAttrs),
+            (MinoanerConfig { n_relations: 0, ..MinoanerConfig::default() }, ConfigError::ZeroRelations),
         ];
-        for cfg in bad {
-            assert!(cfg.validate().is_err(), "{cfg:?} should be rejected");
+        for (cfg, expected) in bad {
+            assert_eq!(cfg.validate().unwrap_err(), expected, "{cfg:?}");
         }
+    }
+
+    #[test]
+    fn builder_defaults_and_overrides() {
+        let default = MinoanerConfig::builder().build().unwrap();
+        assert_eq!(default, MinoanerConfig::default());
+        let custom = MinoanerConfig::builder()
+            .name_attrs_k(3)
+            .top_k(20)
+            .n_relations(1)
+            .theta(0.4)
+            .purge_blocks(false)
+            .unique_mapping(false)
+            .build()
+            .unwrap();
+        assert_eq!(custom.name_attrs_k, 3);
+        assert_eq!(custom.top_k, 20);
+        assert_eq!(custom.n_relations, 1);
+        assert!((custom.theta - 0.4).abs() < 1e-12);
+        assert!(!custom.purge_blocks);
+        assert!(!custom.unique_mapping);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_parameters() {
+        assert_eq!(MinoanerConfig::builder().top_k(0).build(), Err(ConfigError::ZeroTopK));
+        assert_eq!(
+            MinoanerConfig::builder().theta(1.5).build(),
+            Err(ConfigError::ThetaOutOfRange(1.5))
+        );
+        let msg = MinoanerConfig::builder().theta(1.5).build().unwrap_err().to_string();
+        assert!(msg.contains("theta"), "error message names the parameter: {msg}");
     }
 
     #[test]

@@ -28,21 +28,26 @@ impl Minoaner {
     /// Resolves duplicates within a dirty KB built with
     /// [`minoaner_kb::dirty::DirtyKbBuilder`].
     ///
+    /// Thin infallible wrapper over [`Minoaner::try_resolve_dirty`] (the
+    /// single implementation): a dataflow failure is re-raised as the
+    /// original panic payload.
+    ///
     /// # Panics
     /// Panics if `pair` was not marked dirty (a clean-clean pair would
-    /// yield meaningless "duplicates").
+    /// yield meaningless "duplicates"), or if the dataflow fails.
     pub fn resolve_dirty(&self, executor: &Executor, pair: &KbPair) -> DirtyResolution {
-        assert!(pair.is_dirty(), "resolve_dirty requires a DirtyKbBuilder-built pair");
-        let inner = self.resolve(executor, pair);
-        let duplicates = canonicalize_dirty_matches(&inner.matches);
-        DirtyResolution { duplicates, inner }
+        self.try_resolve_dirty(executor, pair)
+            .unwrap_or_else(|e| std::panic::panic_any(e))
     }
 
-    /// Fallible variant of [`Minoaner::resolve_dirty`]: dataflow failures
-    /// come back as a structured [`DataflowError`] instead of a panic.
+    /// Resolves duplicates within a dirty KB; dataflow failures come back
+    /// as a structured [`minoaner_dataflow::DataflowError`].
     ///
-    /// The dirty-pair precondition is still an assertion — passing a
-    /// clean-clean pair is a caller bug, not a runtime fault.
+    /// This is the implementation behind [`Minoaner::resolve_dirty`]. The
+    /// dirty-pair precondition is still an assertion — passing a
+    /// clean-clean pair is a caller bug, not a runtime fault — and it
+    /// fires *before* the fallible pipeline so wrapper and fallible
+    /// callers observe the same panic message.
     pub fn try_resolve_dirty(
         &self,
         executor: &Executor,

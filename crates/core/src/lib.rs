@@ -34,7 +34,7 @@ pub mod matcher;
 pub mod multi;
 pub mod pipeline;
 
-pub use config::{MinoanerConfig, RuleSet};
+pub use config::{ConfigError, MinoanerConfig, MinoanerConfigBuilder, RuleSet};
 pub use dirty::DirtyResolution;
 pub use extensions::{ensemble_resolve, resolve_adaptive, EnsembleResolution};
 pub use multi::{MultiKb, MultiResolution, ObjectTerm};
@@ -42,4 +42,4 @@ pub use matcher::{MatchOutcome, Rule, RuleCounts};
 pub use pipeline::{Minoaner, PipelineTimings, PreparedGraph, Resolution};
 
 // Re-export for the doctest-friendly API surface.
-pub use minoaner_dataflow::Executor;
+pub use minoaner_dataflow::{Executor, RunTrace};

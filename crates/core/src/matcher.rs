@@ -121,6 +121,7 @@ pub fn run_matching(
 
     if rules.r1 {
         executor.time_stage("matching/r1", || rule_r1(graph, &mut state));
+        executor.emit_counter("matching/r1_candidates", graph.alpha_pairs().len() as u64);
     }
     if rules.r2 {
         rule_r2(executor, pair, graph, &mut state);
@@ -155,6 +156,15 @@ pub fn run_matching(
     } else {
         (state.matches, state.rules)
     };
+
+    // Per-rule counters mirror `RuleCounts` exactly (pre-R4 per-rule
+    // tallies plus R4's removals), so a RunTrace can stand in for the
+    // in-memory counts.
+    executor.emit_counter("matching/r1_matches", counts.r1 as u64);
+    executor.emit_counter("matching/r2_matches", counts.r2 as u64);
+    executor.emit_counter("matching/r3_matches", counts.r3 as u64);
+    executor.emit_counter("matching/r4_removed", counts.removed_by_r4 as u64);
+    executor.emit_counter("matching/total_matches", matches.len() as u64);
 
     MatchOutcome { matches, rules: rule_tags, counts }
 }
@@ -196,6 +206,7 @@ fn rule_r2(executor: &Executor, pair: &KbPair, graph: &BlockingGraph, state: &mu
 
     // Greedy unique-mapping merge, strongest β first.
     let mut props: Vec<(EntityId, EntityId, f64)> = proposals.into_iter().flatten().collect();
+    executor.emit_counter("matching/r2_candidates", props.len() as u64);
     props.sort_unstable_by(|a, b| {
         b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
     });
@@ -251,6 +262,8 @@ fn rule_r3(
             proposals.push((side, l, r, score));
         }
     }
+
+    executor.emit_counter("matching/r3_candidates", proposals.len() as u64);
 
     // Mutual-proposal join: keep (l, r) iff proposed from both sides.
     let mut left_props: DetHashMap<(u32, u32), f64> = DetHashMap::default();

@@ -91,14 +91,20 @@ pub struct MultiResolution {
 impl Minoaner {
     /// Resolves `k` clean KBs pairwise and merges the matches into
     /// k-partite clusters.
+    ///
+    /// Thin infallible wrapper over [`Minoaner::try_resolve_multi`] (the
+    /// single implementation): a dataflow failure is re-raised as the
+    /// original panic payload.
     pub fn resolve_multi(&self, executor: &Executor, input: &MultiKb) -> MultiResolution {
         self.try_resolve_multi(executor, input)
             .unwrap_or_else(|e| std::panic::panic_any(e))
     }
 
-    /// Fallible variant of [`Minoaner::resolve_multi`]: a dataflow failure
-    /// in any pairwise resolution aborts the whole multi-KB run with a
+    /// Resolves `k` clean KBs pairwise; a dataflow failure in any
+    /// pairwise resolution aborts the whole multi-KB run with a
     /// structured [`minoaner_dataflow::DataflowError`].
+    ///
+    /// This is the implementation behind [`Minoaner::resolve_multi`].
     pub fn try_resolve_multi(
         &self,
         executor: &Executor,

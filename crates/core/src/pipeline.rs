@@ -13,7 +13,7 @@ use minoaner_blocking::name::build_name_blocks;
 use minoaner_blocking::purge::{purge_blocks, PurgeReport};
 use minoaner_blocking::token::build_token_blocks_parallel;
 use minoaner_blocking::{NameBlocks, TokenBlocks};
-use minoaner_dataflow::{DataflowError, Executor, StageLog};
+use minoaner_dataflow::{DataflowError, Executor, RunTrace, StageIo, StageLog, TraceCollector};
 use minoaner_kb::stats::{NameStats, RelationStats};
 use minoaner_kb::{EntityId, KbPair};
 
@@ -108,8 +108,24 @@ impl Minoaner {
             .config
             .purge_blocks
             .then(|| executor.time_stage("blocking/purge", || purge_blocks(&mut token_blocks, total_entities)));
+        if let Some(report) = &purge {
+            executor.annotate_last_stage(
+                "blocking/purge",
+                StageIo::items(report.blocks_before as u64, report.blocks_after as u64),
+            );
+            executor.emit_counter(
+                "blocking/blocks_purged",
+                (report.blocks_before - report.blocks_after) as u64,
+            );
+            executor.emit_counter(
+                "blocking/comparisons_purged",
+                report.comparisons_before.saturating_sub(report.comparisons_after),
+            );
+            executor.emit_counter("blocking/comparisons_after_purge", report.comparisons_after);
+        }
         let name_blocks =
             executor.time_stage("blocking/names", || build_name_blocks(pair, &name_stats));
+        executor.emit_counter("blocking/name_blocks_built", name_blocks.len() as u64);
 
         let graph_cfg = GraphConfig {
             top_k: self.config.top_k,
@@ -134,26 +150,23 @@ impl Minoaner {
     }
 
     /// End-to-end resolution with the full rule set.
+    ///
+    /// Thin infallible wrapper over [`Minoaner::try_resolve`]: re-raises a
+    /// dataflow failure as a panic whose payload is the structured
+    /// [`DataflowError`].
     pub fn resolve(&self, executor: &Executor, pair: &KbPair) -> Resolution {
         self.resolve_with_rules(executor, pair, RuleSet::FULL)
     }
 
     /// End-to-end resolution with an explicit rule set (Table 4 ablations).
+    ///
+    /// Thin infallible wrapper over [`Minoaner::try_resolve_with_rules`] —
+    /// the fallible variant is the single implementation; this merely
+    /// unwraps, re-raising any [`DataflowError`] as a panic payload that
+    /// [`DataflowError::from_panic`] can recover.
     pub fn resolve_with_rules(&self, executor: &Executor, pair: &KbPair, rules: RuleSet) -> Resolution {
-        executor.reset_metrics();
-        let start = Instant::now();
-        let prepared = self.prepare(executor, pair);
-        let outcome = self.match_prepared(executor, pair, &prepared, rules);
-        let total = start.elapsed();
-
-        let stages = executor.stage_log();
-        let matching = stages.total_matching(|n| n.starts_with("matching/"));
-        Resolution {
-            matches: outcome.matches,
-            rule_counts: outcome.counts,
-            purge: prepared.purge,
-            timings: PipelineTimings { total, matching, stages },
-        }
+        self.try_resolve_with_rules(executor, pair, rules)
+            .unwrap_or_else(|e| std::panic::panic_any(e))
     }
 
     /// End-to-end resolution that surfaces dataflow failures as a
@@ -163,7 +176,8 @@ impl Minoaner {
         self.try_resolve_with_rules(executor, pair, RuleSet::FULL)
     }
 
-    /// Fallible variant of [`Minoaner::resolve_with_rules`].
+    /// End-to-end resolution with an explicit rule set — **the** resolver
+    /// implementation; every other `resolve*` entry point delegates here.
     ///
     /// The pipeline's internal stages run on the executor's infallible
     /// operators, which re-raise task failures as a structured panic
@@ -179,8 +193,56 @@ impl Minoaner {
         pair: &KbPair,
         rules: RuleSet,
     ) -> Result<Resolution, DataflowError> {
-        catch_unwind(AssertUnwindSafe(|| self.resolve_with_rules(executor, pair, rules)))
+        catch_unwind(AssertUnwindSafe(|| self.run_pipeline(executor, pair, rules)))
             .map_err(DataflowError::from_panic)
+    }
+
+    /// End-to-end resolution that additionally captures a [`RunTrace`]:
+    /// a [`TraceCollector`] is installed on the executor for the duration
+    /// of the run, and the trace combines the collector's domain counters
+    /// with the executor's annotated stage log.
+    ///
+    /// Takes `&mut Executor` because installing the observer mutates the
+    /// executor's (otherwise lock-free) observer slot. Any previously
+    /// installed observer is replaced and cleared afterwards.
+    pub fn try_resolve_traced(
+        &self,
+        executor: &mut Executor,
+        pair: &KbPair,
+        rules: RuleSet,
+    ) -> Result<(Resolution, RunTrace), DataflowError> {
+        let collector = TraceCollector::new();
+        executor.set_observer(collector.clone());
+        let result = self.try_resolve_with_rules(executor, pair, rules);
+        executor.clear_observer();
+        let resolution = result?;
+        let trace = RunTrace::capture(
+            executor.workers(),
+            executor.partitions(),
+            resolution.timings.total,
+            &resolution.timings.stages,
+            collector.counters(),
+        );
+        Ok((resolution, trace))
+    }
+
+    /// The pipeline body shared by every resolver entry point: prepare
+    /// (Algorithm 1), match (Algorithm 2), assemble timings.
+    fn run_pipeline(&self, executor: &Executor, pair: &KbPair, rules: RuleSet) -> Resolution {
+        executor.reset_metrics();
+        let start = Instant::now();
+        let prepared = self.prepare(executor, pair);
+        let outcome = self.match_prepared(executor, pair, &prepared, rules);
+        let total = start.elapsed();
+
+        let stages = executor.stage_log();
+        let matching = stages.total_matching(&|n: &str| n.starts_with("matching/"));
+        Resolution {
+            matches: outcome.matches,
+            rule_counts: outcome.counts,
+            purge: prepared.purge,
+            timings: PipelineTimings { total, matching, stages },
+        }
     }
 }
 

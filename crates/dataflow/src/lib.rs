@@ -25,6 +25,10 @@
 //!   structured [`DataflowError`] instead of unwinding through the worker
 //!   pool. A deterministic fault-injection harness lives behind the
 //!   `fault-inject` feature (`faultinject` module).
+//! * **Observability**: an [`Observer`] installed on the executor receives
+//!   stage completions and named domain counters (one enum-discriminant
+//!   check when off); a [`TraceCollector`] plus the annotated [`StageLog`]
+//!   assemble into a versioned JSON [`RunTrace`] run report.
 //!
 //! ```
 //! use minoaner_dataflow::{Executor, Pdc};
@@ -43,12 +47,16 @@ pub mod error;
 #[cfg(feature = "fault-inject")]
 pub mod faultinject;
 pub mod metrics;
+pub mod observer;
 pub mod ops;
 pub mod pdc;
 pub mod pool;
+pub mod trace;
 
 pub use broadcast::Broadcast;
 pub use error::DataflowError;
-pub use metrics::{StageLog, StageMetric};
+pub use metrics::{StageIo, StageLog, StageMetric};
+pub use observer::{Observer, ObserverSlot, TraceCollector};
 pub use pdc::{DetHashMap, Pdc};
 pub use pool::{Executor, ExecutorConfig, FailureAction, FaultPolicy, StageOutput};
+pub use trace::{RunTrace, TRACE_SCHEMA_VERSION};

@@ -9,6 +9,7 @@ use std::hash::{BuildHasherDefault, Hash, Hasher};
 use parking_lot::Mutex;
 
 use crate::error::DataflowError;
+use crate::metrics::StageIo;
 use crate::pool::Executor;
 
 /// Deterministic hasher so that shuffle partitioning (and therefore the
@@ -99,18 +100,27 @@ impl<T: Send> Pdc<T> {
 
     /// Runs a consuming per-partition transformation in parallel: the core
     /// primitive every other operator is built on.
+    ///
+    /// After the barrier, the stage's log record is annotated with items
+    /// in/out and the largest input partition (the skew signal).
     pub fn map_partitions<U, F>(self, executor: &Executor, name: &str, f: F) -> Pdc<U>
     where
         U: Send,
         F: Fn(usize, Vec<T>) -> Vec<U> + Sync,
     {
         let n = self.parts.len();
+        let (items_in, max_partition_items) = partition_sizes(&self.parts);
         let slots: Vec<Mutex<Option<Vec<T>>>> =
             self.parts.into_iter().map(|p| Mutex::new(Some(p))).collect();
         let parts = executor.run_stage(name, n, |i| {
             let part = slots[i].lock().take().expect("partition taken once");
             f(i, part)
         });
+        let (items_out, _) = partition_sizes(&parts);
+        executor.annotate_last_stage(
+            name,
+            StageIo { items_in, items_out, shuffle_bytes: 0, max_partition_items },
+        );
         Pdc { parts }
     }
 
@@ -163,8 +173,16 @@ impl<T: Send + Sync> Pdc<T> {
         F: Fn(usize, &[T]) -> Vec<U> + Sync,
     {
         let parts = self.parts;
+        let (items_in, max_partition_items) = partition_sizes(&parts);
         let out = executor.try_run_stage(name, parts.len(), |i| f(i, &parts[i]))?;
-        Ok(Pdc { parts: out.results.into_iter().map(Option::unwrap_or_default).collect() })
+        let results: Vec<Vec<U>> =
+            out.results.into_iter().map(Option::unwrap_or_default).collect();
+        let (items_out, _) = partition_sizes(&results);
+        executor.annotate_last_stage(
+            name,
+            StageIo { items_in, items_out, shuffle_bytes: 0, max_partition_items },
+        );
+        Ok(Pdc { parts: results })
     }
 }
 
@@ -195,15 +213,19 @@ where
                 }
             }
         }
+        let shuffle_bytes = shuffled_bytes::<K, V>(&incoming);
         // Reduce side: concatenate.
         let stitched = Pdc::from_parts(incoming);
-        stitched.map_partitions(executor, &format!("{name}/shuffle-read"), |_, groups| {
+        let read_name = format!("{name}/shuffle-read");
+        let out = stitched.map_partitions(executor, &read_name, |_, groups| {
             let mut out = Vec::new();
             for g in groups {
                 out.extend(g);
             }
             out
-        })
+        });
+        executor.annotate_last_stage(&read_name, StageIo { shuffle_bytes, ..StageIo::default() });
+        out
     }
 
     /// Groups values by key (`groupByKey`). Key order within a partition is
@@ -296,15 +318,19 @@ where
                 }
             }
         }
+        let shuffle_bytes = shuffled_bytes::<K, V>(&incoming);
         // Reduce side: concatenate.
         let stitched = Pdc::from_parts(incoming);
-        stitched.try_map_partitions(executor, &format!("{name}/shuffle-read"), |_, groups| {
+        let read_name = format!("{name}/shuffle-read");
+        let out = stitched.try_map_partitions(executor, &read_name, |_, groups| {
             let mut out = Vec::new();
             for g in groups {
                 out.extend(g.iter().cloned());
             }
             out
-        })
+        })?;
+        executor.annotate_last_stage(&read_name, StageIo { shuffle_bytes, ..StageIo::default() });
+        Ok(out)
     }
 
     /// Fault-tolerant `groupByKey` built on [`Self::try_shuffle`]; yields
@@ -320,6 +346,20 @@ where
             group_in_order(part.to_vec())
         })
     }
+}
+
+/// Total and maximum partition sizes, for stage IO annotations.
+fn partition_sizes<T>(parts: &[Vec<T>]) -> (u64, u64) {
+    let total = parts.iter().map(|p| p.len() as u64).sum();
+    let max = parts.iter().map(|p| p.len() as u64).max().unwrap_or(0);
+    (total, max)
+}
+
+/// Estimated volume of a shuffle exchange: records moved × record size.
+fn shuffled_bytes<K, V>(incoming: &[Vec<Vec<(K, V)>>]) -> u64 {
+    let moved: u64 =
+        incoming.iter().flat_map(|buckets| buckets.iter()).map(|b| b.len() as u64).sum();
+    moved * std::mem::size_of::<(K, V)>() as u64
 }
 
 fn resize_parts<T: Send>(pdc: Pdc<T>, nparts: usize) -> Pdc<T> {
@@ -594,6 +634,29 @@ mod tests {
             Pdc::from_vec(&e, data.clone()).try_group_by_key(&e, "g").unwrap().collect();
         let infallible = Pdc::from_vec(&e, data).group_by_key(&e, "g").collect();
         assert_eq!(fallible, infallible);
+    }
+
+    #[test]
+    fn stages_are_annotated_with_io_and_shuffle_volume() {
+        let e = exec(2, 4);
+        let data: Vec<(u32, u32)> = (0..40).map(|i| (i % 5, i)).collect();
+        let _ = Pdc::from_vec(&e, data).shuffle_by_key(&e, "sh").collect();
+        let log = e.stage_log();
+        let write = log.find("sh/shuffle-write").unwrap();
+        assert_eq!(write.io.items_in, 40);
+        assert_eq!(write.io.max_partition_items, 10, "40 records over 4 partitions");
+        let read = log.find("sh/shuffle-read").unwrap();
+        assert_eq!(read.io.items_out, 40, "every record survives the shuffle");
+        assert_eq!(read.io.shuffle_bytes, 40 * std::mem::size_of::<(u32, u32)>() as u64);
+    }
+
+    #[test]
+    fn try_shuffle_records_the_same_volume() {
+        let e = exec(2, 4);
+        let data: Vec<(u32, u32)> = (0..40).map(|i| (i % 5, i)).collect();
+        let _ = Pdc::from_vec(&e, data).try_shuffle(&e, "sh").unwrap().collect();
+        let read = e.stage_log().find("sh/shuffle-read").unwrap().clone();
+        assert_eq!(read.io.shuffle_bytes, 40 * std::mem::size_of::<(u32, u32)>() as u64);
     }
 
     #[test]

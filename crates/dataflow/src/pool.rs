@@ -16,12 +16,14 @@
 
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
 use crate::error::DataflowError;
-use crate::metrics::{StageLog, StageMetric};
+use crate::metrics::{StageIo, StageLog, StageMetric};
+use crate::observer::{Observer, ObserverSlot};
 
 /// What to do with a task that keeps panicking after its retry budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -179,6 +181,7 @@ enum TaskOutcome<T> {
 pub struct Executor {
     config: ExecutorConfig,
     log: Mutex<StageLog>,
+    observer: ObserverSlot,
 }
 
 impl Default for Executor {
@@ -197,7 +200,41 @@ impl Executor {
     pub fn with_config(config: ExecutorConfig) -> Self {
         assert!(config.workers >= 1, "at least one worker required");
         assert!(config.partitions >= 1, "at least one partition required");
-        Self { config, log: Mutex::new(StageLog::default()) }
+        Self { config, log: Mutex::new(StageLog::default()), observer: ObserverSlot::Off }
+    }
+
+    /// Installs an [`Observer`] that receives stage completions and
+    /// counter emissions. Takes `&mut self` so the hot path can read the
+    /// slot without synchronization: with no observer installed, every
+    /// [`Self::emit_counter`] call is one enum-discriminant check.
+    pub fn set_observer(&mut self, observer: Arc<dyn Observer>) {
+        self.observer = ObserverSlot::On(observer);
+    }
+
+    /// Removes the installed observer, returning emission to the free
+    /// [`ObserverSlot::Off`] path.
+    pub fn clear_observer(&mut self) {
+        self.observer = ObserverSlot::Off;
+    }
+
+    /// The current observer slot.
+    pub fn observer(&self) -> &ObserverSlot {
+        &self.observer
+    }
+
+    /// Emits a named domain counter to the installed observer, if any.
+    /// Repeated emissions under one name are summed by collectors.
+    #[inline]
+    pub fn emit_counter(&self, name: &str, value: u64) {
+        self.observer.counter(name, value);
+    }
+
+    /// Merges data-volume facts into the most recent log record for stage
+    /// `name`. Operators call this after the stage barrier, once output
+    /// sizes are known. Unknown names are ignored (the annotation is
+    /// advisory, never load-bearing).
+    pub fn annotate_last_stage(&self, name: &str, io: StageIo) {
+        self.log.lock().annotate_last(name, io);
     }
 
     /// Number of workers.
@@ -270,14 +307,17 @@ impl Executor {
     {
         let start = Instant::now();
         let (result, counters) = self.try_run_tasks(name, n, &task, &policy);
-        self.log.lock().push(StageMetric {
+        let metric = StageMetric {
             name: name.to_owned(),
             wall: start.elapsed(),
             tasks: n,
             attempts: counters.attempts,
             retries: counters.retries,
             skipped: counters.skipped,
-        });
+            io: StageIo::default(),
+        };
+        self.observer.stage(&metric);
+        self.log.lock().push(metric);
         result.map(|results| {
             let skipped: Vec<usize> =
                 results.iter().enumerate().filter_map(|(i, r)| r.is_none().then_some(i)).collect();
@@ -425,14 +465,17 @@ impl Executor {
     pub fn time_stage<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
         let start = Instant::now();
         let out = f();
-        self.log.lock().push(StageMetric {
+        let metric = StageMetric {
             name: name.to_owned(),
             wall: start.elapsed(),
             tasks: 1,
             attempts: 1,
             retries: 0,
             skipped: 0,
-        });
+            io: StageIo::default(),
+        };
+        self.observer.stage(&metric);
+        self.log.lock().push(metric);
         out
     }
 
@@ -646,6 +689,34 @@ mod tests {
             }
             other => panic!("unexpected error: {other}"),
         }
+    }
+
+    #[test]
+    fn observer_sees_stages_and_counters() {
+        let mut exec = Executor::new(2);
+        let collector = crate::observer::TraceCollector::new();
+        exec.set_observer(collector.clone());
+        assert!(exec.observer().is_on());
+        exec.run_stage("obs", 4, |i| i);
+        exec.emit_counter("domain/things", 7);
+        exec.emit_counter("domain/things", 3);
+        assert_eq!(collector.stages_seen(), 1);
+        assert_eq!(collector.counters()["domain/things"], 10);
+        exec.clear_observer();
+        exec.emit_counter("domain/things", 99);
+        assert_eq!(collector.counters()["domain/things"], 10, "cleared observer gets nothing");
+        assert!(!exec.observer().is_on());
+    }
+
+    #[test]
+    fn annotate_last_stage_merges_io() {
+        let exec = Executor::new(2);
+        exec.run_stage("annotated", 4, |i| i);
+        exec.annotate_last_stage("annotated", StageIo::items(40, 20));
+        exec.annotate_last_stage("absent", StageIo::items(1, 1)); // ignored
+        let log = exec.stage_log();
+        assert_eq!(log.find("annotated").unwrap().io.items_in, 40);
+        assert_eq!(log.find("annotated").unwrap().io.items_out, 20);
     }
 
     #[test]

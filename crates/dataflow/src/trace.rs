@@ -1,0 +1,188 @@
+//! Versioned run reports: the serializable view of one pipeline run.
+//!
+//! A [`RunTrace`] bundles everything the evaluation protocol of the paper's
+//! §6.2 needs — per-stage wall times (Figure 5's stacked stage bars), the
+//! matching phase's share, worker/partition counts (the Figure 6 speedup
+//! axis), fault counters, and the domain counters emitted by blocking and
+//! matching (block/comparison cardinalities in the spirit of Table 6).
+//!
+//! The JSON layout is versioned via [`TRACE_SCHEMA_VERSION`]; consumers
+//! must check it ([`RunTrace::validate`] does) before interpreting fields.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{StageLog, StageMetric};
+
+/// Version of the JSON report layout produced by [`RunTrace::to_json`].
+///
+/// Bump on any breaking change to field names or semantics.
+pub const TRACE_SCHEMA_VERSION: u32 = 1;
+
+/// A complete, serializable record of one pipeline run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunTrace {
+    /// Report layout version; equals [`TRACE_SCHEMA_VERSION`] at write time.
+    pub schema_version: u32,
+    /// Worker threads the executor ran with.
+    pub workers: usize,
+    /// Partitions per collection (tasks per stage).
+    pub partitions: usize,
+    /// End-to-end wall time of the run, barriers included.
+    pub total_wall: Duration,
+    /// Every executed stage in order, with wall time, task counts, fault
+    /// counters, and data-volume annotations.
+    pub stages: Vec<StageMetric>,
+    /// Domain counters emitted during the run (summed per name), e.g.
+    /// `blocking/token_blocks_built` or `matching/r1_matches`.
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl RunTrace {
+    /// Assembles a trace from a finished run: the executor's stage log
+    /// snapshot plus the counters a
+    /// [`crate::observer::TraceCollector`] accumulated.
+    pub fn capture(
+        workers: usize,
+        partitions: usize,
+        total_wall: Duration,
+        stages: &StageLog,
+        counters: BTreeMap<String, u64>,
+    ) -> Self {
+        Self {
+            schema_version: TRACE_SCHEMA_VERSION,
+            workers,
+            partitions,
+            total_wall,
+            stages: stages.iter().cloned().collect(),
+            counters,
+        }
+    }
+
+    /// Serializes the trace as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("RunTrace serialization cannot fail")
+    }
+
+    /// Parses a trace previously produced by [`Self::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// The value of a counter, or 0 if it was never emitted.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Summed wall time of all recorded stages (≤ `total_wall`, which also
+    /// covers sequential glue between stages).
+    pub fn total_stage_wall(&self) -> Duration {
+        self.stages.iter().map(|s| s.wall).sum()
+    }
+
+    /// Summed wall time of stages whose name matches `pred` — e.g. the
+    /// matching share of Figure 6 via `|n| n.starts_with("matching/")`.
+    pub fn stage_wall_matching<F>(&self, pred: &F) -> Duration
+    where
+        F: Fn(&str) -> bool + ?Sized,
+    {
+        self.stages.iter().filter(|s| pred(&s.name)).map(|s| s.wall).sum()
+    }
+
+    /// Structural sanity check used by report consumers (the bench harness
+    /// and CI validate every written `BENCH_pipeline.json` through this).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema_version != TRACE_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported trace schema version {} (expected {TRACE_SCHEMA_VERSION})",
+                self.schema_version
+            ));
+        }
+        if self.workers == 0 {
+            return Err("trace reports zero workers".into());
+        }
+        if self.partitions == 0 {
+            return Err("trace reports zero partitions".into());
+        }
+        if self.stages.is_empty() {
+            return Err("trace records no stages".into());
+        }
+        for stage in &self.stages {
+            if stage.name.is_empty() {
+                return Err("trace contains an unnamed stage".into());
+            }
+            if stage.attempts < stage.tasks.saturating_sub(stage.skipped) {
+                return Err(format!(
+                    "stage '{}' reports fewer attempts ({}) than completed tasks ({})",
+                    stage.name,
+                    stage.attempts,
+                    stage.tasks.saturating_sub(stage.skipped)
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{StageIo, StageMetric};
+
+    fn sample() -> RunTrace {
+        let mut log = StageLog::default();
+        log.push(StageMetric::clean("blocking/tokens", Duration::from_micros(1500), 4));
+        log.push(StageMetric::clean("matching/r1", Duration::from_micros(700), 4));
+        log.annotate_last(
+            "blocking/tokens",
+            StageIo { items_in: 100, items_out: 80, shuffle_bytes: 640, max_partition_items: 30 },
+        );
+        let mut counters = BTreeMap::new();
+        counters.insert("matching/r1_matches".to_owned(), 12);
+        RunTrace::capture(4, 12, Duration::from_micros(3000), &log, counters)
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let trace = sample();
+        let json = trace.to_json();
+        let back = RunTrace::from_json(&json).unwrap();
+        assert_eq!(trace, back);
+        assert_eq!(back.counter("matching/r1_matches"), 12);
+        assert_eq!(back.counter("never_emitted"), 0);
+        assert_eq!(back.stages[0].io.shuffle_bytes, 640);
+    }
+
+    #[test]
+    fn wall_helpers_sum_stage_durations() {
+        let trace = sample();
+        assert_eq!(trace.total_stage_wall(), Duration::from_micros(2200));
+        assert_eq!(
+            trace.stage_wall_matching(&|n: &str| n.starts_with("matching/")),
+            Duration::from_micros(700)
+        );
+    }
+
+    #[test]
+    fn validate_accepts_sane_traces_and_rejects_bad_versions() {
+        let mut trace = sample();
+        trace.validate().unwrap();
+        trace.schema_version = 99;
+        assert!(trace.validate().unwrap_err().contains("schema version"));
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_shapes() {
+        let mut trace = sample();
+        trace.stages.clear();
+        assert!(trace.validate().is_err());
+        let mut trace = sample();
+        trace.workers = 0;
+        assert!(trace.validate().is_err());
+        let mut trace = sample();
+        trace.stages[0].attempts = 0;
+        assert!(trace.validate().is_err());
+    }
+}

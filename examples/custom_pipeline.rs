@@ -40,16 +40,17 @@ fn main() {
     println!("Loaded {n_left} + {n_right} triples.");
 
     // 2. A custom configuration: one name attribute, tighter candidate
-    //    lists, θ favoring neighbor evidence.
-    let config = MinoanerConfig {
-        name_attrs_k: 1,
-        top_k: 5,
-        n_relations: 2,
-        theta: 0.5,
-        ..MinoanerConfig::default()
-    };
+    //    lists, θ favoring neighbor evidence. The builder validates, so a
+    //    bad parameter is caught here instead of inside the pipeline.
+    let config = MinoanerConfig::builder()
+        .name_attrs_k(1)
+        .top_k(5)
+        .n_relations(2)
+        .theta(0.5)
+        .build()
+        .expect("parameters in range");
     let resolver = Minoaner::with_config(config);
-    let exec = Executor::new(2);
+    let mut exec = Executor::new(2);
 
     // 3. Run Algorithm 1 (blocking + graph) separately from Algorithm 2.
     let prepared = resolver.prepare(&exec, &pair);
@@ -83,9 +84,28 @@ fn main() {
     let names_only = resolver.match_prepared(&exec, &pair, &prepared, RuleSet::R1_ONLY);
     println!("\nR1 alone finds {} of them.", names_only.matches.len());
 
-    // 5. Stage timings recorded by the dataflow executor.
+    // 5. Stage timings and item flow recorded by the dataflow executor.
     println!("\nStages:");
-    for stage in exec.stage_log().stages() {
-        println!("  {:<28} {:>8.3} ms  ({} tasks)", stage.name, stage.wall.as_secs_f64() * 1e3, stage.tasks);
+    for stage in exec.stage_log().iter() {
+        println!(
+            "  {:<28} {:>8.3} ms  ({} tasks, {} → {} items)",
+            stage.name,
+            stage.wall.as_secs_f64() * 1e3,
+            stage.tasks,
+            stage.io.items_in,
+            stage.io.items_out,
+        );
+    }
+
+    // 6. The same run end-to-end with a RunTrace: domain counters from
+    //    blocking and matching plus the annotated stage log, exportable
+    //    as versioned JSON (`minoaner resolve --report run.json` does the
+    //    same from the CLI).
+    let (_, trace) = resolver
+        .try_resolve_traced(&mut exec, &pair, RuleSet::FULL)
+        .expect("pipeline runs");
+    println!("\nCounters:");
+    for (name, value) in &trace.counters {
+        println!("  {name:<36} {value}");
     }
 }

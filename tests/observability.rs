@@ -1,0 +1,85 @@
+//! Integration tests for the observability layer: run traces captured
+//! through [`Minoaner::try_resolve_traced`] must round-trip through JSON
+//! exactly, must not perturb resolution results, and their domain
+//! counters must mirror the in-memory [`minoaner::core::RuleCounts`].
+
+use minoaner::datagen::{generate, profiles, GeneratedDataset};
+use minoaner::dataflow::RunTrace;
+use minoaner::{Executor, Minoaner, RuleSet};
+
+fn dataset() -> GeneratedDataset {
+    generate(&profiles::restaurant().scaled(0.4))
+}
+
+#[test]
+fn trace_json_round_trip_is_exact() {
+    let d = dataset();
+    let mut exec = Executor::new(2);
+    let (_, trace) =
+        Minoaner::new().try_resolve_traced(&mut exec, &d.pair, RuleSet::FULL).unwrap();
+    trace.validate().expect("captured trace validates");
+    let back = RunTrace::from_json(&trace.to_json()).expect("trace JSON parses");
+    assert_eq!(trace, back, "JSON round-trip must be lossless");
+}
+
+#[test]
+fn observer_does_not_perturb_resolution() {
+    let d = dataset();
+    let mut exec = Executor::new(3);
+    let m = Minoaner::new();
+
+    let plain = m.try_resolve(&exec, &d.pair).unwrap();
+    let (traced, _) = m.try_resolve_traced(&mut exec, &d.pair, RuleSet::FULL).unwrap();
+
+    let mut a = plain.matches.clone();
+    let mut b = traced.matches.clone();
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b, "observer-on run must find the same matches");
+    assert_eq!(plain.rule_counts, traced.rule_counts);
+
+    // The observer was detached afterwards: a later plain run still works
+    // and the executor reports no observer.
+    assert!(!exec.observer().is_on(), "observer detached after traced run");
+    let again = m.try_resolve(&exec, &d.pair).unwrap();
+    assert_eq!(again.matches.len(), plain.matches.len());
+}
+
+#[test]
+fn per_rule_trace_counters_mirror_rule_counts() {
+    let d = dataset();
+    let mut exec = Executor::new(2);
+    let (res, trace) =
+        Minoaner::new().try_resolve_traced(&mut exec, &d.pair, RuleSet::FULL).unwrap();
+
+    let c = res.rule_counts;
+    assert_eq!(trace.counter("matching/r1_matches"), c.r1 as u64);
+    assert_eq!(trace.counter("matching/r2_matches"), c.r2 as u64);
+    assert_eq!(trace.counter("matching/r3_matches"), c.r3 as u64);
+    assert_eq!(trace.counter("matching/r4_removed"), c.removed_by_r4 as u64);
+    assert_eq!(trace.counter("matching/total_matches"), res.matches.len() as u64);
+}
+
+#[test]
+fn trace_records_stage_io_and_blocking_counters() {
+    let d = dataset();
+    let mut exec = Executor::new(2);
+    let (_, trace) =
+        Minoaner::new().try_resolve_traced(&mut exec, &d.pair, RuleSet::FULL).unwrap();
+
+    assert!(trace.counter("blocking/token_blocks_built") > 0);
+    assert!(trace.counter("blocking/token_block_comparisons") > 0);
+    assert!(trace.counter("blocking/name_blocks_built") > 0);
+    assert!(
+        trace.counter("blocking/alpha_pairs") > 0,
+        "restaurant world must yield α-edges: {:?}",
+        trace.counters
+    );
+
+    assert!(!trace.stages.is_empty());
+    assert!(
+        trace.stages.iter().any(|s| s.io.items_in > 0 && s.io.items_out > 0),
+        "at least one stage is annotated with item flow"
+    );
+    assert!(trace.total_stage_wall() <= trace.total_wall + trace.total_wall);
+}

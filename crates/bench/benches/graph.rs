@@ -1,0 +1,243 @@
+//! Blocking-graph kernel bench (Algorithm 1) over a datagen world at
+//! worker counts 1/2/4/8, in two parts:
+//!
+//! 1. An instrumented sweep: blocking inputs (purged token blocks, name
+//!    blocks, relation stats) are prepared once, then each worker count
+//!    runs `build_blocking_graph` `MINOANER_REPS` times under a
+//!    [`TraceCollector`]; the per-run [`RunTrace`]s are condensed into
+//!    `BENCH_graph.json` (schema in `minoaner_bench`), including the wall
+//!    of the `graph/gamma*` and `graph/beta/*` stages and the graph's
+//!    weight digest per point. The pre-rewrite sequential kernel
+//!    (`minoaner_blocking::reference`, compiled via the `reference-impl`
+//!    feature) is timed on the same inputs for the speedup-vs-reference
+//!    column. The binary re-reads and validates what it wrote — the
+//!    validation rejects digest or candidate-count drift across worker
+//!    counts, so a passing run is itself determinism evidence — and exits
+//!    nonzero on any violation (CI's gate).
+//! 2. A criterion group (`graph/build`) over the same worker counts, plus
+//!    `graph/build_reference` for the old kernel.
+//!
+//! Env knobs: `MINOANER_SCALE` (dataset size, default 1.0),
+//! `MINOANER_REPS` (sweep repetitions, default 3), `MINOANER_BENCH_OUT`
+//! (report path, default `BENCH_graph.json`).
+
+use criterion::Criterion;
+use minoaner_bench::{GraphBenchPoint, GraphReport, GRAPH_BENCH_SCHEMA_VERSION};
+use minoaner_blocking::graph::{build_blocking_graph, BlockingGraph, GraphConfig};
+use minoaner_blocking::name::build_name_blocks;
+use minoaner_blocking::purge::purge_blocks;
+use minoaner_blocking::reference::build_blocking_graph_reference;
+use minoaner_blocking::token::build_token_blocks;
+use minoaner_blocking::{NameBlocks, TokenBlocks};
+use minoaner_core::Minoaner;
+use minoaner_dataflow::{Executor, RunTrace, TraceCollector, TRACE_SCHEMA_VERSION};
+use minoaner_datagen::profiles;
+use minoaner_eval::{dataset_at_scale, scale_from_env};
+use minoaner_kb::stats::{NameStats, RelationStats};
+use minoaner_kb::{KbPair, Side};
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::time::Instant;
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Everything Algorithm 1 consumes, prepared once and shared by every
+/// point of the sweep (the bench isolates the graph kernel, not blocking).
+struct GraphInputs {
+    pair: KbPair,
+    rels: RelationStats,
+    token_blocks: TokenBlocks,
+    name_blocks: NameBlocks,
+    cfg: GraphConfig,
+}
+
+fn prepare_inputs(pair: KbPair) -> GraphInputs {
+    let config = *Minoaner::new().config();
+    let rels = RelationStats::compute(&pair);
+    let name_stats = NameStats::compute(&pair, config.name_attrs_k);
+    let mut token_blocks = build_token_blocks(&pair);
+    let total_entities = pair.kb(Side::Left).len() + pair.kb(Side::Right).len();
+    purge_blocks(&mut token_blocks, total_entities);
+    let name_blocks = build_name_blocks(&pair, &name_stats);
+    let cfg = GraphConfig {
+        top_k: config.top_k,
+        n_relations: config.n_relations,
+        ..GraphConfig::default()
+    };
+    GraphInputs { pair, rels, token_blocks, name_blocks, cfg }
+}
+
+fn build(inputs: &GraphInputs, exec: &Executor) -> BlockingGraph {
+    build_blocking_graph(
+        exec,
+        &inputs.pair,
+        &inputs.rels,
+        &inputs.token_blocks,
+        &inputs.name_blocks,
+        &inputs.cfg,
+    )
+}
+
+fn candidate_totals(inputs: &GraphInputs, graph: &BlockingGraph) -> (u64, u64) {
+    let (mut value, mut neighbor) = (0u64, 0u64);
+    for side in [Side::Left, Side::Right] {
+        for (e, _) in inputs.pair.kb(side).iter() {
+            value += graph.value_candidates(side, e).len() as u64;
+            neighbor += graph.neighbor_candidates(side, e).len() as u64;
+        }
+    }
+    (value, neighbor)
+}
+
+fn sweep(inputs: &GraphInputs, scale: f64, reps: usize) -> GraphReport {
+    // Pre-rewrite sequential kernel on the identical inputs: the speedup
+    // baseline, and a bit-equality cross-check against the new kernel.
+    let mut reference_wall_ms: Vec<f64> = Vec::with_capacity(reps);
+    let mut reference_digest = 0u64;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let g = build_blocking_graph_reference(
+            &inputs.pair,
+            &inputs.rels,
+            &inputs.token_blocks,
+            &inputs.name_blocks,
+            &inputs.cfg,
+        );
+        reference_wall_ms.push(t0.elapsed().as_secs_f64() * 1000.0);
+        reference_digest = g.weight_digest();
+    }
+    let reference_wall_ms_mean =
+        reference_wall_ms.iter().sum::<f64>() / reference_wall_ms.len() as f64;
+
+    let mut points: Vec<GraphBenchPoint> = Vec::new();
+    let mut baseline_mean_ms = 0.0f64;
+    for workers in WORKER_COUNTS {
+        let mut exec = Executor::new(workers);
+        let mut wall_ms: Vec<f64> = Vec::with_capacity(reps);
+        let mut gamma_ms: Vec<f64> = Vec::with_capacity(reps);
+        let mut beta_ms: Vec<f64> = Vec::with_capacity(reps);
+        let mut last = None;
+        for _ in 0..reps {
+            exec.reset_metrics();
+            let collector = TraceCollector::new();
+            exec.set_observer(collector.clone());
+            let t0 = Instant::now();
+            let graph = build(inputs, &exec);
+            let total = t0.elapsed();
+            exec.clear_observer();
+            let trace = RunTrace::capture(
+                exec.workers(),
+                exec.partitions(),
+                total,
+                &exec.stage_log(),
+                collector.counters(),
+            );
+            trace.validate().expect("graph bench trace failed validation");
+            wall_ms.push(total.as_secs_f64() * 1000.0);
+            gamma_ms.push(trace.stage_wall_prefix("graph/gamma").as_secs_f64() * 1000.0);
+            beta_ms.push(trace.stage_wall_prefix("graph/beta").as_secs_f64() * 1000.0);
+            last = Some(graph);
+        }
+        let graph = last.expect("reps ≥ 1");
+        let digest = graph.weight_digest();
+        assert_eq!(
+            digest, reference_digest,
+            "new kernel diverged from the reference kernel at {workers} workers"
+        );
+        let (value_candidates, neighbor_candidates) = candidate_totals(inputs, &graph);
+        let mean = wall_ms.iter().sum::<f64>() / wall_ms.len() as f64;
+        let min = wall_ms.iter().cloned().fold(f64::INFINITY, f64::min);
+        if workers == WORKER_COUNTS[0] {
+            baseline_mean_ms = mean;
+        }
+        points.push(GraphBenchPoint {
+            workers,
+            partitions: exec.partitions(),
+            wall_ms_mean: mean,
+            wall_ms_min: min,
+            speedup: baseline_mean_ms / mean,
+            gamma_wall_ms: gamma_ms.iter().sum::<f64>() / gamma_ms.len() as f64,
+            beta_wall_ms: beta_ms.iter().sum::<f64>() / beta_ms.len() as f64,
+            value_candidates,
+            neighbor_candidates,
+            weight_digest: digest,
+        });
+        let p = points.last().expect("just pushed");
+        eprintln!(
+            "graph sweep: {workers} workers → {mean:.1} ms mean (γ {:.1} ms, β {:.1} ms)",
+            p.gamma_wall_ms, p.beta_wall_ms
+        );
+    }
+
+    GraphReport {
+        schema_version: GRAPH_BENCH_SCHEMA_VERSION,
+        trace_schema_version: TRACE_SCHEMA_VERSION,
+        dataset: "restaurant".into(),
+        scale,
+        reps,
+        reference_wall_ms_mean,
+        speedup_vs_reference: reference_wall_ms_mean / points[0].wall_ms_mean,
+        points,
+    }
+}
+
+fn criterion_sweep(inputs: &GraphInputs) {
+    let mut c = Criterion::default().configure_from_args();
+    let mut group = c.benchmark_group("graph/build");
+    group.sample_size(10);
+    for workers in WORKER_COUNTS {
+        let exec = Executor::new(workers);
+        group.bench_function(format!("workers/{workers}"), |b| {
+            b.iter(|| black_box(build(inputs, &exec)))
+        });
+    }
+    group.bench_function("reference", |b| {
+        b.iter(|| {
+            black_box(build_blocking_graph_reference(
+                &inputs.pair,
+                &inputs.rels,
+                &inputs.token_blocks,
+                &inputs.name_blocks,
+                &inputs.cfg,
+            ))
+        })
+    });
+    group.finish();
+    c.final_summary();
+}
+
+fn main() -> ExitCode {
+    let scale = scale_from_env();
+    let reps: usize =
+        std::env::var("MINOANER_REPS").ok().and_then(|s| s.parse().ok()).unwrap_or(3).max(1);
+    let out_path =
+        std::env::var("MINOANER_BENCH_OUT").unwrap_or_else(|_| "BENCH_graph.json".into());
+
+    let dataset = dataset_at_scale(&profiles::restaurant(), scale);
+    let inputs = prepare_inputs(dataset.pair);
+    let report = sweep(&inputs, scale, reps);
+    std::fs::write(&out_path, report.to_json()).expect("cannot write bench report");
+    eprintln!(
+        "wrote {out_path} ({} points, {:.2}× vs reference kernel)",
+        report.points.len(),
+        report.speedup_vs_reference
+    );
+
+    // Validate what actually landed on disk, not the in-memory value:
+    // this is the schema/determinism gate CI relies on.
+    let on_disk = std::fs::read_to_string(&out_path).expect("cannot re-read bench report");
+    let parsed = match GraphReport::from_json(&on_disk) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {out_path} is not valid report JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = parsed.validate() {
+        eprintln!("error: {out_path} failed schema validation: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    criterion_sweep(&inputs);
+    ExitCode::SUCCESS
+}

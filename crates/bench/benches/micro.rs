@@ -1,13 +1,52 @@
-//! Criterion micro-benchmarks for the hot paths: value-similarity kernel,
-//! token blocking, blocking-graph construction, and the full matching
-//! phase (Algorithm 2) on a prepared graph.
+//! Criterion micro-benchmarks for the hot paths: tokenization and the
+//! N-Triples parser path it feeds, value-similarity kernel, token
+//! blocking, blocking-graph construction, and the full matching phase
+//! (Algorithm 2) on a prepared graph.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use minoaner_core::{Minoaner, RuleSet};
 use minoaner_dataflow::Executor;
 use minoaner_datagen::{generate, profiles};
+use minoaner_kb::parser::{load_ntriples, write_ntriples};
 use minoaner_kb::stats::{value_sim, TokenEf};
+use minoaner_kb::tokenize::tokenize;
+use minoaner_kb::{KbPairBuilder, Side, Term};
 use std::hint::black_box;
+
+fn bench_tokenize(c: &mut Criterion) {
+    // A realistic literal mix: mostly-lowercase values (the zero-copy
+    // path) plus cased and punctuated ones that must case-fold.
+    let d = generate(&profiles::restaurant());
+    let doc = write_ntriples(&d.pair, Side::Left);
+    c.bench_function("tokenize/ntriples_doc", |b| {
+        b.iter(|| {
+            let mut count = 0usize;
+            let mut bytes = 0usize;
+            for line in doc.lines() {
+                for tok in tokenize(black_box(line)) {
+                    count += 1;
+                    bytes += tok.len();
+                }
+            }
+            black_box((count, bytes))
+        })
+    });
+}
+
+fn bench_parser_path(c: &mut Criterion) {
+    // End-to-end parser path: every parsed literal runs through
+    // normalize_name + tokenize during interning.
+    let d = generate(&profiles::restaurant());
+    let doc = write_ntriples(&d.pair, Side::Left);
+    c.bench_function("parser/load_ntriples", |b| {
+        b.iter(|| {
+            let mut builder = KbPairBuilder::new();
+            let n = load_ntriples(&mut builder, Side::Left, black_box(&doc)).expect("parses");
+            builder.add_triple(Side::Right, "r", "p", Term::Literal("x"));
+            black_box((n, builder.finish()))
+        })
+    });
+}
 
 fn bench_value_sim(c: &mut Criterion) {
     let d = generate(&profiles::restaurant());
@@ -50,5 +89,13 @@ fn bench_matching(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_value_sim, bench_token_blocking, bench_graph_construction, bench_matching);
+criterion_group!(
+    benches,
+    bench_tokenize,
+    bench_parser_path,
+    bench_value_sim,
+    bench_token_blocking,
+    bench_graph_construction,
+    bench_matching
+);
 criterion_main!(benches);

@@ -137,6 +137,172 @@ impl PipelineReport {
     }
 }
 
+/// Version of the `BENCH_graph.json` schema. Bump on breaking changes to
+/// [`GraphReport`].
+pub const GRAPH_BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// One worker count of the blocking-graph kernel sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphBenchPoint {
+    /// Dataflow workers used for this point.
+    pub workers: usize,
+    /// Partitions the executor derived from the worker count.
+    pub partitions: usize,
+    /// Mean graph-construction wall time over the repetitions, milliseconds.
+    pub wall_ms_mean: f64,
+    /// Fastest repetition, milliseconds.
+    pub wall_ms_min: f64,
+    /// Speedup vs the 1-worker mean (first point ≡ 1.0).
+    pub speedup: f64,
+    /// Mean wall of the `graph/gamma*` stages (union + row pass +
+    /// transpose), milliseconds. The acceptance evidence that the γ pass
+    /// actually parallelizes lives in this column.
+    pub gamma_wall_ms: f64,
+    /// Mean wall of the `graph/beta/*` stages, milliseconds.
+    pub beta_wall_ms: f64,
+    /// Retained value (β) candidates across both sides.
+    pub value_candidates: u64,
+    /// Retained neighbor (γ) candidates across both sides.
+    pub neighbor_candidates: u64,
+    /// [`minoaner_blocking::BlockingGraph::weight_digest`] of the built
+    /// graph — must be identical across worker counts (determinism gate).
+    pub weight_digest: u64,
+}
+
+/// The top-level contents of `BENCH_graph.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphReport {
+    /// [`GRAPH_BENCH_SCHEMA_VERSION`] at write time.
+    pub schema_version: u32,
+    /// [`minoaner_dataflow::TRACE_SCHEMA_VERSION`] of the traces the
+    /// points were extracted from.
+    pub trace_schema_version: u32,
+    /// Datagen profile name.
+    pub dataset: String,
+    /// `MINOANER_SCALE` the dataset was generated at.
+    pub scale: f64,
+    /// Repetitions per worker count.
+    pub reps: usize,
+    /// Mean wall of the pre-rewrite sequential kernel
+    /// (`minoaner_blocking::reference`), milliseconds, same repetitions.
+    pub reference_wall_ms_mean: f64,
+    /// `reference_wall_ms_mean / points[0].wall_ms_mean` — the rewrite's
+    /// single-threaded speedup over the old kernel.
+    pub speedup_vs_reference: f64,
+    /// One point per worker count, ascending.
+    pub points: Vec<GraphBenchPoint>,
+}
+
+impl GraphReport {
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("GraphReport serialization cannot fail")
+    }
+
+    /// Parses a report previously produced by [`Self::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Checks the report against the schema invariants, returning the
+    /// first violation. Runs after writing `BENCH_graph.json` (and in CI).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema_version != GRAPH_BENCH_SCHEMA_VERSION {
+            return Err(format!(
+                "schema_version {} does not match supported version {GRAPH_BENCH_SCHEMA_VERSION}",
+                self.schema_version
+            ));
+        }
+        if self.trace_schema_version != minoaner_dataflow::TRACE_SCHEMA_VERSION {
+            return Err(format!(
+                "trace_schema_version {} does not match supported version {}",
+                self.trace_schema_version,
+                minoaner_dataflow::TRACE_SCHEMA_VERSION
+            ));
+        }
+        if self.dataset.is_empty() {
+            return Err("dataset name is empty".into());
+        }
+        if !(self.scale > 0.0) {
+            return Err(format!("scale must be positive, got {}", self.scale));
+        }
+        if self.reps == 0 {
+            return Err("reps must be ≥ 1".into());
+        }
+        if self.points.is_empty() {
+            return Err("no bench points recorded".into());
+        }
+        let mut prev_workers = 0usize;
+        for (i, p) in self.points.iter().enumerate() {
+            if p.workers <= prev_workers {
+                return Err(format!(
+                    "point {i}: worker counts must be positive and strictly ascending \
+                     ({prev_workers} then {})",
+                    p.workers
+                ));
+            }
+            prev_workers = p.workers;
+            if p.partitions < p.workers {
+                return Err(format!(
+                    "point {i}: {} partitions cannot be fewer than {} workers",
+                    p.partitions, p.workers
+                ));
+            }
+            if !(p.wall_ms_mean > 0.0) || !(p.wall_ms_min > 0.0) {
+                return Err(format!("point {i}: wall times must be positive"));
+            }
+            if p.wall_ms_min > p.wall_ms_mean {
+                return Err(format!(
+                    "point {i}: min wall time {} exceeds mean {}",
+                    p.wall_ms_min, p.wall_ms_mean
+                ));
+            }
+            if !(p.speedup > 0.0) {
+                return Err(format!("point {i}: speedup must be positive, got {}", p.speedup));
+            }
+            if !(p.gamma_wall_ms >= 0.0) || !(p.beta_wall_ms >= 0.0) {
+                return Err(format!("point {i}: stage walls must be finite and non-negative"));
+            }
+        }
+        if (self.points[0].speedup - 1.0).abs() > 1e-9 {
+            return Err(format!(
+                "first point is the speedup baseline and must be 1.0, got {}",
+                self.points[0].speedup
+            ));
+        }
+        let first = &self.points[0];
+        for (i, p) in self.points.iter().enumerate().skip(1) {
+            if p.weight_digest != first.weight_digest {
+                return Err(format!(
+                    "point {i}: weight digest {:#018x} differs from the 1-worker digest \
+                     {:#018x} (nondeterminism across worker counts)",
+                    p.weight_digest, first.weight_digest
+                ));
+            }
+            if p.value_candidates != first.value_candidates
+                || p.neighbor_candidates != first.neighbor_candidates
+            {
+                return Err(format!(
+                    "point {i}: candidate counts differ across worker counts (nondeterminism)"
+                ));
+            }
+        }
+        if !(self.reference_wall_ms_mean > 0.0) {
+            return Err("reference kernel wall time must be positive".into());
+        }
+        let expected = self.reference_wall_ms_mean / first.wall_ms_mean;
+        if !(self.speedup_vs_reference > 0.0)
+            || (self.speedup_vs_reference - expected).abs() > 1e-6 * expected.max(1.0)
+        {
+            return Err(format!(
+                "speedup_vs_reference {} inconsistent with reference {} / baseline {} ms",
+                self.speedup_vs_reference, self.reference_wall_ms_mean, first.wall_ms_mean
+            ));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,5 +366,74 @@ mod tests {
         let mut r = sample();
         r.points.clear();
         assert!(r.validate().is_err());
+    }
+
+    fn graph_sample() -> GraphReport {
+        let point = |workers: usize, mean: f64| GraphBenchPoint {
+            workers,
+            partitions: workers * 3,
+            wall_ms_mean: mean,
+            wall_ms_min: mean * 0.9,
+            speedup: 30.0 / mean,
+            gamma_wall_ms: mean * 0.4,
+            beta_wall_ms: mean * 0.3,
+            value_candidates: 4200,
+            neighbor_candidates: 3100,
+            weight_digest: 0xDEAD_BEEF_CAFE_F00D,
+        };
+        GraphReport {
+            schema_version: GRAPH_BENCH_SCHEMA_VERSION,
+            trace_schema_version: minoaner_dataflow::TRACE_SCHEMA_VERSION,
+            dataset: "restaurant".into(),
+            scale: 1.0,
+            reps: 3,
+            reference_wall_ms_mean: 75.0,
+            speedup_vs_reference: 75.0 / 30.0,
+            points: vec![point(1, 30.0), point(2, 18.0), point(4, 11.0), point(8, 8.0)],
+        }
+    }
+
+    #[test]
+    fn graph_report_round_trips_and_validates() {
+        let report = graph_sample();
+        report.validate().expect("sample is valid");
+        let back = GraphReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn graph_validation_rejects_digest_drift_across_workers() {
+        let mut r = graph_sample();
+        r.points[2].weight_digest ^= 1;
+        assert!(r.validate().unwrap_err().contains("digest"));
+    }
+
+    #[test]
+    fn graph_validation_rejects_candidate_count_drift() {
+        let mut r = graph_sample();
+        r.points[3].neighbor_candidates += 1;
+        assert!(r.validate().unwrap_err().contains("candidate counts"));
+    }
+
+    #[test]
+    fn graph_validation_rejects_inconsistent_reference_speedup() {
+        let mut r = graph_sample();
+        r.speedup_vs_reference *= 2.0;
+        assert!(r.validate().unwrap_err().contains("speedup_vs_reference"));
+
+        let mut r = graph_sample();
+        r.reference_wall_ms_mean = 0.0;
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn graph_validation_rejects_schema_drift_and_bad_baseline() {
+        let mut r = graph_sample();
+        r.schema_version += 1;
+        assert!(r.validate().unwrap_err().contains("schema_version"));
+
+        let mut r = graph_sample();
+        r.points[0].speedup = 0.5;
+        assert!(r.validate().unwrap_err().contains("baseline"));
     }
 }

@@ -5,7 +5,7 @@
 //! `b2 ⊆ E2` (§3 of the paper), and the comparisons it suggests are
 //! `|b1| · |b2|`.
 
-use minoaner_kb::{EntityId, LiteralId, TokenId};
+use minoaner_kb::{EntityId, LiteralId, Side, TokenId};
 
 /// A bipartite block: the entities of each KB indexed under one key.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -25,6 +25,15 @@ impl Block {
     /// Whether the block suggests at least one comparison.
     pub fn is_active(&self) -> bool {
         !self.left.is_empty() && !self.right.is_empty()
+    }
+
+    /// The block's members on one side (sorted, deduplicated).
+    #[inline]
+    pub fn members(&self, side: Side) -> &[EntityId] {
+        match side {
+            Side::Left => &self.left,
+            Side::Right => &self.right,
+        }
     }
 }
 
@@ -89,6 +98,8 @@ mod tests {
         let b = Block { left: vec![EntityId(0), EntityId(1)], right: vec![EntityId(0), EntityId(1), EntityId(2)] };
         assert_eq!(b.comparisons(), 6);
         assert!(b.is_active());
+        assert_eq!(b.members(Side::Left), &b.left[..]);
+        assert_eq!(b.members(Side::Right), &b.right[..]);
     }
 
     #[test]

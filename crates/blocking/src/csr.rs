@@ -1,0 +1,162 @@
+//! Compressed-sparse-row (CSR) indexes for the graph kernel.
+//!
+//! The β pass walks two adjacency structures per side — entity → blocks
+//! and block → opposite-side members. As `Vec<Vec<_>>` those are one heap
+//! allocation per row and a pointer chase per access; as CSR they are one
+//! offsets array plus one flat `u32` payload array, cache-friendly and
+//! trivially shareable read-only across executor tasks.
+
+use minoaner_kb::Side;
+
+use crate::block::TokenBlocks;
+
+/// An immutable row-indexed adjacency: `row(i)` is a slice of the flat
+/// payload array. Rows preserve the order their elements were emitted in
+/// (ascending, for the builders here).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Csr {
+    /// `rows + 1` offsets into `data`; row `i` spans
+    /// `data[offsets[i]..offsets[i + 1]]`.
+    offsets: Vec<usize>,
+    /// All rows' elements, concatenated.
+    data: Vec<u32>,
+}
+
+impl Csr {
+    /// Builds from per-row element counts and a fill pass. `counts[i]` must
+    /// equal the number of `(i, v)` pairs `emit` produces; `emit` may yield
+    /// pairs in any row order but per-row element order is preserved.
+    fn from_counts(counts: &[usize], emit: impl FnOnce(&mut dyn FnMut(usize, u32))) -> Self {
+        let mut offsets = Vec::with_capacity(counts.len() + 1);
+        let mut total = 0usize;
+        offsets.push(0);
+        for &c in counts {
+            total += c;
+            offsets.push(total);
+        }
+        let mut cursor: Vec<usize> = offsets[..counts.len()].to_vec();
+        let mut data = vec![0u32; total];
+        emit(&mut |row, value| {
+            data[cursor[row]] = value;
+            cursor[row] += 1;
+        });
+        debug_assert!(cursor.iter().zip(&offsets[1..]).all(|(c, o)| c == o), "fill count mismatch");
+        Self { offsets, data }
+    }
+
+    /// block index → the block's members on `side`, in the blocks' stored
+    /// (ascending entity id) order. Row index = position in
+    /// `blocks.blocks`.
+    pub fn block_members(blocks: &TokenBlocks, side: Side) -> Self {
+        let counts: Vec<usize> = blocks.blocks.iter().map(|(_, b)| b.members(side).len()).collect();
+        Self::from_counts(&counts, |push| {
+            for (bi, (_, b)) in blocks.blocks.iter().enumerate() {
+                for &e in b.members(side) {
+                    push(bi, e.0);
+                }
+            }
+        })
+    }
+
+    /// entity id (on `side`) → indices of the blocks containing it,
+    /// ascending. `n_entities` sizes the row space (entities in no block
+    /// get an empty row).
+    pub fn entity_blocks(blocks: &TokenBlocks, side: Side, n_entities: usize) -> Self {
+        let mut counts = vec![0usize; n_entities];
+        for (_, b) in &blocks.blocks {
+            for &e in b.members(side) {
+                counts[e.index()] += 1;
+            }
+        }
+        Self::from_counts(&counts, |push| {
+            for (bi, (_, b)) in blocks.blocks.iter().enumerate() {
+                let bi = u32::try_from(bi).expect("block count fits u32");
+                for &e in b.members(side) {
+                    push(e.index(), bi);
+                }
+            }
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The elements of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.data[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Length of row `i` without materializing the slice.
+    #[inline]
+    pub fn row_len(&self, i: usize) -> usize {
+        self.offsets[i + 1] - self.offsets[i]
+    }
+
+    /// Total elements across all rows.
+    pub fn total_len(&self) -> usize {
+        self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block;
+    use minoaner_kb::{EntityId, TokenId};
+
+    fn blocks() -> TokenBlocks {
+        let block = |l: &[u32], r: &[u32]| Block {
+            left: l.iter().map(|&i| EntityId(i)).collect(),
+            right: r.iter().map(|&i| EntityId(i)).collect(),
+        };
+        TokenBlocks {
+            blocks: vec![
+                (TokenId(0), block(&[0, 2], &[1])),
+                (TokenId(1), block(&[2], &[0, 1, 3])),
+                (TokenId(2), block(&[1, 2], &[3])),
+            ],
+        }
+    }
+
+    #[test]
+    fn block_members_mirrors_block_contents() {
+        let tb = blocks();
+        let left = Csr::block_members(&tb, Side::Left);
+        assert_eq!(left.rows(), 3);
+        assert_eq!(left.row(0), &[0, 2]);
+        assert_eq!(left.row(1), &[2]);
+        assert_eq!(left.row(2), &[1, 2]);
+        assert_eq!(left.total_len(), 5);
+        let right = Csr::block_members(&tb, Side::Right);
+        assert_eq!(right.row(1), &[0, 1, 3]);
+        assert_eq!(right.row_len(2), 1);
+    }
+
+    #[test]
+    fn entity_blocks_inverts_membership_ascending() {
+        let tb = blocks();
+        let eb = Csr::entity_blocks(&tb, Side::Left, 4);
+        assert_eq!(eb.rows(), 4);
+        assert_eq!(eb.row(0), &[0]);
+        assert_eq!(eb.row(1), &[2]);
+        assert_eq!(eb.row(2), &[0, 1, 2]);
+        assert_eq!(eb.row(3), &[] as &[u32]);
+        let eb_r = Csr::entity_blocks(&tb, Side::Right, 4);
+        assert_eq!(eb_r.row(1), &[0, 1]);
+        assert_eq!(eb_r.row(3), &[1, 2]);
+        assert_eq!(eb_r.row_len(2), 0);
+    }
+
+    #[test]
+    fn empty_collection_yields_empty_rows() {
+        let tb = TokenBlocks::default();
+        let m = Csr::block_members(&tb, Side::Left);
+        assert_eq!(m.rows(), 0);
+        let eb = Csr::entity_blocks(&tb, Side::Left, 2);
+        assert_eq!(eb.rows(), 2);
+        assert_eq!(eb.row(0), &[] as &[u32]);
+    }
+}

@@ -9,6 +9,7 @@
 //! provided here as an optional extra step and measured in the `ablations`
 //! bench.
 
+use minoaner_dataflow::{DetHashMap, DetHashSet};
 use minoaner_kb::{EntityId, Side};
 
 use crate::block::TokenBlocks;
@@ -50,7 +51,7 @@ pub fn filter_blocks(blocks: &mut TokenBlocks, ratio: f64) -> FilterReport {
 
     // For each side: entity → its block indices, sorted by block rank.
     for side in [Side::Left, Side::Right] {
-        let mut per_entity: std::collections::HashMap<EntityId, Vec<usize>> = Default::default();
+        let mut per_entity: DetHashMap<EntityId, Vec<usize>> = Default::default();
         for (bi, (_, b)) in blocks.blocks.iter().enumerate() {
             let members = match side {
                 Side::Left => &b.left,
@@ -60,7 +61,7 @@ pub fn filter_blocks(blocks: &mut TokenBlocks, ratio: f64) -> FilterReport {
                 per_entity.entry(e).or_default().push(bi);
             }
         }
-        let mut keep: std::collections::HashSet<(u32, usize)> = Default::default();
+        let mut keep: DetHashSet<(u32, usize)> = Default::default();
         for (e, mut bis) in per_entity {
             bis.sort_by_key(|&bi| rank[bi]);
             let k = ((ratio * bis.len() as f64).ceil() as usize).max(1).min(bis.len());

@@ -11,14 +11,36 @@
 //! As in the paper (Example 3.5), the graph is never materialized as an
 //! explicit edge list: it is represented by per-node candidate lists
 //! retrieved from the blocking indices.
-
-use std::collections::HashMap;
+//!
+//! # Kernel layout (see DESIGN.md §11)
+//!
+//! The construction kernel is built around flat, cache-friendly structures
+//! shared read-only across executor tasks:
+//!
+//! * the block→member and entity→block indexes are CSR arrays
+//!   ([`crate::csr::Csr`]), not `Vec<Vec<_>>`;
+//! * per-entity weight aggregation uses an epoch-stamped dense
+//!   sparse-accumulator ([`crate::accum::SparseAccumulator`]) — an array
+//!   add per contribution, no hashing, no per-entity allocation;
+//! * top-K pruning uses `select_nth_unstable_by` partial selection when a
+//!   candidate list exceeds K, sorting only the selected prefix;
+//! * the γ pass is sharded across the executor **by output row** (left
+//!   entity), then transposed for the right-side lists. Each γ cell is one
+//!   flat sum over the β edges sorted by `(i, j)`, so the result is
+//!   bit-identical for every worker count — and across runs, since no
+//!   randomly-seeded container is involved anywhere in the kernel.
+//!
+//! The pre-rewrite kernel is preserved verbatim in [`crate::reference`]
+//! (test/bench only); the equivalence proptests there pin this kernel to
+//! it with exact `f64` equality.
 
 use minoaner_dataflow::{Executor, StageIo};
 use minoaner_kb::stats::RelationStats;
 use minoaner_kb::{EntityId, KbPair, Side};
 
+use crate::accum::SparseAccumulator;
 use crate::block::{NameBlocks, TokenBlocks};
+use crate::csr::Csr;
 use crate::name::{alpha_pairs, alpha_pairs_dirty};
 
 /// Weighting scheme for the β (value) evidence pass.
@@ -97,6 +119,16 @@ pub struct BlockingGraph {
 }
 
 impl BlockingGraph {
+    /// Assembles a graph from its parts (crate-internal: the builder and
+    /// the reference implementation).
+    pub(crate) fn from_parts(
+        value_cands: [Vec<Vec<Candidate>>; 2],
+        neighbor_cands: [Vec<Vec<Candidate>>; 2],
+        alpha: Vec<(EntityId, EntityId)>,
+    ) -> Self {
+        Self { value_cands, neighbor_cands, alpha }
+    }
+
     /// The α evidence pairs (rule R1's input), sorted.
     pub fn alpha_pairs(&self) -> &[(EntityId, EntityId)] {
         &self.alpha
@@ -146,13 +178,63 @@ impl BlockingGraph {
             .sum();
         lists + 2 * self.alpha.len()
     }
+
+    /// An FNV-1a digest of every retained edge — ids and the exact `f64`
+    /// weight bits. Two graphs digest equal iff their candidate lists are
+    /// bit-identical; the `graph` bench records it per worker count as
+    /// determinism evidence.
+    pub fn weight_digest(&self) -> u64 {
+        fn fnv(h: u64, v: u64) -> u64 {
+            (h ^ v).wrapping_mul(0x0000_0100_0000_01B3)
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for lists in self.value_cands.iter().chain(self.neighbor_cands.iter()) {
+            for cands in lists {
+                h = fnv(h, cands.len() as u64);
+                for &(e, w) in cands {
+                    h = fnv(h, u64::from(e.0));
+                    h = fnv(h, w.to_bits());
+                }
+            }
+        }
+        for &(l, r) in &self.alpha {
+            h = fnv(h, (u64::from(l.0) << 32) | u64::from(r.0));
+        }
+        h
+    }
+}
+
+/// The CSR indexes the β passes run on, built once and shared read-only
+/// across tasks.
+pub(crate) struct GraphIndex {
+    /// Per side: block index → the block's members on that side.
+    members: [Csr; 2],
+    /// Per side: entity id → indices of the blocks containing it
+    /// (ascending). Row lengths double as the `|B_i|` block counts of
+    /// ECBS/JS.
+    entity_blocks: [Csr; 2],
+}
+
+impl GraphIndex {
+    pub(crate) fn build(pair: &KbPair, token_blocks: &TokenBlocks) -> Self {
+        Self {
+            members: [
+                Csr::block_members(token_blocks, Side::Left),
+                Csr::block_members(token_blocks, Side::Right),
+            ],
+            entity_blocks: [
+                Csr::entity_blocks(token_blocks, Side::Left, pair.kb(Side::Left).len()),
+                Csr::entity_blocks(token_blocks, Side::Right, pair.kb(Side::Right).len()),
+            ],
+        }
+    }
 }
 
 /// Builds the pruned disjunctive blocking graph (Algorithm 1).
 ///
-/// `token_blocks` should already be purged. Heavy phases (the two β passes)
-/// run as parallel stages on `executor`; the γ aggregation follows the
-/// paper's in-neighbor formulation (lines 20–33).
+/// `token_blocks` should already be purged. All heavy phases — the two β
+/// passes, the γ row pass, and the γ transpose — run as parallel stages on
+/// `executor`; the output is bit-identical across runs and worker counts.
 pub fn build_blocking_graph(
     executor: &Executor,
     pair: &KbPair,
@@ -184,24 +266,27 @@ pub fn build_blocking_graph(
         }
     };
 
+    let index = executor.time_stage("graph/index", || GraphIndex::build(pair, token_blocks));
+
     let value_left = beta_pass(
-        executor, pair, Side::Left, token_blocks, &block_weight, cfg.top_k,
+        executor, pair, Side::Left, &index, &block_weight, cfg.top_k,
         cfg.beta_weighting, cfg.adaptive_pruning,
     );
     let value_right = beta_pass(
-        executor, pair, Side::Right, token_blocks, &block_weight, cfg.top_k,
+        executor, pair, Side::Right, &index, &block_weight, cfg.top_k,
         cfg.beta_weighting, cfg.adaptive_pruning,
     );
 
     // --- Neighbor evidence (lines 20-33) ---
-    let (in_left, in_right) = executor.time_stage("graph/top-in-neighbors", || {
-        (top_in_neighbors(pair, rels, Side::Left, cfg.n_relations),
+    let (top_left, in_right) = executor.time_stage("graph/top-in-neighbors", || {
+        (top_neighbors_direct(pair, rels, Side::Left, cfg.n_relations),
          top_in_neighbors(pair, rels, Side::Right, cfg.n_relations))
     });
 
-    let (neighbor_left, neighbor_right) = executor.time_stage("graph/gamma", || {
-        gamma_pass(pair, &value_left, &value_right, &in_left, &in_right, cfg.top_k, cfg.adaptive_pruning)
-    });
+    let (neighbor_left, neighbor_right) = gamma_pass(
+        executor, pair, &value_left, &value_right, &top_left, &in_right,
+        cfg.top_k, cfg.adaptive_pruning,
+    );
 
     let mut graph = BlockingGraph {
         value_cands: [value_left, value_right],
@@ -218,34 +303,34 @@ pub fn build_blocking_graph(
 
 /// Drops every directed candidate edge whose reverse did not survive the
 /// other endpoint's cut (enhanced-Meta-blocking-style reciprocity [28]).
-fn apply_reciprocal_pruning(graph: &mut BlockingGraph) {
-    use std::collections::HashSet;
-    let collect = |lists: &[Vec<Candidate>]| -> HashSet<(u32, u32)> {
-        let mut set = HashSet::new();
-        for (from, cands) in lists.iter().enumerate() {
-            for &(to, _) in cands {
-                set.insert((from as u32, to.0));
-            }
-        }
+/// Edge sets are sorted vectors probed by binary search — no hashing.
+pub(crate) fn apply_reciprocal_pruning(graph: &mut BlockingGraph) {
+    fn edge_set(lists: &[Vec<Candidate>]) -> Vec<(u32, u32)> {
+        let mut set: Vec<(u32, u32)> = lists
+            .iter()
+            .enumerate()
+            .flat_map(|(from, cands)| cands.iter().map(move |&(to, _)| (from as u32, to.0)))
+            .collect();
+        set.sort_unstable();
         set
-    };
+    }
     // Value edges.
-    let left_edges = collect(&graph.value_cands[0]);
-    let right_edges = collect(&graph.value_cands[1]);
+    let left_edges = edge_set(&graph.value_cands[0]);
+    let right_edges = edge_set(&graph.value_cands[1]);
     for (from, cands) in graph.value_cands[0].iter_mut().enumerate() {
-        cands.retain(|&(to, _)| right_edges.contains(&(to.0, from as u32)));
+        cands.retain(|&(to, _)| right_edges.binary_search(&(to.0, from as u32)).is_ok());
     }
     for (from, cands) in graph.value_cands[1].iter_mut().enumerate() {
-        cands.retain(|&(to, _)| left_edges.contains(&(to.0, from as u32)));
+        cands.retain(|&(to, _)| left_edges.binary_search(&(to.0, from as u32)).is_ok());
     }
     // Neighbor edges.
-    let left_n = collect(&graph.neighbor_cands[0]);
-    let right_n = collect(&graph.neighbor_cands[1]);
+    let left_n = edge_set(&graph.neighbor_cands[0]);
+    let right_n = edge_set(&graph.neighbor_cands[1]);
     for (from, cands) in graph.neighbor_cands[0].iter_mut().enumerate() {
-        cands.retain(|&(to, _)| right_n.contains(&(to.0, from as u32)));
+        cands.retain(|&(to, _)| right_n.binary_search(&(to.0, from as u32)).is_ok());
     }
     for (from, cands) in graph.neighbor_cands[1].iter_mut().enumerate() {
-        cands.retain(|&(to, _)| left_n.contains(&(to.0, from as u32)));
+        cands.retain(|&(to, _)| left_n.binary_search(&(to.0, from as u32)).is_ok());
     }
 }
 
@@ -253,51 +338,28 @@ fn apply_reciprocal_pruning(graph: &mut BlockingGraph) {
 /// `β[j] += 1/log2(|b1|·|b2|+1)` for every shared block (line 14) — the
 /// Meta-blocking-style pass adapted to the paper's value similarity (or
 /// one of the alternative schemes, see [`BetaWeighting`]).
+///
+/// Contributions for one entity arrive in ascending block order (its CSR
+/// row) and, per block, ascending opposite-entity order — a defined order,
+/// identical to the reference kernel's, so every β weight is bit-equal to
+/// the reference.
 #[allow(clippy::too_many_arguments)]
 fn beta_pass(
     executor: &Executor,
     pair: &KbPair,
     side: Side,
-    token_blocks: &TokenBlocks,
+    index: &GraphIndex,
     block_weight: &[f64],
     top_k: usize,
     weighting: BetaWeighting,
     adaptive: bool,
 ) -> Vec<Vec<Candidate>> {
-    let kb = pair.kb(side);
-    let n = kb.len();
-
-    // Per-entity block counts on both sides, needed by ECBS/JS.
-    let needs_counts = matches!(weighting, BetaWeighting::Ecbs | BetaWeighting::Js);
-    let total_blocks = token_blocks.blocks.len() as f64;
-    let mut counts_self = vec![0u32; n];
-    let mut counts_other = vec![0u32; pair.kb(side.other()).len()];
-    if needs_counts {
-        for (_, b) in &token_blocks.blocks {
-            let (members_self, members_other) = match side {
-                Side::Left => (&b.left, &b.right),
-                Side::Right => (&b.right, &b.left),
-            };
-            for &e in members_self {
-                counts_self[e.index()] += 1;
-            }
-            for &e in members_other {
-                counts_other[e.index()] += 1;
-            }
-        }
-    }
-
-    // entity → indices of the blocks containing it on `side`.
-    let mut entity_blocks: Vec<Vec<u32>> = vec![Vec::new(); n];
-    for (bi, (_, b)) in token_blocks.blocks.iter().enumerate() {
-        let members = match side {
-            Side::Left => &b.left,
-            Side::Right => &b.right,
-        };
-        for &e in members {
-            entity_blocks[e.index()].push(u32::try_from(bi).expect("block count fits u32"));
-        }
-    }
+    let n = pair.kb(side).len();
+    let n_other = pair.kb(side.other()).len();
+    let eb_self = &index.entity_blocks[side.index()];
+    let eb_other = &index.entity_blocks[side.other().index()];
+    let members_other = &index.members[side.other().index()];
+    let total_blocks = members_other.rows() as f64;
 
     let dirty = pair.is_dirty();
     let tasks = executor.partitions().max(1);
@@ -307,47 +369,49 @@ fn beta_pass(
         let lo = t * chunk;
         let hi = ((t + 1) * chunk).min(n);
         let mut out: Vec<Vec<Candidate>> = Vec::with_capacity(hi - lo);
-        let mut acc: HashMap<u32, f64> = HashMap::new();
-        for (offset, blocks_of_entity) in entity_blocks[lo..hi].iter().enumerate() {
-            let this = (lo + offset) as u32;
-            acc.clear();
-            for &bi in blocks_of_entity {
-                let (_, b) = &token_blocks.blocks[bi as usize];
-                let others = match side {
-                    Side::Left => &b.right,
-                    Side::Right => &b.left,
-                };
+        let mut acc = SparseAccumulator::new(n_other);
+        let mut scratch: Vec<Candidate> = Vec::new();
+        for this in lo..hi {
+            let this_id = this as u32;
+            acc.next_epoch();
+            for &bi in eb_self.row(this) {
                 let w = block_weight[bi as usize];
-                for &o in others {
+                for &o in members_other.row(bi as usize) {
                     // Dirty ER: both sides mirror one KB, so the identity
                     // pair carries no duplicate evidence.
-                    if dirty && o.0 == this {
+                    if dirty && o == this_id {
                         continue;
                     }
-                    *acc.entry(o.0).or_insert(0.0) += w;
+                    acc.add(o, w);
                 }
             }
             match weighting {
                 BetaWeighting::Arcs | BetaWeighting::Cbs => {}
                 BetaWeighting::Ecbs => {
                     let self_factor =
-                        (total_blocks / f64::from(counts_self[this as usize].max(1))).ln().max(1e-9);
-                    for (o, cbs) in acc.iter_mut() {
-                        let other_factor =
-                            (total_blocks / f64::from(counts_other[*o as usize].max(1))).ln().max(1e-9);
-                        *cbs *= self_factor * other_factor;
-                    }
+                        (total_blocks / (eb_self.row_len(this).max(1) as f64)).ln().max(1e-9);
+                    acc.apply(|o, cbs| {
+                        let other_factor = (total_blocks
+                            / (eb_other.row_len(o as usize).max(1) as f64))
+                            .ln()
+                            .max(1e-9);
+                        cbs * (self_factor * other_factor)
+                    });
                 }
                 BetaWeighting::Js => {
-                    let bi = f64::from(counts_self[this as usize].max(1));
-                    for (o, cbs) in acc.iter_mut() {
-                        let bj = f64::from(counts_other[*o as usize].max(1));
-                        let denom = bi + bj - *cbs;
-                        *cbs = if denom > 0.0 { *cbs / denom } else { 0.0 };
-                    }
+                    let b_self = eb_self.row_len(this).max(1) as f64;
+                    acc.apply(|o, cbs| {
+                        let b_other = eb_other.row_len(o as usize).max(1) as f64;
+                        let denom = b_self + b_other - cbs;
+                        if denom > 0.0 { cbs / denom } else { 0.0 }
+                    });
                 }
             }
-            out.push(top_candidates(&acc, top_k, adaptive));
+            scratch.clear();
+            for &o in acc.touched() {
+                scratch.push((EntityId(o), acc.score(o)));
+            }
+            out.push(select_top_k(&mut scratch, top_k, adaptive));
         }
         out
     });
@@ -362,31 +426,56 @@ fn beta_pass(
 /// ascending-id tie-breaks for determinism; zero weights are dropped
 /// (trivial edges, §3.3). With `adaptive`, the node's own weight
 /// distribution sets a dynamic floor (mean + ½·stddev) before the cap.
-fn top_candidates(acc: &HashMap<u32, f64>, top_k: usize, adaptive: bool) -> Vec<Candidate> {
-    let mut cands: Vec<Candidate> = acc
-        .iter()
-        .filter(|&(_, &w)| w > 0.0)
-        .map(|(&e, &w)| (EntityId(e), w))
-        .collect();
-    cands.sort_unstable_by(|a, b| {
+///
+/// The comparator is a strict total order (weights are finite, ids are
+/// distinct), so the kept set and its order are unique — which is why the
+/// `select_nth_unstable_by` fast path (O(n) selection, then sorting only
+/// the K-prefix) returns exactly what a full sort would. The adaptive path
+/// needs the whole distribution in sorted order and keeps the full sort.
+fn select_top_k(cands: &mut Vec<Candidate>, top_k: usize, adaptive: bool) -> Vec<Candidate> {
+    cands.retain(|&(_, w)| w > 0.0);
+    let cmp = |a: &Candidate, b: &Candidate| {
         b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
-    });
-    if adaptive && cands.len() > 1 {
-        let n = cands.len() as f64;
-        let mean = cands.iter().map(|&(_, w)| w).sum::<f64>() / n;
-        let var = cands.iter().map(|&(_, w)| (w - mean).powi(2)).sum::<f64>() / n;
-        let floor = mean + 0.5 * var.sqrt();
-        let keep = cands.iter().take_while(|&&(_, w)| w >= floor).count();
-        // Always keep at least the strongest candidate.
-        cands.truncate(keep.max(1));
+    };
+    if adaptive || cands.len() <= top_k {
+        cands.sort_unstable_by(cmp);
+        if adaptive && cands.len() > 1 {
+            let n = cands.len() as f64;
+            let mean = cands.iter().map(|&(_, w)| w).sum::<f64>() / n;
+            let var = cands.iter().map(|&(_, w)| (w - mean).powi(2)).sum::<f64>() / n;
+            let floor = mean + 0.5 * var.sqrt();
+            let keep = cands.iter().take_while(|&&(_, w)| w >= floor).count();
+            // Always keep at least the strongest candidate.
+            cands.truncate(keep.max(1));
+        }
+        cands.truncate(top_k);
+    } else {
+        cands.select_nth_unstable_by(top_k - 1, cmp);
+        cands.truncate(top_k);
+        cands.sort_unstable_by(cmp);
     }
-    cands.truncate(top_k);
-    cands
+    cands.clone()
+}
+
+/// Each `side` entity's own top-N neighbors (ascending, deduplicated) —
+/// the "rows" of the γ aggregation.
+pub(crate) fn top_neighbors_direct(
+    pair: &KbPair,
+    rels: &RelationStats,
+    side: Side,
+    n_relations: usize,
+) -> Vec<Vec<EntityId>> {
+    let kb = pair.kb(side);
+    let mut out: Vec<Vec<EntityId>> = Vec::with_capacity(kb.len());
+    for (e, _) in kb.iter() {
+        out.push(rels.top_n_neighbors(pair, side, e, n_relations));
+    }
+    out
 }
 
 /// `getTopInNeighbors` (lines 35-48): for every entity of `side`, the
 /// entities that list it among their top-N neighbors.
-fn top_in_neighbors(
+pub(crate) fn top_in_neighbors(
     pair: &KbPair,
     rels: &RelationStats,
     side: Side,
@@ -403,59 +492,162 @@ fn top_in_neighbors(
 }
 
 /// γ aggregation (lines 20-33): every retained β edge `(i, j)` adds its β
-/// to `γ[(a, b)]` for all `a ∈ topInNeighbors(i)`, `b ∈ topInNeighbors(j)`,
+/// to `γ[(a, b)]` for all `a` with `i ∈ topN(a)`, `b ∈ topInNeighbors(j)`,
 /// after which each node keeps its top-K neighbor candidates.
 ///
 /// The β edge set is the union of both directions' retained value edges
 /// (each undirected pair counted once — the paper prunes "two directed
-/// [edges] with the same initial weights", §3.3), so γ is symmetric before
-/// its own directional pruning.
+/// [edges] with the same initial weights", §3.3), sorted by `(i, j)`.
+///
+/// # Parallel decomposition and determinism
+///
+/// The pass is sharded by **output row** `a` (left entity), not by edge:
+/// a task owns a contiguous range of left entities and computes each of
+/// its rows completely, walking `i ∈ topN(a)` ascending and, per `i`, that
+/// entity's β edges ascending by `j`. Every γ cell is therefore a single
+/// flat sum over its contributions in ascending `(i, j)` order — exactly
+/// the order a sequential sweep over the sorted edge list produces — so
+/// the `f64` results are bit-identical for every shard width and worker
+/// count. (Sharding by *edge* would instead split a cell's sum into
+/// per-shard partials whose grouping, and hence rounding, varies with the
+/// shard count.) Total work is unchanged: `Σ_a |topN(a) ∩ edges|` counts
+/// each (edge, in-neighbor) pair exactly once.
+///
+/// The right-side lists reuse the row pass's output: every computed γ
+/// entry `(a, b, γ)` is re-keyed by `b` in a second parallel stage
+/// (`graph/gamma/transpose`) that only selects — the sums are already
+/// final, so transposition cannot perturb them.
 #[allow(clippy::too_many_arguments)]
 fn gamma_pass(
+    executor: &Executor,
     pair: &KbPair,
     value_left: &[Vec<Candidate>],
     value_right: &[Vec<Candidate>],
-    in_left: &[Vec<EntityId>],
+    top_left: &[Vec<EntityId>],
     in_right: &[Vec<EntityId>],
     top_k: usize,
     adaptive: bool,
 ) -> (Vec<Vec<Candidate>>, Vec<Vec<Candidate>>) {
-    // Union of retained β edges as (left, right) → β.
-    let mut beta_edges: HashMap<(u32, u32), f64> = HashMap::new();
-    for (i, cands) in value_left.iter().enumerate() {
-        for &(j, w) in cands {
-            beta_edges.insert((i as u32, j.0), w);
-        }
-    }
-    for (j, cands) in value_right.iter().enumerate() {
-        for &(i, w) in cands {
-            beta_edges.entry((i.0, j as u32)).or_insert(w);
-        }
-    }
-
+    let n_left = pair.kb(Side::Left).len();
+    let n_right = pair.kb(Side::Right).len();
     let dirty = pair.is_dirty();
-    let mut gamma: HashMap<(u32, u32), f64> = HashMap::new();
-    for (&(i, j), &beta) in &beta_edges {
-        for &a in &in_left[i as usize] {
-            for &b in &in_right[j as usize] {
-                if dirty && a == b {
-                    continue;
-                }
-                *gamma.entry((a.0, b.0)).or_insert(0.0) += beta;
+
+    // Union of retained β edges as (left, right, β), sorted by (i, j).
+    // Where both directions retained the pair, the left-derived weight
+    // wins (they are bit-equal anyway: both passes sum the same block
+    // weights in the same ascending-block order).
+    let edges: Vec<(u32, u32, f64)> = executor.time_stage("graph/gamma/union", || {
+        let cap = value_left.iter().map(Vec::len).sum::<usize>()
+            + value_right.iter().map(Vec::len).sum::<usize>();
+        let mut tagged: Vec<(u32, u32, u8, f64)> = Vec::with_capacity(cap);
+        for (i, cands) in value_left.iter().enumerate() {
+            for &(j, w) in cands {
+                tagged.push((i as u32, j.0, 0, w));
             }
         }
+        for (j, cands) in value_right.iter().enumerate() {
+            for &(i, w) in cands {
+                tagged.push((i.0, j as u32, 1, w));
+            }
+        }
+        tagged.sort_unstable_by(|a, b| (a.0, a.1, a.2).cmp(&(b.0, b.1, b.2)));
+        tagged.dedup_by(|later, first| later.0 == first.0 && later.1 == first.1);
+        tagged.into_iter().map(|(i, j, _, w)| (i, j, w)).collect()
+    });
+    executor.emit_counter("blocking/beta_union_edges", edges.len() as u64);
+
+    // CSR offsets of the edge list by left endpoint.
+    let mut edge_offsets = vec![0usize; n_left + 1];
+    for &(i, _, _) in &edges {
+        edge_offsets[i as usize + 1] += 1;
+    }
+    for i in 0..n_left {
+        edge_offsets[i + 1] += edge_offsets[i];
     }
 
-    // Directional top-K.
-    let mut per_left: Vec<HashMap<u32, f64>> = vec![HashMap::new(); pair.kb(Side::Left).len()];
-    let mut per_right: Vec<HashMap<u32, f64>> = vec![HashMap::new(); pair.kb(Side::Right).len()];
-    for (&(a, b), &g) in &gamma {
-        per_left[a as usize].insert(b, g);
-        per_right[b as usize].insert(a, g);
+    // Row pass: left-side lists plus every γ entry as (a, b, γ) triples.
+    let tasks = executor.partitions().max(1);
+    let chunk = n_left.div_ceil(tasks).max(1);
+    let n_tasks = n_left.div_ceil(chunk);
+    let partials = executor.run_stage("graph/gamma", n_tasks, |t| {
+        let lo = t * chunk;
+        let hi = ((t + 1) * chunk).min(n_left);
+        let mut lists: Vec<Vec<Candidate>> = Vec::with_capacity(hi - lo);
+        let mut triples: Vec<(u32, u32, f64)> = Vec::new();
+        let mut acc = SparseAccumulator::new(n_right);
+        let mut scratch: Vec<Candidate> = Vec::new();
+        for a in lo..hi {
+            let a_id = a as u32;
+            acc.next_epoch();
+            for &i in &top_left[a] {
+                let row = &edges[edge_offsets[i.index()]..edge_offsets[i.index() + 1]];
+                for &(_, j, beta) in row {
+                    for &b in &in_right[j as usize] {
+                        if dirty && b.0 == a_id {
+                            continue;
+                        }
+                        acc.add(b.0, beta);
+                    }
+                }
+            }
+            scratch.clear();
+            for &b in acc.touched() {
+                scratch.push((EntityId(b), acc.score(b)));
+            }
+            for &(b, g) in scratch.iter() {
+                triples.push((a_id, b.0, g));
+            }
+            lists.push(select_top_k(&mut scratch, top_k, adaptive));
+        }
+        (lists, triples)
+    });
+    let mut left_lists: Vec<Vec<Candidate>> = Vec::with_capacity(n_left);
+    let mut triples: Vec<(u32, u32, f64)> = Vec::new();
+    for (lists, part) in partials {
+        left_lists.extend(lists);
+        triples.extend(part);
     }
-    let left = per_left.iter().map(|acc| top_candidates(acc, top_k, adaptive)).collect();
-    let right = per_right.iter().map(|acc| top_candidates(acc, top_k, adaptive)).collect();
-    (left, right)
+    executor.annotate_last_stage(
+        "graph/gamma",
+        StageIo::items(edges.len() as u64, triples.len() as u64),
+    );
+    executor.emit_counter("blocking/gamma_entries", triples.len() as u64);
+
+    // Transpose: re-key the final γ entries by right entity and select.
+    triples.sort_unstable_by(|x, y| (x.1, x.0).cmp(&(y.1, y.0)));
+    let chunk_r = n_right.div_ceil(tasks).max(1);
+    let n_tasks_r = n_right.div_ceil(chunk_r);
+    let partials_r = executor.run_stage("graph/gamma/transpose", n_tasks_r, |t| {
+        let lo = (t * chunk_r) as u32;
+        let hi = ((t + 1) * chunk_r).min(n_right) as u32;
+        let start = triples.partition_point(|&(_, b, _)| b < lo);
+        let end = triples.partition_point(|&(_, b, _)| b < hi);
+        let mut lists: Vec<Vec<Candidate>> = vec![Vec::new(); (hi - lo) as usize];
+        let mut scratch: Vec<Candidate> = Vec::new();
+        let mut idx = start;
+        while idx < end {
+            let b = triples[idx].1;
+            let mut run_end = idx;
+            while run_end < end && triples[run_end].1 == b {
+                run_end += 1;
+            }
+            scratch.clear();
+            for &(a, _, g) in &triples[idx..run_end] {
+                scratch.push((EntityId(a), g));
+            }
+            lists[(b - lo) as usize] = select_top_k(&mut scratch, top_k, adaptive);
+            idx = run_end;
+        }
+        lists
+    });
+    let right_lists: Vec<Vec<Candidate>> = partials_r.into_iter().flatten().collect();
+    let retained_right: u64 = right_lists.iter().map(|c| c.len() as u64).sum();
+    executor.annotate_last_stage(
+        "graph/gamma/transpose",
+        StageIo::items(triples.len() as u64, retained_right),
+    );
+
+    (left_lists, right_lists)
 }
 
 #[cfg(test)]
@@ -704,5 +896,90 @@ mod tests {
                 assert_eq!(g1.neighbor_candidates(side, e), g4.neighbor_candidates(side, e));
             }
         }
+        assert_eq!(g1.weight_digest(), g4.weight_digest());
+    }
+
+    #[test]
+    fn back_to_back_builds_are_bit_identical() {
+        // The pre-rewrite γ pass iterated a randomly-seeded HashMap, so
+        // its f64 summation order — and tie-adjacent weights — could vary
+        // between two runs in the same process. This regression test pins
+        // the fix: two consecutive builds must agree to the last bit.
+        let pair = figure1_pair();
+        let rels = RelationStats::compute(&pair);
+        let names = NameStats::compute(&pair, 2);
+        let mut tb = build_token_blocks(&pair);
+        purge_blocks(&mut tb, pair.kb(Side::Left).len() + pair.kb(Side::Right).len());
+        let nb = build_name_blocks(&pair, &names);
+        let exec = Executor::new(3);
+        for cfg in [
+            GraphConfig::default(),
+            GraphConfig { adaptive_pruning: true, ..GraphConfig::default() },
+            GraphConfig { beta_weighting: BetaWeighting::Ecbs, ..GraphConfig::default() },
+        ] {
+            let g1 = build_blocking_graph(&exec, &pair, &rels, &tb, &nb, &cfg);
+            let g2 = build_blocking_graph(&exec, &pair, &rels, &tb, &nb, &cfg);
+            assert_eq!(g1.weight_digest(), g2.weight_digest(), "{cfg:?}");
+            for side in [Side::Left, Side::Right] {
+                for (e, _) in pair.kb(side).iter() {
+                    let v1: Vec<(u32, u64)> =
+                        g1.value_candidates(side, e).iter().map(|&(c, w)| (c.0, w.to_bits())).collect();
+                    let v2: Vec<(u32, u64)> =
+                        g2.value_candidates(side, e).iter().map(|&(c, w)| (c.0, w.to_bits())).collect();
+                    assert_eq!(v1, v2, "{cfg:?}: value weights must be bit-identical");
+                    let n1: Vec<(u32, u64)> = g1
+                        .neighbor_candidates(side, e)
+                        .iter()
+                        .map(|&(c, w)| (c.0, w.to_bits()))
+                        .collect();
+                    let n2: Vec<(u32, u64)> = g2
+                        .neighbor_candidates(side, e)
+                        .iter()
+                        .map(|&(c, w)| (c.0, w.to_bits()))
+                        .collect();
+                    assert_eq!(n1, n2, "{cfg:?}: neighbor weights must be bit-identical");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partial_selection_matches_full_sort() {
+        // Weights engineered with ties so the id tie-break matters.
+        let raw: Vec<Candidate> = (0..100u32)
+            .map(|i| (EntityId(i), f64::from(i % 7) + 0.5))
+            .collect();
+        for top_k in [1, 3, 7, 15, 99, 100, 120] {
+            let mut fast = raw.clone();
+            let fast = select_top_k(&mut fast, top_k, false);
+            // The reference semantics: full sort, then truncate.
+            let mut slow = raw.clone();
+            slow.sort_unstable_by(|a, b| {
+                b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+            });
+            slow.truncate(top_k);
+            assert_eq!(fast, slow, "top_k={top_k}");
+        }
+    }
+
+    #[test]
+    fn gamma_stage_is_annotated_with_item_flow() {
+        let pair = figure1_pair();
+        let rels = RelationStats::compute(&pair);
+        let names = NameStats::compute(&pair, 2);
+        let mut tb = build_token_blocks(&pair);
+        purge_blocks(&mut tb, pair.kb(Side::Left).len() + pair.kb(Side::Right).len());
+        let nb = build_name_blocks(&pair, &names);
+        let exec = Executor::new(2);
+        build_blocking_graph(&exec, &pair, &rels, &tb, &nb, &GraphConfig::default());
+        let log = exec.stage_log();
+        let gamma = log
+            .iter()
+            .find(|s| s.name == "graph/gamma")
+            .expect("graph/gamma stage recorded");
+        assert!(gamma.io.items_in > 0, "β union edges feed γ");
+        assert!(gamma.io.items_out > 0, "γ entries flow out");
+        assert!(log.iter().any(|s| s.name == "graph/gamma/transpose"));
+        assert!(log.iter().any(|s| s.name == "graph/index"));
     }
 }

@@ -15,12 +15,16 @@
 //! * [`lsh`] — MinHash-LSH blocking, the §5 related-work alternative, for
 //!   comparison benches.
 
+pub mod accum;
 pub mod block;
+pub mod csr;
 pub mod filtering;
 pub mod graph;
 pub mod lsh;
 pub mod name;
 pub mod purge;
+#[cfg(any(test, feature = "reference-impl"))]
+pub mod reference;
 pub mod sorted_neighborhood;
 pub mod stats;
 pub mod token;

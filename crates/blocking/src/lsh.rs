@@ -9,9 +9,9 @@
 //! matches MinoanER cares about — token blocking is parameter-free and
 //! keeps them.
 
-use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
+use minoaner_dataflow::{DetHashMap, DetHashSet};
 use minoaner_kb::{EntityId, KbPair, Side, TokenId};
 
 /// MinHash-LSH configuration. The implied Jaccard threshold is roughly
@@ -67,9 +67,9 @@ fn band_signature(tokens: &[TokenId], band: usize, cfg: &LshConfig) -> u64 {
 /// Runs MinHash-LSH blocking over the token sets of both KBs and returns
 /// the distinct candidate pairs (pairs sharing at least one band bucket).
 pub fn lsh_candidate_pairs(pair: &KbPair, cfg: &LshConfig) -> Vec<(EntityId, EntityId)> {
-    let mut seen: std::collections::HashSet<(u32, u32)> = Default::default();
+    let mut seen: DetHashSet<(u32, u32)> = Default::default();
     for band in 0..cfg.bands {
-        let mut buckets: HashMap<u64, (Vec<EntityId>, Vec<EntityId>)> = HashMap::new();
+        let mut buckets: DetHashMap<u64, (Vec<EntityId>, Vec<EntityId>)> = DetHashMap::default();
         for (side, slot) in [(Side::Left, 0usize), (Side::Right, 1usize)] {
             let kb = pair.kb(side);
             for (id, _) in kb.iter() {
@@ -110,7 +110,7 @@ pub fn candidate_recall(candidates: &[(EntityId, EntityId)], ground_truth: &[(En
     if ground_truth.is_empty() {
         return 0.0;
     }
-    let set: std::collections::HashSet<_> = candidates.iter().collect();
+    let set: DetHashSet<_> = candidates.iter().collect();
     let hit = ground_truth.iter().filter(|p| set.contains(p)).count();
     100.0 * hit as f64 / ground_truth.len() as f64
 }

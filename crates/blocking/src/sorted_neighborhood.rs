@@ -9,6 +9,7 @@
 //! candidates miss matches whose keys sort far apart, and recall is
 //! bounded by the window size.
 
+use minoaner_dataflow::DetHashSet;
 use minoaner_kb::stats::TokenEf;
 use minoaner_kb::{EntityId, KbPair, Side};
 
@@ -63,7 +64,7 @@ pub fn sorted_neighborhood_candidates(
     }
     keyed.sort();
 
-    let mut seen: std::collections::HashSet<(u32, u32)> = Default::default();
+    let mut seen: DetHashSet<(u32, u32)> = Default::default();
     let w = cfg.window.max(2);
     for start in 0..keyed.len() {
         let end = (start + w).min(keyed.len());

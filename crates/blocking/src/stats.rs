@@ -2,7 +2,7 @@
 //! counts, aggregate comparison cardinalities, and the precision / recall /
 //! F1 of blocking relative to the ground truth.
 
-use std::collections::HashSet;
+use minoaner_dataflow::DetHashSet;
 
 use minoaner_kb::stats::NameStats;
 use minoaner_kb::{EntityId, KbPair, Side, TokenId};
@@ -45,8 +45,8 @@ pub fn block_stats(
     name_blocks: &NameBlocks,
     ground_truth: &[(EntityId, EntityId)],
 ) -> BlockCollectionStats {
-    let kept_tokens: HashSet<TokenId> = token_blocks.blocks.iter().map(|(t, _)| *t).collect();
-    let block_names: HashSet<u32> = name_blocks.blocks.iter().map(|(l, _)| l.0).collect();
+    let kept_tokens: DetHashSet<TokenId> = token_blocks.blocks.iter().map(|(t, _)| *t).collect();
+    let block_names: DetHashSet<u32> = name_blocks.blocks.iter().map(|(l, _)| l.0).collect();
 
     let mut found = 0usize;
     for &(l, r) in ground_truth {
@@ -77,8 +77,8 @@ pub fn block_stats(
 fn co_occur(
     pair: &KbPair,
     names: &NameStats,
-    kept_tokens: &HashSet<TokenId>,
-    block_names: &HashSet<u32>,
+    kept_tokens: &DetHashSet<TokenId>,
+    block_names: &DetHashSet<u32>,
     l: EntityId,
     r: EntityId,
 ) -> bool {

@@ -47,8 +47,17 @@ pub fn build_token_blocks_parallel(executor: &Executor, pair: &KbPair) -> TokenB
         );
         // Merge partials; entity ids are produced in ascending order per
         // chunk and chunks are disjoint ascending ranges, so concatenation
-        // in task order keeps each posting list sorted.
-        let mut merged: Vec<Vec<EntityId>> = vec![Vec::new(); n_tokens];
+        // in task order keeps each posting list sorted. Sizing each list
+        // exactly up front (counting pass, as in the CSR builders) avoids
+        // the repeated doubling-reallocations of a blind `extend`.
+        let mut counts = vec![0usize; n_tokens];
+        for partial in &partials {
+            for (tok, ids) in partial.iter().enumerate() {
+                counts[tok] += ids.len();
+            }
+        }
+        let mut merged: Vec<Vec<EntityId>> =
+            counts.iter().map(|&c| Vec::with_capacity(c)).collect();
         for partial in partials {
             for (tok, ids) in partial.into_iter().enumerate() {
                 if !ids.is_empty() {

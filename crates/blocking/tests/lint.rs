@@ -1,0 +1,59 @@
+//! Source lint for the determinism guarantee: no randomly-seeded std hash
+//! container may appear anywhere in this crate's sources.
+//!
+//! `std::collections::HashMap`/`HashSet` default to `RandomState`, whose
+//! per-process seed makes iteration order — and any `f64` summation driven
+//! by it — vary run to run. That was a real bug in the γ pass of the graph
+//! kernel. Deterministic alternatives are `DetHashMap`/`DetHashSet` (from
+//! `minoaner-dataflow`), `BTreeMap`/`BTreeSet`, or sorted vectors.
+
+use std::fs;
+use std::path::PathBuf;
+
+#[test]
+fn no_random_state_hash_containers_in_src() {
+    let src = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("src");
+    let mut offenders: Vec<String> = Vec::new();
+    let mut stack = vec![src];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir).expect("readable src dir") {
+            let path = entry.expect("dir entry").path();
+            if path.is_dir() {
+                stack.push(path);
+                continue;
+            }
+            if path.extension().and_then(|e| e.to_str()) != Some("rs") {
+                continue;
+            }
+            let text = fs::read_to_string(&path).expect("readable source file");
+            for (ln, line) in text.lines().enumerate() {
+                let trimmed = line.trim_start();
+                if trimmed.starts_with("//") {
+                    continue;
+                }
+                for needle in ["HashMap", "HashSet"] {
+                    let mut from = 0;
+                    while let Some(pos) = line[from..].find(needle) {
+                        let at = from + pos;
+                        let det_prefixed = at >= 3 && &line[at - 3..at] == "Det";
+                        if !det_prefixed {
+                            offenders.push(format!(
+                                "{}:{}: {}",
+                                path.display(),
+                                ln + 1,
+                                line.trim()
+                            ));
+                        }
+                        from = at + needle.len();
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        offenders.is_empty(),
+        "randomly-seeded std hash containers in minoaner-blocking sources \
+         (use DetHashMap/DetHashSet, BTreeMap/BTreeSet, or sorted vectors):\n{}",
+        offenders.join("\n")
+    );
+}

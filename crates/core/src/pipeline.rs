@@ -28,6 +28,9 @@ pub struct PipelineTimings {
     pub total: Duration,
     /// Time spent in Algorithm 2 (the `matching/*` stages).
     pub matching: Duration,
+    /// Time spent constructing the blocking graph (the `graph/*` stages of
+    /// Algorithm 1: α, CSR index build, β passes, γ union/row/transpose).
+    pub graph: Duration,
     /// Full per-stage log from the executor.
     pub stages: StageLog,
 }
@@ -35,10 +38,20 @@ pub struct PipelineTimings {
 impl PipelineTimings {
     /// The matching phase's share of total time, in percent.
     pub fn matching_share(&self) -> f64 {
+        self.share(self.matching)
+    }
+
+    /// Graph construction's share of total time, in percent — the cost
+    /// center Fig. 5 of the paper attributes end-to-end runtime to.
+    pub fn graph_share(&self) -> f64 {
+        self.share(self.graph)
+    }
+
+    fn share(&self, part: Duration) -> f64 {
         if self.total.is_zero() {
             0.0
         } else {
-            100.0 * self.matching.as_secs_f64() / self.total.as_secs_f64()
+            100.0 * part.as_secs_f64() / self.total.as_secs_f64()
         }
     }
 }
@@ -237,11 +250,12 @@ impl Minoaner {
 
         let stages = executor.stage_log();
         let matching = stages.total_matching(&|n: &str| n.starts_with("matching/"));
+        let graph = stages.total_matching(&|n: &str| n.starts_with("graph/"));
         Resolution {
             matches: outcome.matches,
             rule_counts: outcome.counts,
             purge: prepared.purge,
-            timings: PipelineTimings { total, matching, stages },
+            timings: PipelineTimings { total, matching, graph, stages },
         }
     }
 }
@@ -308,6 +322,20 @@ mod tests {
         let res = Minoaner::new().resolve(&exec, &pair);
         let c = res.rule_counts;
         assert_eq!(c.r1 + c.r2 + c.r3, res.matches.len() + c.removed_by_r4);
+    }
+
+    #[test]
+    fn timings_break_out_the_graph_kernel() {
+        let (pair, _) = scenario();
+        let exec = Executor::new(2);
+        let res = Minoaner::new().resolve(&exec, &pair);
+        let t = &res.timings;
+        assert!(t.graph > Duration::ZERO, "graph/* stages must be timed");
+        assert!(t.graph <= t.total);
+        assert!(t.graph_share() >= 0.0 && t.graph_share() <= 100.0);
+        // The breakdown agrees with the raw stage log.
+        let from_log = t.stages.total_matching(&|n: &str| n.starts_with("graph/"));
+        assert_eq!(t.graph, from_log);
     }
 
     #[test]

@@ -57,6 +57,6 @@ pub use broadcast::Broadcast;
 pub use error::DataflowError;
 pub use metrics::{StageIo, StageLog, StageMetric};
 pub use observer::{Observer, ObserverSlot, TraceCollector};
-pub use pdc::{DetHashMap, Pdc};
+pub use pdc::{DetHashMap, DetHashSet, Pdc};
 pub use pool::{Executor, ExecutorConfig, FailureAction, FaultPolicy, StageOutput};
 pub use trace::{RunTrace, TRACE_SCHEMA_VERSION};

@@ -19,6 +19,9 @@ pub type DetHasher = BuildHasherDefault<std::collections::hash_map::DefaultHashe
 /// A deterministic `HashMap` used throughout the engine.
 pub type DetHashMap<K, V> = HashMap<K, V, DetHasher>;
 
+/// A deterministic `HashSet`, the companion of [`DetHashMap`].
+pub type DetHashSet<K> = std::collections::HashSet<K, DetHasher>;
+
 fn partition_of<K: Hash>(key: &K, parts: usize) -> usize {
     let mut h = std::collections::hash_map::DefaultHasher::new();
     key.hash(&mut h);

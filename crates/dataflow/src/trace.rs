@@ -91,6 +91,13 @@ impl RunTrace {
         self.stages.iter().filter(|s| pred(&s.name)).map(|s| s.wall).sum()
     }
 
+    /// Summed wall time of all stages whose name starts with `prefix` —
+    /// e.g. `stage_wall_prefix("graph/gamma")` covers the γ row pass and
+    /// its transpose stage. Convenience over [`Self::stage_wall_matching`].
+    pub fn stage_wall_prefix(&self, prefix: &str) -> Duration {
+        self.stage_wall_matching(&|n: &str| n.starts_with(prefix))
+    }
+
     /// Structural sanity check used by report consumers (the bench harness
     /// and CI validate every written `BENCH_pipeline.json` through this).
     pub fn validate(&self) -> Result<(), String> {
@@ -163,6 +170,9 @@ mod tests {
             trace.stage_wall_matching(&|n: &str| n.starts_with("matching/")),
             Duration::from_micros(700)
         );
+        assert_eq!(trace.stage_wall_prefix("matching/"), Duration::from_micros(700));
+        assert_eq!(trace.stage_wall_prefix("blocking/"), Duration::from_micros(1500));
+        assert_eq!(trace.stage_wall_prefix("no-such-stage/"), Duration::ZERO);
     }
 
     #[test]

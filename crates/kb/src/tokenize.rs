@@ -5,16 +5,36 @@
 //! handled like strings (footnote 4). Name matching (§3.1) compares whole
 //! normalized literals.
 
+use std::borrow::Cow;
+
+/// True when `to_lowercase` would leave the token unchanged. Checked per
+/// char because `str::to_lowercase` folds chars independently; `is_uppercase`
+/// alone would miss titlecase letters (e.g. `ǅ`) and multi-char expansions.
+fn already_lowercase(token: &str) -> bool {
+    token.chars().all(|c| {
+        let mut lc = c.to_lowercase();
+        lc.next() == Some(c) && lc.next().is_none()
+    })
+}
+
 /// Splits a literal into lower-cased alphanumeric tokens.
 ///
 /// A token is a maximal run of alphanumeric characters; everything else
-/// (whitespace, punctuation, symbols) is a separator. The iterator yields
-/// owned lowercase strings to keep Unicode case-folding correct.
-pub fn tokenize(value: &str) -> impl Iterator<Item = String> + '_ {
+/// (whitespace, punctuation, symbols) is a separator. Tokens that are
+/// already lowercase — the overwhelming majority in real KBs, where values
+/// pass through [`normalize_name`] first — are borrowed straight from the
+/// input; only tokens that actually need Unicode case-folding allocate.
+pub fn tokenize(value: &str) -> impl Iterator<Item = Cow<'_, str>> + '_ {
     value
         .split(|c: char| !c.is_alphanumeric())
         .filter(|t| !t.is_empty())
-        .map(|t| t.to_lowercase())
+        .map(|t| {
+            if already_lowercase(t) {
+                Cow::Borrowed(t)
+            } else {
+                Cow::Owned(t.to_lowercase())
+            }
+        })
 }
 
 /// Normalizes a literal for whole-value (name) comparison: lowercase, with
@@ -82,6 +102,26 @@ mod tests {
     fn tokenize_is_lowercase() {
         let toks: Vec<_> = tokenize("DBpedia YAGO").collect();
         assert_eq!(toks, vec!["dbpedia", "yago"]);
+    }
+
+    #[test]
+    fn tokenize_borrows_when_already_lowercase() {
+        let toks: Vec<_> = tokenize("already lowercase 42, But Not This").collect();
+        assert!(matches!(toks[0], Cow::Borrowed("already")));
+        assert!(matches!(toks[1], Cow::Borrowed("lowercase")));
+        assert!(matches!(toks[2], Cow::Borrowed("42")));
+        assert!(matches!(toks[3], Cow::Owned(_)));
+        assert_eq!(toks[3], "but");
+    }
+
+    #[test]
+    fn tokenize_folds_titlecase_and_multichar_lowercases() {
+        // ǅ (titlecase, not uppercase) must still fold; İ expands to two
+        // chars under to_lowercase.
+        let toks: Vec<_> = tokenize("ǅungla İstanbul").collect();
+        assert_eq!(toks[0], "ǆungla");
+        assert!(matches!(toks[0], Cow::Owned(_)));
+        assert!(matches!(toks[1], Cow::Owned(_)));
     }
 
     #[test]

@@ -15,7 +15,19 @@ proptest! {
         for tok in tokenize(&s) {
             prop_assert!(!tok.is_empty());
             prop_assert!(tok.chars().all(|c| c.is_alphanumeric()));
-            prop_assert_eq!(tok.to_lowercase(), tok.clone());
+            prop_assert_eq!(tok.to_lowercase().as_str(), tok.as_ref());
+        }
+    }
+
+    /// A `Cow::Borrowed` token must point into the input (zero-copy path),
+    /// and borrowing must never change what the token *is*.
+    #[test]
+    fn tokenize_borrowed_tokens_are_subslices(s in ".{0,60}") {
+        for tok in tokenize(&s) {
+            if let std::borrow::Cow::Borrowed(t) = tok {
+                prop_assert!(s.contains(t));
+                prop_assert_eq!(t.to_lowercase().as_str(), t);
+            }
         }
     }
 
@@ -29,8 +41,9 @@ proptest! {
     #[test]
     fn normalize_agrees_with_tokenize(s in ".{0,60}") {
         // The normalized literal's tokens equal the raw literal's tokens.
-        let via_norm: Vec<String> = tokenize(&normalize_name(&s)).collect();
-        let direct: Vec<String> = tokenize(&s).collect();
+        let norm = normalize_name(&s);
+        let via_norm: Vec<String> = tokenize(&norm).map(|t| t.into_owned()).collect();
+        let direct: Vec<String> = tokenize(&s).map(|t| t.into_owned()).collect();
         prop_assert_eq!(via_norm, direct);
     }
 

@@ -99,7 +99,9 @@ fn stage_log_covers_blocking_and_matching() {
     let res = Minoaner::new().resolve(&exec, &d.pair);
     let names: Vec<String> =
         res.timings.stages.stages().iter().map(|s| s.name.clone()).collect();
-    for expected in ["token-blocking", "graph/beta", "matching/r1", "matching/r3"] {
+    for expected in
+        ["token-blocking", "graph/index", "graph/beta", "graph/gamma", "matching/r1", "matching/r3"]
+    {
         assert!(
             names.iter().any(|n| n.contains(expected)),
             "stage log missing {expected}: {names:?}"

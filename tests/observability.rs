@@ -83,3 +83,59 @@ fn trace_records_stage_io_and_blocking_counters() {
     );
     assert!(trace.total_stage_wall() <= trace.total_wall + trace.total_wall);
 }
+
+#[test]
+fn gamma_pass_is_an_observed_stage_with_item_flow() {
+    let d = dataset();
+    let mut exec = Executor::new(2);
+    let (_, trace) =
+        Minoaner::new().try_resolve_traced(&mut exec, &d.pair, RuleSet::FULL).unwrap();
+
+    let gamma = trace
+        .stages
+        .iter()
+        .find(|s| s.name == "graph/gamma")
+        .expect("graph/gamma must appear in the stage log");
+    assert!(
+        gamma.io.items_in > 0 && gamma.io.items_out > 0,
+        "γ stage must be annotated with β-edges in / γ-entries out: {:?}",
+        gamma.io
+    );
+    assert!(
+        trace.counter("blocking/beta_union_edges") > 0,
+        "restaurant world must produce β union edges: {:?}",
+        trace.counters
+    );
+    assert!(
+        trace.counters.contains_key("blocking/gamma_entries"),
+        "γ pass must report its entry count: {:?}",
+        trace.counters
+    );
+}
+
+#[test]
+fn repeated_traced_runs_are_deterministic() {
+    // The pre-rewrite γ pass iterated randomly-seeded hash maps, so f64
+    // summation order — and thus candidate weights — varied per process.
+    // The rewritten kernel must make repeated runs (and different worker
+    // counts) agree exactly, which the blocking counters and match sets
+    // witness end to end.
+    let d = dataset();
+    let mut runs = Vec::new();
+    for workers in [1usize, 2, 8] {
+        let mut exec = Executor::new(workers);
+        let (res, trace) =
+            Minoaner::new().try_resolve_traced(&mut exec, &d.pair, RuleSet::FULL).unwrap();
+        let mut matches = res.matches.clone();
+        matches.sort_unstable();
+        runs.push((matches, trace.counters.clone()));
+    }
+    let (m0, c0) = &runs[0];
+    for (m, c) in &runs[1..] {
+        assert_eq!(m, m0, "match sets must be identical across worker counts");
+        for key in ["blocking/beta_union_edges", "blocking/gamma_entries", "blocking/graph_directed_edges"]
+        {
+            assert_eq!(c.get(key), c0.get(key), "counter {key} drifted across runs");
+        }
+    }
+}

@@ -16,7 +16,7 @@
 //! Unlike MinoanER, BSL uses no neighbor evidence — which is exactly why
 //! it collapses on the low-value-similarity datasets (Table 3).
 
-use std::collections::{HashMap, HashSet};
+use minoaner_det::{DetHashMap, DetHashSet};
 use std::hash::{Hash, Hasher};
 
 use minoaner_blocking::{NameBlocks, TokenBlocks};
@@ -75,7 +75,7 @@ pub struct BslReport {
 /// blocks (the value/name disjuncts of the blocking scheme — the inputs
 /// BSL scores).
 pub fn candidate_pairs(token_blocks: &TokenBlocks, name_blocks: &NameBlocks) -> Vec<(EntityId, EntityId)> {
-    let mut seen: HashSet<(u32, u32)> = HashSet::new();
+    let mut seen: DetHashSet<(u32, u32)> = DetHashSet::default();
     for (_, b) in &token_blocks.blocks {
         for &l in &b.left {
             for &r in &b.right {
@@ -113,7 +113,7 @@ fn tf_profiles(pair: &KbPair, side: Side, n: usize) -> Vec<Vec<(u64, u32)>> {
     let kb = pair.kb(side);
     let mut out = Vec::with_capacity(kb.len());
     for (_, e) in kb.iter() {
-        let mut counts: HashMap<u64, u32> = HashMap::new();
+        let mut counts: DetHashMap<u64, u32> = DetHashMap::default();
         for (_, lit) in e.literal_pairs() {
             let seq = pair.literal_token_seq(lit);
             if seq.len() >= n {
@@ -132,7 +132,7 @@ fn tf_profiles(pair: &KbPair, side: Side, n: usize) -> Vec<Vec<(u64, u32)>> {
 fn weighted(
     tf: &[Vec<(u64, u32)>],
     weighting: Weighting,
-    df: &HashMap<u64, u32>,
+    df: &DetHashMap<u64, u32>,
     corpus_size: f64,
 ) -> Vec<Profile> {
     tf.iter()
@@ -195,7 +195,7 @@ fn aggregates(profiles: &[Profile]) -> SideAggregates {
     }
 }
 
-fn f1_counts(matches: &[(EntityId, EntityId)], gt: &HashSet<(EntityId, EntityId)>) -> (f64, f64, f64) {
+fn f1_counts(matches: &[(EntityId, EntityId)], gt: &DetHashSet<(EntityId, EntityId)>) -> (f64, f64, f64) {
     if matches.is_empty() || gt.is_empty() {
         return (0.0, 0.0, 0.0);
     }
@@ -216,7 +216,7 @@ pub fn grid_search(
     ground_truth: &[(EntityId, EntityId)],
 ) -> BslReport {
     let candidates = candidate_pairs(token_blocks, name_blocks);
-    let gt: HashSet<(EntityId, EntityId)> = ground_truth.iter().copied().collect();
+    let gt: DetHashSet<(EntityId, EntityId)> = ground_truth.iter().copied().collect();
     let thresholds: Vec<f64> = (0..20).map(|i| i as f64 * 0.05).collect();
 
     type Best = Option<(BslConfig, Vec<(EntityId, EntityId)>, (f64, f64, f64))>;
@@ -227,7 +227,7 @@ pub fn grid_search(
         let tf_l = tf_profiles(pair, Side::Left, n);
         let tf_r = tf_profiles(pair, Side::Right, n);
         // Document frequency across both KBs.
-        let mut df: HashMap<u64, u32> = HashMap::new();
+        let mut df: DetHashMap<u64, u32> = DetHashMap::default();
         for p in tf_l.iter().chain(tf_r.iter()) {
             for &(g, _) in p {
                 *df.entry(g).or_insert(0) += 1;
@@ -366,7 +366,7 @@ mod tests {
         let names = NameStats::compute(&pair, 1);
         let nb = build_name_blocks(&pair, &names);
         let cands = candidate_pairs(&tb, &nb);
-        let set: HashSet<_> = cands.iter().collect();
+        let set: DetHashSet<_> = cands.iter().collect();
         assert_eq!(set.len(), cands.len(), "no duplicates");
         assert!(cands.len() >= 3, "at least the identical pairs co-occur");
     }
@@ -424,7 +424,7 @@ mod tests {
         b.add_triple(Side::Right, "r", "p", Term::Literal("common rare"));
         let pair = b.finish();
         let tf = tf_profiles(&pair, Side::Left, 1);
-        let mut df: HashMap<u64, u32> = HashMap::new();
+        let mut df: DetHashMap<u64, u32> = DetHashMap::default();
         for p in tf.iter().chain(tf_profiles(&pair, Side::Right, 1).iter()) {
             for &(g, _) in p {
                 *df.entry(g).or_insert(0) += 1;

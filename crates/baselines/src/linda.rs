@@ -18,7 +18,7 @@
 //! is exactly how this analogue degrades on the BBCmusic-DBpedia-like
 //! profile (KB-specific relation names share no edit-distance signal).
 
-use std::collections::HashMap;
+use minoaner_det::DetHashMap;
 
 use minoaner_dataflow::Executor;
 use minoaner_kb::stats::TokenEf;
@@ -83,7 +83,7 @@ fn compatible_relations(pair: &KbPair, cfg: &LindaConfig) -> Vec<(AttrId, AttrId
     let mut right: Vec<AttrId> = Vec::new();
     for (side, out) in [(Side::Left, &mut left), (Side::Right, &mut right)] {
         let kb = pair.kb(side);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = minoaner_det::DetHashSet::default();
         for (_, e) in kb.iter() {
             for (r, _) in e.relation_pairs() {
                 seen.insert(r);
@@ -148,13 +148,13 @@ fn value_similarity(pair: &KbPair, ef: &TokenEf, l: EntityId, r: EntityId) -> f6
 pub fn run_linda(executor: &Executor, pair: &KbPair, cfg: &LindaConfig) -> Vec<(EntityId, EntityId)> {
     let ef = executor.time_stage("linda/ef", || TokenEf::compute(pair));
     let compat = executor.time_stage("linda/compatible-relations", || compatible_relations(pair, cfg));
-    let compat_set: std::collections::HashSet<(AttrId, AttrId)> = compat.into_iter().collect();
+    let compat_set: minoaner_det::DetHashSet<(AttrId, AttrId)> = compat.into_iter().collect();
 
     // Initial candidates: pairs sharing at least two tokens (as in SiGMa's
     // candidate generation, which LINDA shares in spirit), scored by value
     // similarity.
     let blocks = minoaner_blocking::token::build_token_blocks(pair);
-    let mut shared_count: HashMap<(u32, u32), u32> = HashMap::new();
+    let mut shared_count: DetHashMap<(u32, u32), u32> = DetHashMap::default();
     for (_, b) in &blocks.blocks {
         if b.comparisons() > 50_000 {
             continue; // stopword guard
@@ -185,8 +185,8 @@ pub fn run_linda(executor: &Executor, pair: &KbPair, cfg: &LindaConfig) -> Vec<(
     let in_l = in_edges(Side::Left);
     let in_r = in_edges(Side::Right);
 
-    let mut matched_l: HashMap<EntityId, EntityId> = HashMap::new();
-    let mut matched_r: HashMap<EntityId, EntityId> = HashMap::new();
+    let mut matched_l: DetHashMap<EntityId, EntityId> = DetHashMap::default();
+    let mut matched_r: DetHashMap<EntityId, EntityId> = DetHashMap::default();
 
     for round in 0..cfg.max_rounds {
         let added = executor.time_stage(&format!("linda/round-{round}"), || {

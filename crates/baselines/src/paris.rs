@@ -17,7 +17,7 @@
 //! it the way the paper describes: when one KB splits a relation over
 //! many names, alignment mass dilutes and propagation stalls.
 
-use std::collections::HashMap;
+use minoaner_det::DetHashMap;
 
 use minoaner_dataflow::Executor;
 use minoaner_kb::{AttrId, EntityId, KbPair, LiteralId, Side};
@@ -48,9 +48,9 @@ impl Default for ParisConfig {
 fn inverse_functionality(pair: &KbPair, side: Side) -> Vec<f64> {
     let n_attrs = pair.attr_space();
     let mut instances = vec![0u64; n_attrs];
-    let mut lit_values: Vec<std::collections::HashSet<LiteralId>> =
+    let mut lit_values: Vec<minoaner_det::DetHashSet<LiteralId>> =
         vec![Default::default(); n_attrs];
-    let mut ref_values: Vec<std::collections::HashSet<EntityId>> =
+    let mut ref_values: Vec<minoaner_det::DetHashSet<EntityId>> =
         vec![Default::default(); n_attrs];
     let kb = pair.kb(side);
     for (_, e) in kb.iter() {
@@ -84,8 +84,8 @@ pub fn run_paris(executor: &Executor, pair: &KbPair, cfg: &ParisConfig) -> Vec<(
 
     // --- Seeds from shared literals ---
     // literal → [(attr, entity)] per side.
-    let mut index_l: HashMap<LiteralId, Vec<(AttrId, EntityId)>> = HashMap::new();
-    let mut index_r: HashMap<LiteralId, Vec<(AttrId, EntityId)>> = HashMap::new();
+    let mut index_l: DetHashMap<LiteralId, Vec<(AttrId, EntityId)>> = DetHashMap::default();
+    let mut index_r: DetHashMap<LiteralId, Vec<(AttrId, EntityId)>> = DetHashMap::default();
     for (side, index) in [(Side::Left, &mut index_l), (Side::Right, &mut index_r)] {
         let kb = pair.kb(side);
         for (id, e) in kb.iter() {
@@ -96,7 +96,7 @@ pub fn run_paris(executor: &Executor, pair: &KbPair, cfg: &ParisConfig) -> Vec<(
     }
 
     // prob(x ≡ y) accumulated as 1 - Π (1 - evidence).
-    let mut one_minus: HashMap<(u32, u32), f64> = HashMap::new();
+    let mut one_minus: DetHashMap<(u32, u32), f64> = DetHashMap::default();
     for (lit, lefts) in &index_l {
         let Some(rights) = index_r.get(lit) else { continue };
         if lefts.len() > cfg.max_literal_fanout || rights.len() > cfg.max_literal_fanout {
@@ -118,13 +118,13 @@ pub fn run_paris(executor: &Executor, pair: &KbPair, cfg: &ParisConfig) -> Vec<(
             }
         }
     }
-    let seed_prob: HashMap<(u32, u32), f64> =
+    let seed_prob: DetHashMap<(u32, u32), f64> =
         one_minus.into_iter().map(|(k, om)| (k, 1.0 - om)).collect();
     let mut prob = seed_prob.clone();
 
     // Static per-run structures: relation usage counts and in-edge lists.
-    let mut rel_count_l: HashMap<AttrId, u64> = HashMap::new();
-    let mut rel_count_r: HashMap<AttrId, u64> = HashMap::new();
+    let mut rel_count_l: DetHashMap<AttrId, u64> = DetHashMap::default();
+    let mut rel_count_r: DetHashMap<AttrId, u64> = DetHashMap::default();
     for (_, e) in pair.kb(Side::Left).iter() {
         for (r, _) in e.relation_pairs() {
             *rel_count_l.entry(r).or_insert(0) += 1;
@@ -155,7 +155,7 @@ pub fn run_paris(executor: &Executor, pair: &KbPair, cfg: &ParisConfig) -> Vec<(
                 prob.iter().filter(|&(_, &p)| p >= cfg.threshold).map(|(&k, &p)| (k, p)).collect();
 
             // Relation alignment counts from accepted child pairs.
-            let mut align: HashMap<(AttrId, AttrId), f64> = HashMap::new();
+            let mut align: DetHashMap<(AttrId, AttrId), f64> = DetHashMap::default();
             for &((cx, cy), p) in &accepted {
                 for &(rl, _) in &in_l[cx as usize] {
                     for &(rr, _) in &in_r[cy as usize] {
@@ -175,7 +175,7 @@ pub fn run_paris(executor: &Executor, pair: &KbPair, cfg: &ParisConfig) -> Vec<(
             // identifies none of them, while a 1-parent child (a
             // restaurant's own address) identifies its parent almost
             // surely — and symmetrically for children of matched parents.
-            let mut updates: HashMap<(u32, u32), f64> = HashMap::new();
+            let mut updates: DetHashMap<(u32, u32), f64> = DetHashMap::default();
             let mut bump = |key: (u32, u32), evidence: f64| {
                 let slot = updates.entry(key).or_insert(1.0);
                 *slot *= 1.0 - evidence.min(0.999);

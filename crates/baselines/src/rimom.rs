@@ -11,7 +11,7 @@
 //! on schema-heterogeneous data. Relation alignment is learned from the
 //! current match set.
 
-use std::collections::{HashMap, HashSet};
+use minoaner_det::{DetHashMap, DetHashSet};
 
 use minoaner_dataflow::Executor;
 use minoaner_kb::stats::TokenEf;
@@ -94,7 +94,7 @@ pub fn run_rimom(executor: &Executor, pair: &KbPair, cfg: &RimomConfig) -> Vec<(
     // --- Blocking on top-k TF-IDF tokens ---
     let top_l = top_tokens(pair, &ef, Side::Left, cfg.top_tokens);
     let top_r = top_tokens(pair, &ef, Side::Right, cfg.top_tokens);
-    let mut by_token: HashMap<TokenId, (Vec<EntityId>, Vec<EntityId>)> = HashMap::new();
+    let mut by_token: DetHashMap<TokenId, (Vec<EntityId>, Vec<EntityId>)> = DetHashMap::default();
     for (i, toks) in top_l.iter().enumerate() {
         for &t in toks {
             by_token.entry(t).or_default().0.push(EntityId(i as u32));
@@ -105,7 +105,7 @@ pub fn run_rimom(executor: &Executor, pair: &KbPair, cfg: &RimomConfig) -> Vec<(
             by_token.entry(t).or_default().1.push(EntityId(i as u32));
         }
     }
-    let mut candidates: HashSet<(EntityId, EntityId)> = HashSet::new();
+    let mut candidates: DetHashSet<(EntityId, EntityId)> = DetHashSet::default();
     for (_, (ls, rs)) in by_token {
         // Over-frequent keys carry no discriminative power (and would make
         // blocking quadratic); skip them like the original's block purging.
@@ -128,15 +128,15 @@ pub fn run_rimom(executor: &Executor, pair: &KbPair, cfg: &RimomConfig) -> Vec<(
             .collect()
     });
     let initial = unique_mapping_clustering(scored, cfg.threshold);
-    let mut matched_l: HashMap<EntityId, EntityId> = initial.iter().copied().collect();
-    let mut matched_r: HashMap<EntityId, EntityId> =
+    let mut matched_l: DetHashMap<EntityId, EntityId> = initial.iter().copied().collect();
+    let mut matched_r: DetHashMap<EntityId, EntityId> =
         initial.iter().map(|&(l, r)| (r, l)).collect();
 
     // --- One-left-object sweeps ---
     for sweep in 0..cfg.max_sweeps {
         let added = executor.time_stage(&format!("rimom/sweep-{sweep}"), || {
             // Relation alignment from current matches.
-            let mut align: HashSet<(AttrId, AttrId)> = HashSet::new();
+            let mut align: DetHashSet<(AttrId, AttrId)> = DetHashSet::default();
             for (&l, &r) in &matched_l {
                 for (rl, nl) in pair.kb(Side::Left).entity(l).relation_pairs() {
                     if let Some(&mr) = matched_l.get(&nl) {

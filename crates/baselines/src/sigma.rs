@@ -14,7 +14,7 @@
 //! assumed learnable from matched pairs* — an assumption MinoanER
 //! deliberately avoids.
 
-use std::collections::{HashMap, HashSet};
+use minoaner_det::{DetHashMap, DetHashSet};
 
 use minoaner_dataflow::Executor;
 use minoaner_kb::stats::{NameStats, TokenEf};
@@ -114,8 +114,8 @@ pub fn run_sigma(executor: &Executor, pair: &KbPair, cfg: &SigmaConfig) -> Vec<(
     let name_blocks = minoaner_blocking::name::build_name_blocks(pair, &names);
     let seeds = minoaner_blocking::name::alpha_pairs(&name_blocks);
 
-    let mut matched_l: HashMap<EntityId, EntityId> = HashMap::new();
-    let mut matched_r: HashMap<EntityId, EntityId> = HashMap::new();
+    let mut matched_l: DetHashMap<EntityId, EntityId> = DetHashMap::default();
+    let mut matched_r: DetHashMap<EntityId, EntityId> = DetHashMap::default();
     for &(l, r) in &seeds {
         if !matched_l.contains_key(&l) && !matched_r.contains_key(&r) {
             matched_l.insert(l, r);
@@ -142,7 +142,7 @@ pub fn run_sigma(executor: &Executor, pair: &KbPair, cfg: &SigmaConfig) -> Vec<(
     for round in 0..cfg.max_rounds {
         let added = executor.time_stage(&format!("sigma/round-{round}"), || {
             // Relation alignment from the current match set.
-            let mut align: HashMap<(AttrId, AttrId), u64> = HashMap::new();
+            let mut align: DetHashMap<(AttrId, AttrId), u64> = DetHashMap::default();
             for (&l, &r) in &matched_l {
                 for (rl, nl) in pair.kb(Side::Left).entity(l).relation_pairs() {
                     if let Some(&mr) = matched_l.get(&nl) {
@@ -157,7 +157,7 @@ pub fn run_sigma(executor: &Executor, pair: &KbPair, cfg: &SigmaConfig) -> Vec<(
 
             // Frontier: unmatched neighbor pairs of current matches, in
             // both edge directions.
-            let mut frontier: HashSet<(EntityId, EntityId)> = HashSet::new();
+            let mut frontier: DetHashSet<(EntityId, EntityId)> = DetHashSet::default();
             for (&l, &r) in &matched_l {
                 for (rl, nl) in pair.kb(Side::Left).entity(l).relation_pairs() {
                     if matched_l.contains_key(&nl) {

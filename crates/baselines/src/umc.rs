@@ -21,8 +21,8 @@ pub fn unique_mapping_clustering(
             .then(a.0.cmp(&b.0))
             .then(a.1.cmp(&b.1))
     });
-    let mut left_taken = std::collections::HashSet::new();
-    let mut right_taken = std::collections::HashSet::new();
+    let mut left_taken = minoaner_det::DetHashSet::default();
+    let mut right_taken = minoaner_det::DetHashSet::default();
     let mut out = Vec::new();
     for (l, r, s) in pairs {
         if s < threshold {
@@ -51,8 +51,8 @@ pub fn unique_mapping_prefix(
             .then(a.0.cmp(&b.0))
             .then(a.1.cmp(&b.1))
     });
-    let mut left_taken = std::collections::HashSet::new();
-    let mut right_taken = std::collections::HashSet::new();
+    let mut left_taken = minoaner_det::DetHashSet::default();
+    let mut right_taken = minoaner_det::DetHashSet::default();
     let mut out = Vec::new();
     for (l, r, s) in pairs {
         if left_taken.contains(&l) || right_taken.contains(&r) {

@@ -3,6 +3,10 @@
 //! Purging criteria, the conclusion's rule ensemble, and LSH vs token
 //! blocking candidate recall.
 
+// Benchmarks measure wall-clock by definition; the deny wall
+// (clippy::disallowed_methods) applies to library targets.
+#![allow(clippy::disallowed_methods)]
+
 use minoaner_dataflow::Executor;
 use minoaner_eval::ablation::{
     beta_weighting_ablation, ensemble_ablation, extras_ablation, lsh_ablation, pruning_ablation,

@@ -3,6 +3,10 @@
 //! each dataset, as an ASCII density scatter with the regime summary
 //! (strongly vs nearly similar, identical-name share).
 
+// Benchmarks measure wall-clock by definition; the deny wall
+// (clippy::disallowed_methods) applies to library targets.
+#![allow(clippy::disallowed_methods)]
+
 use minoaner_eval::figures::fig2;
 use minoaner_eval::scale_from_env;
 

@@ -21,6 +21,10 @@
 //! `MINOANER_REPS` (sweep repetitions, default 3), `MINOANER_BENCH_OUT`
 //! (report path, default `BENCH_graph.json`).
 
+// Benchmarks measure wall-clock by definition; the deny wall
+// (clippy::disallowed_methods) applies to library targets.
+#![allow(clippy::disallowed_methods)]
+
 use criterion::Criterion;
 use minoaner_bench::{GraphBenchPoint, GraphReport, GRAPH_BENCH_SCHEMA_VERSION};
 use minoaner_blocking::graph::{build_blocking_graph, BlockingGraph, GraphConfig};

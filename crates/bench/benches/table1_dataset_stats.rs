@@ -2,6 +2,10 @@
 //! benchmark analogues. Run with `cargo bench --bench table1_dataset_stats`;
 //! set `MINOANER_SCALE` to shrink or grow the datasets.
 
+// Benchmarks measure wall-clock by definition; the deny wall
+// (clippy::disallowed_methods) applies to library targets.
+#![allow(clippy::disallowed_methods)]
+
 use minoaner_eval::scale_from_env;
 use minoaner_eval::tables::table1;
 

@@ -2,6 +2,10 @@
 //! aggregate comparisons, the brute-force cross product, and the
 //! precision / recall / F1 of blocking.
 
+// Benchmarks measure wall-clock by definition; the deny wall
+// (clippy::disallowed_methods) applies to library targets.
+#![allow(clippy::disallowed_methods)]
+
 use minoaner_eval::scale_from_env;
 use minoaner_eval::tables::table2;
 

@@ -3,6 +3,10 @@
 //! printed alongside (LINDA appears with published numbers only, exactly
 //! as in the paper, which could not run it either).
 
+// Benchmarks measure wall-clock by definition; the deny wall
+// (clippy::disallowed_methods) applies to library targets.
+#![allow(clippy::disallowed_methods)]
+
 use minoaner_dataflow::Executor;
 use minoaner_eval::scale_from_env;
 use minoaner_eval::tables::table3;

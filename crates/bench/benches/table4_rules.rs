@@ -3,6 +3,10 @@
 //! and the workflow without neighbor evidence (No Neighbors), with the
 //! paper's numbers alongside.
 
+// Benchmarks measure wall-clock by definition; the deny wall
+// (clippy::disallowed_methods) applies to library targets.
+#![allow(clippy::disallowed_methods)]
+
 use minoaner_dataflow::Executor;
 use minoaner_eval::scale_from_env;
 use minoaner_eval::tables::table4;

@@ -9,7 +9,7 @@
 //! provided here as an optional extra step and measured in the `ablations`
 //! bench.
 
-use minoaner_dataflow::{DetHashMap, DetHashSet};
+use minoaner_det::{DetHashMap, DetHashSet};
 use minoaner_kb::{EntityId, Side};
 
 use crate::block::TokenBlocks;

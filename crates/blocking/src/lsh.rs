@@ -11,7 +11,7 @@
 
 use std::hash::{Hash, Hasher};
 
-use minoaner_dataflow::{DetHashMap, DetHashSet};
+use minoaner_det::{DetHashMap, DetHashSet};
 use minoaner_kb::{EntityId, KbPair, Side, TokenId};
 
 /// MinHash-LSH configuration. The implied Jaccard threshold is roughly

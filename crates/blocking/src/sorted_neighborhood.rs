@@ -9,7 +9,7 @@
 //! candidates miss matches whose keys sort far apart, and recall is
 //! bounded by the window size.
 
-use minoaner_dataflow::DetHashSet;
+use minoaner_det::DetHashSet;
 use minoaner_kb::stats::TokenEf;
 use minoaner_kb::{EntityId, KbPair, Side};
 

@@ -2,7 +2,7 @@
 //! counts, aggregate comparison cardinalities, and the precision / recall /
 //! F1 of blocking relative to the ground truth.
 
-use minoaner_dataflow::DetHashSet;
+use minoaner_det::DetHashSet;
 
 use minoaner_kb::stats::NameStats;
 use minoaner_kb::{EntityId, KbPair, Side, TokenId};

@@ -1,59 +1,36 @@
-//! Source lint for the determinism guarantee: no randomly-seeded std hash
-//! container may appear anywhere in this crate's sources.
+//! Determinism lint for the blocking crate.
 //!
-//! `std::collections::HashMap`/`HashSet` default to `RandomState`, whose
-//! per-process seed makes iteration order — and any `f64` summation driven
-//! by it — vary run to run. That was a real bug in the γ pass of the graph
-//! kernel. Deterministic alternatives are `DetHashMap`/`DetHashSet` (from
-//! `minoaner-dataflow`), `BTreeMap`/`BTreeSet`, or sorted vectors.
+//! This used to be a grep for `HashMap`/`HashSet` confined to this crate;
+//! the rules now live in `minoaner-lint` (R1–R4, see DESIGN.md §12) and
+//! the canonical whole-workspace run is `crates/lint/tests/workspace.rs`.
+//! This thin test links the same linter and scopes the assertion to
+//! `crates/blocking`, so a regression here fails the crate's own suite
+//! even when run with `cargo test -p minoaner-blocking`.
 
-use std::fs;
 use std::path::PathBuf;
 
 #[test]
-fn no_random_state_hash_containers_in_src() {
-    let src = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("src");
-    let mut offenders: Vec<String> = Vec::new();
-    let mut stack = vec![src];
-    while let Some(dir) = stack.pop() {
-        for entry in fs::read_dir(&dir).expect("readable src dir") {
-            let path = entry.expect("dir entry").path();
-            if path.is_dir() {
-                stack.push(path);
-                continue;
-            }
-            if path.extension().and_then(|e| e.to_str()) != Some("rs") {
-                continue;
-            }
-            let text = fs::read_to_string(&path).expect("readable source file");
-            for (ln, line) in text.lines().enumerate() {
-                let trimmed = line.trim_start();
-                if trimmed.starts_with("//") {
-                    continue;
-                }
-                for needle in ["HashMap", "HashSet"] {
-                    let mut from = 0;
-                    while let Some(pos) = line[from..].find(needle) {
-                        let at = from + pos;
-                        let det_prefixed = at >= 3 && &line[at - 3..at] == "Det";
-                        if !det_prefixed {
-                            offenders.push(format!(
-                                "{}:{}: {}",
-                                path.display(),
-                                ln + 1,
-                                line.trim()
-                            ));
-                        }
-                        from = at + needle.len();
-                    }
-                }
-            }
-        }
-    }
+fn blocking_crate_passes_the_determinism_lint() {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let root = manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/blocking has a workspace root two levels up");
+    let report = minoaner_lint::run_check(root, &root.join("lint-allow.toml"))
+        .expect("lint run");
+    let ours: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.path.starts_with("crates/blocking/"))
+        .collect();
     assert!(
-        offenders.is_empty(),
-        "randomly-seeded std hash containers in minoaner-blocking sources \
-         (use DetHashMap/DetHashSet, BTreeMap/BTreeSet, or sorted vectors):\n{}",
-        offenders.join("\n")
+        ours.is_empty(),
+        "determinism lint violations in crates/blocking:\n{:#?}",
+        ours
+    );
+    assert!(
+        report.policy_errors.is_empty(),
+        "lint-allow.toml policy errors:\n{:#?}",
+        report.policy_errors
     );
 }

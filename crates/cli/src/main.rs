@@ -12,7 +12,7 @@
 
 mod args;
 
-use std::collections::HashSet;
+use minoaner_det::DetHashSet;
 use std::fmt;
 use std::process::ExitCode;
 
@@ -215,7 +215,11 @@ fn resolve(args: &ResolveArgs) -> Result<(), CliError> {
                 })
             })
             .collect();
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows)
+                .map_err(|e| CliError::Io(format!("cannot serialize output: {e}")))?
+        );
     } else {
         for &(l, r) in &res.matches {
             println!("{}\t{}", pair.uri_of(Side::Left, l), pair.uri_of(Side::Right, r));
@@ -310,7 +314,11 @@ fn multi(args: &MultiArgs) -> Result<(), CliError> {
                     .collect::<Vec<_>>())
             })
             .collect();
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows)
+                .map_err(|e| CliError::Io(format!("cannot serialize output: {e}")))?
+        );
     } else {
         for cluster in &res.clusters {
             let parts: Vec<String> =
@@ -383,13 +391,17 @@ fn dedup(args: &DedupArgs) -> Result<(), CliError> {
                 })
             })
             .collect();
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows)
+                .map_err(|e| CliError::Io(format!("cannot serialize output: {e}")))?
+        );
     } else {
         for &(a, b) in &res.duplicates {
             println!("{}\t{}", pair.uri_of(Side::Left, a), pair.uri_of(Side::Left, b));
         }
     }
-    let distinct: HashSet<_> =
+    let distinct: DetHashSet<_> =
         res.duplicates.iter().flat_map(|&(a, b)| [a, b]).collect();
     eprintln!(
         "{} duplicate pairs over {} entities in {:.1} ms",

@@ -3,19 +3,19 @@
 //! resolution (§3.2: the disjunctive blocking graph "covers the cases of
 //! an entity collection E being composed of one, two, or more KBs").
 
-use std::collections::HashMap;
+use minoaner_det::DetHashMap;
 
 /// A disjoint-set forest over arbitrary hashable items.
 #[derive(Debug, Default)]
 pub struct UnionFind<T: std::hash::Hash + Eq + Clone> {
-    parent: HashMap<T, T>,
-    rank: HashMap<T, u32>,
+    parent: DetHashMap<T, T>,
+    rank: DetHashMap<T, u32>,
 }
 
 impl<T: std::hash::Hash + Eq + Clone> UnionFind<T> {
     /// Creates an empty forest.
     pub fn new() -> Self {
-        Self { parent: HashMap::new(), rank: HashMap::new() }
+        Self { parent: DetHashMap::default(), rank: DetHashMap::default() }
     }
 
     /// Ensures `x` exists as a singleton.
@@ -75,7 +75,7 @@ impl<T: std::hash::Hash + Eq + Clone> UnionFind<T> {
         T: Ord,
     {
         let keys: Vec<T> = self.parent.keys().cloned().collect();
-        let mut groups: HashMap<T, Vec<T>> = HashMap::new();
+        let mut groups: DetHashMap<T, Vec<T>> = DetHashMap::default();
         for k in keys {
             let root = self.find(&k);
             groups.entry(root).or_default().push(k);

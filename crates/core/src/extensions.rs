@@ -11,7 +11,7 @@
 //!   adaptive pruning is enabled for a [`Minoaner`]-style run via
 //!   [`resolve_adaptive`].
 
-use std::collections::HashMap;
+use minoaner_det::DetHashMap;
 
 use minoaner_blocking::graph::{build_blocking_graph, GraphConfig};
 use minoaner_blocking::name::build_name_blocks;
@@ -46,7 +46,7 @@ pub fn ensemble_resolve(
     min_votes: usize,
 ) -> EnsembleResolution {
     assert!(!configs.is_empty(), "an ensemble needs at least one configuration");
-    let mut votes: HashMap<(u32, u32), usize> = HashMap::new();
+    let mut votes: DetHashMap<(u32, u32), usize> = DetHashMap::default();
     for cfg in configs {
         let res = Minoaner::with_config(*cfg).resolve(executor, pair);
         for (l, r) in res.matches {
@@ -57,8 +57,8 @@ pub fn ensemble_resolve(
         votes.into_iter().filter(|&(_, v)| v >= min_votes.max(1)).collect();
     scored.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
 
-    let mut taken_l = std::collections::HashSet::new();
-    let mut taken_r = std::collections::HashSet::new();
+    let mut taken_l = minoaner_det::DetHashSet::default();
+    let mut taken_r = minoaner_det::DetHashSet::default();
     let mut matches = Vec::new();
     let mut out_votes = Vec::new();
     for ((l, r), v) in scored {

@@ -14,7 +14,8 @@
 //! `M(e_i, e_j) = (R1 ∨ R2 ∨ R3) ∧ R4` (Def. 4.1).
 
 use minoaner_blocking::BlockingGraph;
-use minoaner_dataflow::{DetHashMap, Executor};
+use minoaner_det::DetHashMap;
+use minoaner_dataflow::Executor;
 use minoaner_kb::{EntityId, KbPair, Side};
 use serde::{Deserialize, Serialize};
 

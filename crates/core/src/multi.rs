@@ -11,7 +11,7 @@
 //! keeping the earlier, higher-priority pair (pairs are applied in
 //! KB-pair order, then match order).
 
-use std::collections::HashMap;
+use minoaner_det::DetHashMap;
 
 use minoaner_dataflow::Executor;
 use minoaner_kb::{KbPair, KbPairBuilder, Side, Term};
@@ -113,7 +113,7 @@ impl Minoaner {
         assert!(input.len() >= 2, "multi-KB resolution needs at least two KBs");
         let mut uf: UnionFind<MultiNode> = UnionFind::new();
         // Cluster membership guard: root → kb indices already present.
-        let mut kb_members: HashMap<MultiNode, Vec<usize>> = HashMap::new();
+        let mut kb_members: DetHashMap<MultiNode, Vec<usize>> = DetHashMap::default();
         let mut pairwise = Vec::new();
 
         for i in 0..input.len() {
@@ -137,7 +137,7 @@ impl Minoaner {
 /// description per KB (the k-partite constraint).
 fn try_union(
     uf: &mut UnionFind<MultiNode>,
-    kb_members: &mut HashMap<MultiNode, Vec<usize>>,
+    kb_members: &mut DetHashMap<MultiNode, Vec<usize>>,
     a: MultiNode,
     b: MultiNode,
 ) {

@@ -15,7 +15,7 @@
 //! from a seeded SplitMix64 stream ([`FaultPlan::seed_first_attempt_panics`]),
 //! so randomized fault campaigns reproduce bit-for-bit from the seed alone.
 
-use std::collections::HashMap;
+use minoaner_det::DetHashMap;
 use std::time::Duration;
 
 use parking_lot::Mutex;
@@ -44,9 +44,9 @@ pub struct InjectedFault {
 #[derive(Debug, Default)]
 pub struct FaultPlan {
     /// `(stage, task)` → fault kind and the attempts it fires on.
-    faults: Mutex<HashMap<(String, usize), (FaultKind, Vec<u32>)>>,
+    faults: Mutex<DetHashMap<(String, usize), (FaultKind, Vec<u32>)>>,
     /// `(stage, task)` → attempts observed so far.
-    attempts: Mutex<HashMap<(String, usize), u32>>,
+    attempts: Mutex<DetHashMap<(String, usize), u32>>,
     /// Everything that fired, in firing order.
     fired: Mutex<Vec<InjectedFault>>,
 }

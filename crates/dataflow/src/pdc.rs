@@ -3,8 +3,7 @@
 //! whole-stage operators (map / filter / flat-map / shuffle / join), each
 //! executed in parallel across partitions with a barrier at the end.
 
-use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::hash::Hash;
 
 use parking_lot::Mutex;
 
@@ -12,20 +11,16 @@ use crate::error::DataflowError;
 use crate::metrics::StageIo;
 use crate::pool::Executor;
 
-/// Deterministic hasher so that shuffle partitioning (and therefore the
-/// whole dataflow) is reproducible across runs and worker counts.
-pub type DetHasher = BuildHasherDefault<std::collections::hash_map::DefaultHasher>;
+// Deterministic containers are shared workspace-wide from `minoaner-det`;
+// re-exported here because the engine's shuffle determinism depends on
+// them and downstream crates historically imported them from this crate.
+pub use minoaner_det::{DetHashMap, DetHashSet, DetHasher};
 
-/// A deterministic `HashMap` used throughout the engine.
-pub type DetHashMap<K, V> = HashMap<K, V, DetHasher>;
-
-/// A deterministic `HashSet`, the companion of [`DetHashMap`].
-pub type DetHashSet<K> = std::collections::HashSet<K, DetHasher>;
-
+/// Reproducible shuffle placement: the deterministic hash of `key`, modulo
+/// the partition count. The fixed-seed hasher is what makes the whole
+/// dataflow reproducible across runs and worker counts.
 fn partition_of<K: Hash>(key: &K, parts: usize) -> usize {
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    key.hash(&mut h);
-    (h.finish() % parts as u64) as usize
+    (minoaner_det::det_hash(key) % parts as u64) as usize
 }
 
 /// A partitioned collection of `T`.

@@ -294,6 +294,9 @@ impl Executor {
     }
 
     /// Like [`Self::try_run_stage`] with an explicit per-stage policy.
+    // Stage timing is the sanctioned wall-clock use; see the R3 entry
+    // for this file in lint-allow.toml.
+    #[allow(clippy::disallowed_methods)]
     pub fn try_run_stage_with_policy<T, F>(
         &self,
         name: &str,
@@ -329,6 +332,9 @@ impl Executor {
     /// isolation, bounded retries, a cooperative deadline, and either
     /// fail-fast or skip semantics. Returns per-task results plus attempt
     /// accounting (recorded in the log even when the stage fails).
+    // Stage timing is the sanctioned wall-clock use; see the R3 entry
+    // for this file in lint-allow.toml.
+    #[allow(clippy::disallowed_methods)]
     fn try_run_tasks<T, F>(
         &self,
         stage: &str,
@@ -462,6 +468,9 @@ impl Executor {
 
     /// Times an arbitrary closure as a named stage (for sequential steps
     /// that should still show up in the stage log).
+    // Stage timing is the sanctioned wall-clock use; see the R3 entry
+    // for this file in lint-allow.toml.
+    #[allow(clippy::disallowed_methods)]
     pub fn time_stage<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
         let start = Instant::now();
         let out = f();

@@ -295,7 +295,7 @@ mod tests {
 
     #[test]
     fn seeds_are_distinct() {
-        let seeds: std::collections::HashSet<u64> = all_profiles().iter().map(|p| p.seed).collect();
+        let seeds: minoaner_det::DetHashSet<u64> = all_profiles().iter().map(|p| p.seed).collect();
         assert_eq!(seeds.len(), 4);
     }
 }

@@ -1,0 +1,112 @@
+//! Deterministic hash containers for the whole workspace.
+//!
+//! MinoanER's core guarantee is that the non-iterative matcher is
+//! deterministic given a blocking graph: the same input must produce
+//! bit-identical weights, rankings and clusters across runs *and* worker
+//! counts. `std::collections::HashMap`/`HashSet` default to `RandomState`,
+//! whose per-process seed makes iteration order — and any `f64` summation
+//! driven by it — vary run to run. That was a real bug in the γ pass of the
+//! blocking-graph kernel (see DESIGN.md §11 and §12).
+//!
+//! This crate is the single shared home of the fixed-seed replacements.
+//! Every workspace crate imports [`DetHashMap`]/[`DetHashSet`] from here;
+//! `minoaner-lint` rule R1 (and the `clippy::disallowed_types` wall)
+//! enforces that the `std` defaults never reappear.
+//!
+//! The hasher is `SipHash-1-3` with a zero key (`DefaultHasher::new()`),
+//! i.e. the same algorithm as `std` minus the per-process random seed.
+//! Iteration order is therefore *arbitrary but reproducible*: stable across
+//! runs, processes and worker counts for the same insertion sequence.
+//! Code that feeds floating-point accumulation from map iteration must
+//! still sort first (lint rule R2), because the arbitrary order changes
+//! whenever keys or capacity change.
+
+// The wrapper is the one place std's hash containers may be named: the
+// aliases below replace RandomState with a fixed-key hasher. Mirrors the
+// blanket R1 entry for this file in lint-allow.toml.
+#![allow(clippy::disallowed_types)]
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+/// Fixed-seed build hasher: `std`'s SipHash with the zero key instead of
+/// `RandomState`'s per-process random key.
+pub type DetHasher = BuildHasherDefault<DefaultHasher>;
+
+/// A deterministic `HashMap` — the only hash map allowed in workspace
+/// library code (lint rule R1).
+///
+/// Construct with `DetHashMap::default()` (there is no `new()` for maps
+/// with a non-default hasher) or [`map_with_capacity`].
+pub type DetHashMap<K, V> = HashMap<K, V, DetHasher>;
+
+/// A deterministic `HashSet`, the companion of [`DetHashMap`].
+///
+/// Construct with `DetHashSet::default()` or [`set_with_capacity`].
+pub type DetHashSet<K> = HashSet<K, DetHasher>;
+
+/// A [`DetHashMap`] pre-sized for `n` entries.
+pub fn map_with_capacity<K, V>(n: usize) -> DetHashMap<K, V> {
+    DetHashMap::with_capacity_and_hasher(n, DetHasher::default())
+}
+
+/// A [`DetHashSet`] pre-sized for `n` entries.
+pub fn set_with_capacity<K>(n: usize) -> DetHashSet<K> {
+    DetHashSet::with_capacity_and_hasher(n, DetHasher::default())
+}
+
+/// Hashes one value with the deterministic hasher — the primitive behind
+/// reproducible shuffle partitioning in `minoaner-dataflow`.
+pub fn det_hash<T: Hash>(value: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_order_is_reproducible_for_same_insertions() {
+        let build = || {
+            let mut m: DetHashMap<u64, u64> = DetHashMap::default();
+            for i in 0..1000 {
+                m.insert(i * 2654435761 % 4096, i);
+            }
+            m.into_iter().collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build(), "same insertions must iterate identically");
+    }
+
+    #[test]
+    fn set_order_is_reproducible() {
+        let build = || {
+            let mut s: DetHashSet<String> = DetHashSet::default();
+            for i in 0..500 {
+                s.insert(format!("token-{i}"));
+            }
+            s.into_iter().collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn det_hash_is_stable_within_a_process() {
+        assert_eq!(det_hash(&"minoaner"), det_hash(&"minoaner"));
+        assert_ne!(det_hash(&1u64), det_hash(&2u64));
+    }
+
+    #[test]
+    fn with_capacity_helpers_behave_like_default() {
+        let mut m = map_with_capacity::<u32, u32>(64);
+        assert!(m.capacity() >= 64);
+        m.insert(1, 2);
+        assert_eq!(m.get(&1), Some(&2));
+        let mut s = set_with_capacity::<u32>(16);
+        assert!(s.capacity() >= 16);
+        s.insert(9);
+        assert!(s.contains(&9));
+    }
+}

@@ -5,6 +5,10 @@
 //! ```sh
 //! SCALE=0.5 cargo run --release -p minoaner-eval --example calibrate
 //! ```
+// Benchmarks measure wall-clock by definition; the deny wall
+// (clippy::disallowed_methods) applies to library targets.
+#![allow(clippy::disallowed_methods)]
+
 use minoaner_core::{Minoaner, RuleSet};
 use minoaner_dataflow::Executor;
 use minoaner_datagen::{generate, profiles};

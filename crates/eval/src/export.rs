@@ -39,13 +39,14 @@ pub fn run_all(executor: &Executor, scale: f64, fig6_reps: usize) -> ExperimentD
 }
 
 /// Serializes a dump to pretty JSON.
-pub fn to_json(dump: &ExperimentDump) -> String {
-    serde_json::to_string_pretty(dump).expect("experiment rows are serializable")
+pub fn to_json(dump: &ExperimentDump) -> Result<String, serde_json::Error> {
+    serde_json::to_string_pretty(dump)
 }
 
 /// Writes the dump to `path`.
 pub fn write_json(dump: &ExperimentDump, path: &Path) -> std::io::Result<()> {
-    std::fs::write(path, to_json(dump))
+    let json = to_json(dump).map_err(std::io::Error::other)?;
+    std::fs::write(path, json)
 }
 
 #[cfg(test)]
@@ -56,7 +57,7 @@ mod tests {
     fn dump_serializes_and_round_trips_structure() {
         let exec = Executor::new(2);
         let dump = run_all(&exec, 0.1, 1);
-        let json = to_json(&dump);
+        let json = to_json(&dump).expect("experiment rows serialize");
         let value: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
         for key in ["table1", "table2", "table3", "table4", "fig2", "fig5", "fig6"] {
             assert!(

@@ -141,7 +141,7 @@ pub fn fig5(executor: &Executor, scale: f64) -> (Vec<SensitivityPoint>, String) 
         let values: Vec<f64> = {
             let mut vs: Vec<f64> =
                 all.iter().filter(|p| p.parameter == param).map(|p| p.value).collect();
-            vs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            vs.sort_by(f64::total_cmp);
             vs.dedup();
             vs
         };

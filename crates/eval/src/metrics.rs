@@ -1,6 +1,6 @@
 //! Match-quality metrics: precision, recall, F1 against a ground truth.
 
-use std::collections::HashSet;
+use minoaner_det::DetHashSet;
 
 use minoaner_kb::EntityId;
 use serde::{Deserialize, Serialize};
@@ -19,8 +19,8 @@ pub struct Quality {
 impl Quality {
     /// Scores `predicted` pairs against `ground_truth`.
     pub fn evaluate(predicted: &[(EntityId, EntityId)], ground_truth: &[(EntityId, EntityId)]) -> Quality {
-        let gt: HashSet<(EntityId, EntityId)> = ground_truth.iter().copied().collect();
-        let pred: HashSet<(EntityId, EntityId)> = predicted.iter().copied().collect();
+        let gt: DetHashSet<(EntityId, EntityId)> = ground_truth.iter().copied().collect();
+        let pred: DetHashSet<(EntityId, EntityId)> = predicted.iter().copied().collect();
         let tp = pred.iter().filter(|p| gt.contains(p)).count();
         let precision = if pred.is_empty() { 0.0 } else { 100.0 * tp as f64 / pred.len() as f64 };
         let recall = if gt.is_empty() { 0.0 } else { 100.0 * tp as f64 / gt.len() as f64 };

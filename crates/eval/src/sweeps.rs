@@ -114,7 +114,7 @@ pub fn worker_sweep() -> Vec<usize> {
         out.push(w);
         w *= 2;
     }
-    if *out.last().expect("non-empty") != cores {
+    if out.last() != Some(&cores) {
         out.push(cores);
     }
     out

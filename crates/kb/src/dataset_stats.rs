@@ -2,7 +2,7 @@
 //! triple counts, average tokens per description, attribute/relation/type
 //! counts and the number of vocabularies (predicate namespaces).
 
-use std::collections::HashSet;
+use minoaner_det::DetHashSet;
 
 use crate::model::{Side, Value};
 use crate::store::KbPair;
@@ -37,9 +37,9 @@ pub fn kb_stats(pair: &KbPair, side: Side, type_attr: &str) -> KbStats {
     let kb = pair.kb(side);
     let type_attr = pair.attrs().get(type_attr);
 
-    let mut attributes = HashSet::new();
-    let mut relations = HashSet::new();
-    let mut types = HashSet::new();
+    let mut attributes = DetHashSet::default();
+    let mut relations = DetHashSet::default();
+    let mut types = DetHashSet::default();
     let mut triples = 0usize;
     let mut token_occ = 0u64;
 
@@ -64,7 +64,7 @@ pub fn kb_stats(pair: &KbPair, side: Side, type_attr: &str) -> KbStats {
         }
     }
 
-    let vocabularies: HashSet<&str> = attributes
+    let vocabularies: DetHashSet<&str> = attributes
         .iter()
         .chain(relations.iter())
         .map(|a| uri_namespace(pair.attrs().resolve(crate::interner::Symbol(a.0))))

@@ -6,7 +6,7 @@
 //! similarity, blocking, neighbor evidence) then operate on integers, which
 //! keeps the hot loops allocation-free and cache-friendly.
 
-use std::collections::HashMap;
+use minoaner_det::DetHashMap;
 use std::fmt;
 
 /// A dense identifier handed out by an [`Interner`].
@@ -39,7 +39,7 @@ impl fmt::Display for Symbol {
 /// (entity-frequency arrays, importance vectors, …).
 #[derive(Debug, Default, Clone)]
 pub struct Interner {
-    map: HashMap<Box<str>, Symbol>,
+    map: DetHashMap<Box<str>, Symbol>,
     strings: Vec<Box<str>>,
 }
 
@@ -52,7 +52,7 @@ impl Interner {
     /// Creates an empty interner with capacity for `n` distinct strings.
     pub fn with_capacity(n: usize) -> Self {
         Self {
-            map: HashMap::with_capacity(n),
+            map: minoaner_det::map_with_capacity(n),
             strings: Vec::with_capacity(n),
         }
     }

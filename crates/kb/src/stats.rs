@@ -3,7 +3,7 @@
 //! support/discriminability/importance for top-N neighbors, and global
 //! top-k name attributes.
 
-use std::collections::{HashMap, HashSet};
+use minoaner_det::{DetHashMap, DetHashSet};
 
 use crate::model::{AttrId, EntityId, LiteralId, Side, TokenId};
 use crate::store::KbPair;
@@ -120,7 +120,7 @@ impl RelationStats {
         for side in [Side::Left, Side::Right] {
             let kb = pair.kb(side);
             let mut instances = vec![0u64; n_attrs];
-            let mut objects: HashMap<AttrId, HashSet<EntityId>> = HashMap::new();
+            let mut objects: DetHashMap<AttrId, DetHashSet<EntityId>> = DetHashMap::default();
             for (_, e) in kb.iter() {
                 for (p, o) in e.relation_pairs() {
                     instances[p.index()] += 1;
@@ -273,8 +273,8 @@ impl NameStats {
         for side in [Side::Left, Side::Right] {
             let kb = pair.kb(side);
             let mut instances = vec![0u64; n_attrs];
-            let mut subjects: HashMap<AttrId, HashSet<EntityId>> = HashMap::new();
-            let mut values: HashMap<AttrId, HashSet<LiteralId>> = HashMap::new();
+            let mut subjects: DetHashMap<AttrId, DetHashSet<EntityId>> = DetHashMap::default();
+            let mut values: DetHashMap<AttrId, DetHashSet<LiteralId>> = DetHashMap::default();
             for (id, e) in kb.iter() {
                 for (p, l) in e.literal_pairs() {
                     instances[p.index()] += 1;

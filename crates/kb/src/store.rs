@@ -5,7 +5,7 @@
 //! *and* fast: a token appearing in both KBs maps to the same [`TokenId`], so
 //! token blocking and value similarity never compare strings.
 
-use std::collections::HashMap;
+use minoaner_det::DetHashMap;
 
 use crate::interner::{Interner, Symbol};
 use crate::model::{AttrId, Entity, EntityId, LiteralId, Side, TokenId, Value};
@@ -16,7 +16,7 @@ use crate::tokenize::{normalize_name, tokenize, uri_local_name};
 pub struct Kb {
     side: Side,
     entities: Vec<Entity>,
-    uri_index: HashMap<Symbol, EntityId>,
+    uri_index: DetHashMap<Symbol, EntityId>,
     /// Sorted, deduplicated token ids appearing in each entity's literals.
     token_sets: Vec<Box<[TokenId]>>,
     /// Total token *occurrences* per entity (multiset size — Table 1's
@@ -226,7 +226,7 @@ pub struct KbPairBuilder {
     uris: Interner,
     literal_tokens: Vec<Box<[TokenId]>>,
     raw: [Vec<RawEntity>; 2],
-    uri_to_idx: [HashMap<Symbol, usize>; 2],
+    uri_to_idx: [DetHashMap<Symbol, usize>; 2],
 }
 
 impl KbPairBuilder {

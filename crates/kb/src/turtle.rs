@@ -18,7 +18,7 @@
 use crate::model::Side;
 use crate::parser::ParseError;
 use crate::store::{KbPairBuilder, Term};
-use std::collections::HashMap;
+use minoaner_det::DetHashMap;
 
 const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
 
@@ -68,13 +68,13 @@ struct TurtleParser<'a> {
     input: &'a str,
     pos: usize,
     line: usize,
-    prefixes: HashMap<String, String>,
+    prefixes: DetHashMap<String, String>,
     base: Option<String>,
 }
 
 impl<'a> TurtleParser<'a> {
     fn new(input: &'a str) -> Self {
-        Self { input, pos: 0, line: 1, prefixes: HashMap::new(), base: None }
+        Self { input, pos: 0, line: 1, prefixes: DetHashMap::default(), base: None }
     }
 
     fn error(&self, message: impl Into<String>) -> ParseError {
@@ -280,7 +280,7 @@ impl<'a> TurtleParser<'a> {
         if quote.len() == 3 {
             end = rest.find(quote);
         } else {
-            let q = quote.chars().next().expect("non-empty quote");
+            let q = quote.chars().next().ok_or_else(|| self.error("empty quote delimiter"))?;
             let mut escaped = false;
             for (i, c) in rest.char_indices() {
                 if escaped {

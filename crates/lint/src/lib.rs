@@ -1,0 +1,302 @@
+//! minoaner-lint: the workspace determinism & concurrency linter.
+//!
+//! Run as `cargo run -p minoaner-lint -- check` (add `--json` for the
+//! machine-readable report). The four rules and the allowlist policy are
+//! documented in DESIGN.md §12; fixtures live in `tests/fixtures/`.
+
+pub mod allow;
+pub mod lexer;
+pub mod rules;
+
+use allow::AllowEntry;
+use rules::{FileClass, Violation};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Directories (workspace-relative prefixes) never scanned.
+const SKIP_PREFIXES: &[&str] = &[
+    "target",
+    ".git",
+    "tools/offline-stubs",
+    "crates/lint/tests/fixtures",
+];
+
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Violations not covered by the allowlist.
+    pub violations: Vec<Violation>,
+    /// Allowlist policy failures (ratchet drift, stale entries, parse
+    /// errors surfaced per entry).
+    pub policy_errors: Vec<String>,
+    /// Total files scanned.
+    pub files_scanned: usize,
+    /// Raw (pre-allowlist) violation counts per rule.
+    pub raw_counts: BTreeMap<&'static str, usize>,
+}
+
+impl Report {
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty() && self.policy_errors.is_empty()
+    }
+
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            let _ = writeln!(out, "{}:{}: [{}] {}", v.path, v.line, v.rule, v.message);
+        }
+        for e in &self.policy_errors {
+            let _ = writeln!(out, "allowlist: {e}");
+        }
+        let _ = writeln!(
+            out,
+            "minoaner-lint: {} file(s) scanned, {} violation(s), {} policy error(s)",
+            self.files_scanned,
+            self.violations.len(),
+            self.policy_errors.len()
+        );
+        out
+    }
+
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}}}",
+                if i == 0 { "" } else { "," },
+                json_str(v.rule),
+                json_str(&v.path),
+                v.line,
+                json_str(&v.message),
+            );
+        }
+        if !self.violations.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"policy_errors\": [");
+        for (i, e) in self.policy_errors.iter().enumerate() {
+            let _ = write!(out, "{}\n    {}", if i == 0 { "" } else { "," }, json_str(e));
+        }
+        if !self.policy_errors.is_empty() {
+            out.push_str("\n  ");
+        }
+        let _ = write!(out, "],\n  \"files_scanned\": {},\n  \"raw_counts\": {{", self.files_scanned);
+        for (i, (rule, n)) in self.raw_counts.iter().enumerate() {
+            let _ = write!(out, "{}{}: {}", if i == 0 { "" } else { ", " }, json_str(rule), n);
+        }
+        let _ = write!(out, "}},\n  \"clean\": {}\n}}", self.clean());
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Classify a workspace-relative file path, or `None` to skip it.
+fn classify(rel: &str) -> Option<FileClass> {
+    if SKIP_PREFIXES.iter().any(|p| rel.starts_with(p)) {
+        return None;
+    }
+    if !rel.ends_with(".rs") {
+        return None;
+    }
+    if rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.contains("/examples/")
+        || rel.starts_with("tests/")
+        || rel.starts_with("benches/")
+        || rel.starts_with("examples/")
+    {
+        return Some(FileClass::TestOrBench);
+    }
+    Some(FileClass::Library)
+}
+
+fn walk(dir: &Path, root: &Path, files: &mut Vec<(PathBuf, String, FileClass)>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let rel = path
+            .strip_prefix(root)
+            .map_err(|_| "path outside root".to_string())?
+            .to_string_lossy()
+            .replace('\\', "/");
+        if path.is_dir() {
+            if SKIP_PREFIXES.iter().any(|p| rel == *p || rel.starts_with(&format!("{p}/"))) {
+                continue;
+            }
+            walk(&path, root, files)?;
+        } else if let Some(class) = classify(&rel) {
+            files.push((path, rel, class));
+        }
+    }
+    Ok(())
+}
+
+/// Run every rule over every workspace file, then apply the allowlist.
+pub fn run_check(root: &Path, allow_path: &Path) -> Result<Report, String> {
+    let mut report = Report::default();
+
+    let allow_src = match std::fs::read_to_string(allow_path) {
+        Ok(s) => s,
+        Err(_) => String::new(), // missing allowlist = empty allowlist
+    };
+    let entries = allow::parse(&allow_src)?;
+
+    let mut files = Vec::new();
+    walk(root, root, &mut files)?;
+    files.sort_by(|a, b| a.1.cmp(&b.1));
+    report.files_scanned = files.len();
+
+    let mut all: Vec<Violation> = Vec::new();
+    for (path, rel, class) in &files {
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| format!("read {}: {e}", path.display()))?;
+        let toks = lexer::lex(&src);
+        all.extend(rules::run_all(rel, *class, &toks));
+    }
+    for v in &all {
+        *report.raw_counts.entry(v.rule).or_insert(0) += 1;
+    }
+
+    apply_allowlist(&entries, all, &mut report);
+    Ok(report)
+}
+
+fn apply_allowlist(entries: &[AllowEntry], all: Vec<Violation>, report: &mut Report) {
+    // Count per (path, rule) to evaluate ratchets.
+    let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for v in &all {
+        *counts.entry((v.path.clone(), v.rule.to_string())).or_insert(0) += 1;
+    }
+
+    for e in entries {
+        let actual = counts.get(&(e.path.clone(), e.rule.clone())).copied().unwrap_or(0);
+        match e.count {
+            None => {
+                if actual == 0 {
+                    report.policy_errors.push(format!(
+                        "stale entry: {} has no {} violations any more — delete it",
+                        e.path, e.rule
+                    ));
+                }
+            }
+            Some(max) => {
+                if actual == 0 {
+                    report.policy_errors.push(format!(
+                        "stale entry: {} has no {} violations any more — delete it",
+                        e.path, e.rule
+                    ));
+                } else if actual > max {
+                    report.policy_errors.push(format!(
+                        "{}: {} {} violations but lint-allow.toml allows {} — \
+                         fix the new ones, the allowlist only shrinks",
+                        e.path, actual, e.rule, max
+                    ));
+                } else if actual < max {
+                    report.policy_errors.push(format!(
+                        "ratchet: {} now has {} {} violations (allowlist says {}) — \
+                         lower the count to {}",
+                        e.path, actual, e.rule, max, actual
+                    ));
+                }
+            }
+        }
+    }
+
+    let allowed = |v: &Violation| {
+        entries
+            .iter()
+            .any(|e| e.path == v.path && e.rule == v.rule)
+    };
+    report.violations = all.into_iter().filter(|v| !allowed(v)).collect();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_routes_paths() {
+        assert_eq!(classify("crates/kb/src/store.rs"), Some(FileClass::Library));
+        assert_eq!(classify("crates/kb/tests/x.rs"), Some(FileClass::TestOrBench));
+        assert_eq!(classify("crates/bench/benches/graph.rs"), Some(FileClass::TestOrBench));
+        assert_eq!(classify("tests/property_based.rs"), Some(FileClass::TestOrBench));
+        assert_eq!(classify("src/lib.rs"), Some(FileClass::Library));
+        assert_eq!(classify("crates/lint/tests/fixtures/bad/r1.rs"), None);
+        assert_eq!(classify("tools/offline-stubs/rand/src/lib.rs"), None);
+        assert_eq!(classify("README.md"), None);
+    }
+
+    #[test]
+    fn ratchet_reports_drift_in_both_directions() {
+        let entries = allow::parse(
+            "[[allow]]\npath = \"a.rs\"\nrule = \"R4\"\ncount = 2\nreason = \"x\"",
+        )
+        .unwrap();
+        let mk = |n: usize| {
+            (0..n)
+                .map(|i| Violation {
+                    rule: "R4",
+                    path: "a.rs".into(),
+                    line: i as u32 + 1,
+                    message: String::new(),
+                })
+                .collect::<Vec<_>>()
+        };
+
+        let mut r = Report::default();
+        apply_allowlist(&entries, mk(2), &mut r);
+        assert!(r.clean(), "{r:?}");
+
+        let mut r = Report::default();
+        apply_allowlist(&entries, mk(3), &mut r);
+        assert_eq!(r.policy_errors.len(), 1);
+        assert!(r.policy_errors[0].contains("only shrinks"));
+
+        let mut r = Report::default();
+        apply_allowlist(&entries, mk(1), &mut r);
+        assert_eq!(r.policy_errors.len(), 1);
+        assert!(r.policy_errors[0].contains("lower the count"));
+
+        let mut r = Report::default();
+        apply_allowlist(&entries, mk(0), &mut r);
+        assert!(r.policy_errors[0].contains("stale"));
+    }
+
+    #[test]
+    fn json_report_is_well_formed_enough() {
+        let mut r = Report::default();
+        r.violations.push(Violation {
+            rule: "R1",
+            path: "a \"b\".rs".into(),
+            line: 3,
+            message: "use\nDet".into(),
+        });
+        r.raw_counts.insert("R1", 1);
+        let j = r.render_json();
+        assert!(j.contains("\"rule\": \"R1\""));
+        assert!(j.contains("\\\"b\\\""));
+        assert!(j.contains("\\n"));
+        assert!(j.contains("\"clean\": false"));
+    }
+}

@@ -1,0 +1,82 @@
+//! CLI: `minoaner-lint check [--json] [--root PATH] [--allow PATH]`
+//!
+//! Exit codes: 0 clean, 1 violations or allowlist policy errors, 2 usage
+//! or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: minoaner-lint check [--json] [--root PATH] [--allow PATH]\n\
+         \n\
+         Rules (DESIGN.md §12):"
+    );
+    for (id, desc) in minoaner_lint::rules::RULES {
+        eprintln!("  {id}: {desc}");
+    }
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        return usage();
+    };
+    if cmd != "check" {
+        return usage();
+    }
+
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut allow: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--allow" => match args.next() {
+                Some(p) => allow = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let root = root.unwrap_or_else(|| {
+        // When run via `cargo run -p minoaner-lint`, the manifest dir is
+        // crates/lint; the workspace root is two levels up.
+        match std::env::var("CARGO_MANIFEST_DIR") {
+            Ok(d) => {
+                let p = PathBuf::from(d);
+                p.parent()
+                    .and_then(|p| p.parent())
+                    .map(|p| p.to_path_buf())
+                    .unwrap_or(p)
+            }
+            Err(_) => PathBuf::from("."),
+        }
+    });
+    let allow = allow.unwrap_or_else(|| root.join("lint-allow.toml"));
+
+    match minoaner_lint::run_check(&root, &allow) {
+        Ok(report) => {
+            if json {
+                println!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_text());
+            }
+            if report.clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("minoaner-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,566 @@
+//! The four determinism rules. Each rule takes the token stream of one
+//! file plus its classification and appends `Violation`s.
+//!
+//! The rules are deliberately token-level heuristics (see `lexer.rs` for
+//! why there is no `syn`): they are tuned to have zero false positives on
+//! this workspace's idioms, and anything genuinely unfixable goes in
+//! `lint-allow.toml` with a reason.
+
+use crate::lexer::{Tok, TokKind};
+use std::collections::BTreeSet;
+
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub rule: &'static str,
+    pub path: String,
+    pub line: u32,
+    pub message: String,
+}
+
+/// How a file participates in each rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// `src/` of a workspace crate (or the root `src/`): all rules apply.
+    Library,
+    /// `tests/`, `benches/`, `examples/`: only R1 applies (determinism of
+    /// the product is the contract; test-local timing and unwraps are fine).
+    TestOrBench,
+}
+
+pub const RULES: &[(&str, &str)] = &[
+    ("R1", "no std::collections::HashMap/HashSet — use minoaner_det::DetHashMap/DetHashSet"),
+    ("R2", "no f64/f32 accumulation over hash-map iteration — sort keys first"),
+    ("R3", "no wall-clock or entropy outside timing/trace/fault-inject modules"),
+    ("R4", "no unwrap()/expect() in library code outside the ratcheted allowlist"),
+];
+
+pub fn run_all(path: &str, class: FileClass, toks: &[Tok]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    r1_std_hash(path, toks, &mut out);
+    if class == FileClass::Library {
+        r2_float_accum(path, toks, &mut out);
+        r3_wallclock_entropy(path, toks, &mut out);
+        r4_unwrap(path, toks, &mut out);
+    }
+    out
+}
+
+/// R1: any `HashMap` / `HashSet` identifier. After the workspace-wide
+/// migration the only legitimate mentions live in `crates/det` (the
+/// wrapper itself), which is blanket-allowed in `lint-allow.toml`.
+fn r1_std_hash(path: &str, toks: &[Tok], out: &mut Vec<Violation>) {
+    for t in toks {
+        if t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet") {
+            out.push(Violation {
+                rule: "R1",
+                path: path.to_string(),
+                line: t.line,
+                message: format!(
+                    "`{}` has a randomly-seeded default hasher; use `minoaner_det::Det{}`",
+                    t.text, t.text
+                ),
+            });
+        }
+    }
+}
+
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet", "DetHashMap", "DetHashSet"];
+const HASH_CTORS: &[&str] = &[
+    "HashMap",
+    "HashSet",
+    "DetHashMap",
+    "DetHashSet",
+    "map_with_capacity",
+    "set_with_capacity",
+];
+const ITER_METHODS: &[&str] = &[
+    "iter", "iter_mut", "into_iter", "values", "values_mut", "into_values", "keys", "drain",
+];
+
+/// R2: f64/f32 accumulation whose order depends on hash-map iteration.
+/// Even `DetHashMap` iteration order depends on insertion history, so a
+/// float sum over it is not stable across worker counts — the exact bug
+/// PR 3 fixed in the γ kernel. Detected shapes:
+///
+///   1. `map.values().…sum::<f64>()` / `…fold(0.0, …)` chains where the
+///      receiver identifier is hash-typed in this file;
+///   2. `for … in map.iter() { acc += … }` where `acc` is float-typed in
+///      this file.
+fn r2_float_accum(path: &str, toks: &[Tok], out: &mut Vec<Violation>) {
+    let hash_idents = collect_hash_idents(toks);
+    let float_idents = collect_float_idents(toks);
+
+    // Shape 1: iterator chains off a hash-typed receiver.
+    let mut i = 0;
+    while i + 2 < toks.len() {
+        if toks[i].kind == TokKind::Ident
+            && hash_idents.contains(toks[i].text.as_str())
+            && toks[i + 1].is_punct(".")
+            && toks[i + 2].kind == TokKind::Ident
+            && ITER_METHODS.contains(&toks[i + 2].text.as_str())
+        {
+            if let Some(line) = float_reduce_in_statement(toks, i + 3) {
+                out.push(Violation {
+                    rule: "R2",
+                    path: path.to_string(),
+                    line,
+                    message: format!(
+                        "float reduction over `{}` iteration; collect + sort keys before summing",
+                        toks[i].text
+                    ),
+                });
+                // Skip past this receiver so a chain is reported once.
+                i += 3;
+            }
+        }
+        i += 1;
+    }
+
+    // Shape 2: `+=` on a float accumulator inside a for-loop over a hash map.
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("for") {
+            if let Some((header_end, body_end)) = for_loop_spans(toks, i) {
+                let header = &toks[i..header_end];
+                let iterates_hash = header.windows(3).any(|w| {
+                    w[0].kind == TokKind::Ident
+                        && hash_idents.contains(w[0].text.as_str())
+                        && w[1].is_punct(".")
+                        && ITER_METHODS.contains(&w[2].text.as_str())
+                }) || header.windows(2).any(|w| {
+                    w[0].is_punct("&")
+                        && w[1].kind == TokKind::Ident
+                        && hash_idents.contains(w[1].text.as_str())
+                });
+                if iterates_hash {
+                    for w in toks[header_end..body_end].windows(2) {
+                        if w[0].kind == TokKind::Ident
+                            && float_idents.contains(w[0].text.as_str())
+                            && w[1].is_punct("+=")
+                        {
+                            out.push(Violation {
+                                rule: "R2",
+                                path: path.to_string(),
+                                line: w[1].line,
+                                message: format!(
+                                    "`{} +=` inside iteration over a hash map; \
+                                     accumulate in sorted key order",
+                                    w[0].text
+                                ),
+                            });
+                        }
+                    }
+                }
+                i = header_end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Identifiers bound to hash-container types anywhere in this file:
+/// `x: [&[mut]] [path::]DetHashMap<…>` annotations (incl. fn params) and
+/// `let [mut] x … = <hash ctor>` initialisations.
+fn collect_hash_idents(toks: &[Tok]) -> BTreeSet<&str> {
+    let mut set = BTreeSet::new();
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        // `name : … HashType` within a short window.
+        if i + 1 < toks.len() && toks[i + 1].is_punct(":") {
+            let window = &toks[i + 2..toks.len().min(i + 8)];
+            if window
+                .iter()
+                .take_while(|t| !t.is_punct(",") && !t.is_punct(")") && !t.is_punct("="))
+                .any(|t| t.kind == TokKind::Ident && HASH_TYPES.contains(&t.text.as_str()))
+            {
+                set.insert(toks[i].text.as_str());
+            }
+        }
+        // `let [mut] name … = Ctor…`
+        if toks[i].is_ident("let") {
+            let mut j = i + 1;
+            if j < toks.len() && toks[j].is_ident("mut") {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].kind == TokKind::Ident {
+                let name = toks[j].text.as_str();
+                // Find `=` before the statement ends.
+                let mut k = j + 1;
+                while k < toks.len() && !toks[k].is_punct("=") && !toks[k].is_punct(";") {
+                    k += 1;
+                }
+                if k < toks.len() && toks[k].is_punct("=") {
+                    let window = &toks[k + 1..toks.len().min(k + 7)];
+                    if window
+                        .iter()
+                        .any(|t| t.kind == TokKind::Ident && HASH_CTORS.contains(&t.text.as_str()))
+                    {
+                        set.insert(name);
+                    }
+                }
+            }
+        }
+    }
+    set
+}
+
+/// Identifiers that are f64/f32: `x: f64` annotations and
+/// `let [mut] x = 0.0…` style initialisations.
+fn collect_float_idents(toks: &[Tok]) -> BTreeSet<&str> {
+    let mut set = BTreeSet::new();
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        if i + 2 < toks.len()
+            && toks[i + 1].is_punct(":")
+            && (toks[i + 2].is_ident("f64") || toks[i + 2].is_ident("f32"))
+        {
+            set.insert(toks[i].text.as_str());
+        }
+        if toks[i].is_ident("let") {
+            let mut j = i + 1;
+            if j < toks.len() && toks[j].is_ident("mut") {
+                j += 1;
+            }
+            if j + 2 < toks.len()
+                && toks[j].kind == TokKind::Ident
+                && toks[j + 1].is_punct("=")
+                && toks[j + 2].kind == TokKind::Num
+                && is_float_literal(&toks[j + 2].text)
+            {
+                set.insert(toks[j].text.as_str());
+            }
+        }
+    }
+    set
+}
+
+fn is_float_literal(text: &str) -> bool {
+    text.contains('.') || text.contains("f64") || text.contains("f32")
+}
+
+/// Scan a method chain from `start` to the end of the statement looking
+/// for a float-evident reduction: `sum::<f64>`, `product::<f32>`, or
+/// `fold(0.0…`. Returns the line of the reduction if found.
+fn float_reduce_in_statement(toks: &[Tok], start: usize) -> Option<u32> {
+    let mut depth: i32 = 0;
+    let mut i = start;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return None;
+                    }
+                }
+                ";" if depth == 0 => return None,
+                _ => {}
+            }
+        }
+        if t.kind == TokKind::Ident && (t.text == "sum" || t.text == "product") {
+            // sum::<f64>(…)
+            if i + 4 < toks.len()
+                && toks[i + 1].is_punct("::")
+                && toks[i + 2].is_punct("<")
+                && (toks[i + 3].is_ident("f64") || toks[i + 3].is_ident("f32"))
+            {
+                return Some(t.line);
+            }
+        }
+        if t.is_ident("fold")
+            && i + 2 < toks.len()
+            && toks[i + 1].is_punct("(")
+            && toks[i + 2].kind == TokKind::Num
+            && is_float_literal(&toks[i + 2].text)
+        {
+            return Some(t.line);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// For `toks[start] == "for"`, return (index of `{` opening the body,
+/// index one past the matching `}`).
+fn for_loop_spans(toks: &[Tok], start: usize) -> Option<(usize, usize)> {
+    let mut depth: i32 = 0;
+    let mut i = start + 1;
+    // Header runs to the first `{` at depth 0 (struct literals are not
+    // legal unparenthesised in a for-expression, so this is unambiguous).
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => break,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    if i >= toks.len() {
+        return None;
+    }
+    let header_end = i;
+    let mut brace: i32 = 0;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Punct {
+            match toks[i].text.as_str() {
+                "{" => brace += 1,
+                "}" => {
+                    brace -= 1;
+                    if brace == 0 {
+                        return Some((header_end, i + 1));
+                    }
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// R3: wall-clock reads and entropy-seeded RNG. Timing/trace and
+/// fault-inject modules are blanket-allowed via `lint-allow.toml`.
+fn r3_wallclock_entropy(path: &str, toks: &[Tok], out: &mut Vec<Violation>) {
+    for (i, t) in toks.iter().enumerate() {
+        let hit = if t.kind != TokKind::Ident {
+            None
+        } else if (t.text == "Instant" || t.text == "SystemTime")
+            && i + 2 < toks.len()
+            && toks[i + 1].is_punct("::")
+            && toks[i + 2].is_ident("now")
+        {
+            Some(format!("{}::now()", t.text))
+        } else if t.text == "thread_rng" || t.text == "from_entropy" || t.text == "OsRng" {
+            Some(t.text.clone())
+        } else {
+            None
+        };
+        if let Some(what) = hit {
+            out.push(Violation {
+                rule: "R3",
+                path: path.to_string(),
+                line: t.line,
+                message: format!(
+                    "`{what}` is non-deterministic; only timing/trace and fault-inject \
+                     modules may read the clock or entropy"
+                ),
+            });
+        }
+    }
+}
+
+/// R4: `.unwrap()` / `.expect(` outside `#[cfg(test)]` modules. Counts
+/// are ratcheted per file through `lint-allow.toml`.
+fn r4_unwrap(path: &str, toks: &[Tok], out: &mut Vec<Violation>) {
+    let test_spans = cfg_test_spans(toks);
+    let in_test = |idx: usize| test_spans.iter().any(|&(a, b)| idx >= a && idx < b);
+    for i in 0..toks.len().saturating_sub(2) {
+        if toks[i].is_punct(".")
+            && toks[i + 1].kind == TokKind::Ident
+            && (toks[i + 1].text == "unwrap" || toks[i + 1].text == "expect")
+            && toks[i + 2].is_punct("(")
+            && !in_test(i)
+            // `self.expect(…)` is a method on the receiver type (e.g. the
+            // Turtle parser's `expect` combinator), not Option/Result.
+            && !(i > 0 && toks[i - 1].is_ident("self"))
+        {
+            out.push(Violation {
+                rule: "R4",
+                path: path.to_string(),
+                line: toks[i + 1].line,
+                message: format!(
+                    "`.{}()` in library code; return a Result or ratchet it in lint-allow.toml",
+                    toks[i + 1].text
+                ),
+            });
+        }
+    }
+}
+
+/// Token spans of `#[cfg(test)] mod … { … }` (and `cfg(all(test, …))`)
+/// bodies, plus `#[test] fn` / `#[cfg(test)] fn` items.
+fn cfg_test_spans(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct("#") && i + 1 < toks.len() && toks[i + 1].is_punct("[") {
+            // Collect the attribute's tokens up to the matching `]`.
+            let mut j = i + 2;
+            let mut depth = 1;
+            let attr_start = j;
+            while j < toks.len() && depth > 0 {
+                if toks[j].is_punct("[") {
+                    depth += 1;
+                } else if toks[j].is_punct("]") {
+                    depth -= 1;
+                }
+                j += 1;
+            }
+            let attr = &toks[attr_start..j.saturating_sub(1)];
+            let is_test_attr = attr.first().is_some_and(|t| t.is_ident("test"))
+                || (attr.first().is_some_and(|t| t.is_ident("cfg"))
+                    && attr.iter().any(|t| t.is_ident("test")));
+            if is_test_attr {
+                // Skip any further attributes, then find the item's body.
+                let mut k = j;
+                while k + 1 < toks.len() && toks[k].is_punct("#") && toks[k + 1].is_punct("[") {
+                    let mut d = 0;
+                    k += 1;
+                    loop {
+                        if toks[k].is_punct("[") {
+                            d += 1;
+                        } else if toks[k].is_punct("]") {
+                            d -= 1;
+                            if d == 0 {
+                                k += 1;
+                                break;
+                            }
+                        }
+                        k += 1;
+                        if k >= toks.len() {
+                            break;
+                        }
+                    }
+                }
+                // Find the opening brace of the item and its match.
+                let mut brace: i32 = 0;
+                let mut opened = false;
+                let body_start = k;
+                while k < toks.len() {
+                    if toks[k].is_punct("{") {
+                        brace += 1;
+                        opened = true;
+                    } else if toks[k].is_punct("}") {
+                        brace -= 1;
+                        if opened && brace == 0 {
+                            spans.push((body_start, k + 1));
+                            break;
+                        }
+                    } else if toks[k].is_punct(";") && !opened {
+                        // Item without a body (e.g. `#[cfg(test)] use …;`).
+                        spans.push((body_start, k + 1));
+                        break;
+                    }
+                    k += 1;
+                }
+                i = j;
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn check(src: &str) -> Vec<Violation> {
+        run_all("test.rs", FileClass::Library, &lex(src))
+    }
+
+    fn rules_of(v: &[Violation]) -> Vec<&'static str> {
+        v.iter().map(|x| x.rule).collect()
+    }
+
+    #[test]
+    fn r1_flags_std_hash() {
+        let v = check("use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32>; }");
+        assert_eq!(rules_of(&v), ["R1", "R1"]);
+    }
+
+    #[test]
+    fn r1_ignores_det_and_btree() {
+        let v = check("use minoaner_det::DetHashMap;\nuse std::collections::BTreeMap;");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn r2_flags_sum_over_map_values() {
+        let v = check(
+            "fn f(weights: &DetHashMap<u32, f64>) -> f64 {\n\
+             weights.values().sum::<f64>()\n}",
+        );
+        assert_eq!(rules_of(&v), ["R2"]);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn r2_flags_fold_and_loop_accum() {
+        let v = check(
+            "fn f(m: DetHashMap<u32, f64>) {\n\
+             let a: f64 = m.iter().fold(0.0, |acc, (_, w)| acc + w);\n\
+             let mut total = 0.0;\n\
+             for (_, w) in m.iter() { total += w; }\n}",
+        );
+        assert_eq!(rules_of(&v), ["R2", "R2"]);
+    }
+
+    #[test]
+    fn r2_ignores_sorted_and_int_reduction() {
+        let v = check(
+            "fn f(m: &DetHashMap<u32, f64>) -> (usize, f64) {\n\
+             let n: usize = m.values().count();\n\
+             let mut keys: Vec<u32> = m.keys().copied().collect();\n\
+             keys.sort_unstable();\n\
+             let s: f64 = keys.iter().map(|k| m[k]).sum();\n\
+             (n, s)\n}",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn r3_flags_wallclock_and_entropy() {
+        let v = check(
+            "fn f() { let t = Instant::now(); let s = SystemTime::now(); \
+             let r = rand::thread_rng(); }",
+        );
+        assert_eq!(rules_of(&v), ["R3", "R3", "R3"]);
+    }
+
+    #[test]
+    fn r4_flags_unwrap_outside_tests_only() {
+        let v = check(
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+             fn g(x: Option<u32>) -> u32 { x.expect(\"msg\") }\n\
+             #[cfg(test)]\nmod tests {\n\
+             fn h(x: Option<u32>) -> u32 { x.unwrap() }\n}",
+        );
+        assert_eq!(rules_of(&v), ["R4", "R4"]);
+    }
+
+    #[test]
+    fn r4_ignores_unwrap_or() {
+        let v = check("fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn r4_ignores_parser_combinators_on_self() {
+        let v = check("fn f(&mut self) -> Result<(), E> { self.expect(\".\")?; Ok(()) }");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn tests_and_benches_only_get_r1() {
+        let toks = lex("fn f() { let t = Instant::now(); let x: Option<u32> = None; x.unwrap(); }");
+        assert!(run_all("t.rs", FileClass::TestOrBench, &toks).is_empty());
+        let toks = lex("use std::collections::HashMap;");
+        assert_eq!(run_all("t.rs", FileClass::TestOrBench, &toks).len(), 1);
+    }
+}

@@ -1,0 +1,58 @@
+//! Fixture suite: every bad snippet is flagged by exactly the rule it
+//! exercises, and the good snippet is completely clean.
+
+use minoaner_lint::lexer::lex;
+use minoaner_lint::rules::{run_all, FileClass, Violation};
+use std::path::PathBuf;
+
+fn fixture(rel: &str) -> Vec<Violation> {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rel);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    run_all(rel, FileClass::Library, &lex(&src))
+}
+
+fn rules_of(v: &[Violation]) -> Vec<&'static str> {
+    v.iter().map(|x| x.rule).collect()
+}
+
+#[test]
+fn bad_r1_std_hash_flagged() {
+    let v = fixture("bad/r1_std_hash.rs");
+    assert_eq!(rules_of(&v), ["R1", "R1", "R1"], "{v:#?}");
+}
+
+#[test]
+fn bad_r2_float_accum_flagged() {
+    let v = fixture("bad/r2_float_accum.rs");
+    assert_eq!(rules_of(&v), ["R2", "R2", "R2"], "{v:#?}");
+}
+
+#[test]
+fn bad_r3_wallclock_flagged() {
+    let v = fixture("bad/r3_wallclock.rs");
+    assert_eq!(rules_of(&v), ["R3", "R3", "R3"], "{v:#?}");
+}
+
+#[test]
+fn bad_r4_unwrap_flagged() {
+    let v = fixture("bad/r4_unwrap.rs");
+    assert_eq!(rules_of(&v), ["R4", "R4"], "{v:#?}");
+}
+
+#[test]
+fn good_fixture_is_clean() {
+    let v = fixture("good/clean.rs");
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
+fn violations_carry_file_and_line() {
+    let v = fixture("bad/r1_std_hash.rs");
+    assert!(v.iter().all(|x| x.path == "bad/r1_std_hash.rs"));
+    assert!(v.iter().all(|x| x.line > 0));
+    // The use-line violations point at the actual use statement.
+    assert_eq!(v[0].line, 4);
+}

@@ -1,0 +1,16 @@
+//! R1 fixture: std hash containers with the randomly-seeded default
+//! hasher. Expected: 3 violations (use line names both, plus the field).
+
+use std::collections::{HashMap, HashSet};
+
+pub struct BlockIndex {
+    by_token: HashMap<u64, Vec<u32>>,
+}
+
+impl BlockIndex {
+    pub fn new() -> Self {
+        Self {
+            by_token: Default::default(),
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! R2 fixture: float reductions whose order follows hash-map iteration.
+//! Expected: 3 violations (turbofish sum, fold, loop `+=`).
+
+use minoaner_det::DetHashMap;
+
+pub fn gamma_total(weights: &DetHashMap<u32, f64>) -> f64 {
+    weights.values().sum::<f64>()
+}
+
+pub fn gamma_fold(weights: &DetHashMap<u32, f64>) -> f64 {
+    weights.iter().fold(0.0, |acc, (_, w)| acc + w)
+}
+
+pub fn gamma_loop(weights: &DetHashMap<u32, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_, w) in weights.iter() {
+        total += *w;
+    }
+    total
+}

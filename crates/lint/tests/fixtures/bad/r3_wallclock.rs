@@ -1,0 +1,13 @@
+//! R3 fixture: wall-clock and entropy reads in ordinary library code.
+//! Expected: 3 violations.
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> (Instant, SystemTime) {
+    (Instant::now(), SystemTime::now())
+}
+
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

@@ -1,0 +1,19 @@
+//! R4 fixture: unwrap/expect on library paths. Expected: 2 violations —
+//! the copies inside `#[cfg(test)]` are exempt.
+
+pub fn parse_port(s: &str) -> u16 {
+    s.parse().unwrap()
+}
+
+pub fn parse_host(s: &str) -> &str {
+    s.split(':').next().expect("host before colon")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Result<u16, ()> = Ok(80);
+        assert_eq!(v.unwrap(), 80);
+    }
+}

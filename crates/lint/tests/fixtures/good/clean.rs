@@ -1,0 +1,27 @@
+//! Good fixture: deterministic idioms for everything the bad fixtures do
+//! wrong. Expected: 0 violations. (Mentions of HashMap in comments and
+//! "HashMap" in strings must not trip R1.)
+
+use minoaner_det::{DetHashMap, DetHashSet};
+use std::collections::BTreeMap;
+
+pub struct BlockIndex {
+    by_token: DetHashMap<u64, Vec<u32>>,
+    seen: DetHashSet<u64>,
+    ordered: BTreeMap<u64, f64>,
+}
+
+pub fn gamma_total(weights: &DetHashMap<u32, f64>) -> f64 {
+    let mut keys: Vec<u32> = weights.keys().copied().collect();
+    keys.sort_unstable();
+    keys.iter().map(|k| weights[k]).sum::<f64>()
+}
+
+pub fn parse_port(s: &str) -> Result<u16, std::num::ParseIntError> {
+    // The string "HashMap" and `.unwrap()` in this comment are not code.
+    s.parse()
+}
+
+pub fn label() -> &'static str {
+    "not a HashMap, just a string"
+}

@@ -49,8 +49,11 @@ pub use minoaner_blocking as blocking;
 pub use minoaner_core as core;
 pub use minoaner_dataflow as dataflow;
 pub use minoaner_datagen as datagen;
+pub use minoaner_det as det;
 pub use minoaner_eval as eval;
 pub use minoaner_kb as kb;
+
+pub use minoaner_det::{DetHashMap, DetHashSet};
 
 pub use minoaner_core::{MatchOutcome, Minoaner, MinoanerConfig, Resolution, Rule, RuleSet};
 pub use minoaner_dataflow::{DataflowError, Executor, ExecutorConfig, FailureAction, FaultPolicy};

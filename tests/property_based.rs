@@ -149,8 +149,8 @@ proptest! {
         let scored: Vec<(EntityId, EntityId, f64)> =
             pairs.iter().map(|&(l, r, s)| (EntityId(l), EntityId(r), s)).collect();
         let result = unique_mapping_clustering(scored.clone(), threshold);
-        let mut seen_l = std::collections::HashSet::new();
-        let mut seen_r = std::collections::HashSet::new();
+        let mut seen_l = minoaner::DetHashSet::default();
+        let mut seen_r = minoaner::DetHashSet::default();
         for &(l, r) in &result {
             prop_assert!(seen_l.insert(l), "left endpoint reused");
             prop_assert!(seen_r.insert(r), "right endpoint reused");

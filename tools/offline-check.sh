@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Offline typecheck harness.
+#
+# The build container has no network access to the crates.io mirror, so the
+# real external dependencies (rand, proptest, serde, ...) cannot be fetched.
+# This script copies the workspace into a scratch directory, rewrites the
+# root manifest's [workspace.dependencies] to point at the functional stubs
+# in tools/offline-stubs/, and runs `cargo check` there. It never modifies
+# the real repo.
+#
+# Usage: tools/offline-check.sh [extra cargo-check args...]
+#        (default extra args: --workspace --all-targets)
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+SCRATCH="${OFFLINE_CHECK_DIR:-/tmp/minoaner-offline-check}"
+
+# tar-based copy: rsync is not available in the minimal container.
+rm -rf "$SCRATCH"
+mkdir -p "$SCRATCH"
+(cd "$REPO_ROOT" && tar cf - --exclude=./.git --exclude=./target --exclude=./tools/offline-stubs .) |
+    tar xf - -C "$SCRATCH"
+mkdir -p "$SCRATCH/tools"
+cp -r "$REPO_ROOT/tools/offline-stubs" "$SCRATCH/tools/offline-stubs"
+
+# Point every external dep at its stub. Only lines inside
+# [workspace.dependencies] that reference a known stub are rewritten;
+# the path deps on crates/* are left alone.
+python3 - "$SCRATCH/Cargo.toml" <<'EOF'
+import re, sys
+
+path = sys.argv[1]
+stubs = [
+    "rand", "rand_distr", "proptest", "criterion", "crossbeam",
+    "parking_lot", "bytes", "serde", "serde_json", "loom",
+]
+out = []
+in_wsdeps = False
+for line in open(path):
+    stripped = line.strip()
+    if stripped.startswith("["):
+        in_wsdeps = stripped == "[workspace.dependencies]"
+    if in_wsdeps:
+        m = re.match(r"^([A-Za-z0-9_-]+)\s*=", stripped)
+        if m and m.group(1) in stubs:
+            name = m.group(1)
+            features = ""
+            if name == "serde" and "derive" in line:
+                features = ', features = ["derive"]'
+            line = f'{name} = {{ path = "tools/offline-stubs/{name}"{features} }}\n'
+    out.append(line)
+open(path, "w").writelines(out)
+EOF
+
+# serde's derive feature pulls in the proc-macro stub.
+cd "$SCRATCH"
+export CARGO_NET_OFFLINE=true
+ARGS=("$@")
+if [ ${#ARGS[@]} -eq 0 ]; then
+    ARGS=(--workspace --all-targets)
+fi
+exec cargo check "${ARGS[@]}"

@@ -1,0 +1,2 @@
+//! Empty placeholder: the workspace declares `bytes` in
+//! `[workspace.dependencies]` but no member currently uses it.

@@ -1,0 +1,32 @@
+//! Functional stand-in for `crossbeam::scope`, backed by std scoped
+//! threads (Rust ≥ 1.63). Child panics abort the scope by unwinding the
+//! parent instead of being collected into the `Err` variant; the workspace
+//! panic-isolates its tasks, so the difference never materializes.
+
+use std::any::Any;
+
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = Scope { inner: self.inner };
+        self.inner.spawn(move || f(&handle));
+    }
+}
+
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+pub mod thread {
+    pub use super::{scope, Scope};
+}

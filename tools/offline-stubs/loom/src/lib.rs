@@ -1,0 +1,45 @@
+//! Offline stand-in for the `loom` model checker, used only by
+//! `tools/offline-check.sh`. Real loom explores every interleaving of the
+//! closure passed to [`model`]; this stub runs it exactly once on real
+//! threads, which is enough to typecheck `#[cfg(loom)]` test files and to
+//! smoke-run them as plain concurrency tests. It makes no exhaustiveness
+//! claims — CI runs the genuine crates-io loom.
+
+/// Runs the model body once (real loom runs it under every interleaving).
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    f();
+}
+
+/// Mirrors `loom::sync`: the subset the workspace models use, backed by
+/// `std::sync`. Loom's types share std's shapes (`lock()` returns a
+/// `LockResult`, atomics take `Ordering`), so re-exports suffice.
+pub mod sync {
+    pub use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+
+    pub mod atomic {
+        pub use std::sync::atomic::{
+            AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering,
+        };
+    }
+}
+
+/// Mirrors `loom::thread` with std threads.
+pub mod thread {
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn model_runs_the_body() {
+        let hit = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let h2 = std::sync::Arc::clone(&hit);
+        super::model(move || {
+            h2.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        });
+        assert_eq!(hit.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
+}

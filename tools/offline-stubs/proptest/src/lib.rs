@@ -1,0 +1,209 @@
+//! Typecheck-only proptest stand-in.
+//!
+//! `proptest! { ... }` swallows its body entirely — property bodies are
+//! neither typechecked nor run under the stub (run them in a networked
+//! build). Strategy helper *functions* outside the macro are real code,
+//! so the `Strategy` trait, the common combinators, and the collection /
+//! sample constructors exist structurally with the right value types.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+pub trait Strategy: Sized {
+    type Value;
+
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F> {
+        Map(self, f)
+    }
+
+    fn prop_flat_map<O: Strategy, F: Fn(Self::Value) -> O>(self, f: F) -> FlatMap<Self, F> {
+        FlatMap(self, f)
+    }
+
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        _reason: &'static str,
+        f: F,
+    ) -> Filter<Self, F> {
+        Filter(self, f)
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+    {
+        BoxedStrategy(PhantomData)
+    }
+}
+
+pub struct Map<S, F>(S, F);
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+}
+
+pub struct FlatMap<S, F>(S, F);
+
+impl<S: Strategy, O: Strategy, F: Fn(S::Value) -> O> Strategy for FlatMap<S, F> {
+    type Value = O::Value;
+}
+
+pub struct Filter<S, F>(S, F);
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+}
+
+pub struct BoxedStrategy<T>(PhantomData<T>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+}
+
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+}
+
+pub struct Any<T>(PhantomData<T>);
+
+pub fn any<T>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T> Strategy for Any<T> {
+    type Value = T;
+}
+
+impl<T: Clone> Strategy for Range<T> {
+    type Value = T;
+}
+
+impl<T: Clone> Strategy for RangeInclusive<T> {
+    type Value = T;
+}
+
+/// Regex string strategies: `"[a-z]{1,8}"` produces `String`s.
+impl Strategy for &'static str {
+    type Value = String;
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+pub mod collection {
+    use super::Strategy;
+    use std::ops::{Range, RangeInclusive};
+
+    pub struct SizeRange;
+
+    impl From<usize> for SizeRange {
+        fn from(_: usize) -> Self {
+            SizeRange
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(_: Range<usize>) -> Self {
+            SizeRange
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(_: RangeInclusive<usize>) -> Self {
+            SizeRange
+        }
+    }
+
+    pub struct VecStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+    }
+
+    pub fn vec<S: Strategy>(element: S, _size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy(element)
+    }
+}
+
+pub mod sample {
+    use super::Strategy;
+
+    pub struct Select<T>(#[allow(dead_code)] Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+    }
+
+    pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+        Select(values)
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    ($($body:tt)*) => {};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($body:tt)*) => {};
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($body:tt)*) => {};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($body:tt)*) => {};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($($body:tt)*) => {};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($body:tt)*) => {
+        $crate::any::<()>()
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, collection, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof,
+        proptest, sample, Just, ProptestConfig, Strategy,
+    };
+
+    /// `prop::collection::vec(...)` style paths.
+    pub mod prop {
+        pub use crate::{collection, sample};
+    }
+}

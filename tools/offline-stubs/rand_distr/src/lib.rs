@@ -1,0 +1,100 @@
+//! Functional stand-in for the `rand_distr 0.4` subset this workspace
+//! uses: `Distribution`, `Poisson<f64>` and `Zipf<f64>`.
+
+use rand::{Rng, RngCore};
+
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoissonError;
+
+impl std::fmt::Display for PoissonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("lambda must be finite and > 0")
+    }
+}
+
+impl std::error::Error for PoissonError {}
+
+/// Poisson via Knuth's product-of-uniforms method (fine for the small
+/// means the data generator uses).
+#[derive(Debug, Clone, Copy)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    pub fn new(lambda: f64) -> Result<Self, PoissonError> {
+        if lambda.is_finite() && lambda > 0.0 {
+            Ok(Self { lambda })
+        } else {
+            Err(PoissonError)
+        }
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let threshold = (-self.lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= threshold {
+                return k as f64;
+            }
+            k += 1;
+            if k > 10_000 {
+                return self.lambda; // numeric safety valve for huge lambda
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZipfError;
+
+impl std::fmt::Display for ZipfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("n must be > 0 and s must be >= 0")
+    }
+}
+
+impl std::error::Error for ZipfError {}
+
+/// Zipf over `1..=n` with exponent `s`, sampled by inverse CDF over the
+/// precomputed normalizer (n is small in every profile).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    pub fn new(n: u64, s: f64) -> Result<Self, ZipfError> {
+        if n == 0 || !s.is_finite() || s < 0.0 {
+            return Err(ZipfError);
+        }
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Ok(Self { cdf })
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u = rng.gen::<f64>();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite cdf")) {
+            Ok(i) | Err(i) => (i.min(self.cdf.len() - 1) + 1) as f64,
+        }
+    }
+}

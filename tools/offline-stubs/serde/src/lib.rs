@@ -1,0 +1,27 @@
+//! Typecheck-only serde stand-in. The traits are blanket-implemented for
+//! every type, so `#[derive(Serialize, Deserialize)]` (whose stub derive
+//! emits nothing) and generic bounds all typecheck. Serialization is not
+//! functional: `serde_json`'s stub returns placeholders/errors at runtime.
+
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T {}
+
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    pub use super::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -220,7 +220,8 @@ fn main() -> ExitCode {
     let dataset = dataset_at_scale(&profiles::restaurant(), scale);
     let inputs = prepare_inputs(dataset.pair);
     let report = sweep(&inputs, scale, reps);
-    std::fs::write(&out_path, report.to_json()).expect("cannot write bench report");
+    let json = report.to_json().expect("cannot serialize bench report");
+    std::fs::write(&out_path, json).expect("cannot write bench report");
     eprintln!(
         "wrote {out_path} ({} points, {:.2}× vs reference kernel)",
         report.points.len(),

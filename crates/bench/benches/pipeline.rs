@@ -98,7 +98,8 @@ fn main() -> ExitCode {
 
     let dataset = dataset_at_scale(&profiles::restaurant(), scale);
     let report = sweep(&dataset, scale, reps);
-    std::fs::write(&out_path, report.to_json()).expect("cannot write bench report");
+    let json = report.to_json().expect("cannot serialize bench report");
+    std::fs::write(&out_path, json).expect("cannot write bench report");
     eprintln!("wrote {out_path} ({} points)", report.points.len());
 
     // Validate what actually landed on disk, not the in-memory value:

@@ -56,8 +56,8 @@ pub struct PipelineReport {
 
 impl PipelineReport {
     /// Serializes the report as pretty-printed JSON.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("PipelineReport serialization cannot fail")
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
     }
 
     /// Parses a report previously produced by [`Self::to_json`].
@@ -195,8 +195,8 @@ pub struct GraphReport {
 
 impl GraphReport {
     /// Serializes the report as pretty-printed JSON.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("GraphReport serialization cannot fail")
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
     }
 
     /// Parses a report previously produced by [`Self::to_json`].
@@ -332,7 +332,7 @@ mod tests {
     fn sample_report_round_trips_and_validates() {
         let report = sample();
         report.validate().expect("sample is valid");
-        let back = PipelineReport::from_json(&report.to_json()).unwrap();
+        let back = PipelineReport::from_json(&report.to_json().unwrap()).unwrap();
         assert_eq!(report, back);
     }
 
@@ -397,7 +397,7 @@ mod tests {
     fn graph_report_round_trips_and_validates() {
         let report = graph_sample();
         report.validate().expect("sample is valid");
-        let back = GraphReport::from_json(&report.to_json()).unwrap();
+        let back = GraphReport::from_json(&report.to_json().unwrap()).unwrap();
         assert_eq!(report, back);
     }
 

@@ -8,7 +8,7 @@
 use minoaner_kb::{EntityId, LiteralId, Side, TokenId};
 
 /// A bipartite block: the entities of each KB indexed under one key.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct Block {
     /// Entities from `E1` (sorted, deduplicated).
     pub left: Vec<EntityId>,
@@ -41,7 +41,7 @@ impl Block {
 ///
 /// Only *active* blocks (non-empty on both sides) are kept — a one-sided
 /// block suggests no comparisons and carries no matching evidence.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
 pub struct TokenBlocks {
     /// `(token, block)` pairs, sorted by token id.
     pub blocks: Vec<(TokenId, Block)>,
@@ -66,7 +66,7 @@ impl TokenBlocks {
 
 /// The name blocks `B_N`: one block per normalized name literal shared by
 /// both KBs (there is one block for every name in `N_1 ∩ N_2`, §3.3).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
 pub struct NameBlocks {
     /// `(name literal, block)` pairs, sorted by literal id.
     pub blocks: Vec<(LiteralId, Block)>,

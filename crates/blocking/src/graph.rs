@@ -108,7 +108,7 @@ impl Default for GraphConfig {
 pub type Candidate = (EntityId, f64);
 
 /// The pruned, directed disjunctive blocking graph.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct BlockingGraph {
     /// Per side, per entity: top-K candidates by `β` (descending).
     value_cands: [Vec<Vec<Candidate>>; 2],

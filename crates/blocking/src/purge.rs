@@ -30,7 +30,7 @@ pub const DEFAULT_BUDGET_PER_ENTITY: u64 = 64;
 pub const DEFAULT_SMOOTHING: f64 = 1.25;
 
 /// Outcome of a purging pass.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct PurgeReport {
     /// The cardinality (comparisons per block) limit applied; blocks with
     /// more comparisons were dropped.
@@ -131,10 +131,9 @@ pub fn purge_limit_density(blocks: &TokenBlocks, smoothing: f64) -> u64 {
         }
         limit = card;
     }
-    if limit >= levels.last().expect("non-empty").0 {
-        u64::MAX
-    } else {
-        limit
+    match levels.last() {
+        Some(&(top, _, _)) if limit < top => limit,
+        _ => u64::MAX,
     }
 }
 

@@ -22,62 +22,60 @@ pub fn build_token_blocks(pair: &KbPair) -> TokenBlocks {
 /// entity range, then the per-worker indices are merged. Equivalent to the
 /// sequential construction (verified by tests).
 pub fn build_token_blocks_parallel(executor: &Executor, pair: &KbPair) -> TokenBlocks {
-    let n_tokens = pair.token_space();
-    let mut sides: Vec<Vec<Vec<EntityId>>> = Vec::with_capacity(2);
-    for side in [Side::Left, Side::Right] {
-        let kb = pair.kb(side);
-        let n = kb.len();
-        let tasks = executor.partitions().max(1);
-        let chunk = n.div_ceil(tasks).max(1);
-        let partials = executor.run_stage(
-            &format!("token-blocking/{side:?}"),
-            n.div_ceil(chunk),
-            |t| {
-                let lo = t * chunk;
-                let hi = ((t + 1) * chunk).min(n);
-                let mut inv: Vec<Vec<EntityId>> = vec![Vec::new(); n_tokens];
-                for i in lo..hi {
-                    let id = EntityId(i as u32);
-                    for &tok in kb.tokens_of(id) {
-                        inv[tok.index()].push(id);
-                    }
-                }
-                inv
-            },
-        );
-        // Merge partials; entity ids are produced in ascending order per
-        // chunk and chunks are disjoint ascending ranges, so concatenation
-        // in task order keeps each posting list sorted. Sizing each list
-        // exactly up front (counting pass, as in the CSR builders) avoids
-        // the repeated doubling-reallocations of a blind `extend`.
-        let mut counts = vec![0usize; n_tokens];
-        for partial in &partials {
-            for (tok, ids) in partial.iter().enumerate() {
-                counts[tok] += ids.len();
-            }
-        }
-        let mut merged: Vec<Vec<EntityId>> =
-            counts.iter().map(|&c| Vec::with_capacity(c)).collect();
-        for partial in partials {
-            for (tok, ids) in partial.into_iter().enumerate() {
-                if !ids.is_empty() {
-                    merged[tok].extend(ids);
-                }
-            }
-        }
-        let postings: u64 = merged.iter().map(|ids| ids.len() as u64).sum();
-        executor.annotate_last_stage(
-            &format!("token-blocking/{side:?}"),
-            StageIo::items(n as u64, postings),
-        );
-        sides.push(merged);
-    }
-    let right = sides.pop().expect("two sides");
-    let left = sides.pop().expect("two sides");
+    let left = invert_parallel(executor, pair, Side::Left);
+    let right = invert_parallel(executor, pair, Side::Right);
     let blocks = assemble(left, right);
     executor.emit_counter("blocking/token_blocks_built", blocks.len() as u64);
     executor.emit_counter("blocking/token_block_comparisons", blocks.total_comparisons());
     blocks
+}
+
+/// Inverts one side's token index in parallel (one task per entity chunk).
+fn invert_parallel(executor: &Executor, pair: &KbPair, side: Side) -> Vec<Vec<EntityId>> {
+    let n_tokens = pair.token_space();
+    let kb = pair.kb(side);
+    let n = kb.len();
+    let tasks = executor.partitions().max(1);
+    let chunk = n.div_ceil(tasks).max(1);
+    let partials = executor.run_stage(
+        &format!("token-blocking/{side:?}"),
+        n.div_ceil(chunk),
+        |t| {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(n);
+            let mut inv: Vec<Vec<EntityId>> = vec![Vec::new(); n_tokens];
+            for i in lo..hi {
+                let id = EntityId(i as u32);
+                for &tok in kb.tokens_of(id) {
+                    inv[tok.index()].push(id);
+                }
+            }
+            inv
+        },
+    );
+    // Merge partials; entity ids are produced in ascending order per
+    // chunk and chunks are disjoint ascending ranges, so concatenation
+    // in task order keeps each posting list sorted. Sizing each list
+    // exactly up front (counting pass, as in the CSR builders) avoids
+    // the repeated doubling-reallocations of a blind `extend`.
+    let mut counts = vec![0usize; n_tokens];
+    for partial in &partials {
+        for (tok, ids) in partial.iter().enumerate() {
+            counts[tok] += ids.len();
+        }
+    }
+    let mut merged: Vec<Vec<EntityId>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+    for partial in partials {
+        for (tok, ids) in partial.into_iter().enumerate() {
+            if !ids.is_empty() {
+                merged[tok].extend(ids);
+            }
+        }
+    }
+    let postings: u64 = merged.iter().map(|ids| ids.len() as u64).sum();
+    executor
+        .annotate_last_stage(&format!("token-blocking/{side:?}"), StageIo::items(n as u64, postings));
+    merged
 }
 
 fn invert(pair: &KbPair, side: Side, inv: &mut [Vec<EntityId>]) {

@@ -40,6 +40,10 @@ pub struct ResolveArgs {
     pub lenient: bool,
     /// Write a JSON run trace (stage wall times, counters) to this path.
     pub report: Option<String>,
+    /// Checkpoint pipeline state at stage barriers under this directory.
+    pub checkpoint_dir: Option<String>,
+    /// Resume from the newest valid checkpoint in `checkpoint_dir`.
+    pub resume: bool,
 }
 
 /// Arguments of `minoaner dedup`.
@@ -113,6 +117,7 @@ EXIT CODES:
     2  bad arguments or invalid configuration
     3  input parse failure (strict mode)
     4  dataflow execution failure (task panic or stage timeout)
+    5  checkpoint failure (snapshot I/O error, corrupt/incompatible checkpoint)
 
 RESOLVE OPTIONS:
     --left <path>           left KB, N-Triples
@@ -126,6 +131,10 @@ RESOLVE OPTIONS:
     --json                  emit JSON instead of TSV
     --report <path>         write a JSON run trace (per-stage wall times, item
                             counts, shuffle volume, fault and domain counters)
+    --checkpoint-dir <dir>  materialize crash-safe checkpoints at every stage
+                            barrier under <dir> (created if missing)
+    --resume                resume from the newest valid checkpoint in
+                            --checkpoint-dir instead of recomputing
 
 DEDUP OPTIONS:
     --input <path>          the dirty KB, N-Triples
@@ -168,6 +177,8 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
     let mut json = false;
     let mut lenient = false;
     let mut report = None;
+    let mut checkpoint_dir = None;
+    let mut resume = false;
 
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<String, ArgError> {
@@ -193,6 +204,8 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
             }
             "--json" => json = true,
             "--report" => report = Some(value("--report")?),
+            "--checkpoint-dir" => checkpoint_dir = Some(value("--checkpoint-dir")?),
+            "--resume" => resume = true,
             "--lenient" => lenient = true,
             "--strict" => lenient = false,
             other => return Err(ArgError(format!("unknown flag {other:?}; try `minoaner help`"))),
@@ -203,8 +216,12 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
         "resolve" => {
             let left = left.ok_or_else(|| ArgError("resolve requires --left".into()))?;
             let right = right.ok_or_else(|| ArgError("resolve requires --right".into()))?;
+            if resume && checkpoint_dir.is_none() {
+                return Err(ArgError("--resume requires --checkpoint-dir".into()));
+            }
             Ok(Command::Resolve(ResolveArgs {
                 left, right, ground_truth, workers, k, top_k, n, theta, json, lenient, report,
+                checkpoint_dir, resume,
             }))
         }
         "dedup" => {
@@ -268,6 +285,23 @@ mod tests {
         let Command::Resolve(a) = cmd else { panic!() };
         assert_eq!(a.report.as_deref(), Some("run.json"));
         assert!(parse(&strings(&["resolve", "--left", "a", "--right", "b", "--report"])).is_err());
+    }
+
+    #[test]
+    fn parses_checkpoint_flags() {
+        let cmd = parse(&strings(&[
+            "resolve", "--left", "a", "--right", "b", "--checkpoint-dir", "ck", "--resume",
+        ]))
+        .unwrap();
+        let Command::Resolve(a) = cmd else { panic!() };
+        assert_eq!(a.checkpoint_dir.as_deref(), Some("ck"));
+        assert!(a.resume);
+        let cmd = parse(&strings(&["resolve", "--left", "a", "--right", "b"])).unwrap();
+        let Command::Resolve(a) = cmd else { panic!() };
+        assert_eq!(a.checkpoint_dir, None);
+        assert!(!a.resume);
+        // --resume without a directory to resume from is a usage error.
+        assert!(parse(&strings(&["resolve", "--left", "a", "--right", "b", "--resume"])).is_err());
     }
 
     #[test]

@@ -8,16 +8,17 @@
 //! Bad input never panics the binary: every failure is mapped to a
 //! contexted message on stderr and a stable exit code — 1 for I/O, 2 for
 //! bad arguments or configuration, 3 for parse failures, 4 for dataflow
-//! execution failures.
+//! execution failures, 5 for checkpoint failures.
 
 mod args;
 
 use minoaner_det::DetHashSet;
 use std::fmt;
+use std::path::Path;
 use std::process::ExitCode;
 
-use minoaner_core::Minoaner;
-use minoaner_dataflow::{DataflowError, Executor};
+use minoaner_core::{CheckpointSpec, Minoaner};
+use minoaner_dataflow::{CheckpointError, DataflowError, Executor};
 use minoaner_eval::Quality;
 use minoaner_kb::dirty::DirtyKbBuilder;
 use minoaner_kb::parser::{
@@ -36,6 +37,10 @@ const EXIT_BAD_ARGS: u8 = 2;
 const EXIT_PARSE: u8 = 3;
 /// Exit code for a dataflow execution failure (task panic, stage timeout).
 const EXIT_DATAFLOW: u8 = 4;
+/// Exit code for a checkpoint failure (snapshot I/O, corruption, schema
+/// drift) — distinct from [`EXIT_DATAFLOW`] so operators can tell "the
+/// computation failed" apart from "the snapshot store failed".
+const EXIT_CHECKPOINT: u8 = 5;
 
 /// A CLI failure: a user-facing message plus the exit code class it maps
 /// to. Everything the subcommands can hit is funneled through this type so
@@ -50,6 +55,8 @@ enum CliError {
     Parse(String),
     /// The execution engine reported a failure (exit 4).
     Dataflow(DataflowError),
+    /// The checkpoint subsystem reported a failure (exit 5).
+    Checkpoint(CheckpointError),
 }
 
 impl fmt::Display for CliError {
@@ -57,6 +64,7 @@ impl fmt::Display for CliError {
         match self {
             CliError::Io(m) | CliError::Usage(m) | CliError::Parse(m) => write!(f, "{m}"),
             CliError::Dataflow(e) => write!(f, "dataflow execution failed: {e}"),
+            CliError::Checkpoint(e) => write!(f, "checkpointing failed: {e}"),
         }
     }
 }
@@ -68,13 +76,17 @@ impl CliError {
             CliError::Usage(_) => ExitCode::from(EXIT_BAD_ARGS),
             CliError::Parse(_) => ExitCode::from(EXIT_PARSE),
             CliError::Dataflow(_) => ExitCode::from(EXIT_DATAFLOW),
+            CliError::Checkpoint(_) => ExitCode::from(EXIT_CHECKPOINT),
         }
     }
 }
 
 impl From<DataflowError> for CliError {
     fn from(e: DataflowError) -> Self {
-        CliError::Dataflow(e)
+        match e {
+            DataflowError::Checkpoint(c) => CliError::Checkpoint(c),
+            other => CliError::Dataflow(other),
+        }
     }
 }
 
@@ -108,6 +120,18 @@ fn run(result: Result<(), CliError>) -> ExitCode {
 
 fn read(path: &str) -> Result<String, CliError> {
     std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))
+}
+
+/// Creates the missing parent directories of an output path, so
+/// `--report runs/today/trace.json` works without a prior `mkdir -p`.
+fn ensure_parent_dir(path: &str) -> Result<(), CliError> {
+    if let Some(parent) = Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| CliError::Io(format!("cannot create {}: {e}", parent.display())))?;
+        }
+    }
+    Ok(())
 }
 
 fn executor(workers: Option<usize>) -> Executor {
@@ -162,6 +186,21 @@ fn load_kb(
     Ok(report.parsed)
 }
 
+/// Writes the run trace as JSON to `path` (if given), creating missing
+/// parent directories.
+fn write_report(path: Option<&str>, trace: &minoaner_dataflow::RunTrace) -> Result<(), CliError> {
+    let Some(report_path) = path else { return Ok(()) };
+    ensure_parent_dir(report_path)?;
+    std::fs::write(report_path, trace.to_json())
+        .map_err(|e| CliError::Io(format!("cannot write {report_path}: {e}")))?;
+    eprintln!(
+        "wrote run trace ({} stages, {} counters) to {report_path}",
+        trace.stages.len(),
+        trace.counters.len()
+    );
+    Ok(())
+}
+
 fn resolve(args: &ResolveArgs) -> Result<(), CliError> {
     let mode = parse_mode(args.lenient);
     let mut builder = KbPairBuilder::new();
@@ -186,19 +225,34 @@ fn resolve(args: &ResolveArgs) -> Result<(), CliError> {
 
     let mut exec = executor(args.workers);
     let minoaner = Minoaner::with_config(config);
-    let res = if let Some(report_path) = &args.report {
+    let res = if let Some(ckpt_dir) = &args.checkpoint_dir {
+        // `CheckpointStore::open` create_dir_all's the directory itself,
+        // so missing parents of --checkpoint-dir are covered too.
+        let mut spec = CheckpointSpec::new(ckpt_dir);
+        spec.resume = args.resume;
+        let (res, trace) =
+            minoaner.try_resolve_checkpointed(&mut exec, &pair, minoaner_core::RuleSet::FULL, &spec)?;
+        if trace.counter("ckpt/resumed_from") > 0 {
+            eprintln!(
+                "resumed from checkpoint barrier {} in {ckpt_dir} ({} bytes restored)",
+                trace.counter("ckpt/resumed_from") - 1,
+                trace.counter("ckpt/bytes_restored"),
+            );
+        }
+        eprintln!(
+            "wrote {} checkpoint barrier(s), {} bytes, under {ckpt_dir}",
+            trace.counter("ckpt/barriers_written"),
+            trace.counter("ckpt/bytes_written"),
+        );
+        write_report(args.report.as_deref(), &trace)?;
+        res
+    } else if args.report.is_some() {
         let (res, trace) = minoaner.try_resolve_traced(
             &mut exec,
             &pair,
             minoaner_core::RuleSet::FULL,
         )?;
-        std::fs::write(report_path, trace.to_json())
-            .map_err(|e| CliError::Io(format!("cannot write {report_path}: {e}")))?;
-        eprintln!(
-            "wrote run trace ({} stages, {} counters) to {report_path}",
-            trace.stages.len(),
-            trace.counters.len()
-        );
+        write_report(args.report.as_deref(), &trace)?;
         res
     } else {
         minoaner.try_resolve(&exec, &pair)?

@@ -1,0 +1,155 @@
+//! End-to-end exit-code contract of the `minoaner` binary: each failure
+//! class maps to its own code (documented in `minoaner --help` and the
+//! README) so scripts and CI can branch on *why* a run failed.
+//!
+//! | code | class |
+//! |------|-------------------------------------------|
+//! | 0    | success                                   |
+//! | 1    | I/O (missing/unreadable file)             |
+//! | 2    | usage (bad flags/config)                  |
+//! | 3    | parse (malformed N-Triples under --strict)|
+//! | 5    | checkpoint (corrupt/incompatible snapshot)|
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const BIN: &str = env!("CARGO_BIN_EXE_minoaner");
+
+/// Unique per-test scratch directory (pid + counter; no entropy).
+fn scratch_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir()
+        .join(format!("minoaner-exit-codes-{}-{tag}-{n}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clear stale scratch dir");
+    }
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn write_kbs(dir: &Path) -> (PathBuf, PathBuf) {
+    let left = dir.join("left.nt");
+    let right = dir.join("right.nt");
+    std::fs::write(
+        &left,
+        "<w:R1> <w:label> \"The Fat Duck\" .\n\
+         <w:R1> <w:hasChef> <w:C1> .\n\
+         <w:C1> <w:label> \"Jonny Lake\" .\n",
+    )
+    .expect("write left KB");
+    std::fs::write(
+        &right,
+        "<d:R2> <d:name> \"Fat Duck (Bray)\" .\n\
+         <d:R2> <d:headChef> <d:C2> .\n\
+         <d:C2> <d:name> \"Jonny Lake\" .\n",
+    )
+    .expect("write right KB");
+    (left, right)
+}
+
+fn run(args: &[&str]) -> std::process::Output {
+    Command::new(BIN).args(args).output().expect("spawn minoaner binary")
+}
+
+fn code(out: &std::process::Output) -> i32 {
+    out.status.code().expect("process exited normally")
+}
+
+#[test]
+fn successful_resolve_exits_zero() {
+    let dir = scratch_dir("ok");
+    let (left, right) = write_kbs(&dir);
+    let out = run(&["resolve", "--left", left.to_str().expect("utf8"), "--right", right
+        .to_str()
+        .expect("utf8")]);
+    assert_eq!(code(&out), 0, "stderr: {}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn missing_input_file_exits_one() {
+    let dir = scratch_dir("io");
+    let missing = dir.join("nope.nt");
+    let (_, right) = write_kbs(&dir);
+    let out = run(&["resolve", "--left", missing.to_str().expect("utf8"), "--right", right
+        .to_str()
+        .expect("utf8")]);
+    assert_eq!(code(&out), 1, "stderr: {}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    // Missing required flag.
+    assert_eq!(code(&run(&["resolve", "--left", "a.nt"])), 2);
+    // Unknown flag.
+    assert_eq!(code(&run(&["resolve", "--left", "a.nt", "--right", "b.nt", "--bogus"])), 2);
+    // --resume without --checkpoint-dir.
+    assert_eq!(code(&run(&["resolve", "--left", "a.nt", "--right", "b.nt", "--resume"])), 2);
+}
+
+#[test]
+fn malformed_input_under_strict_exits_three() {
+    let dir = scratch_dir("parse");
+    let (left, right) = write_kbs(&dir);
+    std::fs::write(&left, "<w:R1> <w:label> \"ok\" .\nthis line is not a triple\n")
+        .expect("corrupt left KB");
+    let out = run(&["resolve", "--strict", "--left", left.to_str().expect("utf8"), "--right",
+        right.to_str().expect("utf8")]);
+    assert_eq!(code(&out), 3, "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    // Lenient mode shrugs the same input off.
+    let out = run(&["resolve", "--lenient", "--left", left.to_str().expect("utf8"), "--right",
+        right.to_str().expect("utf8")]);
+    assert_eq!(code(&out), 0, "stderr: {}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn checkpoint_failure_exits_five() {
+    let dir = scratch_dir("ckpt");
+    let (left, right) = write_kbs(&dir);
+    // Point --checkpoint-dir at a path whose parent is a *file*, so the
+    // store cannot create its root directory.
+    let blocker = dir.join("blocker");
+    std::fs::write(&blocker, "not a directory").expect("write blocker file");
+    let ckpt = blocker.join("ckpt");
+    let out = run(&["resolve", "--left", left.to_str().expect("utf8"), "--right", right
+        .to_str()
+        .expect("utf8"), "--checkpoint-dir", ckpt.to_str().expect("utf8")]);
+    assert_eq!(code(&out), 5, "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("checkpoint"), "stderr should name the failure class: {stderr}");
+}
+
+#[test]
+fn checkpointed_resolve_writes_snapshots_and_resumes() {
+    let dir = scratch_dir("ckpt-ok");
+    let (left, right) = write_kbs(&dir);
+    let ckpt = dir.join("snaps");
+    let report = dir.join("reports").join("run.json");
+    let base = &["resolve", "--left", left.to_str().expect("utf8"), "--right", right
+        .to_str()
+        .expect("utf8")];
+
+    // First run writes checkpoints (and creates missing report parents).
+    let mut args = base.to_vec();
+    args.extend(["--checkpoint-dir", ckpt.to_str().expect("utf8"), "--report", report
+        .to_str()
+        .expect("utf8")]);
+    let out = run(&args);
+    assert_eq!(code(&out), 0, "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(report.exists(), "--report must create missing parent directories");
+    let stages: Vec<_> = std::fs::read_dir(&ckpt)
+        .expect("checkpoint dir exists")
+        .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("stage-"))
+        .collect();
+    assert_eq!(stages.len(), 3, "one committed snapshot per barrier: {stages:?}");
+
+    // Second run resumes from the final barrier.
+    let mut args = base.to_vec();
+    args.extend(["--checkpoint-dir", ckpt.to_str().expect("utf8"), "--resume"]);
+    let out = run(&args);
+    assert_eq!(code(&out), 0, "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("resumed"), "resume should be reported on stderr: {stderr}");
+}

@@ -58,7 +58,9 @@ impl<T: std::hash::Hash + Eq + Clone> UnionFind<T> {
             self.parent.insert(rb, ra);
         } else {
             self.parent.insert(rb, ra.clone());
-            *self.rank.get_mut(&ra).expect("rank exists") += 1;
+            if let Some(rank) = self.rank.get_mut(&ra) {
+                *rank += 1;
+            }
         }
         true
     }

@@ -33,13 +33,15 @@ pub mod extensions;
 pub mod matcher;
 pub mod multi;
 pub mod pipeline;
+pub mod resume;
 
 pub use config::{ConfigError, MinoanerConfig, MinoanerConfigBuilder, RuleSet};
 pub use dirty::DirtyResolution;
 pub use extensions::{ensemble_resolve, resolve_adaptive, EnsembleResolution};
 pub use multi::{MultiKb, MultiResolution, ObjectTerm};
 pub use matcher::{MatchOutcome, Rule, RuleCounts};
-pub use pipeline::{Minoaner, PipelineTimings, PreparedGraph, Resolution};
+pub use pipeline::{Minoaner, PipelineTimings, PreparedBlocks, PreparedGraph, Resolution};
+pub use resume::{run_fingerprint, CheckpointSpec};
 
 // Re-export for the doctest-friendly API surface.
 pub use minoaner_dataflow::{Executor, RunTrace};

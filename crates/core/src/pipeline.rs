@@ -13,12 +13,15 @@ use minoaner_blocking::name::build_name_blocks;
 use minoaner_blocking::purge::{purge_blocks, PurgeReport};
 use minoaner_blocking::token::build_token_blocks_parallel;
 use minoaner_blocking::{NameBlocks, TokenBlocks};
-use minoaner_dataflow::{DataflowError, Executor, RunTrace, StageIo, StageLog, TraceCollector};
+use minoaner_dataflow::{
+    CheckpointStore, DataflowError, Executor, RunTrace, StageIo, StageLog, TraceCollector,
+};
 use minoaner_kb::stats::{NameStats, RelationStats};
 use minoaner_kb::{EntityId, KbPair};
 
 use crate::config::{MinoanerConfig, RuleSet};
 use crate::matcher::{run_matching, MatchOutcome, RuleCounts};
+use crate::resume::{self, CheckpointSpec};
 
 /// Wall-clock breakdown of a pipeline run. §6.2 of the paper reports both
 /// total time and the matching phase's share of it.
@@ -65,6 +68,10 @@ pub struct Resolution {
     pub rule_counts: RuleCounts,
     /// What Block Purging did to the token blocks.
     pub purge: Option<PurgeReport>,
+    /// [`BlockingGraph::weight_digest`] of the run's pruned graph — the
+    /// determinism witness: bit-identical across worker counts, across
+    /// repeated runs, and across crash/resume boundaries.
+    pub graph_digest: u64,
     /// Wall-clock breakdown.
     pub timings: PipelineTimings,
 }
@@ -79,6 +86,19 @@ pub struct PreparedGraph {
     pub purge: Option<PurgeReport>,
     pub relation_stats: RelationStats,
     pub name_stats: NameStats,
+}
+
+/// Everything produced by the pipeline's first barrier (`blocks`):
+/// statistics plus the purged composite blocks, i.e. the full input of
+/// graph construction. This is the unit the checkpoint subsystem snapshots
+/// and restores, so it derives serde.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct PreparedBlocks {
+    pub relation_stats: RelationStats,
+    pub name_stats: NameStats,
+    pub token_blocks: TokenBlocks,
+    pub name_blocks: NameBlocks,
+    pub purge: Option<PurgeReport>,
 }
 
 /// The MinoanER resolver.
@@ -111,6 +131,16 @@ impl Minoaner {
 
     /// Runs statistics, blocking and graph construction (Algorithm 1).
     pub fn prepare(&self, executor: &Executor, pair: &KbPair) -> PreparedGraph {
+        let blocks = self.prepare_blocks(executor, pair);
+        let graph = self.build_graph_from_blocks(executor, pair, &blocks);
+        let PreparedBlocks { relation_stats, name_stats, token_blocks, name_blocks, purge } = blocks;
+        PreparedGraph { graph, token_blocks, name_blocks, purge, relation_stats, name_stats }
+    }
+
+    /// The pipeline's first barrier: statistics plus composite-block
+    /// construction and purging — everything up to (but excluding) graph
+    /// construction.
+    pub fn prepare_blocks(&self, executor: &Executor, pair: &KbPair) -> PreparedBlocks {
         let relation_stats = executor.time_stage("stats/relations", || RelationStats::compute(pair));
         let name_stats =
             executor.time_stage("stats/names", || NameStats::compute(pair, self.config.name_attrs_k));
@@ -140,15 +170,30 @@ impl Minoaner {
             executor.time_stage("blocking/names", || build_name_blocks(pair, &name_stats));
         executor.emit_counter("blocking/name_blocks_built", name_blocks.len() as u64);
 
+        PreparedBlocks { relation_stats, name_stats, token_blocks, name_blocks, purge }
+    }
+
+    /// The pipeline's second barrier: weights and prunes the disjunctive
+    /// blocking graph from prepared blocks (Algorithm 1).
+    pub fn build_graph_from_blocks(
+        &self,
+        executor: &Executor,
+        pair: &KbPair,
+        blocks: &PreparedBlocks,
+    ) -> BlockingGraph {
         let graph_cfg = GraphConfig {
             top_k: self.config.top_k,
             n_relations: self.config.n_relations,
             ..GraphConfig::default()
         };
-        let graph =
-            build_blocking_graph(executor, pair, &relation_stats, &token_blocks, &name_blocks, &graph_cfg);
-
-        PreparedGraph { graph, token_blocks, name_blocks, purge, relation_stats, name_stats }
+        build_blocking_graph(
+            executor,
+            pair,
+            &blocks.relation_stats,
+            &blocks.token_blocks,
+            &blocks.name_blocks,
+            &graph_cfg,
+        )
     }
 
     /// Runs Algorithm 2 on a prepared graph with an explicit rule set.
@@ -239,6 +284,40 @@ impl Minoaner {
         Ok((resolution, trace))
     }
 
+    /// Checkpointed end-to-end resolution: like
+    /// [`Minoaner::try_resolve_traced`], but materializing pipeline state
+    /// at stage barriers per `spec` and — when `spec.resume` is set —
+    /// restoring the newest valid checkpoint instead of recomputing the
+    /// barriers it covers. Restored runs re-emit the checkpoint's counter
+    /// snapshot, so the returned [`RunTrace`]'s domain counters match an
+    /// uninterrupted run's (only the `ckpt/*` accounting differs).
+    pub fn try_resolve_checkpointed(
+        &self,
+        executor: &mut Executor,
+        pair: &KbPair,
+        rules: RuleSet,
+        spec: &CheckpointSpec,
+    ) -> Result<(Resolution, RunTrace), DataflowError> {
+        let collector = TraceCollector::new();
+        executor.set_observer(collector.clone());
+        executor.set_checkpoint_policy(spec.policy.clone());
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            self.run_pipeline_checkpointed(executor, pair, rules, spec, &collector)
+        }))
+        .map_err(DataflowError::from_panic)
+        .and_then(|r| r);
+        executor.clear_observer();
+        let resolution = result?;
+        let trace = RunTrace::capture(
+            executor.workers(),
+            executor.partitions(),
+            resolution.timings.total,
+            &resolution.timings.stages,
+            collector.counters(),
+        );
+        Ok((resolution, trace))
+    }
+
     /// The pipeline body shared by every resolver entry point: prepare
     /// (Algorithm 1), match (Algorithm 2), assemble timings.
     // Stage timing is the sanctioned wall-clock use; see the R3 entry
@@ -248,16 +327,125 @@ impl Minoaner {
         executor.reset_metrics();
         let start = Instant::now();
         let prepared = self.prepare(executor, pair);
+        let graph_digest = prepared.graph.weight_digest();
         let outcome = self.match_prepared(executor, pair, &prepared, rules);
-        let total = start.elapsed();
+        Self::assemble(executor, start, outcome.matches, outcome.counts, prepared.purge, graph_digest)
+    }
 
+    /// The checkpointed pipeline body: each barrier is either restored
+    /// from the newest valid checkpoint or recomputed (and, per the
+    /// executor's [`minoaner_dataflow::CheckpointPolicy`], snapshotted).
+    #[allow(clippy::disallowed_methods)]
+    fn run_pipeline_checkpointed(
+        &self,
+        executor: &Executor,
+        pair: &KbPair,
+        rules: RuleSet,
+        spec: &CheckpointSpec,
+        collector: &TraceCollector,
+    ) -> Result<Resolution, DataflowError> {
+        executor.reset_metrics();
+        let start = Instant::now();
+        let fingerprint = resume::run_fingerprint(&self.config, rules, pair);
+        let store = CheckpointStore::open(spec.dir())?;
+        let policy = executor.checkpoint_policy().clone();
+
+        let mut restored = None;
+        if spec.resume {
+            let recovery = executor.time_stage("ckpt/restore", || store.recover_latest(fingerprint))?;
+            executor.emit_counter("ckpt/rejected", recovery.rejected.len() as u64);
+            if let Some(stage) = recovery.stage {
+                executor.emit_counter("ckpt/bytes_restored", stage.total_bytes());
+                executor.emit_counter("ckpt/resumed_from", stage.barrier as u64 + 1);
+                for (name, value) in &stage.counters {
+                    executor.emit_counter(name, *value);
+                }
+                restored = Some(stage);
+            }
+        }
+
+        // Final barrier restored: the run is already complete on disk.
+        if let Some(stage) = &restored {
+            if stage.barrier == resume::BARRIER_MATCHES {
+                let (matches, counts, digest, purge) = resume::matches_from_stage(stage)?;
+                return Ok(Self::assemble(executor, start, matches, counts, purge, digest));
+            }
+        }
+
+        let (graph, purge) = match &restored {
+            Some(stage) if stage.barrier == resume::BARRIER_GRAPH => resume::graph_from_stage(stage)?,
+            _ => {
+                let blocks = match &restored {
+                    Some(stage) if stage.barrier == resume::BARRIER_BLOCKS => {
+                        resume::blocks_from_stage(stage)?
+                    }
+                    _ => {
+                        let blocks = self.prepare_blocks(executor, pair);
+                        if policy.should_checkpoint(resume::BARRIER_BLOCKS, "blocks") {
+                            resume::write_barrier(
+                                &store,
+                                collector,
+                                executor,
+                                fingerprint,
+                                resume::BARRIER_BLOCKS,
+                                "blocks",
+                                resume::blocks_parts(&blocks)?,
+                            )?;
+                        }
+                        blocks
+                    }
+                };
+                let graph = self.build_graph_from_blocks(executor, pair, &blocks);
+                if policy.should_checkpoint(resume::BARRIER_GRAPH, "graph") {
+                    resume::write_barrier(
+                        &store,
+                        collector,
+                        executor,
+                        fingerprint,
+                        resume::BARRIER_GRAPH,
+                        "graph",
+                        resume::graph_parts(&graph, &blocks.purge)?,
+                    )?;
+                }
+                (graph, blocks.purge)
+            }
+        };
+
+        let graph_digest = graph.weight_digest();
+        let outcome = run_matching(executor, pair, &graph, &self.config, rules);
+        if policy.should_checkpoint(resume::BARRIER_MATCHES, "matches") {
+            resume::write_barrier(
+                &store,
+                collector,
+                executor,
+                fingerprint,
+                resume::BARRIER_MATCHES,
+                "matches",
+                resume::matches_parts(&outcome.matches, &outcome.counts, graph_digest, &purge)?,
+            )?;
+        }
+        Ok(Self::assemble(executor, start, outcome.matches, outcome.counts, purge, graph_digest))
+    }
+
+    /// Assembles a [`Resolution`] from the run's outputs and the
+    /// executor's stage log.
+    fn assemble(
+        executor: &Executor,
+        start: Instant,
+        matches: Vec<(EntityId, EntityId)>,
+        rule_counts: RuleCounts,
+        purge: Option<PurgeReport>,
+        graph_digest: u64,
+    ) -> Resolution {
+        let total = start.elapsed();
         let stages = executor.stage_log();
         let matching = stages.total_matching(&|n: &str| n.starts_with("matching/"));
         let graph = stages.total_matching(&|n: &str| n.starts_with("graph/"));
         Resolution {
-            matches: outcome.matches,
-            rule_counts: outcome.counts,
-            purge: prepared.purge,
+            matches,
+            rule_counts,
+            purge,
+            graph_digest,
             timings: PipelineTimings { total, matching, graph, stages },
         }
     }

@@ -1,0 +1,262 @@
+//! Resumable pipeline execution: the typed layer between the pipeline's
+//! stage barriers and the byte-oriented
+//! [`CheckpointStore`](minoaner_dataflow::CheckpointStore).
+//!
+//! The pipeline has three natural barriers (Figure 4's synchronization
+//! edges): `blocks` (statistics + composite blocks + purge), `graph` (the
+//! pruned disjunctive blocking graph) and `matches` (Algorithm 2's output).
+//! Each barrier's state is serialized as one serde/JSON part per component;
+//! the store handles hashing, atomic commit and recovery scanning, while
+//! this module owns *what* is stored and how a recovered barrier is turned
+//! back into typed pipeline state.
+//!
+//! A [`run_fingerprint`] binds every checkpoint to the run's configuration,
+//! rule set and input sizes, so a resume against a different setup is
+//! refused by the store's validation rather than silently producing output
+//! for the wrong run.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use minoaner_blocking::graph::BlockingGraph;
+use minoaner_blocking::purge::PurgeReport;
+use minoaner_dataflow::checkpoint::fnv1a;
+use minoaner_dataflow::{
+    CheckpointError, CheckpointPolicy, CheckpointStore, DataflowError, Executor, RecoveredStage,
+    TraceCollector,
+};
+use minoaner_kb::{EntityId, KbPair, Side};
+
+use crate::config::{MinoanerConfig, RuleSet};
+use crate::matcher::RuleCounts;
+use crate::pipeline::PreparedBlocks;
+
+/// Barrier index of the `blocks` checkpoint.
+pub const BARRIER_BLOCKS: usize = 0;
+/// Barrier index of the `graph` checkpoint.
+pub const BARRIER_GRAPH: usize = 1;
+/// Barrier index of the `matches` checkpoint.
+pub const BARRIER_MATCHES: usize = 2;
+/// Barrier names, indexed by barrier.
+pub const BARRIER_NAMES: [&str; 3] = ["blocks", "graph", "matches"];
+
+/// How a checkpointed run is configured: where snapshots live, whether to
+/// resume from them, and which barriers to write.
+#[derive(Debug, Clone)]
+pub struct CheckpointSpec {
+    /// Root directory for the run's checkpoints.
+    pub dir: PathBuf,
+    /// Scan `dir` for the newest valid checkpoint of this run and resume
+    /// from it instead of recomputing.
+    pub resume: bool,
+    /// Which stage barriers to materialize (default: every barrier).
+    pub policy: CheckpointPolicy,
+}
+
+impl CheckpointSpec {
+    /// A spec that checkpoints every barrier under `dir`, without resuming.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into(), resume: false, policy: CheckpointPolicy::EveryN(1) }
+    }
+
+    /// The same spec with resume enabled.
+    pub fn resuming(mut self) -> Self {
+        self.resume = true;
+        self
+    }
+
+    /// The checkpoint root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+/// Fingerprint binding a checkpoint to its run: the resolver configuration
+/// (θ bit-exact), the rule set, and the input KB dimensions. A sanity
+/// guard against resuming with drifted inputs or settings — not a content
+/// hash of the KBs (re-parsing identical input reproduces it; swapping in
+/// a different dataset of identical dimensions would not be caught).
+pub fn run_fingerprint(config: &MinoanerConfig, rules: RuleSet, pair: &KbPair) -> u64 {
+    let mut bytes = Vec::with_capacity(96);
+    bytes.extend_from_slice(b"minoaner-run-fingerprint-v1");
+    for v in [
+        config.name_attrs_k as u64,
+        config.top_k as u64,
+        config.n_relations as u64,
+        config.theta.to_bits(),
+        u64::from(config.purge_blocks),
+        u64::from(config.unique_mapping),
+        u64::from(rules.r1),
+        u64::from(rules.r2),
+        u64::from(rules.r3),
+        u64::from(rules.r4),
+        pair.kb(Side::Left).len() as u64,
+        pair.kb(Side::Right).len() as u64,
+        pair.attr_space() as u64,
+    ] {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    fnv1a(&bytes)
+}
+
+/// Serializes one named part. Encoding failures are surfaced as
+/// [`CheckpointError::Corrupt`] on the part name — they indicate a
+/// non-serializable value (a bug), not an I/O condition.
+fn encode_part<T: serde::Serialize>(
+    name: &str,
+    value: &T,
+) -> Result<(String, Vec<u8>), CheckpointError> {
+    match serde_json::to_vec(value) {
+        Ok(bytes) => Ok((name.to_owned(), bytes)),
+        Err(e) => Err(CheckpointError::Corrupt {
+            path: name.to_owned(),
+            detail: format!("part failed to serialize: {e}"),
+        }),
+    }
+}
+
+/// Deserializes the named part of a recovered barrier. The store has
+/// already verified the part's content hash, so a decode failure means the
+/// writer and reader disagree on the part schema.
+fn decode_part<T: serde::de::DeserializeOwned>(
+    stage: &RecoveredStage,
+    name: &str,
+) -> Result<T, CheckpointError> {
+    let bytes = stage.part(name).ok_or_else(|| CheckpointError::Corrupt {
+        path: name.to_owned(),
+        detail: format!("barrier {:?} is missing part {name:?}", stage.stage),
+    })?;
+    serde_json::from_slice(bytes).map_err(|e| CheckpointError::Corrupt {
+        path: name.to_owned(),
+        detail: format!("part failed to deserialize: {e}"),
+    })
+}
+
+/// The `blocks` barrier's parts.
+pub(crate) fn blocks_parts(
+    blocks: &PreparedBlocks,
+) -> Result<Vec<(String, Vec<u8>)>, CheckpointError> {
+    Ok(vec![
+        encode_part("relation_stats", &blocks.relation_stats)?,
+        encode_part("name_stats", &blocks.name_stats)?,
+        encode_part("token_blocks", &blocks.token_blocks)?,
+        encode_part("name_blocks", &blocks.name_blocks)?,
+        encode_part("purge", &blocks.purge)?,
+    ])
+}
+
+/// Rebuilds [`PreparedBlocks`] from a recovered `blocks` barrier.
+pub(crate) fn blocks_from_stage(stage: &RecoveredStage) -> Result<PreparedBlocks, CheckpointError> {
+    Ok(PreparedBlocks {
+        relation_stats: decode_part(stage, "relation_stats")?,
+        name_stats: decode_part(stage, "name_stats")?,
+        token_blocks: decode_part(stage, "token_blocks")?,
+        name_blocks: decode_part(stage, "name_blocks")?,
+        purge: decode_part(stage, "purge")?,
+    })
+}
+
+/// The `graph` barrier's parts.
+pub(crate) fn graph_parts(
+    graph: &BlockingGraph,
+    purge: &Option<PurgeReport>,
+) -> Result<Vec<(String, Vec<u8>)>, CheckpointError> {
+    Ok(vec![encode_part("graph", graph)?, encode_part("purge", purge)?])
+}
+
+/// Rebuilds the graph state from a recovered `graph` barrier.
+pub(crate) fn graph_from_stage(
+    stage: &RecoveredStage,
+) -> Result<(BlockingGraph, Option<PurgeReport>), CheckpointError> {
+    Ok((decode_part(stage, "graph")?, decode_part(stage, "purge")?))
+}
+
+/// The `matches` barrier's parts.
+pub(crate) fn matches_parts(
+    matches: &[(EntityId, EntityId)],
+    counts: &RuleCounts,
+    graph_digest: u64,
+    purge: &Option<PurgeReport>,
+) -> Result<Vec<(String, Vec<u8>)>, CheckpointError> {
+    Ok(vec![
+        encode_part("matches", &matches)?,
+        encode_part("rule_counts", counts)?,
+        encode_part("graph_digest", &graph_digest)?,
+        encode_part("purge", purge)?,
+    ])
+}
+
+/// Rebuilds the final results from a recovered `matches` barrier.
+#[allow(clippy::type_complexity)]
+pub(crate) fn matches_from_stage(
+    stage: &RecoveredStage,
+) -> Result<(Vec<(EntityId, EntityId)>, RuleCounts, u64, Option<PurgeReport>), CheckpointError> {
+    Ok((
+        decode_part(stage, "matches")?,
+        decode_part(stage, "rule_counts")?,
+        decode_part(stage, "graph_digest")?,
+        decode_part(stage, "purge")?,
+    ))
+}
+
+/// Writes one barrier through the store, timing the commit as a
+/// `ckpt/write/<name>` stage and accounting the payload in the
+/// `ckpt/bytes_written` / `ckpt/barriers_written` counters. The counter
+/// snapshot stored with the barrier excludes the `ckpt/*` namespace: a
+/// resumed run re-emits the snapshot, and its own checkpoint accounting
+/// legitimately differs from the interrupted run's.
+pub(crate) fn write_barrier(
+    store: &CheckpointStore,
+    collector: &TraceCollector,
+    executor: &Executor,
+    fingerprint: u64,
+    barrier: usize,
+    name: &str,
+    parts: Vec<(String, Vec<u8>)>,
+) -> Result<(), DataflowError> {
+    let counters: BTreeMap<String, u64> =
+        collector.counters().into_iter().filter(|(k, _)| !k.starts_with("ckpt/")).collect();
+    let stage_name = format!("ckpt/write/{name}");
+    let bytes = executor
+        .time_stage(&stage_name, || store.write_stage(barrier, name, fingerprint, &parts, &counters))?;
+    executor.emit_counter("ckpt/bytes_written", bytes);
+    executor.emit_counter("ckpt/barriers_written", 1);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minoaner_kb::{KbPairBuilder, Term};
+
+    fn tiny_pair() -> KbPair {
+        let mut b = KbPairBuilder::new();
+        b.add_triple(Side::Left, "w:A", "w:label", Term::Literal("Alpha"));
+        b.add_triple(Side::Right, "d:A", "d:name", Term::Literal("Alpha"));
+        b.finish()
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        let pair = tiny_pair();
+        let config = MinoanerConfig::default();
+        let base = run_fingerprint(&config, RuleSet::FULL, &pair);
+        assert_eq!(base, run_fingerprint(&config, RuleSet::FULL, &pair), "deterministic");
+        assert_ne!(
+            base,
+            run_fingerprint(&config, RuleSet::R1_ONLY, &pair),
+            "rule set is part of the identity"
+        );
+        let other = MinoanerConfig::builder().theta(0.7).build().unwrap();
+        assert_ne!(base, run_fingerprint(&other, RuleSet::FULL, &pair));
+    }
+
+    #[test]
+    fn spec_defaults_checkpoint_every_barrier() {
+        let spec = CheckpointSpec::new("/tmp/ckpt");
+        assert!(!spec.resume);
+        assert!(spec.policy.should_checkpoint(BARRIER_BLOCKS, "blocks"));
+        assert!(spec.policy.should_checkpoint(BARRIER_MATCHES, "matches"));
+        assert!(spec.resuming().resume);
+    }
+}

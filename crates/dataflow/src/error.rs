@@ -13,6 +13,8 @@ use std::any::Any;
 use std::fmt;
 use std::time::Duration;
 
+use crate::checkpoint::CheckpointError;
+
 /// A failure of a fault-tolerant dataflow stage.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DataflowError {
@@ -45,14 +47,21 @@ pub enum DataflowError {
         /// Total tasks in the stage.
         tasks: usize,
     },
+    /// The checkpoint subsystem failed (I/O error, corrupt snapshot,
+    /// schema drift). Carries the structured [`CheckpointError`] so
+    /// callers (e.g. the CLI's exit-code mapping) can distinguish
+    /// checkpoint failures from execution failures.
+    Checkpoint(CheckpointError),
 }
 
 impl DataflowError {
-    /// The stage the error originated in.
+    /// The stage the error originated in. Checkpoint failures happen at
+    /// barriers rather than inside a stage and report `"<checkpoint>"`.
     pub fn stage(&self) -> &str {
         match self {
             DataflowError::TaskPanicked { stage, .. } => stage,
             DataflowError::StageTimeout { stage, .. } => stage,
+            DataflowError::Checkpoint(_) => "<checkpoint>",
         }
     }
 
@@ -100,7 +109,14 @@ impl fmt::Display for DataflowError {
                 f,
                 "stage {stage:?}: deadline of {deadline:?} exceeded with {completed}/{tasks} tasks complete"
             ),
+            DataflowError::Checkpoint(e) => write!(f, "{e}"),
         }
+    }
+}
+
+impl From<CheckpointError> for DataflowError {
+    fn from(e: CheckpointError) -> Self {
+        DataflowError::Checkpoint(e)
     }
 }
 

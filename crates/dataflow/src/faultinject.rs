@@ -78,7 +78,7 @@ impl FaultPlan {
         let mut state = seed;
         let mut scheduled = 0;
         for task in 0..tasks {
-            if (splitmix64(&mut state) % 1000) as u32 < fail_permille {
+            if ((splitmix64(&mut state) % 1000) as u32) < fail_permille {
                 self.fail_task(stage, task, FaultKind::Panic, &[1]);
                 scheduled += 1;
             }
@@ -139,6 +139,64 @@ impl FaultPlan {
     }
 }
 
+/// A process-level crash point for the crash-recovery harness: unlike the
+/// task-level faults above (which the engine's retry machinery absorbs),
+/// firing a crash point **aborts the whole process**, simulating a kill
+/// -9 / power loss at a precise spot in the checkpoint protocol.
+///
+/// Crash points are armed via the `MINOANER_CRASH_POINT` environment
+/// variable so a parent test can arm a subprocess without any API
+/// plumbing:
+///
+/// * `after:<k>` — abort immediately after the checkpoint of barrier `k`
+///   is fully committed ([`CrashPoint::AfterStage`]).
+/// * `during:<stage>` — abort while writing the named barrier's
+///   checkpoint, after the parts are staged but before the manifest
+///   commits ([`CrashPoint::DuringStage`]) — a torn write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Abort right after barrier `k`'s checkpoint commit.
+    AfterStage(usize),
+    /// Abort mid-write of the named barrier (torn checkpoint).
+    DuringStage(String),
+}
+
+impl CrashPoint {
+    /// Parses the armed crash point from `MINOANER_CRASH_POINT`, if any.
+    pub fn from_env() -> Option<CrashPoint> {
+        let spec = std::env::var("MINOANER_CRASH_POINT").ok()?;
+        if let Some(k) = spec.strip_prefix("after:") {
+            return k.trim().parse().ok().map(CrashPoint::AfterStage);
+        }
+        if let Some(stage) = spec.strip_prefix("during:") {
+            return Some(CrashPoint::DuringStage(stage.trim().to_owned()));
+        }
+        None
+    }
+}
+
+/// Fires the `after:<k>` crash point: called by the checkpoint store right
+/// after barrier `barrier` commits. Aborts without unwinding (no
+/// destructors, no flushing — the closest safe stand-in for SIGKILL).
+pub fn maybe_crash_after(barrier: usize) {
+    if CrashPoint::from_env() == Some(CrashPoint::AfterStage(barrier)) {
+        eprintln!("fault-inject: crashing after barrier {barrier} checkpoint commit");
+        std::process::abort();
+    }
+}
+
+/// Fires the `during:<stage>` crash point: called by the checkpoint store
+/// after staging part files but before the manifest commit, leaving a torn
+/// checkpoint behind.
+pub fn maybe_crash_during(stage: &str) {
+    if let Some(CrashPoint::DuringStage(s)) = CrashPoint::from_env() {
+        if s == stage {
+            eprintln!("fault-inject: crashing during {stage:?} checkpoint write");
+            std::process::abort();
+        }
+    }
+}
+
 /// SplitMix64: tiny, fast, deterministic; good enough to spread faults.
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -189,6 +247,23 @@ mod tests {
         // Same length stream, different seed: schedules may differ in
         // count; at minimum the plans must be internally consistent.
         assert_eq!(different.scheduled(), nd);
+    }
+
+    #[test]
+    fn crash_point_parses_env_specs() {
+        // No other test in this binary reads MINOANER_CRASH_POINT, so the
+        // set/remove pair here cannot race a concurrent reader.
+        std::env::set_var("MINOANER_CRASH_POINT", "after:2");
+        assert_eq!(CrashPoint::from_env(), Some(CrashPoint::AfterStage(2)));
+        std::env::set_var("MINOANER_CRASH_POINT", "during:graph");
+        assert_eq!(CrashPoint::from_env(), Some(CrashPoint::DuringStage("graph".into())));
+        std::env::set_var("MINOANER_CRASH_POINT", "bogus");
+        assert_eq!(CrashPoint::from_env(), None);
+        std::env::remove_var("MINOANER_CRASH_POINT");
+        assert_eq!(CrashPoint::from_env(), None);
+        // An unarmed process never crashes.
+        maybe_crash_after(0);
+        maybe_crash_during("blocks");
     }
 
     #[test]

@@ -29,6 +29,13 @@
 //!   stage completions and named domain counters (one enum-discriminant
 //!   check when off); a [`TraceCollector`] plus the annotated [`StageLog`]
 //!   assemble into a versioned JSON [`RunTrace`] run report.
+//! * **Crash-safe checkpointing**: a [`CheckpointStore`] materializes
+//!   pipeline state at stage barriers with an atomic temp-file + rename +
+//!   fsync protocol, per-file content hashes and a versioned manifest
+//!   (`checkpoint` module); a [`CheckpointPolicy`] on the executor decides
+//!   which barriers to snapshot, and the recovery scanner resumes from the
+//!   newest *complete* barrier, falling back past torn or bit-flipped
+//!   files instead of trusting them.
 //!
 //! ```
 //! use minoaner_dataflow::{Executor, Pdc};
@@ -43,6 +50,7 @@
 //! ```
 
 pub mod broadcast;
+pub mod checkpoint;
 pub mod error;
 #[cfg(feature = "fault-inject")]
 pub mod faultinject;
@@ -54,6 +62,10 @@ pub mod pool;
 pub mod trace;
 
 pub use broadcast::Broadcast;
+pub use checkpoint::{
+    CheckpointError, CheckpointPolicy, CheckpointStore, RecoveredStage, Recovery,
+    CHECKPOINT_SCHEMA_VERSION,
+};
 pub use error::DataflowError;
 pub use metrics::{StageIo, StageLog, StageMetric};
 pub use observer::{Observer, ObserverSlot, TraceCollector};

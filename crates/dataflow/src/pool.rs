@@ -21,6 +21,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
+use crate::checkpoint::CheckpointPolicy;
 use crate::error::DataflowError;
 use crate::metrics::{StageIo, StageLog, StageMetric};
 use crate::observer::{Observer, ObserverSlot};
@@ -182,6 +183,10 @@ pub struct Executor {
     config: ExecutorConfig,
     log: Mutex<StageLog>,
     observer: ObserverSlot,
+    /// When pipelines should materialize crash-safe checkpoints at their
+    /// stage barriers (consulted by checkpoint-aware pipeline drivers;
+    /// [`CheckpointPolicy::Off`] by default).
+    checkpoint: CheckpointPolicy,
 }
 
 impl Default for Executor {
@@ -200,7 +205,24 @@ impl Executor {
     pub fn with_config(config: ExecutorConfig) -> Self {
         assert!(config.workers >= 1, "at least one worker required");
         assert!(config.partitions >= 1, "at least one partition required");
-        Self { config, log: Mutex::new(StageLog::default()), observer: ObserverSlot::Off }
+        Self {
+            config,
+            log: Mutex::new(StageLog::default()),
+            observer: ObserverSlot::Off,
+            checkpoint: CheckpointPolicy::Off,
+        }
+    }
+
+    /// Sets the checkpoint policy consulted at stage barriers by
+    /// checkpoint-aware pipeline drivers (e.g.
+    /// `Minoaner::try_resolve_checkpointed`).
+    pub fn set_checkpoint_policy(&mut self, policy: CheckpointPolicy) {
+        self.checkpoint = policy;
+    }
+
+    /// The active checkpoint policy.
+    pub fn checkpoint_policy(&self) -> &CheckpointPolicy {
+        &self.checkpoint
     }
 
     /// Installs an [`Observer`] that receives stage completions and
@@ -355,20 +377,37 @@ impl Executor {
 
         // One attempt loop for one task: catch the unwind, retry within
         // budget (sleeping the backoff between attempts), and report the
-        // terminal outcome plus the number of attempts used.
-        let run_one = |i: usize| -> (TaskOutcome<T>, u32) {
+        // terminal outcome plus the number of attempts used. The stage
+        // deadline is also observed *mid-retry*: a task that keeps failing
+        // under a long backoff must not sleep the stage past its deadline —
+        // it returns `None` and the worker raises the timeout instead.
+        let run_one = |i: usize| -> (Option<TaskOutcome<T>>, u32) {
             let mut attempt: u32 = 0;
             loop {
                 attempt += 1;
                 match std::panic::catch_unwind(AssertUnwindSafe(|| task(i))) {
-                    Ok(value) => return (TaskOutcome::Ok(value), attempt),
+                    Ok(value) => return (Some(TaskOutcome::Ok(value)), attempt),
                     Err(payload) => {
                         if attempt > policy.max_retries {
                             let payload = DataflowError::panic_message(payload.as_ref());
-                            return (TaskOutcome::Failed { payload, attempts: attempt }, attempt);
+                            return (
+                                Some(TaskOutcome::Failed { payload, attempts: attempt }),
+                                attempt,
+                            );
                         }
-                        if !policy.retry_backoff.is_zero() {
-                            std::thread::sleep(policy.retry_backoff);
+                        let mut backoff = policy.retry_backoff;
+                        if let Some(deadline) = policy.stage_deadline {
+                            let remaining = deadline.saturating_sub(start.elapsed());
+                            if remaining.is_zero() {
+                                return (None, attempt);
+                            }
+                            // Never sleep past the deadline: the retry
+                            // after a capped sleep re-checks and raises
+                            // the timeout promptly.
+                            backoff = backoff.min(remaining);
+                        }
+                        if !backoff.is_zero() {
+                            std::thread::sleep(backoff);
                         }
                     }
                 }
@@ -381,9 +420,10 @@ impl Executor {
         let timed_out = AtomicBool::new(false);
         let attempts_total = AtomicUsize::new(0);
 
-        // Invariant relied on below: a worker never exits between claiming
-        // an index and writing its slot, so when neither abort flag is set,
-        // every index 0..n has a populated slot after the join.
+        // Invariant relied on below: a worker only exits between claiming
+        // an index and writing its slot when it sets `timed_out`, so when
+        // neither abort flag is set, every index 0..n has a populated slot
+        // after the join.
         let worker_loop = || loop {
             if fatal.load(Ordering::SeqCst) || timed_out.load(Ordering::SeqCst) {
                 break;
@@ -400,6 +440,13 @@ impl Executor {
             }
             let (outcome, used) = run_one(i);
             attempts_total.fetch_add(used as usize, Ordering::Relaxed);
+            let Some(outcome) = outcome else {
+                // Deadline expired mid-retry: the slot stays empty, which
+                // is fine — the timed-out result path only counts
+                // completed slots and never reads unfinished ones.
+                timed_out.store(true, Ordering::SeqCst);
+                break;
+            };
             let failed = matches!(outcome, TaskOutcome::Failed { .. });
             *slots[i].lock() = Some(outcome);
             if failed && policy.on_task_failure == FailureAction::Fail {

@@ -1,0 +1,134 @@
+//! Property tests for [`FaultPolicy`] retry scheduling: for any schedule
+//! of per-task transient failures, the engine's retry accounting and the
+//! stage's results are fully determined by the schedule — never by the
+//! worker count or by scheduling races — and a deadline expiring mid-retry
+//! surfaces as [`DataflowError::StageTimeout`] instead of a hang.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+
+use minoaner_dataflow::{DataflowError, Executor, ExecutorConfig, FaultPolicy, StageOutput};
+
+fn exec_with(workers: usize, parts: usize, fault_policy: FaultPolicy) -> Executor {
+    Executor::with_config(ExecutorConfig { workers, partitions: parts, fault_policy })
+}
+
+/// Runs one stage where task `i` panics on its first `fails[i]` attempts
+/// and then succeeds, returning `(result, attempt-at-success)` per task.
+fn run_schedule(
+    workers: usize,
+    fails: &[u32],
+    policy: FaultPolicy,
+) -> Result<StageOutput<(usize, u32)>, DataflowError> {
+    let exec = exec_with(workers, fails.len().max(1), policy);
+    let attempts: Vec<AtomicU32> = fails.iter().map(|_| AtomicU32::new(0)).collect();
+    exec.try_run_stage("scheduled-faults", fails.len(), |i| {
+        let attempt = attempts[i].fetch_add(1, Ordering::SeqCst) + 1;
+        if attempt <= fails[i] {
+            panic!("scheduled fault: task {i} attempt {attempt}");
+        }
+        (i * 10, attempt)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every task's result, its attempt count, and the stage totals are
+    /// the same on 1, 2 and 8 workers — bit-identical retry accounting.
+    #[test]
+    fn retry_schedule_is_deterministic_across_worker_counts(
+        fails in proptest::collection::vec(0u32..=3, 1..=16),
+    ) {
+        let policy = FaultPolicy::retries(3);
+        let mut outcomes = Vec::new();
+        for &workers in &[1usize, 2, 8] {
+            let out = run_schedule(workers, &fails, policy).expect("all faults within budget");
+            prop_assert!(out.skipped.is_empty());
+            let results = out.results.into_iter().map(|r| r.expect("completed")).collect::<Vec<_>>();
+            outcomes.push((results, out.attempts, out.retries));
+        }
+        // Schedule-predicted accounting:
+        let expected_retries: u32 = fails.iter().sum();
+        let expected_attempts = fails.len() + expected_retries as usize;
+        for (results, attempts, retries) in &outcomes {
+            prop_assert_eq!(*attempts, expected_attempts);
+            prop_assert_eq!(*retries, expected_retries as usize);
+            for (i, &(value, at)) in results.iter().enumerate() {
+                prop_assert_eq!(value, i * 10);
+                prop_assert_eq!(at, fails[i] + 1, "task {} succeeded on the wrong attempt", i);
+            }
+        }
+        prop_assert_eq!(&outcomes[0], &outcomes[1], "workers 1 vs 2 diverged");
+        prop_assert_eq!(&outcomes[0], &outcomes[2], "workers 1 vs 8 diverged");
+    }
+
+    /// Under skip-partition semantics, exactly the tasks whose failure
+    /// count exceeds the retry budget are skipped — the same set on every
+    /// worker count.
+    #[test]
+    fn skipped_partitions_are_schedule_determined(
+        fails in proptest::collection::vec(0u32..=4, 1..=16),
+    ) {
+        let budget = 2u32;
+        let expected_skipped: Vec<usize> = fails
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &f)| (f > budget).then_some(i))
+            .collect();
+        for &workers in &[1usize, 2, 8] {
+            let out = run_schedule(workers, &fails, FaultPolicy::skip_after(budget))
+                .expect("skip policy never fails the stage");
+            prop_assert_eq!(&out.skipped, &expected_skipped, "workers {}", workers);
+        }
+    }
+}
+
+/// A task that keeps failing under a long backoff must not sleep the stage
+/// past its deadline: the engine reports [`DataflowError::StageTimeout`]
+/// promptly instead of draining a huge retry budget.
+#[test]
+fn deadline_expiring_mid_retry_times_out_instead_of_hanging() {
+    let deadline = Duration::from_millis(50);
+    let policy = FaultPolicy::retries(1_000_000)
+        .with_backoff(Duration::from_millis(20))
+        .with_deadline(deadline);
+    let exec = exec_with(2, 2, policy);
+    let start = Instant::now();
+    let err = exec
+        .try_run_stage("always-failing", 2, |i| -> usize { panic!("task {i} never succeeds") })
+        .unwrap_err();
+    let elapsed = start.elapsed();
+    match err {
+        DataflowError::StageTimeout { stage, deadline: d, .. } => {
+            assert_eq!(stage, "always-failing");
+            assert_eq!(d, deadline);
+        }
+        other => panic!("expected StageTimeout, got {other}"),
+    }
+    // With a million-retry budget at 20 ms backoff a hang would take weeks;
+    // anything under a few seconds proves the deadline cut the retry loop.
+    assert!(elapsed < Duration::from_secs(5), "stage took {elapsed:?} to time out");
+}
+
+/// The deadline error also fires when the backoff itself would overshoot:
+/// a backoff longer than the whole deadline must be truncated, not slept.
+#[test]
+fn oversized_backoff_is_clamped_to_the_deadline() {
+    let deadline = Duration::from_millis(40);
+    let policy = FaultPolicy::retries(10)
+        .with_backoff(Duration::from_secs(3600))
+        .with_deadline(deadline);
+    let exec = exec_with(1, 1, policy);
+    let start = Instant::now();
+    let err = exec
+        .try_run_stage("hour-backoff", 1, |_| -> usize { panic!("never succeeds") })
+        .unwrap_err();
+    assert!(
+        matches!(err, DataflowError::StageTimeout { .. }),
+        "expected StageTimeout, got {err}"
+    );
+    assert!(start.elapsed() < Duration::from_secs(5), "backoff was not clamped");
+}

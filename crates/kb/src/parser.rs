@@ -155,6 +155,11 @@ fn take_uri(s: &str) -> Result<(&str, &str), SyntaxError> {
         .strip_prefix('<')
         .ok_or(SyntaxError::ExpectedUri { found: s.chars().next() })?;
     let end = rest.find('>').ok_or(SyntaxError::UnterminatedUri)?;
+    // '<' cannot occur inside an IRIREF: seeing one before the '>' means
+    // the URI was never closed and the scanner ran into the next term.
+    if rest[..end].contains('<') {
+        return Err(SyntaxError::UnterminatedUri);
+    }
     Ok((&rest[..end], &rest[end + 1..]))
 }
 

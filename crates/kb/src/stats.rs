@@ -97,7 +97,7 @@ pub fn shared_token_weight(a: &[TokenId], b: &[TokenId], ef: &TokenEf) -> f64 {
 /// Support, discriminability and importance of every relation, per KB
 /// (Defs. 2.2–2.4), plus the global importance order used to pick each
 /// entity's top-N relations (Algorithm 1, `getTopInNeighbors`).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct RelationStats {
     support: [Vec<f64>; 2],
     discriminability: [Vec<f64>; 2],
@@ -257,7 +257,7 @@ pub fn max_neighbor_value_sim(
 /// (§2, "Entity Names"): literal-valued attributes ranked by the harmonic
 /// mean of support `|subjects(p)|/|E|` and discriminability
 /// `|distinct values(p)|/|instances(p)|`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct NameStats {
     name_attrs: [Vec<AttrId>; 2],
     importance: [Vec<f64>; 2],

@@ -279,61 +279,8 @@ impl KbPairBuilder {
 
     /// Resolves references and produces the immutable [`KbPair`].
     pub fn finish(mut self) -> KbPair {
-        let mut kbs = Vec::with_capacity(2);
-        for side in [Side::Left, Side::Right] {
-            let raws = std::mem::take(&mut self.raw[side.index()]);
-            let uri_to_idx = std::mem::take(&mut self.uri_to_idx[side.index()]);
-
-            // Pass 1: resolve URI objects to entity refs where possible. A
-            // URI that is not a subject in this KB contributes its local
-            // name as a literal (it still carries token evidence).
-            let mut entities = Vec::with_capacity(raws.len());
-            for raw in &raws {
-                let mut pairs = Vec::with_capacity(raw.pairs.len());
-                for &(attr, value) in &raw.pairs {
-                    let v = match value {
-                        RawValue::Literal(l) => Value::Literal(l),
-                        RawValue::UriRef(sym) => match uri_to_idx.get(&sym) {
-                            Some(&idx) => Value::Ref(EntityId(idx as u32)),
-                            None => {
-                                let local = uri_local_name(self.uris.resolve(sym)).to_owned();
-                                Value::Literal(self.intern_literal(&local))
-                            }
-                        },
-                    };
-                    pairs.push((attr, v));
-                }
-                entities.push(Entity { uri: raw.uri, pairs });
-            }
-
-            // Pass 2: per-entity token sets (sorted + dedup) and occurrence
-            // counts, derived from the literal token sequences.
-            let mut token_sets = Vec::with_capacity(entities.len());
-            let mut token_occurrences = Vec::with_capacity(entities.len());
-            for e in &entities {
-                let mut toks: Vec<TokenId> = Vec::new();
-                let mut occ = 0u32;
-                for (_, lit) in e.literal_pairs() {
-                    let seq = &self.literal_tokens[lit.index()];
-                    occ += seq.len() as u32;
-                    toks.extend_from_slice(seq);
-                }
-                toks.sort_unstable();
-                toks.dedup();
-                token_sets.push(toks.into_boxed_slice());
-                token_occurrences.push(occ);
-            }
-
-            let uri_index = uri_to_idx
-                .into_iter()
-                .map(|(sym, idx)| (sym, EntityId(idx as u32)))
-                .collect();
-
-            kbs.push(Kb { side, entities, uri_index, token_sets, token_occurrences });
-        }
-
-        let right = kbs.pop().expect("two KBs");
-        let left = kbs.pop().expect("two KBs");
+        let left = self.build_kb(Side::Left);
+        let right = self.build_kb(Side::Right);
         KbPair {
             tokens: self.tokens,
             literals: self.literals,
@@ -343,6 +290,59 @@ impl KbPairBuilder {
             kbs: [left, right],
             dirty: false,
         }
+    }
+
+    /// Resolves one side's raw entities into a finished [`Kb`].
+    fn build_kb(&mut self, side: Side) -> Kb {
+        let raws = std::mem::take(&mut self.raw[side.index()]);
+        let uri_to_idx = std::mem::take(&mut self.uri_to_idx[side.index()]);
+
+        // Pass 1: resolve URI objects to entity refs where possible. A
+        // URI that is not a subject in this KB contributes its local
+        // name as a literal (it still carries token evidence).
+        let mut entities = Vec::with_capacity(raws.len());
+        for raw in &raws {
+            let mut pairs = Vec::with_capacity(raw.pairs.len());
+            for &(attr, value) in &raw.pairs {
+                let v = match value {
+                    RawValue::Literal(l) => Value::Literal(l),
+                    RawValue::UriRef(sym) => match uri_to_idx.get(&sym) {
+                        Some(&idx) => Value::Ref(EntityId(idx as u32)),
+                        None => {
+                            let local = uri_local_name(self.uris.resolve(sym)).to_owned();
+                            Value::Literal(self.intern_literal(&local))
+                        }
+                    },
+                };
+                pairs.push((attr, v));
+            }
+            entities.push(Entity { uri: raw.uri, pairs });
+        }
+
+        // Pass 2: per-entity token sets (sorted + dedup) and occurrence
+        // counts, derived from the literal token sequences.
+        let mut token_sets = Vec::with_capacity(entities.len());
+        let mut token_occurrences = Vec::with_capacity(entities.len());
+        for e in &entities {
+            let mut toks: Vec<TokenId> = Vec::new();
+            let mut occ = 0u32;
+            for (_, lit) in e.literal_pairs() {
+                let seq = &self.literal_tokens[lit.index()];
+                occ += seq.len() as u32;
+                toks.extend_from_slice(seq);
+            }
+            toks.sort_unstable();
+            toks.dedup();
+            token_sets.push(toks.into_boxed_slice());
+            token_occurrences.push(occ);
+        }
+
+        let uri_index = uri_to_idx
+            .into_iter()
+            .map(|(sym, idx)| (sym, EntityId(idx as u32)))
+            .collect();
+
+        Kb { side, entities, uri_index, token_sets, token_occurrences }
     }
 }
 

@@ -1,0 +1,134 @@
+//! Property tests for lenient N-Triples ingestion: for any interleaving of
+//! well-formed triples, blanks, comments and corrupted lines, the
+//! [`ParseReport`] accounts for every line exactly — `parsed` counts the
+//! valid triples, `skipped` counts the corrupted lines, `first_errors`
+//! keeps at most [`MAX_REPORTED_ERRORS`] of them in document order — and
+//! strict mode fails on precisely the first corrupted line.
+
+use proptest::prelude::*;
+
+use minoaner_kb::parser::{load_ntriples_with_mode, ParseMode, MAX_REPORTED_ERRORS};
+use minoaner_kb::{KbPairBuilder, Side};
+
+/// One generated input line, with its ground-truth classification.
+#[derive(Debug, Clone)]
+enum Line {
+    /// A well-formed triple (URI or literal object).
+    Valid(String),
+    /// A line both modes ignore (blank or comment).
+    Ignored(String),
+    /// A line lenient mode must skip and strict mode must fail on.
+    Corrupt(String),
+}
+
+/// Uniformly picks one of 12 line shapes: 3 well-formed, 3 ignored, and
+/// one corrupted shape per syntax-error class (an index-select rather
+/// than `prop_oneof!` so every arm shares one concrete strategy type).
+fn line_strategy() -> impl Strategy<Value = Line> {
+    (0usize..12, 0u32..1000).prop_map(|(kind, i)| match kind {
+        // Well-formed: URI object, literal object (incl. escapes).
+        0 => Line::Valid(format!("<s{i}> <p{i}> <o{i}> .")),
+        1 => Line::Valid(format!("<s{i}> <p{i}> \"value {i}\" .")),
+        2 => Line::Valid(format!("<s{i}> <p{i}> \"esc \\\"q\\\" {i}\" .")),
+        // Ignored: blank lines, whitespace, comments.
+        3 => Line::Ignored(String::new()),
+        4 => Line::Ignored("   \t ".to_owned()),
+        5 => Line::Ignored(format!("# comment {i}")),
+        // Corrupted: subject is not a URI,
+        6 => Line::Corrupt(format!("broken line {i}")),
+        // truncated mid-literal (torn write),
+        7 => Line::Corrupt(format!("<s{i}> <p{i}> \"torn lit")),
+        // truncated before the terminating dot,
+        8 => Line::Corrupt(format!("<s{i}> <p{i}> <o{i}>")),
+        // object missing entirely,
+        9 => Line::Corrupt(format!("<s{i}> <p{i}> .")),
+        // unterminated subject URI running into the next term,
+        10 => Line::Corrupt(format!("<s{i} <p{i}> <o{i}> .")),
+        // predicate is not a URI.
+        _ => Line::Corrupt(format!("<s{i}> \"lit\" <o{i}> .")),
+    })
+}
+
+/// Pins the generator's ground truth: every shape `line_strategy` labels
+/// `Valid` must parse to a triple, every `Ignored` shape must parse to
+/// nothing, and every `Corrupt` shape must be a syntax error. The property
+/// test above is only as good as this classification.
+#[test]
+fn generator_shapes_are_classified_correctly() {
+    use minoaner_kb::parser::parse_line;
+    let i = 7u32;
+    let shapes = [
+        (format!("<s{i}> <p{i}> <o{i}> ."), "valid"),
+        (format!("<s{i}> <p{i}> \"value {i}\" ."), "valid"),
+        (format!("<s{i}> <p{i}> \"esc \\\"q\\\" {i}\" ."), "valid"),
+        (String::new(), "ignored"),
+        ("   \t ".to_owned(), "ignored"),
+        (format!("# comment {i}"), "ignored"),
+        (format!("broken line {i}"), "corrupt"),
+        (format!("<s{i}> <p{i}> \"torn lit"), "corrupt"),
+        (format!("<s{i}> <p{i}> <o{i}>"), "corrupt"),
+        (format!("<s{i}> <p{i}> ."), "corrupt"),
+        (format!("<s{i} <p{i}> <o{i}> ."), "corrupt"),
+        (format!("<s{i}> \"lit\" <o{i}> ."), "corrupt"),
+    ];
+    for (line, expected) in &shapes {
+        let got = match parse_line(line) {
+            Ok(Some(_)) => "valid",
+            Ok(None) => "ignored",
+            Err(_) => "corrupt",
+        };
+        assert_eq!(got, *expected, "line {line:?} misclassified");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lenient_report_counts_are_exact(lines in proptest::collection::vec(line_strategy(), 0..40)) {
+        let doc: String = lines
+            .iter()
+            .map(|l| match l {
+                Line::Valid(s) | Line::Ignored(s) | Line::Corrupt(s) => format!("{s}\n"),
+            })
+            .collect();
+        let expected_parsed = lines.iter().filter(|l| matches!(l, Line::Valid(_))).count();
+        let corrupt_line_numbers: Vec<usize> = lines
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| matches!(l, Line::Corrupt(_)).then_some(i + 1))
+            .collect();
+
+        // Lenient: every line accounted for, errors kept in document order
+        // up to the cap, with 1-based line numbers.
+        let mut b = KbPairBuilder::new();
+        let report = load_ntriples_with_mode(&mut b, Side::Left, &doc, ParseMode::Lenient)
+            .expect("lenient mode never fails");
+        prop_assert_eq!(report.parsed, expected_parsed);
+        prop_assert_eq!(report.skipped, corrupt_line_numbers.len());
+        prop_assert_eq!(
+            report.first_errors.len(),
+            corrupt_line_numbers.len().min(MAX_REPORTED_ERRORS)
+        );
+        for (err, &line) in report.first_errors.iter().zip(&corrupt_line_numbers) {
+            prop_assert_eq!(err.line, line);
+        }
+
+        // Strict: fails on exactly the first corrupted line, or parses the
+        // same number of triples when there is none.
+        let mut b = KbPairBuilder::new();
+        let strict = load_ntriples_with_mode(&mut b, Side::Left, &doc, ParseMode::Strict);
+        match corrupt_line_numbers.first() {
+            Some(&first) => {
+                let err = strict.expect_err("strict mode must reject corrupted input");
+                prop_assert_eq!(err.line, first);
+            }
+            None => {
+                let report = strict.expect("clean input parses strictly");
+                prop_assert_eq!(report.parsed, expected_parsed);
+                prop_assert_eq!(report.skipped, 0);
+                prop_assert!(report.first_errors.is_empty());
+            }
+        }
+    }
+}

@@ -55,7 +55,9 @@ pub use minoaner_kb as kb;
 
 pub use minoaner_det::{DetHashMap, DetHashSet};
 
-pub use minoaner_core::{MatchOutcome, Minoaner, MinoanerConfig, Resolution, Rule, RuleSet};
+pub use minoaner_core::{
+    CheckpointSpec, MatchOutcome, Minoaner, MinoanerConfig, Resolution, Rule, RuleSet,
+};
 pub use minoaner_dataflow::{DataflowError, Executor, ExecutorConfig, FailureAction, FaultPolicy};
 pub use minoaner_eval::Quality;
 pub use minoaner_kb::{EntityId, KbPair, KbPairBuilder, Side, Term};

@@ -129,3 +129,11 @@ macro_rules! json {
         $crate::Value::Null
     };
 }
+
+pub fn to_vec<T: serde::Serialize + ?Sized>(_value: &T) -> Result<Vec<u8>, Error> {
+    Ok(b"{}".to_vec())
+}
+
+pub fn from_slice<'a, T: serde::Deserialize<'a>>(_v: &'a [u8]) -> Result<T, Error> {
+    Err(Error)
+}

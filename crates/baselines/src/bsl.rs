@@ -315,8 +315,25 @@ pub fn grid_search(
         }
     }
 
-    let (config, matches, (precision, recall, f1)) =
-        best.expect("grid search evaluated at least one configuration");
+    // The static grid always evaluates at least one configuration; if it
+    // ever shrank to nothing, degrade to an empty report instead of
+    // panicking mid-experiment.
+    let Some((config, matches, (precision, recall, f1))) = best else {
+        return BslReport {
+            best: BslConfig {
+                ngram: 0,
+                weighting: Weighting::TfIdf,
+                measure: Measure::Cosine,
+                threshold: 0.0,
+            },
+            matches: Vec::new(),
+            precision: 0.0,
+            recall: 0.0,
+            f1: 0.0,
+            evaluated,
+            candidates: candidates.len(),
+        };
+    };
     BslReport {
         best: config,
         matches,

@@ -68,11 +68,16 @@ impl Csr {
                 counts[e.index()] += 1;
             }
         }
+        // Block ids share the entity-id capacity bound: one up-front check
+        // covers every cast in the loop.
+        assert!(
+            u32::try_from(blocks.blocks.len()).is_ok(),
+            "block count exceeds u32 capacity"
+        );
         Self::from_counts(&counts, |push| {
             for (bi, (_, b)) in blocks.blocks.iter().enumerate() {
-                let bi = u32::try_from(bi).expect("block count fits u32");
                 for &e in b.members(side) {
-                    push(e.index(), bi);
+                    push(e.index(), bi as u32);
                 }
             }
         })

@@ -107,10 +107,16 @@ fn beta_pass_reference(
         }
     }
 
+    // Block ids share the entity-id capacity bound: one up-front check
+    // covers every cast in the loop (mirrors csr.rs).
+    assert!(
+        u32::try_from(token_blocks.blocks.len()).is_ok(),
+        "block count exceeds u32 capacity"
+    );
     let mut entity_blocks: Vec<Vec<u32>> = vec![Vec::new(); n];
     for (bi, (_, b)) in token_blocks.blocks.iter().enumerate() {
         for &e in b.members(side) {
-            entity_blocks[e.index()].push(u32::try_from(bi).expect("block count fits u32"));
+            entity_blocks[e.index()].push(bi as u32);
         }
     }
 

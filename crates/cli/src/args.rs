@@ -14,8 +14,85 @@ pub enum Command {
     Multi(MultiArgs),
     /// Print Table-1-style statistics for a KB file.
     Stats(StatsArgs),
+    /// Multi-job orchestration: run, list, inspect and cancel jobs.
+    Jobs(JobsCmd),
     /// Print usage.
     Help,
+}
+
+/// The `minoaner jobs` subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobsCmd {
+    /// Submit and run a batch of resolve jobs under one scheduler.
+    Run(JobsRunArgs),
+    /// List all job statuses under a jobs root.
+    List {
+        /// The jobs root directory.
+        root: String,
+    },
+    /// Print one job's status.
+    Status {
+        /// The jobs root directory.
+        root: String,
+        /// The job id (`j0042` or `42`).
+        id: String,
+    },
+    /// Request cancellation of a job (drops a `CANCEL` marker the owning
+    /// scheduler picks up).
+    Cancel {
+        /// The jobs root directory.
+        root: String,
+        /// The job id (`j0042` or `42`).
+        id: String,
+    },
+}
+
+/// Arguments of `minoaner jobs run`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobsRunArgs {
+    /// The jobs root: control plane (status files, cancel markers) and
+    /// per-job checkpoint directories live under it.
+    pub root: String,
+    /// The jobs to submit, in submission order.
+    pub jobs: Vec<JobLine>,
+    /// Total worker budget across running jobs (default: all cores).
+    pub budget_workers: Option<usize>,
+    /// Total memory budget in bytes (default: unlimited).
+    pub budget_memory: Option<u64>,
+    /// Cap on concurrently running jobs (default: the worker budget).
+    pub max_running: Option<usize>,
+    /// Cap on queued jobs; beyond it submissions are shed (default 64).
+    pub max_queued: Option<usize>,
+    /// The four MinoanER parameters, shared by all jobs.
+    pub k: usize,
+    pub top_k: usize,
+    pub n: usize,
+    pub theta: f64,
+    /// Skip malformed N-Triples lines instead of aborting the load.
+    pub lenient: bool,
+    /// Resume each job from its newest valid checkpoint.
+    pub resume: bool,
+}
+
+/// One `--job` specification: `left=<path>,right=<path>` plus optional
+/// `name=`, `priority=low|normal|high`, `workers=<n>`, `memory=<bytes>`,
+/// `deadline-ms=<n>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobLine {
+    /// Human-readable name (defaults to `left vs right`).
+    pub name: Option<String>,
+    /// Left KB path.
+    pub left: String,
+    /// Right KB path.
+    pub right: String,
+    /// Scheduling priority name (`low`/`normal`/`high`), validated here.
+    pub priority: String,
+    /// Worker threads for this job's executor.
+    pub workers: usize,
+    /// Declared memory need, charged against the budget.
+    pub memory_bytes: u64,
+    /// Wall-clock deadline in milliseconds from submission.
+    pub deadline_ms: Option<u64>,
 }
 
 /// Arguments of `minoaner resolve`.
@@ -101,6 +178,7 @@ USAGE:
     minoaner dedup   --input <kb.nt> [OPTIONS]
     minoaner multi   --kb <a.nt> --kb <b.nt> --kb <c.nt> ... [OPTIONS]
     minoaner stats   --input <kb.nt> [--type-attr <iri>]
+    minoaner jobs    run|list|status|cancel --root <dir> [OPTIONS]
     minoaner help
 
 KB files ending in .ttl are parsed as Turtle (subset); everything else as
@@ -114,10 +192,14 @@ COMMON OPTIONS (all commands):
 EXIT CODES:
     0  success
     1  I/O failure (unreadable input file)
-    2  bad arguments or invalid configuration
+    2  bad arguments or invalid configuration (for `jobs run`: a submission
+       was shed by admission control)
     3  input parse failure (strict mode)
-    4  dataflow execution failure (task panic or stage timeout)
+    4  dataflow execution failure (task panic or stage timeout; for
+       `jobs run`: at least one job failed)
     5  checkpoint failure (snapshot I/O error, corrupt/incompatible checkpoint)
+    6  run cancelled (user request, job deadline, or scheduler shutdown;
+       for `jobs run`: at least one job was cancelled and none failed)
 
 RESOLVE OPTIONS:
     --left <path>           left KB, N-Triples
@@ -149,6 +231,34 @@ MULTI OPTIONS:
 STATS OPTIONS:
     --input <path>          the KB file
     --type-attr <iri>       type predicate (default rdf:type)
+
+JOBS:
+    minoaner jobs run    --root <dir> --job <spec> [--job <spec> ...] [OPTIONS]
+    minoaner jobs list   --root <dir>
+    minoaner jobs status --root <dir> --id <jobid>
+    minoaner jobs cancel --root <dir> --id <jobid>
+
+    A job <spec> is comma-separated key=value pairs:
+        left=<path>,right=<path>[,name=<s>][,priority=low|normal|high]
+        [,workers=<n>][,memory=<bytes>][,deadline-ms=<n>]
+
+    Each job checkpoints under <root>/job-<id>/ckpt and mirrors its status
+    to <root>/job-<id>/status.json; `jobs cancel` drops a CANCEL marker
+    there that the running scheduler honours cooperatively at the next
+    stage barrier (completed checkpoint barriers stay resumable).
+
+JOBS RUN OPTIONS:
+    --root <dir>            jobs root (control plane + per-job checkpoints)
+    --job <spec>            a job to submit (repeatable, in priority order)
+    --budget-workers <n>    total worker budget across running jobs
+                            (default: all cores)
+    --budget-memory <bytes> total declared-memory budget (default: unlimited)
+    --max-running <n>       cap on concurrently running jobs
+                            (default: the worker budget)
+    --max-queued <n>        cap on waiting jobs; submissions beyond it are
+                            shed with a structured reason (default 64)
+    --k/--top-k/--n/--theta MinoanER parameters shared by all jobs
+    --resume                resume each job from its newest valid checkpoint
 ";
 
 /// Parses the command line (excluding `argv[0]`).
@@ -159,6 +269,7 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
         Some("dedup") => "dedup",
         Some("multi") => "multi",
         Some("stats") => "stats",
+        Some("jobs") => return parse_jobs(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => return Ok(Command::Help),
         Some(other) => return Err(ArgError(format!("unknown command {other:?}; try `minoaner help`"))),
     };
@@ -240,6 +351,154 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
         }
         _ => unreachable!(),
     }
+}
+
+/// Parses `minoaner jobs <verb> ...` (the slice excludes `jobs` itself).
+fn parse_jobs(args: &[String]) -> Result<Command, ArgError> {
+    let mut it = args.iter();
+    let verb = it
+        .next()
+        .map(String::as_str)
+        .ok_or_else(|| ArgError("jobs requires a subcommand: run, list, status or cancel".into()))?;
+
+    let mut root = None;
+    let mut id = None;
+    let mut jobs = Vec::new();
+    let mut budget_workers = None;
+    let mut budget_memory = None;
+    let mut max_running = None;
+    let mut max_queued = None;
+    let mut k = 2usize;
+    let mut top_k = 15usize;
+    let mut n = 3usize;
+    let mut theta = 0.6f64;
+    let mut lenient = false;
+    let mut resume = false;
+
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, ArgError> {
+            it.next().cloned().ok_or_else(|| ArgError(format!("{name} requires a value")))
+        };
+        match flag.as_str() {
+            "--root" => root = Some(value("--root")?),
+            "--id" => id = Some(value("--id")?),
+            "--job" => jobs.push(parse_job_line(&value("--job")?)?),
+            "--budget-workers" => {
+                budget_workers = Some(value("--budget-workers")?.parse().map_err(|_| {
+                    ArgError("--budget-workers expects an integer".into())
+                })?)
+            }
+            "--budget-memory" => {
+                budget_memory = Some(value("--budget-memory")?.parse().map_err(|_| {
+                    ArgError("--budget-memory expects an integer (bytes)".into())
+                })?)
+            }
+            "--max-running" => {
+                max_running = Some(value("--max-running")?.parse().map_err(|_| {
+                    ArgError("--max-running expects an integer".into())
+                })?)
+            }
+            "--max-queued" => {
+                max_queued = Some(value("--max-queued")?.parse().map_err(|_| {
+                    ArgError("--max-queued expects an integer".into())
+                })?)
+            }
+            "--k" => k = value("--k")?.parse().map_err(|_| ArgError("--k expects an integer".into()))?,
+            "--top-k" => {
+                top_k = value("--top-k")?.parse().map_err(|_| ArgError("--top-k expects an integer".into()))?
+            }
+            "--n" => n = value("--n")?.parse().map_err(|_| ArgError("--n expects an integer".into()))?,
+            "--theta" => {
+                theta = value("--theta")?.parse().map_err(|_| ArgError("--theta expects a float".into()))?
+            }
+            "--lenient" => lenient = true,
+            "--strict" => lenient = false,
+            "--resume" => resume = true,
+            other => return Err(ArgError(format!("unknown flag {other:?} for `jobs {verb}`"))),
+        }
+    }
+
+    let root = root.ok_or_else(|| ArgError(format!("jobs {verb} requires --root")))?;
+    match verb {
+        "run" => {
+            if jobs.is_empty() {
+                return Err(ArgError("jobs run requires at least one --job".into()));
+            }
+            Ok(Command::Jobs(JobsCmd::Run(JobsRunArgs {
+                root, jobs, budget_workers, budget_memory, max_running, max_queued,
+                k, top_k, n, theta, lenient, resume,
+            })))
+        }
+        "list" => Ok(Command::Jobs(JobsCmd::List { root })),
+        "status" => {
+            let id = id.ok_or_else(|| ArgError("jobs status requires --id".into()))?;
+            Ok(Command::Jobs(JobsCmd::Status { root, id }))
+        }
+        "cancel" => {
+            let id = id.ok_or_else(|| ArgError("jobs cancel requires --id".into()))?;
+            Ok(Command::Jobs(JobsCmd::Cancel { root, id }))
+        }
+        other => Err(ArgError(format!(
+            "unknown jobs subcommand {other:?}; expected run, list, status or cancel"
+        ))),
+    }
+}
+
+/// Parses one `--job` value: comma-separated `key=value` pairs.
+fn parse_job_line(spec: &str) -> Result<JobLine, ArgError> {
+    let mut line = JobLine {
+        name: None,
+        left: String::new(),
+        right: String::new(),
+        priority: "normal".to_owned(),
+        workers: 1,
+        memory_bytes: 0,
+        deadline_ms: None,
+    };
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (key, val) = part.split_once('=').ok_or_else(|| {
+            ArgError(format!("--job entry {part:?} is not key=value (in {spec:?})"))
+        })?;
+        match key {
+            "left" => line.left = val.to_owned(),
+            "right" => line.right = val.to_owned(),
+            "name" => line.name = Some(val.to_owned()),
+            "priority" => {
+                if !matches!(val, "low" | "normal" | "high") {
+                    return Err(ArgError(format!(
+                        "--job priority must be low, normal or high (got {val:?})"
+                    )));
+                }
+                line.priority = val.to_owned();
+            }
+            "workers" => {
+                line.workers = val.parse().map_err(|_| {
+                    ArgError(format!("--job workers expects an integer (got {val:?})"))
+                })?
+            }
+            "memory" => {
+                line.memory_bytes = val.parse().map_err(|_| {
+                    ArgError(format!("--job memory expects bytes as an integer (got {val:?})"))
+                })?
+            }
+            "deadline-ms" => {
+                line.deadline_ms = Some(val.parse().map_err(|_| {
+                    ArgError(format!("--job deadline-ms expects an integer (got {val:?})"))
+                })?)
+            }
+            other => {
+                return Err(ArgError(format!("unknown --job key {other:?} (in {spec:?})")))
+            }
+        }
+    }
+    if line.left.is_empty() || line.right.is_empty() {
+        return Err(ArgError(format!("--job needs left=<path> and right=<path> (in {spec:?})")));
+    }
+    Ok(line)
 }
 
 #[cfg(test)]
@@ -359,6 +618,71 @@ mod tests {
         assert!(s.type_attr.contains("rdf-syntax-ns#type"));
         assert!(parse(&strings(&["multi", "--kb", "only-one.nt"])).is_err());
         assert!(parse(&strings(&["stats"])).is_err());
+    }
+
+    #[test]
+    fn parses_jobs_run() {
+        let cmd = parse(&strings(&[
+            "jobs", "run", "--root", "/tmp/jobs", "--budget-workers", "8",
+            "--budget-memory", "1024", "--max-running", "2", "--max-queued", "5",
+            "--job", "left=a.nt,right=b.nt,priority=high,workers=2,deadline-ms=500",
+            "--job", "left=c.nt,right=d.nt,name=small,memory=100",
+            "--resume",
+        ]))
+        .unwrap();
+        let Command::Jobs(JobsCmd::Run(a)) = cmd else { panic!("expected jobs run") };
+        assert_eq!(a.root, "/tmp/jobs");
+        assert_eq!(a.budget_workers, Some(8));
+        assert_eq!(a.budget_memory, Some(1024));
+        assert_eq!((a.max_running, a.max_queued), (Some(2), Some(5)));
+        assert!(a.resume);
+        assert_eq!(a.jobs.len(), 2);
+        assert_eq!(a.jobs[0].priority, "high");
+        assert_eq!(a.jobs[0].workers, 2);
+        assert_eq!(a.jobs[0].deadline_ms, Some(500));
+        assert_eq!(a.jobs[1].name.as_deref(), Some("small"));
+        assert_eq!(a.jobs[1].memory_bytes, 100);
+        assert_eq!(a.jobs[1].priority, "normal", "priority defaults to normal");
+    }
+
+    #[test]
+    fn parses_jobs_list_status_cancel() {
+        assert_eq!(
+            parse(&strings(&["jobs", "list", "--root", "r"])).unwrap(),
+            Command::Jobs(JobsCmd::List { root: "r".into() })
+        );
+        assert_eq!(
+            parse(&strings(&["jobs", "status", "--root", "r", "--id", "j0001"])).unwrap(),
+            Command::Jobs(JobsCmd::Status { root: "r".into(), id: "j0001".into() })
+        );
+        assert_eq!(
+            parse(&strings(&["jobs", "cancel", "--root", "r", "--id", "7"])).unwrap(),
+            Command::Jobs(JobsCmd::Cancel { root: "r".into(), id: "7".into() })
+        );
+    }
+
+    #[test]
+    fn jobs_validation_errors() {
+        // Missing subcommand, root, id, jobs.
+        assert!(parse(&strings(&["jobs"])).is_err());
+        assert!(parse(&strings(&["jobs", "frob", "--root", "r"])).is_err());
+        assert!(parse(&strings(&["jobs", "list"])).is_err(), "list needs --root");
+        assert!(parse(&strings(&["jobs", "status", "--root", "r"])).is_err());
+        assert!(parse(&strings(&["jobs", "cancel", "--root", "r"])).is_err());
+        assert!(parse(&strings(&["jobs", "run", "--root", "r"])).is_err(), "run needs --job");
+        // Malformed --job specs.
+        for bad in [
+            "left=a.nt",                                  // missing right
+            "left=a.nt,right=b.nt,priority=urgent",       // bad priority
+            "left=a.nt,right=b.nt,workers=many",          // bad integer
+            "left=a.nt,right=b.nt,frob=1",                // unknown key
+            "lefta.nt",                                   // not key=value
+        ] {
+            assert!(
+                parse(&strings(&["jobs", "run", "--root", "r", "--job", bad])).is_err(),
+                "should reject {bad:?}"
+            );
+        }
     }
 
     #[test]

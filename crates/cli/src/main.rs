@@ -8,7 +8,7 @@
 //! Bad input never panics the binary: every failure is mapped to a
 //! contexted message on stderr and a stable exit code — 1 for I/O, 2 for
 //! bad arguments or configuration, 3 for parse failures, 4 for dataflow
-//! execution failures, 5 for checkpoint failures.
+//! execution failures, 5 for checkpoint failures, 6 for cancelled runs.
 
 mod args;
 
@@ -29,7 +29,10 @@ use minoaner_kb::{KbPairBuilder, Side, Term};
 
 use minoaner_core::multi::{MultiKb, ObjectTerm};
 
-use args::{parse, Command, DedupArgs, MultiArgs, ResolveArgs, StatsArgs, USAGE};
+use args::{
+    parse, Command, DedupArgs, JobLine, JobsCmd, JobsRunArgs, MultiArgs, ResolveArgs, StatsArgs,
+    USAGE,
+};
 
 /// Exit code for bad arguments or an invalid configuration.
 const EXIT_BAD_ARGS: u8 = 2;
@@ -41,6 +44,10 @@ const EXIT_DATAFLOW: u8 = 4;
 /// drift) — distinct from [`EXIT_DATAFLOW`] so operators can tell "the
 /// computation failed" apart from "the snapshot store failed".
 const EXIT_CHECKPOINT: u8 = 5;
+/// Exit code for a cancelled run (user request, job deadline, scheduler
+/// shutdown) — deliberate interruption, not a failure, so it gets its own
+/// code: retrying with `--resume` is expected to succeed.
+const EXIT_CANCELLED: u8 = 6;
 
 /// A CLI failure: a user-facing message plus the exit code class it maps
 /// to. Everything the subcommands can hit is funneled through this type so
@@ -57,6 +64,8 @@ enum CliError {
     Dataflow(DataflowError),
     /// The checkpoint subsystem reported a failure (exit 5).
     Checkpoint(CheckpointError),
+    /// The run was cancelled cooperatively (exit 6).
+    Cancelled(String),
 }
 
 impl fmt::Display for CliError {
@@ -65,6 +74,7 @@ impl fmt::Display for CliError {
             CliError::Io(m) | CliError::Usage(m) | CliError::Parse(m) => write!(f, "{m}"),
             CliError::Dataflow(e) => write!(f, "dataflow execution failed: {e}"),
             CliError::Checkpoint(e) => write!(f, "checkpointing failed: {e}"),
+            CliError::Cancelled(m) => write!(f, "run cancelled: {m}"),
         }
     }
 }
@@ -77,6 +87,7 @@ impl CliError {
             CliError::Parse(_) => ExitCode::from(EXIT_PARSE),
             CliError::Dataflow(_) => ExitCode::from(EXIT_DATAFLOW),
             CliError::Checkpoint(_) => ExitCode::from(EXIT_CHECKPOINT),
+            CliError::Cancelled(_) => ExitCode::from(EXIT_CANCELLED),
         }
     }
 }
@@ -85,6 +96,9 @@ impl From<DataflowError> for CliError {
     fn from(e: DataflowError) -> Self {
         match e {
             DataflowError::Checkpoint(c) => CliError::Checkpoint(c),
+            cancelled @ DataflowError::Cancelled { .. } => {
+                CliError::Cancelled(cancelled.to_string())
+            }
             other => CliError::Dataflow(other),
         }
     }
@@ -101,6 +115,16 @@ fn main() -> ExitCode {
         Ok(Command::Dedup(args)) => run(dedup(&args)),
         Ok(Command::Multi(args)) => run(multi(&args)),
         Ok(Command::Stats(args)) => run(stats(&args)),
+        Ok(Command::Jobs(JobsCmd::Run(args))) => match jobs_run(&args) {
+            Ok(outcome) => outcome.exit_code(),
+            Err(e) => {
+                eprintln!("error: {e}");
+                e.exit_code()
+            }
+        },
+        Ok(Command::Jobs(JobsCmd::List { root })) => run(jobs_list(&root)),
+        Ok(Command::Jobs(JobsCmd::Status { root, id })) => run(jobs_status(&root, &id)),
+        Ok(Command::Jobs(JobsCmd::Cancel { root, id })) => run(jobs_cancel(&root, &id)),
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::from(EXIT_BAD_ARGS)
@@ -191,7 +215,10 @@ fn load_kb(
 fn write_report(path: Option<&str>, trace: &minoaner_dataflow::RunTrace) -> Result<(), CliError> {
     let Some(report_path) = path else { return Ok(()) };
     ensure_parent_dir(report_path)?;
-    std::fs::write(report_path, trace.to_json())
+    let json = trace
+        .to_json()
+        .map_err(|e| CliError::Io(format!("cannot serialize run trace: {e}")))?;
+    std::fs::write(report_path, json)
         .map_err(|e| CliError::Io(format!("cannot write {report_path}: {e}")))?;
     eprintln!(
         "wrote run trace ({} stages, {} counters) to {report_path}",
@@ -401,6 +428,220 @@ fn stats(args: &StatsArgs) -> Result<(), CliError> {
     println!("relations:    {}", s.relations);
     println!("types:        {}", s.types);
     println!("vocabularies: {}", s.vocabularies);
+    Ok(())
+}
+
+/// How a `jobs run` batch ended, folded into an exit code: failures beat
+/// cancellations beat sheds beat success.
+struct JobsOutcome {
+    failed: usize,
+    cancelled: usize,
+    shed: usize,
+}
+
+impl JobsOutcome {
+    fn exit_code(&self) -> ExitCode {
+        if self.failed > 0 {
+            ExitCode::from(EXIT_DATAFLOW)
+        } else if self.cancelled > 0 {
+            ExitCode::from(EXIT_CANCELLED)
+        } else if self.shed > 0 {
+            ExitCode::from(EXIT_BAD_ARGS)
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+/// Builds the scheduler budget for `jobs run`: worker budget defaults to
+/// all cores, memory to unlimited.
+fn jobs_budget(args: &JobsRunArgs) -> minoaner_jobs::ResourceBudget {
+    let workers = args.budget_workers.unwrap_or_else(|| {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    });
+    let mut budget =
+        minoaner_jobs::ResourceBudget::new(workers.max(1), args.budget_memory.unwrap_or(u64::MAX));
+    if let Some(max_running) = args.max_running {
+        budget = budget.with_max_running(max_running);
+    }
+    if let Some(max_queued) = args.max_queued {
+        budget = budget.with_max_queued(max_queued);
+    }
+    budget
+}
+
+/// The spec a `--job` line asks for. The priority string was validated at
+/// argument parsing, so an unknown name here falls back to normal rather
+/// than erroring twice.
+fn job_spec(line: &JobLine) -> minoaner_jobs::JobSpec {
+    let name =
+        line.name.clone().unwrap_or_else(|| format!("{} vs {}", line.left, line.right));
+    let mut spec = minoaner_jobs::JobSpec::new(name)
+        .with_priority(
+            minoaner_jobs::Priority::parse(&line.priority)
+                .unwrap_or(minoaner_jobs::Priority::Normal),
+        )
+        .with_workers(line.workers)
+        .with_memory_bytes(line.memory_bytes);
+    if let Some(ms) = line.deadline_ms {
+        spec = spec.with_deadline(std::time::Duration::from_millis(ms));
+    }
+    spec
+}
+
+fn jobs_run(args: &JobsRunArgs) -> Result<JobsOutcome, CliError> {
+    let mode = parse_mode(args.lenient);
+    let config = minoaner_core::MinoanerConfig::builder()
+        .name_attrs_k(args.k)
+        .top_k(args.top_k)
+        .n_relations(args.n)
+        .theta(args.theta)
+        .build()
+        .map_err(|e| CliError::Usage(format!("invalid configuration: {e}")))?;
+    let sched = minoaner_jobs::JobScheduler::with_control_root(jobs_budget(args), &args.root);
+    let mut shed = 0usize;
+
+    for line in &args.jobs {
+        // Inputs are loaded before submission so a bad file is an
+        // ordinary CLI error, not a failed job.
+        let mut builder = KbPairBuilder::new();
+        load_kb(&mut builder, Side::Left, &line.left, mode)?;
+        load_kb(&mut builder, Side::Right, &line.right, mode)?;
+        let pair = builder.finish();
+        let spec = job_spec(line);
+        let job_name = spec.name.clone();
+        let root = args.root.clone();
+        let resume = args.resume;
+        let job_config = config.clone();
+        let submitted = sched.submit(spec, move |ctx| {
+            let mut exec = ctx.executor();
+            let minoaner = Minoaner::with_config(job_config);
+            let mut ckpt = CheckpointSpec::for_job(&root, &ctx.id().to_string());
+            ckpt.resume = resume;
+            let (res, trace) = minoaner.try_resolve_job(
+                &mut exec,
+                &pair,
+                minoaner_core::RuleSet::FULL,
+                Some(&ckpt),
+            )?;
+            if let Some(dir) = ctx.job_dir() {
+                // Artifacts are best-effort: the resolution already
+                // succeeded, and the summary carries the headline result.
+                if let Ok(json) = trace.to_json() {
+                    let _ = std::fs::write(dir.join("trace.json"), json);
+                }
+                let mut out = String::new();
+                for &(l, r) in &res.matches {
+                    out.push_str(pair.uri_of(Side::Left, l));
+                    out.push('\t');
+                    out.push_str(pair.uri_of(Side::Right, r));
+                    out.push('\n');
+                }
+                let _ = std::fs::write(dir.join("matches.tsv"), out);
+            }
+            Ok(minoaner_jobs::JobOutput::summary(format!("{} matches", res.matches.len()))
+                .with_trace(trace))
+        });
+        match submitted {
+            Ok(id) => eprintln!("submitted {id}: {job_name}"),
+            Err(reason) => {
+                shed += 1;
+                eprintln!("warning: {job_name}: {reason}");
+            }
+        }
+    }
+
+    // Wait for the batch, honouring `minoaner jobs cancel` markers from
+    // other processes while it runs.
+    loop {
+        sched.poll_control();
+        if sched.list().iter().all(|s| s.state.is_terminal()) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    let statuses = sched.wait_all();
+
+    let mut failed = 0usize;
+    let mut cancelled = 0usize;
+    for status in &statuses {
+        match status.state {
+            minoaner_jobs::JobState::Failed => failed += 1,
+            minoaner_jobs::JobState::Cancelled => cancelled += 1,
+            _ => {}
+        }
+        eprintln!("{}", format_status(status));
+    }
+    eprintln!(
+        "{} job(s): {} completed, {cancelled} cancelled, {failed} failed, {shed} shed",
+        statuses.len() + shed,
+        statuses.len() - failed - cancelled,
+    );
+    Ok(JobsOutcome { failed, cancelled, shed })
+}
+
+/// One status line: `j0001  completed  high  2w  name — summary/error`.
+fn format_status(status: &minoaner_jobs::JobStatus) -> String {
+    let mut line = format!(
+        "{}  {:<9}  {:<6}  {}w  {}",
+        status.id, status.state, status.priority, status.workers, status.name
+    );
+    if let Some(reason) = status.cancel_reason {
+        line.push_str(&format!("  [{reason}]"));
+    }
+    if let Some(summary) = &status.summary {
+        line.push_str(" — ");
+        line.push_str(summary);
+    } else if let Some(error) = &status.error {
+        line.push_str(" — ");
+        line.push_str(error);
+    }
+    line
+}
+
+fn jobs_list(root: &str) -> Result<(), CliError> {
+    let statuses = minoaner_jobs::control::list_statuses(Path::new(root))
+        .map_err(|e| CliError::Io(format!("cannot list jobs under {root}: {e}")))?;
+    if statuses.is_empty() {
+        eprintln!("no jobs under {root}");
+        return Ok(());
+    }
+    for status in &statuses {
+        println!("{}", format_status(status));
+    }
+    Ok(())
+}
+
+fn parse_job_id(id: &str) -> Result<minoaner_jobs::JobId, CliError> {
+    minoaner_jobs::JobId::parse(id)
+        .ok_or_else(|| CliError::Usage(format!("invalid job id {id:?} (expected j0042 or 42)")))
+}
+
+fn jobs_status(root: &str, id: &str) -> Result<(), CliError> {
+    let job = parse_job_id(id)?;
+    let dir = minoaner_jobs::control::job_dir(Path::new(root), job);
+    let status = minoaner_jobs::control::read_status(&dir).map_err(|e| match e {
+        minoaner_jobs::ControlError::Io(io) => {
+            CliError::Io(format!("cannot read status of {job} under {root}: {io}"))
+        }
+        malformed => CliError::Parse(malformed.to_string()),
+    })?;
+    println!("{}", format_status(&status));
+    Ok(())
+}
+
+fn jobs_cancel(root: &str, id: &str) -> Result<(), CliError> {
+    let job = parse_job_id(id)?;
+    let found = minoaner_jobs::control::request_cancel(
+        Path::new(root),
+        job,
+        minoaner_dataflow::CancelReason::User,
+    )
+    .map_err(|e| CliError::Io(format!("cannot write cancel marker for {job}: {e}")))?;
+    if !found {
+        return Err(CliError::Usage(format!("no job {job} under {root}")));
+    }
+    eprintln!("requested cancellation of {job}; the owning scheduler will honour it at the next stage barrier");
     Ok(())
 }
 

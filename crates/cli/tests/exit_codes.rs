@@ -6,9 +6,10 @@
 //! |------|-------------------------------------------|
 //! | 0    | success                                   |
 //! | 1    | I/O (missing/unreadable file)             |
-//! | 2    | usage (bad flags/config)                  |
+//! | 2    | usage (bad flags/config; shed submission) |
 //! | 3    | parse (malformed N-Triples under --strict)|
 //! | 5    | checkpoint (corrupt/incompatible snapshot)|
+//! | 6    | cancelled (user request/deadline/shutdown)|
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -118,6 +119,112 @@ fn checkpoint_failure_exits_five() {
     assert_eq!(code(&out), 5, "stderr: {}", String::from_utf8_lossy(&out.stderr));
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("checkpoint"), "stderr should name the failure class: {stderr}");
+}
+
+#[test]
+fn jobs_usage_errors_exit_two() {
+    // Missing subcommand / root / id / jobs.
+    assert_eq!(code(&run(&["jobs"])), 2);
+    assert_eq!(code(&run(&["jobs", "list"])), 2);
+    assert_eq!(code(&run(&["jobs", "run", "--root", "/tmp/x"])), 2);
+    assert_eq!(code(&run(&["jobs", "status", "--root", "/tmp/x"])), 2);
+    // Malformed --job spec and malformed job id.
+    assert_eq!(code(&run(&["jobs", "run", "--root", "/tmp/x", "--job", "left=a.nt"])), 2);
+    assert_eq!(code(&run(&["jobs", "status", "--root", "/tmp/x", "--id", "zebra"])), 2);
+    // Cancelling a job that does not exist is a usage error, not silence.
+    let dir = scratch_dir("jobs-usage");
+    assert_eq!(code(&run(&["jobs", "cancel", "--root", dir.to_str().expect("utf8"), "--id",
+        "j0099"])), 2);
+}
+
+#[test]
+fn jobs_run_with_missing_input_exits_one() {
+    let dir = scratch_dir("jobs-io");
+    let missing = dir.join("nope.nt");
+    let (_, right) = write_kbs(&dir);
+    let spec = format!(
+        "left={},right={}",
+        missing.to_str().expect("utf8"),
+        right.to_str().expect("utf8")
+    );
+    let root = dir.join("jobs");
+    let out = run(&["jobs", "run", "--root", root.to_str().expect("utf8"), "--job", &spec]);
+    assert_eq!(code(&out), 1, "stderr: {}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn jobs_cancel_drops_a_marker_for_the_owning_scheduler() {
+    let dir = scratch_dir("jobs-cancel");
+    let root = dir.join("jobs");
+    // Fake a live job directory, as the owning scheduler would create it.
+    std::fs::create_dir_all(root.join("job-j0000")).expect("job dir");
+    let out = run(&["jobs", "cancel", "--root", root.to_str().expect("utf8"), "--id", "0"]);
+    assert_eq!(code(&out), 0, "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let marker =
+        std::fs::read_to_string(root.join("job-j0000").join("CANCEL")).expect("marker written");
+    assert_eq!(marker, "user");
+    // Status of a job with no status file yet is an I/O error (exit 1).
+    let out = run(&["jobs", "status", "--root", root.to_str().expect("utf8"), "--id", "j0000"]);
+    assert_eq!(code(&out), 1, "stderr: {}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn jobs_run_cancelled_by_deadline_exits_six() {
+    let dir = scratch_dir("jobs-deadline");
+    let (left, right) = write_kbs(&dir);
+    let root = dir.join("jobs");
+    // An already-expired deadline: the scheduler dooms the job at dispatch,
+    // before any pipeline work — deterministic cancellation.
+    let spec = format!(
+        "left={},right={},deadline-ms=0",
+        left.to_str().expect("utf8"),
+        right.to_str().expect("utf8")
+    );
+    let out = run(&["jobs", "run", "--root", root.to_str().expect("utf8"), "--job", &spec]);
+    assert_eq!(code(&out), 6, "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let status = std::fs::read_to_string(root.join("job-j0000").join("status.json"))
+        .expect("status persisted");
+    assert!(status.contains("\"state\":\"cancelled\""), "status: {status}");
+    assert!(status.contains("\"cancel_reason\":\"deadline\""), "status: {status}");
+    // The control plane sees it too.
+    let out = run(&["jobs", "list", "--root", root.to_str().expect("utf8")]);
+    assert_eq!(code(&out), 0);
+    let listing = String::from_utf8_lossy(&out.stdout);
+    assert!(listing.contains("cancelled"), "listing: {listing}");
+    let out = run(&["jobs", "status", "--root", root.to_str().expect("utf8"), "--id", "j0000"]);
+    assert_eq!(code(&out), 0);
+    assert!(String::from_utf8_lossy(&out.stdout).contains("deadline"));
+}
+
+#[test]
+fn jobs_run_batch_completes_and_persists_artifacts() {
+    let dir = scratch_dir("jobs-ok");
+    let (left, right) = write_kbs(&dir);
+    let root = dir.join("jobs");
+    let spec_a = format!(
+        "left={},right={},name=first,priority=high",
+        left.to_str().expect("utf8"),
+        right.to_str().expect("utf8")
+    );
+    let spec_b = format!(
+        "left={},right={},name=second",
+        left.to_str().expect("utf8"),
+        right.to_str().expect("utf8")
+    );
+    let out = run(&["jobs", "run", "--root", root.to_str().expect("utf8"), "--budget-workers",
+        "2", "--max-running", "1", "--job", &spec_a, "--job", &spec_b]);
+    assert_eq!(code(&out), 0, "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    for id in ["j0000", "j0001"] {
+        let job_dir = root.join(format!("job-{id}"));
+        let status = std::fs::read_to_string(job_dir.join("status.json")).expect("status file");
+        assert!(status.contains("\"state\":\"completed\""), "{id}: {status}");
+        assert!(job_dir.join("matches.tsv").exists(), "{id} should persist matches");
+        assert!(job_dir.join("trace.json").exists(), "{id} should persist its trace");
+        assert!(job_dir.join("ckpt").is_dir(), "{id} should checkpoint under its own dir");
+    }
+    let out = run(&["jobs", "list", "--root", root.to_str().expect("utf8")]);
+    let listing = String::from_utf8_lossy(&out.stdout);
+    assert!(listing.contains("first") && listing.contains("second"), "listing: {listing}");
 }
 
 #[test]

@@ -318,6 +318,30 @@ impl Minoaner {
         Ok((resolution, trace))
     }
 
+    /// Job-scoped resolution: the entry point `minoaner-jobs` runners call.
+    ///
+    /// The executor is expected to carry the job's identity — its
+    /// [`CancelToken`](minoaner_dataflow::CancelToken) and optional
+    /// [`Deadline`](minoaner_dataflow::Deadline) installed by the
+    /// scheduler, plus worker/partition sizing from the job's admission
+    /// grant. With a `checkpoint` spec (typically
+    /// [`CheckpointSpec::for_job`]) the run is crash-safe and resumable;
+    /// without one it is a plain traced run. Either way the returned
+    /// [`RunTrace`] is the job's per-run report.
+    pub fn try_resolve_job(
+        &self,
+        executor: &mut Executor,
+        pair: &KbPair,
+        rules: RuleSet,
+        checkpoint: Option<&CheckpointSpec>,
+    ) -> Result<(Resolution, RunTrace), DataflowError> {
+        executor.check_cancelled("job:admit")?;
+        match checkpoint {
+            Some(spec) => self.try_resolve_checkpointed(executor, pair, rules, spec),
+            None => self.try_resolve_traced(executor, pair, rules),
+        }
+    }
+
     /// The pipeline body shared by every resolver entry point: prepare
     /// (Algorithm 1), match (Algorithm 2), assemble timings.
     // Stage timing is the sanctioned wall-clock use; see the R3 entry
@@ -326,10 +350,26 @@ impl Minoaner {
     fn run_pipeline(&self, executor: &Executor, pair: &KbPair, rules: RuleSet) -> Resolution {
         executor.reset_metrics();
         let start = Instant::now();
-        let prepared = self.prepare(executor, pair);
-        let graph_digest = prepared.graph.weight_digest();
-        let outcome = self.match_prepared(executor, pair, &prepared, rules);
-        Self::assemble(executor, start, outcome.matches, outcome.counts, prepared.purge, graph_digest)
+        Self::barrier_cancel_point(executor, "barrier:start");
+        let blocks = self.prepare_blocks(executor, pair);
+        Self::barrier_cancel_point(executor, "barrier:blocks");
+        let graph = self.build_graph_from_blocks(executor, pair, &blocks);
+        Self::barrier_cancel_point(executor, "barrier:graph");
+        let graph_digest = graph.weight_digest();
+        let outcome = run_matching(executor, pair, &graph, &self.config, rules);
+        Self::assemble(executor, start, outcome.matches, outcome.counts, blocks.purge, graph_digest)
+    }
+
+    /// Polls the executor's cancellation flag between pipeline phases.
+    /// `run_pipeline` is the infallible body shared with the panic-payload
+    /// entry points, so a cancellation observed here is re-raised the same
+    /// way the infallible operators raise task failures: as a panic whose
+    /// payload is the structured [`DataflowError`], recovered at the
+    /// `try_*` boundary by [`DataflowError::from_panic`].
+    fn barrier_cancel_point(executor: &Executor, at: &str) {
+        if let Err(e) = executor.check_cancelled(at) {
+            std::panic::panic_any(e);
+        }
     }
 
     /// The checkpointed pipeline body: each barrier is either restored
@@ -346,6 +386,7 @@ impl Minoaner {
     ) -> Result<Resolution, DataflowError> {
         executor.reset_metrics();
         let start = Instant::now();
+        executor.check_cancelled("barrier:start")?;
         let fingerprint = resume::run_fingerprint(&self.config, rules, pair);
         let store = CheckpointStore::open(spec.dir())?;
         let policy = executor.checkpoint_policy().clone();
@@ -395,6 +436,11 @@ impl Minoaner {
                         blocks
                     }
                 };
+                // Cancellation is polled *after* the barrier committed (or
+                // was skipped), never between a stage and its checkpoint
+                // write: a cancelled run leaves only complete, resumable
+                // barriers behind.
+                executor.check_cancelled("barrier:blocks")?;
                 let graph = self.build_graph_from_blocks(executor, pair, &blocks);
                 if policy.should_checkpoint(resume::BARRIER_GRAPH, "graph") {
                     resume::write_barrier(
@@ -411,6 +457,7 @@ impl Minoaner {
             }
         };
 
+        executor.check_cancelled("barrier:graph")?;
         let graph_digest = graph.weight_digest();
         let outcome = run_matching(executor, pair, &graph, &self.config, rules);
         if policy.should_checkpoint(resume::BARRIER_MATCHES, "matches") {
@@ -585,6 +632,40 @@ mod tests {
         b.sort_unstable();
         assert_eq!(a, b);
         assert_eq!(plain.rule_counts, fallible.rule_counts);
+    }
+
+    #[test]
+    fn cancelled_executor_fails_fast_with_structured_error() {
+        use minoaner_dataflow::{CancelReason, CancelToken};
+        let (pair, _) = scenario();
+        let mut exec = Executor::new(2);
+        let token = CancelToken::new();
+        exec.set_cancel_token(token.clone());
+        token.cancel(CancelReason::User);
+        let err = Minoaner::new().try_resolve(&exec, &pair).unwrap_err();
+        match err {
+            DataflowError::Cancelled { reason, .. } => assert_eq!(reason, CancelReason::User),
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn try_resolve_job_without_checkpoint_matches_traced_run() {
+        let (pair, _) = scenario();
+        let m = Minoaner::new();
+        let mut a = Executor::new(2);
+        let mut b = Executor::new(2);
+        let (res_job, trace_job) =
+            m.try_resolve_job(&mut a, &pair, RuleSet::FULL, None).expect("job run succeeds");
+        let (res_traced, trace_traced) =
+            m.try_resolve_traced(&mut b, &pair, RuleSet::FULL).expect("traced run succeeds");
+        let mut x = res_job.matches;
+        let mut y = res_traced.matches;
+        x.sort_unstable();
+        y.sort_unstable();
+        assert_eq!(x, y);
+        assert_eq!(res_job.graph_digest, res_traced.graph_digest);
+        assert_eq!(trace_job.counters, trace_traced.counters);
     }
 
     #[test]

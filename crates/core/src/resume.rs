@@ -65,6 +65,27 @@ impl CheckpointSpec {
         self
     }
 
+    /// A per-job spec: checkpoints live in `root/job-<id>/ckpt`, isolating
+    /// each job's barriers so concurrent jobs never share (or clobber) a
+    /// checkpoint directory, and keeping the checkpoint store separate
+    /// from the job's other control-plane artifacts (`status.json`,
+    /// `CANCEL`, `trace.json`) in `root/job-<id>/`. `id` is sanitized to a
+    /// filesystem-safe slug (alphanumerics, `-`, `_`, `.`; anything else
+    /// becomes `-`), which is also the directory-name contract the
+    /// `minoaner jobs` control plane relies on.
+    pub fn for_job(root: impl Into<PathBuf>, id: &str) -> Self {
+        Self::new(root.into().join(Self::job_dir_name(id)).join("ckpt"))
+    }
+
+    /// The checkpoint directory name for a job id (see [`Self::for_job`]).
+    pub fn job_dir_name(id: &str) -> String {
+        let slug: String = id
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') { c } else { '-' })
+            .collect();
+        format!("job-{slug}")
+    }
+
     /// The checkpoint root directory.
     pub fn dir(&self) -> &Path {
         &self.dir
@@ -221,6 +242,11 @@ pub(crate) fn write_barrier(
         .time_stage(&stage_name, || store.write_stage(barrier, name, fingerprint, &parts, &counters))?;
     executor.emit_counter("ckpt/bytes_written", bytes);
     executor.emit_counter("ckpt/barriers_written", 1);
+    // Cancellation injection point: the barrier is fully committed, so a
+    // cancel latched here is observed by the pipeline's very next poll —
+    // the worst-case timing the cancellation safety invariant covers.
+    #[cfg(feature = "fault-inject")]
+    minoaner_dataflow::faultinject::maybe_cancel_after(barrier, executor.cancel_token());
     Ok(())
 }
 
@@ -249,6 +275,15 @@ mod tests {
         );
         let other = MinoanerConfig::builder().theta(0.7).build().unwrap();
         assert_ne!(base, run_fingerprint(&other, RuleSet::FULL, &pair));
+    }
+
+    #[test]
+    fn for_job_isolates_and_sanitizes() {
+        let spec = CheckpointSpec::for_job("/tmp/ckpt-root", "j0007");
+        assert_eq!(spec.dir(), Path::new("/tmp/ckpt-root/job-j0007/ckpt"));
+        assert!(!spec.resume);
+        assert_eq!(CheckpointSpec::job_dir_name("a/b\\c:d"), "job-a-b-c-d");
+        assert_eq!(CheckpointSpec::job_dir_name("ok-1_2.3"), "job-ok-1_2.3");
     }
 
     #[test]

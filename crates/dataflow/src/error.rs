@@ -13,6 +13,7 @@ use std::any::Any;
 use std::fmt;
 use std::time::Duration;
 
+use crate::cancel::CancelReason;
 use crate::checkpoint::CheckpointError;
 
 /// A failure of a fault-tolerant dataflow stage.
@@ -52,6 +53,26 @@ pub enum DataflowError {
     /// callers (e.g. the CLI's exit-code mapping) can distinguish
     /// checkpoint failures from execution failures.
     Checkpoint(CheckpointError),
+    /// The run was cancelled cooperatively via a
+    /// [`CancelToken`](crate::cancel::CancelToken) — by an explicit
+    /// request, a job deadline, or a scheduler shutdown.
+    ///
+    /// Like deadlines, cancellation is observed at task boundaries and
+    /// pipeline barriers, never inside a checkpoint write, so a cancelled
+    /// checkpointed run leaves only complete, resumable barriers behind.
+    /// `stage` names the stage (or barrier) where the flag was observed;
+    /// `completed`/`tasks` count that stage's progress (`0/0` when the
+    /// cancellation was caught between stages).
+    Cancelled {
+        /// The stage or barrier at which cancellation was observed.
+        stage: String,
+        /// Why the run was cancelled.
+        reason: CancelReason,
+        /// Tasks of that stage that completed before the flag was seen.
+        completed: usize,
+        /// Total tasks in that stage (`0` at a between-stage barrier).
+        tasks: usize,
+    },
 }
 
 impl DataflowError {
@@ -62,6 +83,15 @@ impl DataflowError {
             DataflowError::TaskPanicked { stage, .. } => stage,
             DataflowError::StageTimeout { stage, .. } => stage,
             DataflowError::Checkpoint(_) => "<checkpoint>",
+            DataflowError::Cancelled { stage, .. } => stage,
+        }
+    }
+
+    /// The cancellation reason, if this error is [`Self::Cancelled`].
+    pub fn cancel_reason(&self) -> Option<CancelReason> {
+        match self {
+            DataflowError::Cancelled { reason, .. } => Some(*reason),
+            _ => None,
         }
     }
 
@@ -110,6 +140,10 @@ impl fmt::Display for DataflowError {
                 "stage {stage:?}: deadline of {deadline:?} exceeded with {completed}/{tasks} tasks complete"
             ),
             DataflowError::Checkpoint(e) => write!(f, "{e}"),
+            DataflowError::Cancelled { stage, reason, completed, tasks } => write!(
+                f,
+                "stage {stage:?}: cancelled ({reason}) with {completed}/{tasks} tasks complete"
+            ),
         }
     }
 }
@@ -146,6 +180,18 @@ mod tests {
         };
         assert!(t.to_string().contains("1/4"));
         assert_eq!(t.stage(), "map");
+
+        let c = DataflowError::Cancelled {
+            stage: "match".into(),
+            reason: CancelReason::Deadline,
+            completed: 2,
+            tasks: 8,
+        };
+        assert!(c.to_string().contains("cancelled (deadline)"));
+        assert!(c.to_string().contains("2/8"));
+        assert_eq!(c.stage(), "match");
+        assert_eq!(c.cancel_reason(), Some(CancelReason::Deadline));
+        assert_eq!(t.cancel_reason(), None);
     }
 
     #[test]

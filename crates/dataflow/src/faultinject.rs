@@ -197,6 +197,25 @@ pub fn maybe_crash_during(stage: &str) {
     }
 }
 
+/// Fires the armed *cancellation* point from `MINOANER_CANCEL_POINT`
+/// (same `after:<k>` grammar as [`CrashPoint`]): called by the
+/// checkpointed pipeline right after barrier `barrier` commits. Where
+/// `MINOANER_CRASH_POINT` models SIGKILL (`std::process::abort`), this
+/// models a cooperative `jobs cancel` arriving at the worst possible
+/// moment — it latches the run's own [`CancelToken`] with
+/// [`CancelReason::User`] so the very next barrier poll observes it,
+/// proving a cancelled run leaves only complete, resumable barriers.
+pub fn maybe_cancel_after(barrier: usize, token: &crate::CancelToken) {
+    let Ok(spec) = std::env::var("MINOANER_CANCEL_POINT") else {
+        return;
+    };
+    let armed = spec.strip_prefix("after:").and_then(|k| k.trim().parse::<usize>().ok());
+    if armed == Some(barrier) {
+        eprintln!("fault-inject: cancelling after barrier {barrier} checkpoint commit");
+        token.cancel(crate::CancelReason::User);
+    }
+}
+
 /// SplitMix64: tiny, fast, deterministic; good enough to spread faults.
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);

@@ -50,6 +50,7 @@
 //! ```
 
 pub mod broadcast;
+pub mod cancel;
 pub mod checkpoint;
 pub mod error;
 #[cfg(feature = "fault-inject")]
@@ -62,6 +63,7 @@ pub mod pool;
 pub mod trace;
 
 pub use broadcast::Broadcast;
+pub use cancel::{CancelReason, CancelToken};
 pub use checkpoint::{
     CheckpointError, CheckpointPolicy, CheckpointStore, RecoveredStage, Recovery,
     CHECKPOINT_SCHEMA_VERSION,
@@ -70,5 +72,5 @@ pub use error::DataflowError;
 pub use metrics::{StageIo, StageLog, StageMetric};
 pub use observer::{Observer, ObserverSlot, TraceCollector};
 pub use pdc::{DetHashMap, DetHashSet, Pdc};
-pub use pool::{Executor, ExecutorConfig, FailureAction, FaultPolicy, StageOutput};
+pub use pool::{Deadline, Executor, ExecutorConfig, FailureAction, FaultPolicy, StageOutput};
 pub use trace::{RunTrace, TRACE_SCHEMA_VERSION};

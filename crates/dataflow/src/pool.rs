@@ -21,6 +21,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
+use crate::cancel::{CancelReason, CancelToken};
 use crate::checkpoint::CheckpointPolicy;
 use crate::error::DataflowError;
 use crate::metrics::{StageIo, StageLog, StageMetric};
@@ -100,6 +101,42 @@ impl FaultPolicy {
 impl Default for FaultPolicy {
     fn default() -> Self {
         Self::none()
+    }
+}
+
+/// An absolute wall-clock deadline, used as the per-job watchdog by
+/// `minoaner-jobs`.
+///
+/// The type lives in `pool.rs` — not in the jobs crate — because this file
+/// carries the repo's sanctioned wall-clock allowance (the R3 entry in
+/// `lint-allow.toml`); job-level code only ever consumes the clock through
+/// [`Self::remaining`]/[`Self::expired`], keeping `minoaner-jobs` free of
+/// raw `Instant::now` calls and of lint-allow entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// A deadline `budget` from now.
+    // Sanctioned wall-clock use; see the R3 entry for this file in
+    // lint-allow.toml.
+    #[allow(clippy::disallowed_methods)]
+    pub fn after(budget: Duration) -> Self {
+        Self { at: Instant::now() + budget }
+    }
+
+    /// Time left before the deadline, zero once expired.
+    // Sanctioned wall-clock use; see the R3 entry for this file in
+    // lint-allow.toml.
+    #[allow(clippy::disallowed_methods)]
+    pub fn remaining(&self) -> Duration {
+        self.at.saturating_duration_since(Instant::now())
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        self.remaining().is_zero()
     }
 }
 
@@ -187,6 +224,15 @@ pub struct Executor {
     /// stage barriers (consulted by checkpoint-aware pipeline drivers;
     /// [`CheckpointPolicy::Off`] by default).
     checkpoint: CheckpointPolicy,
+    /// Cooperative cancellation flag, polled at worker claim boundaries,
+    /// inside retry loops, and (via [`Self::check_cancelled`]) at pipeline
+    /// barriers. A fresh, never-cancelled token by default.
+    cancel: CancelToken,
+    /// Optional job-level wall-clock deadline. When set, every stage's
+    /// [`FaultPolicy::stage_deadline`] is clamped to the time remaining,
+    /// and expiry surfaces as [`DataflowError::Cancelled`] with
+    /// [`CancelReason::Deadline`] rather than a per-stage timeout.
+    deadline: Option<Deadline>,
 }
 
 impl Default for Executor {
@@ -210,6 +256,65 @@ impl Executor {
             log: Mutex::new(StageLog::default()),
             observer: ObserverSlot::Off,
             checkpoint: CheckpointPolicy::Off,
+            cancel: CancelToken::new(),
+            deadline: None,
+        }
+    }
+
+    /// Installs a shared [`CancelToken`]; the party holding another clone
+    /// can cancel this executor's stages cooperatively.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = token;
+    }
+
+    /// The executor's cancellation token.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// Sets (or clears) the job-level wall-clock deadline. See the field
+    /// docs: the deadline clamps every stage's `stage_deadline` and
+    /// surfaces expiry as a [`CancelReason::Deadline`] cancellation.
+    pub fn set_deadline(&mut self, deadline: Option<Deadline>) {
+        self.deadline = deadline;
+    }
+
+    /// The active job-level deadline, if any.
+    pub fn deadline(&self) -> Option<Deadline> {
+        self.deadline
+    }
+
+    /// Polls cancellation (and the job deadline) between stages. Pipeline
+    /// drivers call this at barrier boundaries — after a checkpoint write
+    /// completes and before the next stage starts — so a cancelled
+    /// checkpointed run stops with only complete barriers on disk.
+    pub fn check_cancelled(&self, at: &str) -> Result<(), DataflowError> {
+        if let Some(deadline) = self.deadline {
+            if deadline.expired() {
+                self.cancel.cancel(CancelReason::Deadline);
+            }
+        }
+        match self.cancel.reason() {
+            Some(reason) => Err(DataflowError::Cancelled {
+                stage: at.to_owned(),
+                reason,
+                completed: 0,
+                tasks: 0,
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// Clamps a stage policy to the job deadline: the effective stage
+    /// deadline is the smaller of the policy's own and the time remaining
+    /// on the job, so retry backoffs can never sleep a stage past the
+    /// watchdog.
+    fn clamp_to_deadline(&self, policy: FaultPolicy) -> FaultPolicy {
+        let Some(deadline) = self.deadline else { return policy };
+        let remaining = deadline.remaining();
+        FaultPolicy {
+            stage_deadline: Some(policy.stage_deadline.map_or(remaining, |d| d.min(remaining))),
+            ..policy
         }
     }
 
@@ -331,6 +436,7 @@ impl Executor {
         F: Fn(usize) -> T + Sync,
     {
         let start = Instant::now();
+        let policy = self.clamp_to_deadline(policy);
         let (result, counters) = self.try_run_tasks(name, n, &task, &policy);
         let metric = StageMetric {
             name: name.to_owned(),
@@ -381,6 +487,9 @@ impl Executor {
         // deadline is also observed *mid-retry*: a task that keeps failing
         // under a long backoff must not sleep the stage past its deadline —
         // it returns `None` and the worker raises the timeout instead.
+        // Cancellation is polled at the same point: a cancelled run must
+        // not keep retrying a failing task, so the loop gives up with
+        // `None` and the worker raises the cancelled flag instead.
         let run_one = |i: usize| -> (Option<TaskOutcome<T>>, u32) {
             let mut attempt: u32 = 0;
             loop {
@@ -394,6 +503,9 @@ impl Executor {
                                 Some(TaskOutcome::Failed { payload, attempts: attempt }),
                                 attempt,
                             );
+                        }
+                        if self.cancel.is_cancelled() {
+                            return (None, attempt);
                         }
                         let mut backoff = policy.retry_backoff;
                         if let Some(deadline) = policy.stage_deadline {
@@ -418,14 +530,23 @@ impl Executor {
         let next = AtomicUsize::new(0);
         let fatal = AtomicBool::new(false);
         let timed_out = AtomicBool::new(false);
+        let cancelled = AtomicBool::new(false);
         let attempts_total = AtomicUsize::new(0);
 
         // Invariant relied on below: a worker only exits between claiming
-        // an index and writing its slot when it sets `timed_out`, so when
-        // neither abort flag is set, every index 0..n has a populated slot
-        // after the join.
+        // an index and writing its slot when it sets `timed_out` or
+        // `cancelled`, so when no abort flag is set, every index 0..n has
+        // a populated slot after the join. (Modeled in
+        // dataflow/tests/loom_models.rs.)
         let worker_loop = || loop {
-            if fatal.load(Ordering::SeqCst) || timed_out.load(Ordering::SeqCst) {
+            if fatal.load(Ordering::SeqCst)
+                || timed_out.load(Ordering::SeqCst)
+                || cancelled.load(Ordering::SeqCst)
+            {
+                break;
+            }
+            if self.cancel.is_cancelled() {
+                cancelled.store(true, Ordering::SeqCst);
                 break;
             }
             if let Some(deadline) = policy.stage_deadline {
@@ -441,10 +562,15 @@ impl Executor {
             let (outcome, used) = run_one(i);
             attempts_total.fetch_add(used as usize, Ordering::Relaxed);
             let Some(outcome) = outcome else {
-                // Deadline expired mid-retry: the slot stays empty, which
-                // is fine — the timed-out result path only counts
-                // completed slots and never reads unfinished ones.
-                timed_out.store(true, Ordering::SeqCst);
+                // Deadline expired or cancellation observed mid-retry: the
+                // slot stays empty, which is fine — the abort result paths
+                // only count completed slots and never read unfinished
+                // ones.
+                if self.cancel.is_cancelled() {
+                    cancelled.store(true, Ordering::SeqCst);
+                } else {
+                    timed_out.store(true, Ordering::SeqCst);
+                }
                 break;
             };
             let failed = matches!(outcome, TaskOutcome::Failed { .. });
@@ -487,13 +613,41 @@ impl Executor {
             unreachable!("fatal flag set without a failed slot");
         }
 
+        let completed_ok = || {
+            slots.iter().filter(|s| matches!(s.lock().as_ref(), Some(TaskOutcome::Ok(_)))).count()
+        };
+
+        if cancelled.load(Ordering::SeqCst) {
+            let reason = self.cancel.reason().unwrap_or(CancelReason::User);
+            let err = DataflowError::Cancelled {
+                stage: stage.to_owned(),
+                reason,
+                completed: completed_ok(),
+                tasks: n,
+            };
+            return (Err(err), counters);
+        }
+
         if timed_out.load(Ordering::SeqCst) {
-            let completed =
-                slots.iter().filter(|s| matches!(s.lock().as_ref(), Some(TaskOutcome::Ok(_)))).count();
+            // A stage timeout caused by the *job* deadline (which clamps
+            // every stage deadline) is a watchdog firing, not a stage
+            // fault: latch the token so the rest of the run stops too, and
+            // surface it as a cancellation.
+            if self.deadline.map_or(false, |d| d.expired()) {
+                self.cancel.cancel(CancelReason::Deadline);
+                let reason = self.cancel.reason().unwrap_or(CancelReason::Deadline);
+                let err = DataflowError::Cancelled {
+                    stage: stage.to_owned(),
+                    reason,
+                    completed: completed_ok(),
+                    tasks: n,
+                };
+                return (Err(err), counters);
+            }
             let err = DataflowError::StageTimeout {
                 stage: stage.to_owned(),
                 deadline: policy.stage_deadline.unwrap_or_default(),
-                completed,
+                completed: completed_ok(),
                 tasks: n,
             };
             return (Err(err), counters);
@@ -773,6 +927,144 @@ mod tests {
         let log = exec.stage_log();
         assert_eq!(log.find("annotated").unwrap().io.items_in, 40);
         assert_eq!(log.find("annotated").unwrap().io.items_out, 20);
+    }
+
+    #[test]
+    fn cancel_before_stage_stops_before_any_task() {
+        let mut exec = Executor::new(2);
+        let token = CancelToken::new();
+        exec.set_cancel_token(token.clone());
+        token.cancel(CancelReason::User);
+        let ran = AtomicU64::new(0);
+        let err = exec
+            .try_run_stage("never", 8, |i| {
+                ran.fetch_add(1, Ordering::SeqCst);
+                i
+            })
+            .unwrap_err();
+        match err {
+            DataflowError::Cancelled { stage, reason, completed, tasks } => {
+                assert_eq!(stage, "never");
+                assert_eq!(reason, CancelReason::User);
+                assert_eq!(completed, 0);
+                assert_eq!(tasks, 8);
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+        assert_eq!(ran.load(Ordering::SeqCst), 0, "no task runs after cancellation");
+    }
+
+    #[test]
+    fn cancel_mid_stage_keeps_completed_tasks_and_stops() {
+        // Single worker => sequential claims: task 2 cancels the token,
+        // so tasks 0..=2 complete and 3.. are never claimed.
+        let mut exec = Executor::new(1);
+        let token = CancelToken::new();
+        exec.set_cancel_token(token.clone());
+        let ran = AtomicU64::new(0);
+        let err = exec
+            .try_run_stage("halfway", 16, |i| {
+                ran.fetch_add(1, Ordering::SeqCst);
+                if i == 2 {
+                    token.cancel(CancelReason::Shutdown);
+                }
+                i
+            })
+            .unwrap_err();
+        match err {
+            DataflowError::Cancelled { reason, completed, tasks, .. } => {
+                assert_eq!(reason, CancelReason::Shutdown);
+                assert_eq!(completed, 3, "tasks 0..=2 completed before the flag was seen");
+                assert_eq!(tasks, 16);
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+        assert_eq!(ran.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn cancel_interrupts_a_retry_loop() {
+        // A task that always fails under a generous retry budget: cancelling
+        // mid-retries must stop the loop instead of burning the budget.
+        let mut exec = Executor::with_config(ExecutorConfig {
+            workers: 1,
+            partitions: 2,
+            fault_policy: FaultPolicy::retries(1_000_000),
+        });
+        let token = CancelToken::new();
+        exec.set_cancel_token(token.clone());
+        let tries = AtomicU64::new(0);
+        let err = exec
+            .try_run_stage("hopeless", 1, |_| {
+                if tries.fetch_add(1, Ordering::SeqCst) >= 2 {
+                    token.cancel(CancelReason::User);
+                }
+                panic!("always fails");
+            })
+            .unwrap_err();
+        assert!(matches!(err, DataflowError::Cancelled { .. }), "got {err}");
+        assert!(tries.load(Ordering::SeqCst) < 10, "retry loop kept spinning after cancel");
+    }
+
+    #[test]
+    fn job_deadline_surfaces_as_deadline_cancellation() {
+        let mut exec = Executor::new(2);
+        exec.set_deadline(Some(Deadline::after(Duration::from_millis(20))));
+        let err = exec
+            .try_run_stage("slow", 4, |i| {
+                std::thread::sleep(Duration::from_millis(60));
+                i
+            })
+            .unwrap_err();
+        match err {
+            DataflowError::Cancelled { reason, .. } => {
+                assert_eq!(reason, CancelReason::Deadline);
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+        assert!(exec.cancel_token().is_cancelled(), "deadline expiry latches the token");
+        assert_eq!(exec.cancel_token().reason(), Some(CancelReason::Deadline));
+    }
+
+    #[test]
+    fn job_deadline_clamps_stage_policy_deadline() {
+        let exec = {
+            let mut e = Executor::new(1);
+            e.set_deadline(Some(Deadline::after(Duration::from_millis(10))));
+            e
+        };
+        // The stage's own generous deadline would allow a long sleep; the
+        // job deadline must clamp it.
+        let policy = FaultPolicy::none().with_deadline(Duration::from_secs(3600));
+        let clamped = exec.clamp_to_deadline(policy);
+        let stage_deadline = clamped.stage_deadline.unwrap_or_default();
+        assert!(stage_deadline <= Duration::from_millis(10), "got {stage_deadline:?}");
+    }
+
+    #[test]
+    fn check_cancelled_reports_barriers() {
+        let mut exec = Executor::new(1);
+        assert!(exec.check_cancelled("barrier:blocks").is_ok());
+        let token = CancelToken::new();
+        exec.set_cancel_token(token.clone());
+        token.cancel(CancelReason::User);
+        let err = exec.check_cancelled("barrier:blocks").unwrap_err();
+        match err {
+            DataflowError::Cancelled { stage, reason, completed, tasks } => {
+                assert_eq!(stage, "barrier:blocks");
+                assert_eq!(reason, CancelReason::User);
+                assert_eq!((completed, tasks), (0, 0));
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn expired_deadline_trips_check_cancelled() {
+        let mut exec = Executor::new(1);
+        exec.set_deadline(Some(Deadline::after(Duration::ZERO)));
+        let err = exec.check_cancelled("barrier:graph").unwrap_err();
+        assert_eq!(err.cancel_reason(), Some(CancelReason::Deadline));
     }
 
     #[test]

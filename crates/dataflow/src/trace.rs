@@ -62,8 +62,8 @@ impl RunTrace {
     }
 
     /// Serializes the trace as pretty-printed JSON.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("RunTrace serialization cannot fail")
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
     }
 
     /// Parses a trace previously produced by [`Self::to_json`].
@@ -154,7 +154,7 @@ mod tests {
     #[test]
     fn json_round_trip_is_exact() {
         let trace = sample();
-        let json = trace.to_json();
+        let json = trace.to_json().unwrap();
         let back = RunTrace::from_json(&json).unwrap();
         assert_eq!(trace, back);
         assert_eq!(back.counter("matching/r1_matches"), 12);

@@ -22,7 +22,7 @@
 
 #![cfg(loom)]
 
-use loom::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use loom::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use loom::sync::{Arc, Mutex};
 use loom::thread;
 
@@ -149,6 +149,122 @@ fn pool_fatal_flag_never_loses_a_claimed_task() {
         assert!(fatal.load(Ordering::SeqCst), "the failing task was claimed, so fatal must be set");
         let any_failed = (0..N).any(|i| *slots[i].lock().unwrap() == Some(Outcome::Failed));
         assert!(any_failed, "fatal flag set without a failed slot");
+    });
+}
+
+/// The cancellation path (`CancelToken` vs. the claim protocol): workers
+/// poll the token *before* claiming an index, never between claiming and
+/// writing the slot, and raise the pool's `cancelled` abort flag before
+/// exiting early — mirroring the `cancel.is_cancelled()` check at the top
+/// of `worker_loop` in `pool.rs`.
+///
+/// Invariants (from the `CancelToken` docs in `cancel.rs`):
+///   * cancellation never loses an in-flight claim: every claimed index
+///     has a populated slot after the join, cancelled or not;
+///   * cancellation never wedges barrier fill: if any slot is empty after
+///     the join, the pool's `cancelled` flag is set, so `try_run_tasks`
+///     returns `DataflowError::Cancelled` instead of reaching the
+///     "every task must have run" arm.
+#[test]
+fn pool_cancel_never_loses_an_in_flight_claim() {
+    const N: usize = 3;
+    loom::model(|| {
+        let next = Arc::new(AtomicUsize::new(0));
+        // 0 = live, non-zero = cancelled-with-reason (CancelToken::state).
+        let token = Arc::new(AtomicU8::new(0));
+        // The pool-level abort flag a worker raises when it observes the
+        // token (the `cancelled` AtomicBool in `try_run_tasks`).
+        let observed = Arc::new(AtomicBool::new(false));
+        let slots: Arc<Vec<Mutex<Option<Outcome>>>> =
+            Arc::new((0..N).map(|_| Mutex::new(None)).collect());
+
+        let worker = |next: Arc<AtomicUsize>,
+                      token: Arc<AtomicU8>,
+                      observed: Arc<AtomicBool>,
+                      slots: Arc<Vec<Mutex<Option<Outcome>>>>| {
+            move || loop {
+                // Poll point: BEFORE the claim, mirroring worker_loop.
+                if token.load(Ordering::SeqCst) != 0 {
+                    observed.store(true, Ordering::SeqCst);
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= N {
+                    break;
+                }
+                // Once claimed, the task runs and writes its slot
+                // unconditionally — cancellation cannot interrupt it here.
+                *slots[i].lock().unwrap() = Some(Outcome::Ok);
+            }
+        };
+
+        let canceller = {
+            let token = Arc::clone(&token);
+            // CancelToken::cancel: first-cancel-wins compare_exchange.
+            thread::spawn(move || {
+                let _ = token.compare_exchange(0, 1, Ordering::SeqCst, Ordering::SeqCst);
+            })
+        };
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                thread::spawn(worker(
+                    Arc::clone(&next),
+                    Arc::clone(&token),
+                    Arc::clone(&observed),
+                    Arc::clone(&slots),
+                ))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        canceller.join().unwrap();
+
+        // No lost claims: every claimed index has a populated slot.
+        let claimed = next.load(Ordering::Relaxed).min(N);
+        for i in 0..claimed {
+            assert!(
+                slots[i].lock().unwrap().is_some(),
+                "claimed task {i} has no slot — cancellation lost an in-flight claim"
+            );
+        }
+        // No wedged barrier: an empty slot implies the pool observed the
+        // cancellation and will surface DataflowError::Cancelled.
+        let all_full = (0..N).all(|i| slots[i].lock().unwrap().is_some());
+        if !all_full {
+            assert!(
+                observed.load(Ordering::SeqCst),
+                "tasks missing but no worker raised the cancelled flag — barrier would wedge"
+            );
+        }
+    });
+}
+
+/// `CancelToken::cancel` first-cancel-wins: concurrent cancellations with
+/// different reasons agree on exactly one winner, and the stored reason is
+/// the winner's — no tearing, no double-win (mirrors the compare_exchange
+/// in `cancel.rs`).
+#[test]
+fn cancel_token_first_cancel_wins_under_races() {
+    loom::model(|| {
+        let token = Arc::new(AtomicU8::new(0));
+        let cancel = |token: Arc<AtomicU8>, reason: u8| {
+            thread::spawn(move || {
+                token
+                    .compare_exchange(0, reason, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+            })
+        };
+        // Reasons 1 (User) and 2 (Deadline) race.
+        let a = cancel(Arc::clone(&token), 1);
+        let b = cancel(Arc::clone(&token), 2);
+        let a_won = a.join().unwrap();
+        let b_won = b.join().unwrap();
+
+        assert!(a_won ^ b_won, "exactly one cancel call must win");
+        let stored = token.load(Ordering::SeqCst);
+        let winner = if a_won { 1 } else { 2 };
+        assert_eq!(stored, winner, "the stored reason must be the winner's");
     });
 }
 

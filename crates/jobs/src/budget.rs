@@ -1,0 +1,127 @@
+//! The global resource budget admission control charges jobs against.
+
+use crate::error::ShedReason;
+use crate::job::JobSpec;
+
+/// Total resources a [`JobScheduler`](crate::JobScheduler) may hand out
+/// at once, plus the bounds that keep overload graceful: a cap on
+/// concurrently running jobs and a cap on the wait queue (beyond which
+/// submissions are shed, never queued unboundedly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceBudget {
+    /// Total worker threads across all running jobs.
+    pub workers: usize,
+    /// Total declared memory across all running jobs, in bytes.
+    pub memory_bytes: u64,
+    /// Maximum concurrently running jobs (defaults to `workers`: each job
+    /// needs at least one worker anyway).
+    pub max_running: usize,
+    /// Maximum jobs waiting in the queue. `0` means "run now or shed".
+    pub max_queued: usize,
+}
+
+impl ResourceBudget {
+    /// Default queue bound: generous enough for bursts, small enough that
+    /// a stuck scheduler shows up as shedding, not as silent backlog.
+    pub const DEFAULT_MAX_QUEUED: usize = 64;
+
+    /// A budget of `workers` workers and `memory_bytes` bytes, with
+    /// `max_running = workers` and the default queue bound.
+    ///
+    /// # Panics
+    /// Panics if `workers` is zero.
+    pub fn new(workers: usize, memory_bytes: u64) -> Self {
+        assert!(workers >= 1, "at least one worker required in the budget");
+        Self { workers, memory_bytes, max_running: workers, max_queued: Self::DEFAULT_MAX_QUEUED }
+    }
+
+    /// Returns `self` with the running-jobs cap set (clamped to ≥ 1).
+    pub fn with_max_running(mut self, max_running: usize) -> Self {
+        self.max_running = max_running.max(1);
+        self
+    }
+
+    /// Returns `self` with the queue bound set.
+    pub fn with_max_queued(mut self, max_queued: usize) -> Self {
+        self.max_queued = max_queued;
+        self
+    }
+
+    /// Static admission: can this spec *ever* run under the budget?
+    /// A spec that exceeds a total is shed immediately — queuing it would
+    /// wedge the strict-order queue forever.
+    pub fn admit(&self, spec: &JobSpec) -> Result<(), ShedReason> {
+        let workers = spec.workers.max(1);
+        if workers > self.workers {
+            return Err(ShedReason::WorkersExceedBudget { requested: workers, budget: self.workers });
+        }
+        if spec.memory_bytes > self.memory_bytes {
+            return Err(ShedReason::MemoryExceedsBudget {
+                requested: spec.memory_bytes,
+                budget: self.memory_bytes,
+            });
+        }
+        Ok(())
+    }
+
+    /// Dynamic fit: can this spec start *now*, given what's in use?
+    pub(crate) fn fits(&self, spec: &JobSpec, workers_in_use: usize, memory_in_use: u64) -> bool {
+        let workers = spec.workers.max(1);
+        workers_in_use + workers <= self.workers
+            && memory_in_use + spec.memory_bytes <= self.memory_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_admission_sheds_impossible_jobs() {
+        let budget = ResourceBudget::new(4, 1000);
+        assert!(budget.admit(&JobSpec::new("ok").with_workers(4)).is_ok());
+        assert_eq!(
+            budget.admit(&JobSpec::new("big").with_workers(5)),
+            Err(ShedReason::WorkersExceedBudget { requested: 5, budget: 4 })
+        );
+        assert_eq!(
+            budget.admit(&JobSpec::new("fat").with_memory_bytes(1001)),
+            Err(ShedReason::MemoryExceedsBudget { requested: 1001, budget: 1000 })
+        );
+    }
+
+    #[test]
+    fn zero_worker_specs_are_charged_one() {
+        let budget = ResourceBudget::new(1, 0);
+        let mut spec = JobSpec::new("tiny");
+        spec.workers = 0; // bypass the builder clamp on purpose
+        assert!(budget.admit(&spec).is_ok());
+        assert!(budget.fits(&spec, 0, 0));
+        assert!(!budget.fits(&spec, 1, 0));
+    }
+
+    #[test]
+    fn dynamic_fit_tracks_the_ledger() {
+        let budget = ResourceBudget::new(4, 100);
+        let spec = JobSpec::new("j").with_workers(2).with_memory_bytes(60);
+        assert!(budget.fits(&spec, 0, 0));
+        assert!(budget.fits(&spec, 2, 40));
+        assert!(!budget.fits(&spec, 3, 0), "workers would exceed the total");
+        assert!(!budget.fits(&spec, 0, 41), "memory would exceed the total");
+    }
+
+    #[test]
+    fn defaults_bound_running_and_queue() {
+        let b = ResourceBudget::new(8, 0);
+        assert_eq!(b.max_running, 8);
+        assert_eq!(b.max_queued, ResourceBudget::DEFAULT_MAX_QUEUED);
+        assert_eq!(b.with_max_running(0).max_running, 1);
+        assert_eq!(b.with_max_queued(3).max_queued, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_worker_budget_rejected() {
+        ResourceBudget::new(0, 0);
+    }
+}

@@ -1,0 +1,497 @@
+//! The file-based control plane: how `minoaner jobs list|status|cancel`
+//! observe and steer a scheduler running in another process.
+//!
+//! Layout under a control root:
+//!
+//! ```text
+//! <root>/job-<id>/status.json   # atomic snapshot, rewritten on every transition
+//! <root>/job-<id>/CANCEL        # marker dropped by `jobs cancel`, polled by the scheduler
+//! <root>/job-<id>/ckpt/         # the job's checkpoint store (written by the pipeline)
+//! <root>/job-<id>/trace.json    # the job's RunTrace (written by the CLI)
+//! ```
+//!
+//! Status files are written atomically (tmp + rename), so a reader never
+//! observes a torn snapshot. The JSON codec is hand-rolled for the one
+//! flat shape used here: the status schema is this crate's public,
+//! versioned contract, and owning the codec keeps `minoaner-jobs` free of
+//! serialization dependencies (and exactly as strict as the schema).
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use minoaner_dataflow::CancelReason;
+
+use crate::job::{JobId, JobState, JobStatus, Priority};
+
+/// Version stamped into every status file; readers reject other versions
+/// instead of guessing.
+pub const STATUS_SCHEMA_VERSION: u64 = 1;
+
+/// The per-job directory under a control root.
+pub fn job_dir(root: &Path, id: JobId) -> PathBuf {
+    root.join(format!("job-{id}"))
+}
+
+/// A malformed or unreadable control-plane artifact.
+#[derive(Debug)]
+pub enum ControlError {
+    /// Filesystem failure reading or writing an artifact.
+    Io(io::Error),
+    /// The artifact exists but does not parse as a valid status.
+    Malformed {
+        /// The offending file.
+        path: PathBuf,
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ControlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControlError::Io(e) => write!(f, "control plane I/O error: {e}"),
+            ControlError::Malformed { path, detail } => {
+                write!(f, "malformed control file {}: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ControlError {}
+
+impl From<io::Error> for ControlError {
+    fn from(e: io::Error) -> Self {
+        ControlError::Io(e)
+    }
+}
+
+/// Atomically writes `status` into its job directory under `root`,
+/// creating the directory if needed.
+pub fn write_status(root: &Path, status: &JobStatus) -> io::Result<()> {
+    let dir = job_dir(root, status.id);
+    fs::create_dir_all(&dir)?;
+    let json = status_to_json(status);
+    let tmp = dir.join(".status.json.tmp");
+    fs::write(&tmp, json.as_bytes())?;
+    fs::rename(&tmp, dir.join("status.json"))
+}
+
+/// Reads the status snapshot from a job directory.
+pub fn read_status(dir: &Path) -> Result<JobStatus, ControlError> {
+    let path = dir.join("status.json");
+    let json = fs::read_to_string(&path)?;
+    status_from_json(&json).map_err(|detail| ControlError::Malformed { path, detail })
+}
+
+/// All job statuses under a control root, ascending by id. A missing root
+/// is an empty listing; entries that are not job directories (or whose
+/// status file is torn mid-create) are skipped rather than failing the
+/// whole listing.
+pub fn list_statuses(root: &Path) -> io::Result<Vec<JobStatus>> {
+    let entries = match fs::read_dir(root) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut statuses = Vec::new();
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(id) = name.to_str().and_then(|n| n.strip_prefix("job-")).and_then(JobId::parse)
+        else {
+            continue;
+        };
+        if let Ok(status) = read_status(&entry.path()) {
+            if status.id == id {
+                statuses.push(status);
+            }
+        }
+    }
+    statuses.sort_by_key(|s| s.id);
+    Ok(statuses)
+}
+
+/// Drops a `CANCEL` marker into the job's directory for the owning
+/// scheduler to pick up on its next
+/// [`poll_control`](crate::JobScheduler::poll_control). Returns `false`
+/// (writing nothing) when the job directory does not exist.
+pub fn request_cancel(root: &Path, id: JobId, reason: CancelReason) -> io::Result<bool> {
+    let dir = job_dir(root, id);
+    if !dir.is_dir() {
+        return Ok(false);
+    }
+    fs::write(dir.join("CANCEL"), reason.as_str().as_bytes())?;
+    Ok(true)
+}
+
+/// The pending cancel request for a job directory, if a marker exists.
+/// An unreadable or unrecognized reason degrades to
+/// [`CancelReason::User`] — a cancel request must never be dropped on a
+/// parse error.
+pub fn cancel_request(dir: &Path) -> Option<CancelReason> {
+    let raw = fs::read_to_string(dir.join("CANCEL")).ok()?;
+    Some(CancelReason::parse(raw.trim()).unwrap_or(CancelReason::User))
+}
+
+// ───────────────────────── status JSON codec ─────────────────────────
+
+/// One scalar of the flat status object.
+#[derive(Debug, PartialEq)]
+enum Scalar {
+    Str(String),
+    UInt(u64),
+    Null,
+}
+
+fn status_to_json(status: &JobStatus) -> String {
+    let mut out = String::with_capacity(256);
+    out.push('{');
+    push_uint(&mut out, "schema_version", STATUS_SCHEMA_VERSION);
+    out.push(',');
+    push_uint(&mut out, "id", status.id.ordinal());
+    out.push(',');
+    push_str(&mut out, "name", &status.name);
+    out.push(',');
+    push_str(&mut out, "priority", status.priority.as_str());
+    out.push(',');
+    push_uint(&mut out, "workers", status.workers as u64);
+    out.push(',');
+    push_uint(&mut out, "memory_bytes", status.memory_bytes);
+    out.push(',');
+    push_str(&mut out, "state", status.state.as_str());
+    out.push(',');
+    push_opt(&mut out, "cancel_reason", status.cancel_reason.map(CancelReason::as_str));
+    out.push(',');
+    push_opt(&mut out, "error", status.error.as_deref());
+    out.push(',');
+    push_opt(&mut out, "summary", status.summary.as_deref());
+    out.push_str("}\n");
+    out
+}
+
+fn status_from_json(json: &str) -> Result<JobStatus, String> {
+    let fields = parse_flat_object(json)?;
+    let get = |key: &str| -> Result<&Scalar, String> {
+        fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing field {key:?}"))
+    };
+    let get_uint = |key: &str| -> Result<u64, String> {
+        match get(key)? {
+            Scalar::UInt(n) => Ok(*n),
+            other => Err(format!("field {key:?} is not an unsigned integer (got {other:?})")),
+        }
+    };
+    let get_str = |key: &str| -> Result<&str, String> {
+        match get(key)? {
+            Scalar::Str(s) => Ok(s.as_str()),
+            other => Err(format!("field {key:?} is not a string (got {other:?})")),
+        }
+    };
+    let get_opt = |key: &str| -> Result<Option<&str>, String> {
+        match get(key)? {
+            Scalar::Str(s) => Ok(Some(s.as_str())),
+            Scalar::Null => Ok(None),
+            other => Err(format!("field {key:?} is not a string or null (got {other:?})")),
+        }
+    };
+
+    let version = get_uint("schema_version")?;
+    if version != STATUS_SCHEMA_VERSION {
+        return Err(format!(
+            "status schema version {version} (reader supports {STATUS_SCHEMA_VERSION})"
+        ));
+    }
+    let priority_name = get_str("priority")?;
+    let priority = Priority::parse(priority_name)
+        .ok_or_else(|| format!("unknown priority {priority_name:?}"))?;
+    let state_name = get_str("state")?;
+    let state =
+        JobState::parse(state_name).ok_or_else(|| format!("unknown state {state_name:?}"))?;
+    let cancel_reason = match get_opt("cancel_reason")? {
+        Some(name) => {
+            Some(CancelReason::parse(name).ok_or_else(|| format!("unknown reason {name:?}"))?)
+        }
+        None => None,
+    };
+    Ok(JobStatus {
+        id: JobId::from_ordinal(get_uint("id")?),
+        name: get_str("name")?.to_owned(),
+        priority,
+        workers: get_uint("workers")? as usize,
+        memory_bytes: get_uint("memory_bytes")?,
+        state,
+        cancel_reason,
+        error: get_opt("error")?.map(str::to_owned),
+        summary: get_opt("summary")?.map(str::to_owned),
+    })
+}
+
+fn push_uint(out: &mut String, key: &str, value: u64) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(&value.to_string());
+}
+
+fn push_str(out: &mut String, key: &str, value: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    push_escaped(out, value);
+}
+
+fn push_opt(out: &mut String, key: &str, value: Option<&str>) {
+    match value {
+        Some(v) => push_str(out, key, v),
+        None => {
+            out.push('"');
+            out.push_str(key);
+            out.push_str("\":null");
+        }
+    }
+}
+
+fn push_escaped(out: &mut String, value: &str) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a single flat JSON object of string / unsigned-integer / null
+/// scalars — exactly the status schema, nothing more.
+fn parse_flat_object(json: &str) -> Result<Vec<(String, Scalar)>, String> {
+    let mut cur = Cursor { bytes: json.as_bytes(), i: 0 };
+    cur.skip_ws();
+    if !cur.eat(b'{') {
+        return Err("expected '{'".to_owned());
+    }
+    let mut fields = Vec::new();
+    cur.skip_ws();
+    if cur.eat(b'}') {
+        return Ok(fields);
+    }
+    loop {
+        cur.skip_ws();
+        let key = cur.parse_string()?;
+        cur.skip_ws();
+        if !cur.eat(b':') {
+            return Err(format!("expected ':' after key {key:?}"));
+        }
+        cur.skip_ws();
+        let value = cur.parse_scalar()?;
+        fields.push((key, value));
+        cur.skip_ws();
+        if cur.eat(b',') {
+            continue;
+        }
+        if cur.eat(b'}') {
+            break;
+        }
+        return Err("expected ',' or '}'".to_owned());
+    }
+    cur.skip_ws();
+    if cur.i != cur.bytes.len() {
+        return Err("trailing data after object".to_owned());
+    }
+    Ok(fields)
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    i: usize,
+}
+
+impl Cursor<'_> {
+    fn skip_ws(&mut self) {
+        while self.bytes.get(self.i).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.bytes.get(self.i) == Some(&b) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        if !self.eat(b'"') {
+            return Err("expected '\"'".to_owned());
+        }
+        let mut out = String::new();
+        loop {
+            let rest = &self.bytes[self.i..];
+            let Some(&b) = rest.first() else { return Err("unterminated string".to_owned()) };
+            match b {
+                b'"' => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    let esc = rest.get(1).copied().ok_or("unterminated escape")?;
+                    self.i += 2;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.i..self.i + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                            self.i += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("unknown escape \\{}", other as char)),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // boundaries are valid).
+                    let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                    let Some(c) = s.chars().next() else {
+                        return Err("unterminated string".to_owned());
+                    };
+                    out.push(c);
+                    self.i += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_scalar(&mut self) -> Result<Scalar, String> {
+        match self.bytes.get(self.i) {
+            Some(b'"') => self.parse_string().map(Scalar::Str),
+            Some(b'n') => {
+                if self.bytes[self.i..].starts_with(b"null") {
+                    self.i += 4;
+                    Ok(Scalar::Null)
+                } else {
+                    Err("expected 'null'".to_owned())
+                }
+            }
+            Some(b) if b.is_ascii_digit() => {
+                let start = self.i;
+                while self.bytes.get(self.i).is_some_and(|b| b.is_ascii_digit()) {
+                    self.i += 1;
+                }
+                let digits =
+                    std::str::from_utf8(&self.bytes[start..self.i]).map_err(|e| e.to_string())?;
+                digits.parse::<u64>().map(Scalar::UInt).map_err(|e| e.to_string())
+            }
+            _ => Err("expected string, unsigned integer or null".to_owned()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(id: u64, state: JobState) -> JobStatus {
+        JobStatus {
+            id: JobId::from_ordinal(id),
+            name: "dbpedia \"full\" run\nwith newline \\ backslash".to_owned(),
+            priority: Priority::High,
+            workers: 3,
+            memory_bytes: 1 << 30,
+            state,
+            cancel_reason: Some(CancelReason::Deadline),
+            error: Some("stage \"match\" cancelled".to_owned()),
+            summary: None,
+        }
+    }
+
+    #[test]
+    fn status_json_round_trips_exactly() {
+        let status = sample(7, JobState::Cancelled);
+        let json = status_to_json(&status);
+        let back = status_from_json(&json).expect("round trip");
+        assert_eq!(back, status);
+    }
+
+    #[test]
+    fn reader_rejects_drifted_schema_and_junk() {
+        assert!(status_from_json("{}").is_err(), "missing fields");
+        assert!(status_from_json("not json").is_err());
+        let status = sample(1, JobState::Running);
+        let json = status_to_json(&status).replace("\"schema_version\":1", "\"schema_version\":9");
+        let err = status_from_json(&json).expect_err("version drift");
+        assert!(err.contains("schema version 9"), "got: {err}");
+        let json = status_to_json(&status).replace("\"state\":\"running\"", "\"state\":\"paused\"");
+        assert!(status_from_json(&json).is_err(), "unknown state must be rejected");
+    }
+
+    #[test]
+    fn write_read_list_are_consistent() {
+        let root = std::env::temp_dir().join(format!("minoaner-jobs-ctl-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        let a = sample(2, JobState::Running);
+        let b = JobStatus { state: JobState::Completed, ..sample(10, JobState::Completed) };
+        write_status(&root, &a).expect("write a");
+        write_status(&root, &b).expect("write b");
+        // Junk the scanner must skip.
+        fs::create_dir_all(root.join("job-xyz")).expect("junk dir");
+        fs::write(root.join("stray.txt"), b"x").expect("stray file");
+        fs::create_dir_all(root.join("job-j0099")).expect("empty job dir");
+
+        let read = read_status(&job_dir(&root, a.id)).expect("read back");
+        assert_eq!(read, a);
+        let listed = list_statuses(&root).expect("list");
+        assert_eq!(listed, vec![a.clone(), b.clone()], "ascending by id, junk skipped");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn missing_root_lists_empty() {
+        let ghost = std::env::temp_dir().join("minoaner-jobs-ctl-does-not-exist");
+        assert!(list_statuses(&ghost).expect("missing root is empty").is_empty());
+    }
+
+    #[test]
+    fn cancel_markers_round_trip() {
+        let root = std::env::temp_dir().join(format!("minoaner-jobs-cxl-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        let status = sample(4, JobState::Running);
+        write_status(&root, &status).expect("write");
+        let dir = job_dir(&root, status.id);
+        assert_eq!(cancel_request(&dir), None);
+        assert!(request_cancel(&root, status.id, CancelReason::User).expect("request"));
+        assert_eq!(cancel_request(&dir), Some(CancelReason::User));
+        // Unknown job: nothing written, reported as absent.
+        assert!(!request_cancel(&root, JobId::from_ordinal(999), CancelReason::User)
+            .expect("unknown job"));
+        // A corrupt marker still cancels (degrades to User).
+        fs::write(dir.join("CANCEL"), b"garbage").expect("corrupt marker");
+        assert_eq!(cancel_request(&dir), Some(CancelReason::User));
+        let _ = fs::remove_dir_all(&root);
+    }
+}

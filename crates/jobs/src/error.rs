@@ -1,0 +1,79 @@
+//! Structured admission rejections.
+//!
+//! Admission control *sheds* work it cannot take instead of queuing it
+//! unboundedly: a rejected submission never allocates a [`JobId`]
+//! (crate::JobId), never enters the queue, and carries a precise,
+//! machine-readable reason the caller can act on (retry later, lower the
+//! ask, pick another scheduler).
+
+use std::fmt;
+
+/// Why a submission was shed at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The job asks for more workers than the *total* budget — it could
+    /// never run, no matter how long it waited.
+    WorkersExceedBudget {
+        /// Workers the spec asked for.
+        requested: usize,
+        /// The scheduler's total worker budget.
+        budget: usize,
+    },
+    /// The job declares more memory than the *total* budget — it could
+    /// never run.
+    MemoryExceedsBudget {
+        /// Bytes the spec declared.
+        requested: u64,
+        /// The scheduler's total memory budget in bytes.
+        budget: u64,
+    },
+    /// The job fits the budget but cannot start now, and the wait queue
+    /// is at capacity. The overload-shedding path: the caller should back
+    /// off and resubmit.
+    QueueFull {
+        /// Jobs currently waiting.
+        queued: usize,
+        /// The queue's capacity.
+        max_queued: usize,
+    },
+    /// The scheduler is shutting down and no longer admits work.
+    ShuttingDown,
+}
+
+impl fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShedReason::WorkersExceedBudget { requested, budget } => write!(
+                f,
+                "shed: job requests {requested} worker(s) but the total budget is {budget}"
+            ),
+            ShedReason::MemoryExceedsBudget { requested, budget } => write!(
+                f,
+                "shed: job declares {requested} byte(s) of memory but the total budget is {budget}"
+            ),
+            ShedReason::QueueFull { queued, max_queued } => write!(
+                f,
+                "shed: wait queue is full ({queued}/{max_queued}); back off and resubmit"
+            ),
+            ShedReason::ShuttingDown => write!(f, "shed: scheduler is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ShedReason {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_limit() {
+        let w = ShedReason::WorkersExceedBudget { requested: 9, budget: 4 };
+        assert!(w.to_string().contains("9 worker(s)") && w.to_string().contains("budget is 4"));
+        let m = ShedReason::MemoryExceedsBudget { requested: 10, budget: 5 };
+        assert!(m.to_string().contains("10 byte(s)"));
+        let q = ShedReason::QueueFull { queued: 3, max_queued: 3 };
+        assert!(q.to_string().contains("3/3"));
+        assert!(ShedReason::ShuttingDown.to_string().contains("shutting down"));
+    }
+}

@@ -1,0 +1,42 @@
+//! Job orchestration for MinoanER pipelines: admission control against a
+//! global resource budget, a bounded priority queue, cooperative
+//! cancellation, and a file-based control plane for cross-process
+//! `list`/`status`/`cancel`.
+//!
+//! # Shape
+//!
+//! - [`ResourceBudget`] — the global worker/memory budget plus the
+//!   bounds (max running, max queued) that keep overload graceful.
+//! - [`JobSpec`] / [`JobId`] / [`JobState`] / [`JobStatus`] — what a job
+//!   asks for, and its lifecycle (DESIGN.md §14).
+//! - [`JobScheduler`] — submit / cancel / status / list / wait /
+//!   shutdown. Over-budget submissions are *shed* with a structured
+//!   [`ShedReason`], never queued unboundedly.
+//! - [`JobContext`] — handed to each job's work closure; builds an
+//!   executor wired to the job's [`CancelToken`](minoaner_dataflow::CancelToken)
+//!   and wall-clock deadline.
+//! - [`control`] — the `job-<id>/status.json` + `CANCEL` marker
+//!   protocol behind `minoaner jobs list|status|cancel`.
+//!
+//! # Invariants
+//!
+//! Cancellation is cooperative and checkpoint-safe: the scheduler only
+//! latches a token; the pipeline polls it at stage barriers *after* each
+//! checkpoint barrier commits, so a cancelled job's checkpoint directory
+//! only ever holds complete, resumable barriers. Determinism:
+//! scheduling state lives in `BTreeMap`s and dispatch order is a pure
+//! function of (priority, submission order) — two schedulers fed the
+//! same submission sequence dispatch identically.
+
+pub mod budget;
+pub mod control;
+pub mod error;
+pub mod job;
+pub(crate) mod queue;
+pub mod scheduler;
+
+pub use budget::ResourceBudget;
+pub use control::{ControlError, STATUS_SCHEMA_VERSION};
+pub use error::ShedReason;
+pub use job::{JobContext, JobId, JobOutput, JobSpec, JobState, JobStatus, Priority};
+pub use scheduler::{JobScheduler, JobWork};

@@ -17,6 +17,8 @@
 //!   statistics (§2);
 //! * [`dataflow`] — a hand-rolled parallel dataflow engine standing in for
 //!   Spark (§4.1);
+//! * [`jobs`] — multi-job orchestration: priority admission, resource
+//!   budgets, cooperative cancellation, per-job checkpoints;
 //! * [`blocking`] — token/name blocking, Block Purging, and the pruned
 //!   disjunctive blocking graph (§3, Algorithm 1);
 //! * [`core`] — the non-iterative matcher and end-to-end pipeline
@@ -51,6 +53,7 @@ pub use minoaner_dataflow as dataflow;
 pub use minoaner_datagen as datagen;
 pub use minoaner_det as det;
 pub use minoaner_eval as eval;
+pub use minoaner_jobs as jobs;
 pub use minoaner_kb as kb;
 
 pub use minoaner_det::{DetHashMap, DetHashSet};

@@ -18,7 +18,8 @@ fn trace_json_round_trip_is_exact() {
     let (_, trace) =
         Minoaner::new().try_resolve_traced(&mut exec, &d.pair, RuleSet::FULL).unwrap();
     trace.validate().expect("captured trace validates");
-    let back = RunTrace::from_json(&trace.to_json()).expect("trace JSON parses");
+    let json = trace.to_json().expect("trace serializes");
+    let back = RunTrace::from_json(&json).expect("trace JSON parses");
     assert_eq!(trace, back, "JSON round-trip must be lossless");
 }
 

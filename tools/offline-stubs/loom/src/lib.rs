@@ -21,7 +21,7 @@ pub mod sync {
 
     pub mod atomic {
         pub use std::sync::atomic::{
-            AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering,
+            AtomicBool, AtomicI64, AtomicU64, AtomicU8, AtomicUsize, Ordering,
         };
     }
 }

@@ -54,6 +54,57 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     }
 }
 
+/// parking_lot-shaped `Condvar`: waits on the stub `MutexGuard` in place
+/// (no `(guard) -> guard` round-trip like `std::sync::Condvar`).
+#[derive(Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    pub fn new() -> Self {
+        Self(std::sync::Condvar::new())
+    }
+
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        take_mut_guard(&mut guard.0, |inner| {
+            self.0.wait(inner).unwrap_or_else(|e| e.into_inner())
+        });
+    }
+
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+/// Replaces a `std::sync::MutexGuard` through a by-value transform, as
+/// `Condvar::wait` requires. The closure must not panic (ours re-enters
+/// `wait`, which only unwinds on poisoning we already translate away), so
+/// the abort-on-unwind guard here is unreachable in practice.
+fn take_mut_guard<'a, T: ?Sized>(
+    slot: &mut std::sync::MutexGuard<'a, T>,
+    f: impl FnOnce(std::sync::MutexGuard<'a, T>) -> std::sync::MutexGuard<'a, T>,
+) {
+    // SAFETY: `slot` is forgotten before being overwritten, and `f`
+    // cannot unwind between the read and the write-back (see above); on
+    // the impossible unwind we abort rather than double-drop.
+    struct Abort;
+    impl Drop for Abort {
+        fn drop(&mut self) {
+            std::process::abort();
+        }
+    }
+    unsafe {
+        let bomb = Abort;
+        let guard = std::ptr::read(slot);
+        let new_guard = f(guard);
+        std::ptr::write(slot, new_guard);
+        std::mem::forget(bomb);
+    }
+}
+
 pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
 
 impl<T> RwLock<T> {

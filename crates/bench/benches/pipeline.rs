@@ -2,10 +2,14 @@
 //! 1/2/4/8, in two parts:
 //!
 //! 1. An instrumented sweep: each worker count runs the full pipeline
-//!    through [`Minoaner::try_resolve_traced`] `MINOANER_REPS` times and
-//!    the resulting [`RunTrace`]s are condensed into `BENCH_pipeline.json`
-//!    (schema in `minoaner_bench`). The binary re-reads and validates what
-//!    it wrote and exits nonzero on any schema violation — CI's gate.
+//!    through a traced [`minoaner_core::ResolveRequest`] `MINOANER_REPS`
+//!    times and the resulting [`RunTrace`]s are condensed into
+//!    `BENCH_pipeline.json` (schema in `minoaner_bench`). The widest
+//!    worker count is then re-run under the pre-rewrite
+//!    [`StealSchedule::SharedClaim`] scheduling so the report records
+//!    what work stealing buys on the skewed profile. The binary re-reads
+//!    and validates what it wrote and exits nonzero on any schema
+//!    violation — CI's gate.
 //! 2. A criterion group (`pipeline/resolve`) over the same worker counts
 //!    for statistically rigorous timings; criterion CLI flags (`--quick`,
 //!    filters, baselines) pass through.
@@ -16,14 +20,29 @@
 
 use criterion::Criterion;
 use minoaner_bench::{BenchPoint, PipelineReport, BENCH_SCHEMA_VERSION};
-use minoaner_core::{Minoaner, RuleSet};
-use minoaner_dataflow::{Executor, TRACE_SCHEMA_VERSION};
+use minoaner_core::{Minoaner, ResolveRequest, RuleSet};
+use minoaner_dataflow::{Executor, StealSchedule, TRACE_SCHEMA_VERSION};
 use minoaner_datagen::{profiles, GeneratedDataset};
 use minoaner_eval::{dataset_at_scale, scale_from_env};
 use std::hint::black_box;
 use std::process::ExitCode;
 
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Runs one traced resolution on `exec` and returns the wall time in
+/// milliseconds plus the outcome.
+fn traced_run(
+    minoaner: &Minoaner,
+    exec: &mut Executor,
+    dataset: &GeneratedDataset,
+) -> (minoaner_core::Resolution, minoaner_dataflow::RunTrace) {
+    let (res, trace) = minoaner
+        .run_on(exec, ResolveRequest::pair(&dataset.pair).rules(RuleSet::FULL).trace())
+        .expect("pipeline bench run failed")
+        .into_traced();
+    trace.validate().expect("run trace failed validation");
+    (res, trace)
+}
 
 fn sweep(dataset: &GeneratedDataset, scale: f64, reps: usize) -> PipelineReport {
     let minoaner = Minoaner::new();
@@ -35,10 +54,7 @@ fn sweep(dataset: &GeneratedDataset, scale: f64, reps: usize) -> PipelineReport 
         let mut wall_ms: Vec<f64> = Vec::with_capacity(reps);
         let mut last = None;
         for _ in 0..reps {
-            let (res, trace) = minoaner
-                .try_resolve_traced(&mut exec, &dataset.pair, RuleSet::FULL)
-                .expect("pipeline bench run failed");
-            trace.validate().expect("run trace failed validation");
+            let (res, trace) = traced_run(&minoaner, &mut exec, dataset);
             wall_ms.push(trace.total_wall.as_secs_f64() * 1000.0);
             last = Some((res, trace));
         }
@@ -64,12 +80,32 @@ fn sweep(dataset: &GeneratedDataset, scale: f64, reps: usize) -> PipelineReport 
         );
     }
 
+    // Pre-PR pool baseline: the widest worker count again, but with the
+    // shared-claim scheduling the pool used before work stealing.
+    let max_workers = WORKER_COUNTS[WORKER_COUNTS.len() - 1];
+    let mut shared = Executor::new(max_workers);
+    shared.set_steal_schedule(StealSchedule::SharedClaim);
+    let mut shared_ms: Vec<f64> = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let (_, trace) = traced_run(&minoaner, &mut shared, dataset);
+        shared_ms.push(trace.total_wall.as_secs_f64() * 1000.0);
+    }
+    let shared_claim_wall_ms_mean = shared_ms.iter().sum::<f64>() / shared_ms.len() as f64;
+    let steal_mean = points[points.len() - 1].wall_ms_mean;
+    eprintln!(
+        "pipeline sweep: {max_workers} workers shared-claim → {shared_claim_wall_ms_mean:.1} ms \
+         mean ({:.2}x vs work stealing)",
+        shared_claim_wall_ms_mean / steal_mean
+    );
+
     PipelineReport {
         schema_version: BENCH_SCHEMA_VERSION,
         trace_schema_version: TRACE_SCHEMA_VERSION,
-        dataset: "restaurant".into(),
+        dataset: dataset.profile.name.clone(),
         scale,
         reps,
+        shared_claim_wall_ms_mean,
+        steal_speedup: shared_claim_wall_ms_mean / steal_mean,
         points,
     }
 }
@@ -80,9 +116,16 @@ fn criterion_sweep(dataset: &GeneratedDataset) {
     group.sample_size(10);
     let minoaner = Minoaner::new();
     for workers in WORKER_COUNTS {
-        let exec = Executor::new(workers);
+        let mut exec = Executor::new(workers);
         group.bench_function(format!("workers/{workers}"), |b| {
-            b.iter(|| black_box(minoaner.try_resolve(&exec, &dataset.pair).expect("resolve")))
+            b.iter(|| {
+                black_box(
+                    minoaner
+                        .run_on(&mut exec, ResolveRequest::pair(&dataset.pair))
+                        .expect("resolve")
+                        .into_resolution(),
+                )
+            })
         });
     }
     group.finish();
@@ -96,7 +139,9 @@ fn main() -> ExitCode {
     let out_path =
         std::env::var("MINOANER_BENCH_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".into());
 
-    let dataset = dataset_at_scale(&profiles::restaurant(), scale);
+    // The skewed profile: Rexa-DBLP's size imbalance is what makes
+    // partition runtimes uneven — the case work stealing exists for.
+    let dataset = dataset_at_scale(&profiles::rexa_dblp(), scale);
     let report = sweep(&dataset, scale, reps);
     let json = report.to_json().expect("cannot serialize bench report");
     std::fs::write(&out_path, json).expect("cannot write bench report");

@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 
 /// Version of the `BENCH_pipeline.json` schema. Bump on breaking changes
 /// to [`PipelineReport`].
-pub const BENCH_SCHEMA_VERSION: u32 = 1;
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
 
 /// One worker count of the pipeline sweep.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -50,6 +50,13 @@ pub struct PipelineReport {
     pub scale: f64,
     /// Repetitions per worker count.
     pub reps: usize,
+    /// Mean wall of the widest worker count re-run under
+    /// [`minoaner_dataflow::StealSchedule::SharedClaim`] — the pool's
+    /// scheduling before work stealing — milliseconds, same repetitions.
+    pub shared_claim_wall_ms_mean: f64,
+    /// `shared_claim_wall_ms_mean / points.last().wall_ms_mean` — what
+    /// work stealing buys at the widest worker count.
+    pub steal_speedup: f64,
     /// One point per worker count, ascending.
     pub points: Vec<BenchPoint>,
 }
@@ -132,6 +139,19 @@ impl PipelineReport {
         let matches = self.points[0].matches;
         if self.points.iter().any(|p| p.matches != matches) {
             return Err("match counts differ across worker counts (nondeterminism)".into());
+        }
+        if !(self.shared_claim_wall_ms_mean > 0.0) {
+            return Err("shared-claim baseline wall time must be positive".into());
+        }
+        let last_mean = self.points[self.points.len() - 1].wall_ms_mean;
+        let expected = self.shared_claim_wall_ms_mean / last_mean;
+        if !(self.steal_speedup > 0.0)
+            || (self.steal_speedup - expected).abs() > 1e-6 * expected.max(1.0)
+        {
+            return Err(format!(
+                "steal_speedup {} inconsistent with shared-claim {} / steal {} ms",
+                self.steal_speedup, self.shared_claim_wall_ms_mean, last_mean
+            ));
         }
         Ok(())
     }
@@ -324,6 +344,8 @@ mod tests {
             dataset: "restaurant".into(),
             scale: 1.0,
             reps: 3,
+            shared_claim_wall_ms_mean: 26.0,
+            steal_speedup: 26.0 / 11.0,
             points: vec![point(1, 40.0), point(2, 24.0), point(4, 15.0), point(8, 11.0)],
         }
     }
@@ -365,6 +387,17 @@ mod tests {
     fn validation_rejects_empty_points() {
         let mut r = sample();
         r.points.clear();
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_inconsistent_steal_speedup() {
+        let mut r = sample();
+        r.steal_speedup *= 2.0;
+        assert!(r.validate().unwrap_err().contains("steal_speedup"));
+
+        let mut r = sample();
+        r.shared_claim_wall_ms_mean = 0.0;
         assert!(r.validate().is_err());
     }
 

@@ -46,6 +46,19 @@ impl SparseAccumulator {
         self.scores.is_empty()
     }
 
+    /// Resizes the key universe to `0..len` in place, reusing the existing
+    /// allocation — the worker-scratch reuse path, where one accumulator
+    /// serves many tasks whose universes may differ. Newly exposed slots
+    /// start stale (stamp 0 is never the current epoch); call
+    /// [`Self::next_epoch`] before the first `add` as usual.
+    pub fn ensure_len(&mut self, len: usize) {
+        if self.scores.len() != len {
+            self.scores.resize(len, 0.0);
+            self.stamps.resize(len, 0);
+            self.touched.clear();
+        }
+    }
+
     /// Invalidates every slot in O(1) and clears the touched-list. Must be
     /// called before the first `add` of each source entity.
     pub fn next_epoch(&mut self) {
@@ -150,6 +163,27 @@ mod tests {
         acc.add(0, 4.0);
         assert_eq!(acc.touched(), &[0]);
         assert_eq!(acc.score(0), 4.0);
+    }
+
+    #[test]
+    fn ensure_len_resizes_with_stale_slots() {
+        let mut acc = SparseAccumulator::new(2);
+        acc.next_epoch();
+        acc.add(1, 5.0);
+        // Grow: the new slots must be stale, the allocation reused.
+        acc.ensure_len(6);
+        acc.next_epoch();
+        acc.add(5, 1.0);
+        assert_eq!(acc.touched(), &[5]);
+        assert_eq!(acc.score(5), 1.0);
+        // Shrink then regrow: previously-live high slots must come back
+        // stale, not with their old scores.
+        acc.ensure_len(2);
+        acc.ensure_len(6);
+        acc.next_epoch();
+        assert!(acc.touched().is_empty());
+        acc.add(5, 3.0);
+        assert_eq!(acc.score(5), 3.0);
     }
 
     #[test]

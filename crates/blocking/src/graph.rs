@@ -22,6 +22,13 @@
 //! * per-entity weight aggregation uses an epoch-stamped dense
 //!   sparse-accumulator ([`crate::accum::SparseAccumulator`]) — an array
 //!   add per contribution, no hashing, no per-entity allocation;
+//! * the accumulator and candidate scratch are owned by the **worker**
+//!   (a thread-local arena, see [`KernelScratch`]), not the task: a stage
+//!   runs several tasks per worker and steady-state passes allocate
+//!   nothing per task;
+//! * sorted-row joins (reciprocal pruning, [`GraphIndex::pair_weight`])
+//!   run on the galloping / 4-wide intersection kernel
+//!   ([`crate::intersect`]);
 //! * top-K pruning uses `select_nth_unstable_by` partial selection when a
 //!   candidate list exceeds K, sorting only the selected prefix;
 //! * the γ pass is sharded across the executor **by output row** (left
@@ -119,8 +126,9 @@ pub struct BlockingGraph {
 }
 
 impl BlockingGraph {
-    /// Assembles a graph from its parts (crate-internal: the builder and
-    /// the reference implementation).
+    /// Assembles a graph from its parts (crate-internal: used by the
+    /// reference implementation; the builder writes fields directly).
+    #[cfg(any(test, feature = "reference-impl"))]
     pub(crate) fn from_parts(
         value_cands: [Vec<Vec<Candidate>>; 2],
         neighbor_cands: [Vec<Vec<Candidate>>; 2],
@@ -205,8 +213,9 @@ impl BlockingGraph {
 }
 
 /// The CSR indexes the β passes run on, built once and shared read-only
-/// across tasks.
-pub(crate) struct GraphIndex {
+/// across tasks. Public so callers (benches, spot-check tooling) can
+/// recompute a single pair's raw β without rerunning a full pass.
+pub struct GraphIndex {
     /// Per side: block index → the block's members on that side.
     members: [Csr; 2],
     /// Per side: entity id → indices of the blocks containing it
@@ -216,7 +225,8 @@ pub(crate) struct GraphIndex {
 }
 
 impl GraphIndex {
-    pub(crate) fn build(pair: &KbPair, token_blocks: &TokenBlocks) -> Self {
+    /// Builds both CSR indexes from (purged) token blocks.
+    pub fn build(pair: &KbPair, token_blocks: &TokenBlocks) -> Self {
         Self {
             members: [
                 Csr::block_members(token_blocks, Side::Left),
@@ -228,6 +238,55 @@ impl GraphIndex {
             ],
         }
     }
+
+    /// The raw β accumulation of one pair — `a` on `side`, `b` on the
+    /// other side — as a sorted intersection of the two entities' block
+    /// rows, folding `block_weight` in ascending block order.
+    ///
+    /// This is the exact `f64` addition order of the β scatter pass (a
+    /// candidate's contributions arrive in ascending block order there
+    /// too), so for the raw-accumulation schemes (ARCS, CBS) the result
+    /// is bit-identical to the retained edge weight. It computes the raw
+    /// sum only: the ECBS/JS transforms and the dirty-ER identity-pair
+    /// exclusion are the caller's concern.
+    pub fn pair_weight(&self, side: Side, a: EntityId, b: EntityId, block_weight: &[f64]) -> f64 {
+        let ra = self.entity_blocks[side.index()].row(a.index());
+        let rb = self.entity_blocks[side.other().index()].row(b.index());
+        let mut sum = 0.0;
+        crate::intersect::intersect_visit(ra, rb, |bi| sum += block_weight[bi as usize]);
+        sum
+    }
+}
+
+/// Worker-owned scratch arena for the β/γ passes: one accumulator plus a
+/// candidate buffer per worker thread, reset by epoch bump and truncation
+/// instead of reallocation. A stage runs several tasks per worker
+/// (partitions = 3× cores), so the arena amortizes the O(n) accumulator
+/// zeroing that used to happen per *task*; on the single-worker inline
+/// path it survives across stages too.
+struct KernelScratch {
+    acc: SparseAccumulator,
+    cands: Vec<Candidate>,
+}
+
+thread_local! {
+    static KERNEL_SCRATCH: std::cell::RefCell<KernelScratch> =
+        std::cell::RefCell::new(KernelScratch { acc: SparseAccumulator::new(0), cands: Vec::new() });
+}
+
+/// Runs `f` with the calling worker's scratch, growing the accumulator's
+/// key universe to at least `universe` (grow-only, so stages with smaller
+/// universes don't shrink-regrow the arrays). Not reentrant — kernel
+/// tasks never nest.
+fn with_scratch<R>(universe: usize, f: impl FnOnce(&mut SparseAccumulator, &mut Vec<Candidate>) -> R) -> R {
+    KERNEL_SCRATCH.with(|cell| {
+        let mut scratch = cell.borrow_mut();
+        let KernelScratch { acc, cands } = &mut *scratch;
+        if acc.len() < universe {
+            acc.ensure_len(universe);
+        }
+        f(acc, cands)
+    })
 }
 
 /// Builds the pruned disjunctive blocking graph (Algorithm 1).
@@ -303,34 +362,65 @@ pub fn build_blocking_graph(
 
 /// Drops every directed candidate edge whose reverse did not survive the
 /// other endpoint's cut (enhanced-Meta-blocking-style reciprocity [28]).
-/// Edge sets are sorted vectors probed by binary search — no hashing.
+///
+/// Each evidence kind is pruned as a CSR↔CSR sorted-adjacency join: one
+/// side's lists are transposed into reverse rows (`rev[to]` = ascending
+/// `from` ids), then every entity's ascending candidate-id row is
+/// intersected with its reverse row on the intersection kernel
+/// ([`crate::intersect`]) and exactly the common ids are retained — the
+/// weight-descending candidate order is untouched.
 pub(crate) fn apply_reciprocal_pruning(graph: &mut BlockingGraph) {
-    fn edge_set(lists: &[Vec<Candidate>]) -> Vec<(u32, u32)> {
-        let mut set: Vec<(u32, u32)> = lists
-            .iter()
-            .enumerate()
-            .flat_map(|(from, cands)| cands.iter().map(move |&(to, _)| (from as u32, to.0)))
-            .collect();
-        set.sort_unstable();
-        set
+    /// Transposes candidate lists into a reverse CSR: row `to` holds the
+    /// ascending `from` ids with an edge `from → to`. Ascending because
+    /// the fill walks `from` in order.
+    fn transpose(lists: &[Vec<Candidate>], n_to: usize) -> (Vec<usize>, Vec<u32>) {
+        let mut offsets = vec![0usize; n_to + 1];
+        for cands in lists {
+            for &(to, _) in cands {
+                offsets[to.index() + 1] += 1;
+            }
+        }
+        for i in 0..n_to {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut data = vec![0u32; offsets[n_to]];
+        let mut cursor = offsets.clone();
+        for (from, cands) in lists.iter().enumerate() {
+            for &(to, _) in cands {
+                data[cursor[to.index()]] = from as u32;
+                cursor[to.index()] += 1;
+            }
+        }
+        (offsets, data)
     }
-    // Value edges.
-    let left_edges = edge_set(&graph.value_cands[0]);
-    let right_edges = edge_set(&graph.value_cands[1]);
-    for (from, cands) in graph.value_cands[0].iter_mut().enumerate() {
-        cands.retain(|&(to, _)| right_edges.binary_search(&(to.0, from as u32)).is_ok());
+    /// Keeps only the candidates present in the entity's reverse row.
+    fn prune(lists: &mut [Vec<Candidate>], reverse: &(Vec<usize>, Vec<u32>)) {
+        let (offsets, data) = reverse;
+        let mut ids: Vec<u32> = Vec::new();
+        let mut common: Vec<u32> = Vec::new();
+        for (from, cands) in lists.iter_mut().enumerate() {
+            if cands.is_empty() {
+                continue;
+            }
+            let rev = &data[offsets[from]..offsets[from + 1]];
+            if rev.is_empty() {
+                cands.clear();
+                continue;
+            }
+            ids.clear();
+            ids.extend(cands.iter().map(|&(to, _)| to.0));
+            ids.sort_unstable();
+            crate::intersect::intersect_into(&ids, rev, &mut common);
+            cands.retain(|&(to, _)| common.binary_search(&to.0).is_ok());
+        }
     }
-    for (from, cands) in graph.value_cands[1].iter_mut().enumerate() {
-        cands.retain(|&(to, _)| left_edges.binary_search(&(to.0, from as u32)).is_ok());
-    }
-    // Neighbor edges.
-    let left_n = edge_set(&graph.neighbor_cands[0]);
-    let right_n = edge_set(&graph.neighbor_cands[1]);
-    for (from, cands) in graph.neighbor_cands[0].iter_mut().enumerate() {
-        cands.retain(|&(to, _)| right_n.binary_search(&(to.0, from as u32)).is_ok());
-    }
-    for (from, cands) in graph.neighbor_cands[1].iter_mut().enumerate() {
-        cands.retain(|&(to, _)| left_n.binary_search(&(to.0, from as u32)).is_ok());
+    for lists in [&mut graph.value_cands, &mut graph.neighbor_cands] {
+        // Both transposes are taken before either side is mutated:
+        // reciprocity is judged against the pre-prune cut.
+        let rev_of_right = transpose(&lists[1], lists[0].len());
+        let rev_of_left = transpose(&lists[0], lists[1].len());
+        prune(&mut lists[0], &rev_of_right);
+        prune(&mut lists[1], &rev_of_left);
     }
 }
 
@@ -369,50 +459,50 @@ fn beta_pass(
         let lo = t * chunk;
         let hi = ((t + 1) * chunk).min(n);
         let mut out: Vec<Vec<Candidate>> = Vec::with_capacity(hi - lo);
-        let mut acc = SparseAccumulator::new(n_other);
-        let mut scratch: Vec<Candidate> = Vec::new();
-        for this in lo..hi {
-            let this_id = this as u32;
-            acc.next_epoch();
-            for &bi in eb_self.row(this) {
-                let w = block_weight[bi as usize];
-                for &o in members_other.row(bi as usize) {
-                    // Dirty ER: both sides mirror one KB, so the identity
-                    // pair carries no duplicate evidence.
-                    if dirty && o == this_id {
-                        continue;
+        with_scratch(n_other, |acc, scratch| {
+            for this in lo..hi {
+                let this_id = this as u32;
+                acc.next_epoch();
+                for &bi in eb_self.row(this) {
+                    let w = block_weight[bi as usize];
+                    for &o in members_other.row(bi as usize) {
+                        // Dirty ER: both sides mirror one KB, so the
+                        // identity pair carries no duplicate evidence.
+                        if dirty && o == this_id {
+                            continue;
+                        }
+                        acc.add(o, w);
                     }
-                    acc.add(o, w);
                 }
-            }
-            match weighting {
-                BetaWeighting::Arcs | BetaWeighting::Cbs => {}
-                BetaWeighting::Ecbs => {
-                    let self_factor =
-                        (total_blocks / (eb_self.row_len(this).max(1) as f64)).ln().max(1e-9);
-                    acc.apply(|o, cbs| {
-                        let other_factor = (total_blocks
-                            / (eb_other.row_len(o as usize).max(1) as f64))
-                            .ln()
-                            .max(1e-9);
-                        cbs * (self_factor * other_factor)
-                    });
+                match weighting {
+                    BetaWeighting::Arcs | BetaWeighting::Cbs => {}
+                    BetaWeighting::Ecbs => {
+                        let self_factor =
+                            (total_blocks / (eb_self.row_len(this).max(1) as f64)).ln().max(1e-9);
+                        acc.apply(|o, cbs| {
+                            let other_factor = (total_blocks
+                                / (eb_other.row_len(o as usize).max(1) as f64))
+                                .ln()
+                                .max(1e-9);
+                            cbs * (self_factor * other_factor)
+                        });
+                    }
+                    BetaWeighting::Js => {
+                        let b_self = eb_self.row_len(this).max(1) as f64;
+                        acc.apply(|o, cbs| {
+                            let b_other = eb_other.row_len(o as usize).max(1) as f64;
+                            let denom = b_self + b_other - cbs;
+                            if denom > 0.0 { cbs / denom } else { 0.0 }
+                        });
+                    }
                 }
-                BetaWeighting::Js => {
-                    let b_self = eb_self.row_len(this).max(1) as f64;
-                    acc.apply(|o, cbs| {
-                        let b_other = eb_other.row_len(o as usize).max(1) as f64;
-                        let denom = b_self + b_other - cbs;
-                        if denom > 0.0 { cbs / denom } else { 0.0 }
-                    });
+                scratch.clear();
+                for &o in acc.touched() {
+                    scratch.push((EntityId(o), acc.score(o)));
                 }
+                out.push(select_top_k(scratch, top_k, adaptive));
             }
-            scratch.clear();
-            for &o in acc.touched() {
-                scratch.push((EntityId(o), acc.score(o)));
-            }
-            out.push(select_top_k(&mut scratch, top_k, adaptive));
-        }
+        });
         out
     });
     let lists: Vec<Vec<Candidate>> = partials.into_iter().flatten().collect();
@@ -574,31 +664,31 @@ fn gamma_pass(
         let hi = ((t + 1) * chunk).min(n_left);
         let mut lists: Vec<Vec<Candidate>> = Vec::with_capacity(hi - lo);
         let mut triples: Vec<(u32, u32, f64)> = Vec::new();
-        let mut acc = SparseAccumulator::new(n_right);
-        let mut scratch: Vec<Candidate> = Vec::new();
-        for a in lo..hi {
-            let a_id = a as u32;
-            acc.next_epoch();
-            for &i in &top_left[a] {
-                let row = &edges[edge_offsets[i.index()]..edge_offsets[i.index() + 1]];
-                for &(_, j, beta) in row {
-                    for &b in &in_right[j as usize] {
-                        if dirty && b.0 == a_id {
-                            continue;
+        with_scratch(n_right, |acc, scratch| {
+            for a in lo..hi {
+                let a_id = a as u32;
+                acc.next_epoch();
+                for &i in &top_left[a] {
+                    let row = &edges[edge_offsets[i.index()]..edge_offsets[i.index() + 1]];
+                    for &(_, j, beta) in row {
+                        for &b in &in_right[j as usize] {
+                            if dirty && b.0 == a_id {
+                                continue;
+                            }
+                            acc.add(b.0, beta);
                         }
-                        acc.add(b.0, beta);
                     }
                 }
+                scratch.clear();
+                for &b in acc.touched() {
+                    scratch.push((EntityId(b), acc.score(b)));
+                }
+                for &(b, g) in scratch.iter() {
+                    triples.push((a_id, b.0, g));
+                }
+                lists.push(select_top_k(scratch, top_k, adaptive));
             }
-            scratch.clear();
-            for &b in acc.touched() {
-                scratch.push((EntityId(b), acc.score(b)));
-            }
-            for &(b, g) in scratch.iter() {
-                triples.push((a_id, b.0, g));
-            }
-            lists.push(select_top_k(&mut scratch, top_k, adaptive));
-        }
+        });
         (lists, triples)
     });
     let mut left_lists: Vec<Vec<Candidate>> = Vec::with_capacity(n_left);
@@ -623,21 +713,24 @@ fn gamma_pass(
         let start = triples.partition_point(|&(_, b, _)| b < lo);
         let end = triples.partition_point(|&(_, b, _)| b < hi);
         let mut lists: Vec<Vec<Candidate>> = vec![Vec::new(); (hi - lo) as usize];
-        let mut scratch: Vec<Candidate> = Vec::new();
-        let mut idx = start;
-        while idx < end {
-            let b = triples[idx].1;
-            let mut run_end = idx;
-            while run_end < end && triples[run_end].1 == b {
-                run_end += 1;
+        // Universe 0: the transpose only selects, it never accumulates —
+        // but the candidate buffer is still worth reusing.
+        with_scratch(0, |_, scratch| {
+            let mut idx = start;
+            while idx < end {
+                let b = triples[idx].1;
+                let mut run_end = idx;
+                while run_end < end && triples[run_end].1 == b {
+                    run_end += 1;
+                }
+                scratch.clear();
+                for &(a, _, g) in &triples[idx..run_end] {
+                    scratch.push((EntityId(a), g));
+                }
+                lists[(b - lo) as usize] = select_top_k(scratch, top_k, adaptive);
+                idx = run_end;
             }
-            scratch.clear();
-            for &(a, _, g) in &triples[idx..run_end] {
-                scratch.push((EntityId(a), g));
-            }
-            lists[(b - lo) as usize] = select_top_k(&mut scratch, top_k, adaptive);
-            idx = run_end;
-        }
+        });
         lists
     });
     let right_lists: Vec<Vec<Candidate>> = partials_r.into_iter().flatten().collect();
@@ -875,6 +968,78 @@ mod tests {
                     "edge {i}->{to:?} kept without its reverse"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn reciprocal_pruning_matches_bruteforce_reverse_check() {
+        let pair = figure1_pair();
+        let base = build(&pair, GraphConfig { top_k: 2, ..GraphConfig::default() });
+        let mut pruned = base.clone();
+        apply_reciprocal_pruning(&mut pruned);
+        for side in [Side::Left, Side::Right] {
+            for (e, _) in pair.kb(side).iter() {
+                let expect_value: Vec<Candidate> = base
+                    .value_candidates(side, e)
+                    .iter()
+                    .copied()
+                    .filter(|&(to, _)| {
+                        base.value_candidates(side.other(), to).iter().any(|&(back, _)| back == e)
+                    })
+                    .collect();
+                assert_eq!(pruned.value_candidates(side, e), &expect_value[..]);
+                let expect_neighbor: Vec<Candidate> = base
+                    .neighbor_candidates(side, e)
+                    .iter()
+                    .copied()
+                    .filter(|&(to, _)| {
+                        base.neighbor_candidates(side.other(), to)
+                            .iter()
+                            .any(|&(back, _)| back == e)
+                    })
+                    .collect();
+                assert_eq!(pruned.neighbor_candidates(side, e), &expect_neighbor[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn pair_weight_matches_beta_scatter_bitwise() {
+        let pair = figure1_pair();
+        let rels = RelationStats::compute(&pair);
+        let names = NameStats::compute(&pair, 2);
+        let mut tb = build_token_blocks(&pair);
+        purge_blocks(&mut tb, pair.kb(Side::Left).len() + pair.kb(Side::Right).len());
+        let nb = build_name_blocks(&pair, &names);
+        // ARCS and CBS are raw accumulations — pair_weight must reproduce
+        // the scatter pass's edge weight to the last bit.
+        for weighting in [BetaWeighting::Arcs, BetaWeighting::Cbs] {
+            let cfg = GraphConfig { beta_weighting: weighting, ..GraphConfig::default() };
+            let g = build_blocking_graph(&Executor::new(2), &pair, &rels, &tb, &nb, &cfg);
+            let block_weight: Vec<f64> = match weighting {
+                BetaWeighting::Arcs => tb
+                    .blocks
+                    .iter()
+                    .map(|(_, b)| 1.0 / (b.comparisons() as f64 + 1.0).log2())
+                    .collect(),
+                _ => vec![1.0; tb.blocks.len()],
+            };
+            let index = GraphIndex::build(&pair, &tb);
+            let mut checked = 0usize;
+            for side in [Side::Left, Side::Right] {
+                for (e, _) in pair.kb(side).iter() {
+                    for &(cand, w) in g.value_candidates(side, e) {
+                        let kernel = index.pair_weight(side, e, cand, &block_weight);
+                        assert_eq!(
+                            kernel.to_bits(),
+                            w.to_bits(),
+                            "{weighting:?}: {side:?} {e:?} → {cand:?}: kernel {kernel} vs scatter {w}"
+                        );
+                        checked += 1;
+                    }
+                }
+            }
+            assert!(checked > 0, "{weighting:?}: no retained edges to check");
         }
     }
 

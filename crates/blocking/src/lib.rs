@@ -1,3 +1,4 @@
+#![cfg_attr(feature = "simd", feature(portable_simd))]
 //! # minoaner-blocking
 //!
 //! MinoanER's composite, schema-agnostic blocking layer (§3 of the paper):
@@ -20,6 +21,7 @@ pub mod block;
 pub mod csr;
 pub mod filtering;
 pub mod graph;
+pub mod intersect;
 pub mod lsh;
 pub mod name;
 pub mod purge;
@@ -30,5 +32,6 @@ pub mod stats;
 pub mod token;
 
 pub use block::{Block, NameBlocks, TokenBlocks};
-pub use graph::{BetaWeighting, BlockingGraph, Candidate, GraphConfig};
+pub use graph::{BetaWeighting, BlockingGraph, Candidate, GraphConfig, GraphIndex};
+pub use intersect::{intersect, intersect_count, intersect_into, intersect_visit};
 pub use purge::PurgeReport;

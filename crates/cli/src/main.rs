@@ -17,8 +17,8 @@ use std::fmt;
 use std::path::Path;
 use std::process::ExitCode;
 
-use minoaner_core::{CheckpointSpec, Minoaner};
-use minoaner_dataflow::{CheckpointError, DataflowError, Executor};
+use minoaner_core::{CheckpointSpec, Minoaner, ResolveRequest};
+use minoaner_dataflow::{CheckpointError, DataflowError};
 use minoaner_eval::Quality;
 use minoaner_kb::dirty::DirtyKbBuilder;
 use minoaner_kb::parser::{
@@ -158,10 +158,13 @@ fn ensure_parent_dir(path: &str) -> Result<(), CliError> {
     Ok(())
 }
 
-fn executor(workers: Option<usize>) -> Executor {
+/// Applies the CLI's optional `--workers` override to a request; without
+/// it [`Minoaner::run`] falls back to the configuration's worker count,
+/// then the engine default.
+fn with_workers(req: ResolveRequest<'_>, workers: Option<usize>) -> ResolveRequest<'_> {
     match workers {
-        Some(w) => Executor::new(w),
-        None => Executor::default(),
+        Some(w) => req.workers(w),
+        None => req,
     }
 }
 
@@ -250,15 +253,15 @@ fn resolve(args: &ResolveArgs) -> Result<(), CliError> {
         .build()
         .map_err(|e| CliError::Usage(format!("invalid configuration: {e}")))?;
 
-    let mut exec = executor(args.workers);
     let minoaner = Minoaner::with_config(config);
     let res = if let Some(ckpt_dir) = &args.checkpoint_dir {
         // `CheckpointStore::open` create_dir_all's the directory itself,
         // so missing parents of --checkpoint-dir are covered too.
         let mut spec = CheckpointSpec::new(ckpt_dir);
         spec.resume = args.resume;
-        let (res, trace) =
-            minoaner.try_resolve_checkpointed(&mut exec, &pair, minoaner_core::RuleSet::FULL, &spec)?;
+        let (res, trace) = minoaner
+            .run(with_workers(ResolveRequest::pair(&pair).checkpoint(&spec), args.workers))?
+            .into_traced();
         if trace.counter("ckpt/resumed_from") > 0 {
             eprintln!(
                 "resumed from checkpoint barrier {} in {ckpt_dir} ({} bytes restored)",
@@ -274,15 +277,15 @@ fn resolve(args: &ResolveArgs) -> Result<(), CliError> {
         write_report(args.report.as_deref(), &trace)?;
         res
     } else if args.report.is_some() {
-        let (res, trace) = minoaner.try_resolve_traced(
-            &mut exec,
-            &pair,
-            minoaner_core::RuleSet::FULL,
-        )?;
+        let (res, trace) = minoaner
+            .run(with_workers(ResolveRequest::pair(&pair).trace(), args.workers))?
+            .into_traced();
         write_report(args.report.as_deref(), &trace)?;
         res
     } else {
-        minoaner.try_resolve(&exec, &pair)?
+        minoaner
+            .run(with_workers(ResolveRequest::pair(&pair), args.workers))?
+            .into_resolution()
     };
 
     if args.json {
@@ -381,8 +384,9 @@ fn multi(args: &MultiArgs) -> Result<(), CliError> {
             input.add_triple(idx, &s, &p, o);
         }
     }
-    let exec = executor(args.workers);
-    let res = Minoaner::new().try_resolve_multi(&exec, &input)?;
+    let res = Minoaner::new()
+        .run(with_workers(ResolveRequest::multi(&input), args.workers))?
+        .into_multi();
 
     if args.json {
         let rows: Vec<serde_json::Value> = res
@@ -514,16 +518,20 @@ fn jobs_run(args: &JobsRunArgs) -> Result<JobsOutcome, CliError> {
         let resume = args.resume;
         let job_config = config.clone();
         let submitted = sched.submit(spec, move |ctx| {
-            let mut exec = ctx.executor();
             let minoaner = Minoaner::with_config(job_config);
             let mut ckpt = CheckpointSpec::for_job(&root, &ctx.id().to_string());
             ckpt.resume = resume;
-            let (res, trace) = minoaner.try_resolve_job(
-                &mut exec,
-                &pair,
-                minoaner_core::RuleSet::FULL,
-                Some(&ckpt),
-            )?;
+            // The admission grant travels on the request: the budgeted
+            // worker count sizes the executor `run` builds, and the job's
+            // cancellation token and deadline are installed on it.
+            let mut req = ResolveRequest::pair(&pair)
+                .checkpoint(&ckpt)
+                .workers(ctx.workers())
+                .cancel(ctx.cancel_token().clone());
+            if let Some(deadline) = ctx.deadline() {
+                req = req.deadline(deadline);
+            }
+            let (res, trace) = minoaner.run(req)?.into_traced();
             if let Some(dir) = ctx.job_dir() {
                 // Artifacts are best-effort: the resolution already
                 // succeeded, and the summary carries the headline result.
@@ -672,8 +680,9 @@ fn dedup(args: &DedupArgs) -> Result<(), CliError> {
     let pair = builder.finish();
     eprintln!("loaded {} triples ({} entities)", report.parsed, pair.kb(Side::Left).len());
 
-    let exec = executor(args.workers);
-    let res = Minoaner::new().try_resolve_dirty(&exec, &pair)?;
+    let res = Minoaner::new()
+        .run(with_workers(ResolveRequest::pair(&pair).dirty(), args.workers))?
+        .into_dirty();
 
     if args.json {
         let rows: Vec<serde_json::Value> = res

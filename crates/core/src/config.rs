@@ -29,6 +29,9 @@ pub enum ConfigError {
     ZeroRelations,
     /// `theta` (`θ`) fell outside the open interval `(0, 1)`.
     ThetaOutOfRange(f64),
+    /// `workers` was `Some(0)`; an executor needs at least one worker
+    /// (leave it `None` to defer to the environment default).
+    ZeroWorkers,
 }
 
 impl fmt::Display for ConfigError {
@@ -40,6 +43,7 @@ impl fmt::Display for ConfigError {
             ConfigError::ThetaOutOfRange(theta) => {
                 write!(f, "theta (θ) must lie in (0, 1), got {theta}")
             }
+            ConfigError::ZeroWorkers => write!(f, "workers must be ≥ 1 when set"),
         }
     }
 }
@@ -66,6 +70,13 @@ pub struct MinoanerConfig {
     /// Disabling reverts to the literal Algorithm 2 reading where each
     /// node independently picks its best candidate.
     pub unique_mapping: bool,
+    /// Worker-pool size [`crate::Minoaner::run`] builds its executor with
+    /// (the Figure 6 parallelism knob). `None` defers to the engine
+    /// default; a per-request [`crate::ResolveRequest::workers`] override
+    /// wins over both. Not part of the checkpoint fingerprint — results
+    /// are bit-identical across worker counts.
+    #[serde(default)]
+    pub workers: Option<usize>,
 }
 
 impl Default for MinoanerConfig {
@@ -77,6 +88,7 @@ impl Default for MinoanerConfig {
             theta: 0.6,
             purge_blocks: true,
             unique_mapping: true,
+            workers: None,
         }
     }
 }
@@ -109,6 +121,9 @@ impl MinoanerConfig {
         }
         if !(0.0 < self.theta && self.theta < 1.0) {
             return Err(ConfigError::ThetaOutOfRange(self.theta));
+        }
+        if self.workers == Some(0) {
+            return Err(ConfigError::ZeroWorkers);
         }
         Ok(())
     }
@@ -158,6 +173,13 @@ impl MinoanerConfigBuilder {
     /// Enables or disables unique-mapping conflict resolution.
     pub fn unique_mapping(mut self, unique: bool) -> Self {
         self.config.unique_mapping = unique;
+        self
+    }
+
+    /// Sets the worker-pool size [`crate::Minoaner::run`] builds its
+    /// executor with.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = Some(workers);
         self
     }
 

@@ -9,10 +9,10 @@
 //! resulting matches are canonicalized into unordered duplicate pairs.
 
 use minoaner_dataflow::Executor;
-use minoaner_kb::dirty::canonicalize_dirty_matches;
 use minoaner_kb::{EntityId, KbPair};
 
 use crate::pipeline::{Minoaner, Resolution};
+use crate::request::ResolveRequest;
 
 /// The result of dirty-ER resolution.
 #[derive(Debug, Clone)]
@@ -28,35 +28,29 @@ impl Minoaner {
     /// Resolves duplicates within a dirty KB built with
     /// [`minoaner_kb::dirty::DirtyKbBuilder`].
     ///
-    /// Thin infallible wrapper over [`Minoaner::try_resolve_dirty`] (the
-    /// single implementation): a dataflow failure is re-raised as the
-    /// original panic payload.
-    ///
     /// # Panics
     /// Panics if `pair` was not marked dirty (a clean-clean pair would
-    /// yield meaningless "duplicates"), or if the dataflow fails.
+    /// yield meaningless "duplicates"), or if the dataflow fails — the
+    /// panic payload is the structured
+    /// [`DataflowError`](minoaner_dataflow::DataflowError).
+    #[deprecated(note = "build a ResolveRequest::pair(pair).dirty() and call Minoaner::run")]
     pub fn resolve_dirty(&self, executor: &Executor, pair: &KbPair) -> DirtyResolution {
-        self.try_resolve_dirty(executor, pair)
+        self.run_shared(executor, ResolveRequest::pair(pair).dirty())
             .unwrap_or_else(|e| std::panic::panic_any(e))
+            .into_dirty()
     }
 
     /// Resolves duplicates within a dirty KB; dataflow failures come back
-    /// as a structured [`minoaner_dataflow::DataflowError`].
-    ///
-    /// This is the implementation behind [`Minoaner::resolve_dirty`]. The
-    /// dirty-pair precondition is still an assertion — passing a
-    /// clean-clean pair is a caller bug, not a runtime fault — and it
-    /// fires *before* the fallible pipeline so wrapper and fallible
-    /// callers observe the same panic message.
+    /// as a structured [`minoaner_dataflow::DataflowError`]. The
+    /// dirty-pair precondition stays an assertion — passing a clean-clean
+    /// pair is a caller bug, not a runtime fault.
+    #[deprecated(note = "build a ResolveRequest::pair(pair).dirty() and call Minoaner::run")]
     pub fn try_resolve_dirty(
         &self,
         executor: &Executor,
         pair: &KbPair,
     ) -> Result<DirtyResolution, minoaner_dataflow::DataflowError> {
-        assert!(pair.is_dirty(), "resolve_dirty requires a DirtyKbBuilder-built pair");
-        let inner = self.try_resolve(executor, pair)?;
-        let duplicates = canonicalize_dirty_matches(&inner.matches);
-        Ok(DirtyResolution { duplicates, inner })
+        self.run_shared(executor, ResolveRequest::pair(pair).dirty()).map(|o| o.into_dirty())
     }
 }
 
@@ -95,11 +89,17 @@ mod tests {
         v
     }
 
+    fn resolve_dirty(pair: &KbPair, workers: usize) -> DirtyResolution {
+        Minoaner::new()
+            .run(ResolveRequest::pair(pair).dirty().workers(workers))
+            .expect("healthy run succeeds")
+            .into_dirty()
+    }
+
     #[test]
     fn finds_duplicates_within_one_kb() {
         let pair = dirty_kb();
-        let exec = Executor::new(2);
-        let res = Minoaner::new().resolve_dirty(&exec, &pair);
+        let res = resolve_dirty(&pair, 2);
         let found = uri_pairs(&pair, &res.duplicates);
         assert!(
             found.contains(&("crawl:fatduck1995".into(), "db:fat_duck".into()))
@@ -117,8 +117,7 @@ mod tests {
     #[test]
     fn no_identity_pairs_in_output() {
         let pair = dirty_kb();
-        let exec = Executor::new(1);
-        let res = Minoaner::new().resolve_dirty(&exec, &pair);
+        let res = resolve_dirty(&pair, 1);
         for &(a, b) in &res.duplicates {
             assert_ne!(a, b);
             assert!(a < b, "pairs must be canonical");
@@ -132,7 +131,18 @@ mod tests {
         b.add_triple(Side::Left, "a", "p", Term::Literal("x"));
         b.add_triple(Side::Right, "b", "p", Term::Literal("x"));
         let pair = b.finish();
-        let exec = Executor::new(1);
-        Minoaner::new().resolve_dirty(&exec, &pair);
+        resolve_dirty(&pair, 1);
+    }
+
+    /// The deprecated dirty wrappers and the request spelling agree.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_the_request_path() {
+        let pair = dirty_kb();
+        let exec = Executor::new(2);
+        let legacy = Minoaner::new().resolve_dirty(&exec, &pair);
+        let request = resolve_dirty(&pair, 2);
+        assert_eq!(legacy.duplicates, request.duplicates);
+        assert_eq!(legacy.inner.graph_digest, request.inner.graph_digest);
     }
 }

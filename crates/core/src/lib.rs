@@ -4,16 +4,15 @@
 //! automated, schema-agnostic, non-iterative, massively parallel entity
 //! resolution framework for the Web of Data.
 //!
-//! The entry point is [`Minoaner`]: build a [`minoaner_kb::KbPair`], pick an
-//! [`Executor`] with the desired parallelism, and call
-//! [`Minoaner::resolve`]. The pipeline computes KB statistics, builds the
-//! composite blocks and the pruned disjunctive blocking graph (Algorithm 1,
-//! in `minoaner-blocking`), and applies the four matching rules R1–R4
+//! The entry point is [`Minoaner`]: build a [`minoaner_kb::KbPair`],
+//! describe the run with a [`ResolveRequest`], and call [`Minoaner::run`].
+//! The pipeline computes KB statistics, builds the composite blocks and
+//! the pruned disjunctive blocking graph (Algorithm 1, in
+//! `minoaner-blocking`), and applies the four matching rules R1–R4
 //! (Algorithm 2, [`matcher`]).
 //!
 //! ```
-//! use minoaner_core::{Minoaner, MinoanerConfig};
-//! use minoaner_dataflow::Executor;
+//! use minoaner_core::{Minoaner, ResolveRequest};
 //! use minoaner_kb::{KbPairBuilder, Side, Term};
 //!
 //! let mut b = KbPairBuilder::new();
@@ -21,8 +20,10 @@
 //! b.add_triple(Side::Right, "d:R2", "d:name", Term::Literal("Fat Duck"));
 //! let pair = b.finish();
 //!
-//! let exec = Executor::new(2);
-//! let resolution = Minoaner::new().resolve(&exec, &pair);
+//! let resolution = Minoaner::new()
+//!     .run(ResolveRequest::pair(&pair).workers(2))
+//!     .expect("healthy run succeeds")
+//!     .into_resolution();
 //! assert_eq!(resolution.matches.len(), 1);
 //! ```
 
@@ -33,14 +34,20 @@ pub mod extensions;
 pub mod matcher;
 pub mod multi;
 pub mod pipeline;
+pub mod request;
 pub mod resume;
 
 pub use config::{ConfigError, MinoanerConfig, MinoanerConfigBuilder, RuleSet};
 pub use dirty::DirtyResolution;
-pub use extensions::{ensemble_resolve, resolve_adaptive, EnsembleResolution};
+pub use extensions::{ensemble_resolve, EnsembleResolution};
+// The deprecated free function stays re-exported for migration-period
+// callers; the `use` itself must not trip `-D deprecated`.
+#[allow(deprecated)]
+pub use extensions::resolve_adaptive;
 pub use multi::{MultiKb, MultiResolution, ObjectTerm};
 pub use matcher::{MatchOutcome, Rule, RuleCounts};
 pub use pipeline::{Minoaner, PipelineTimings, PreparedBlocks, PreparedGraph, Resolution};
+pub use request::{ResolveInput, ResolveOutcome, ResolveRequest};
 pub use resume::{run_fingerprint, CheckpointSpec};
 
 // Re-export for the doctest-friendly API surface.

@@ -17,7 +17,9 @@ use minoaner_dataflow::Executor;
 use minoaner_kb::{KbPair, KbPairBuilder, Side, Term};
 
 use crate::clusters::UnionFind;
+use crate::config::RuleSet;
 use crate::pipeline::Minoaner;
+use crate::request::ResolveRequest;
 
 /// A multi-KB input: each KB is a list of triples
 /// `(subject, predicate, object)`.
@@ -90,27 +92,35 @@ pub struct MultiResolution {
 
 impl Minoaner {
     /// Resolves `k` clean KBs pairwise and merges the matches into
-    /// k-partite clusters.
-    ///
-    /// Thin infallible wrapper over [`Minoaner::try_resolve_multi`] (the
-    /// single implementation): a dataflow failure is re-raised as the
+    /// k-partite clusters. A dataflow failure is re-raised as the
     /// original panic payload.
+    #[deprecated(note = "build a ResolveRequest::multi(input) and call Minoaner::run")]
     pub fn resolve_multi(&self, executor: &Executor, input: &MultiKb) -> MultiResolution {
-        self.try_resolve_multi(executor, input)
+        self.run_shared(executor, ResolveRequest::multi(input))
             .unwrap_or_else(|e| std::panic::panic_any(e))
+            .into_multi()
     }
 
     /// Resolves `k` clean KBs pairwise; a dataflow failure in any
     /// pairwise resolution aborts the whole multi-KB run with a
     /// structured [`minoaner_dataflow::DataflowError`].
-    ///
-    /// This is the implementation behind [`Minoaner::resolve_multi`].
+    #[deprecated(note = "build a ResolveRequest::multi(input) and call Minoaner::run")]
     pub fn try_resolve_multi(
         &self,
         executor: &Executor,
         input: &MultiKb,
     ) -> Result<MultiResolution, minoaner_dataflow::DataflowError> {
-        assert!(input.len() >= 2, "multi-KB resolution needs at least two KBs");
+        self.run_shared(executor, ResolveRequest::multi(input)).map(|o| o.into_multi())
+    }
+
+    /// The multi-KB implementation behind [`crate::ResolveRequest::multi`]:
+    /// every KB pair through the standard two-KB pipeline, then k-partite
+    /// clustering of the pairwise matches.
+    pub(crate) fn multi_impl(
+        &self,
+        executor: &Executor,
+        input: &MultiKb,
+    ) -> Result<MultiResolution, minoaner_dataflow::DataflowError> {
         let mut uf: UnionFind<MultiNode> = UnionFind::new();
         // Cluster membership guard: root → kb indices already present.
         let mut kb_members: DetHashMap<MultiNode, Vec<usize>> = DetHashMap::default();
@@ -119,7 +129,7 @@ impl Minoaner {
         for i in 0..input.len() {
             for j in (i + 1)..input.len() {
                 let pair = input.pair(i, j);
-                let res = self.try_resolve(executor, &pair)?;
+                let res = self.resolve_impl(executor, &pair, RuleSet::FULL)?;
                 pairwise.push(((i, j), res.matches.len()));
                 for &(l, r) in &res.matches {
                     let a: MultiNode = (i, pair.uri_of(Side::Left, l).to_owned());
@@ -193,11 +203,17 @@ mod tests {
         m
     }
 
+    fn resolve_multi(m: &MultiKb, workers: usize) -> MultiResolution {
+        Minoaner::new()
+            .run(ResolveRequest::multi(m).workers(workers))
+            .expect("healthy run succeeds")
+            .into_multi()
+    }
+
     #[test]
     fn clusters_span_multiple_kbs() {
         let m = three_kbs();
-        let exec = Executor::new(2);
-        let res = Minoaner::new().resolve_multi(&exec, &m);
+        let res = resolve_multi(&m, 2);
         // Fat Duck appears in all three KBs → one 3-node cluster.
         let fat_duck = res
             .clusters
@@ -218,8 +234,7 @@ mod tests {
     #[test]
     fn clusters_hold_at_most_one_node_per_kb() {
         let m = three_kbs();
-        let exec = Executor::new(1);
-        let res = Minoaner::new().resolve_multi(&exec, &m);
+        let res = resolve_multi(&m, 1);
         for cluster in &res.clusters {
             let mut kbs: Vec<usize> = cluster.iter().map(|(kb, _)| *kb).collect();
             let n = kbs.len();
@@ -234,7 +249,18 @@ mod tests {
     fn single_kb_rejected() {
         let mut m = MultiKb::new();
         m.add_kb();
-        let exec = Executor::new(1);
-        Minoaner::new().resolve_multi(&exec, &m);
+        resolve_multi(&m, 1);
+    }
+
+    /// The deprecated multi wrappers and the request spelling agree.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_the_request_path() {
+        let m = three_kbs();
+        let exec = Executor::new(2);
+        let legacy = Minoaner::new().resolve_multi(&exec, &m);
+        let request = resolve_multi(&m, 2);
+        assert_eq!(legacy.clusters, request.clusters);
+        assert_eq!(legacy.pairwise, request.pairwise);
     }
 }

@@ -21,6 +21,7 @@ use minoaner_kb::{EntityId, KbPair};
 
 use crate::config::{MinoanerConfig, RuleSet};
 use crate::matcher::{run_matching, MatchOutcome, RuleCounts};
+use crate::request::ResolveRequest;
 use crate::resume::{self, CheckpointSpec};
 
 /// Wall-clock breakdown of a pipeline run. §6.2 of the paper reports both
@@ -209,33 +210,96 @@ impl Minoaner {
 
     /// End-to-end resolution with the full rule set.
     ///
-    /// Thin infallible wrapper over [`Minoaner::try_resolve`]: re-raises a
-    /// dataflow failure as a panic whose payload is the structured
-    /// [`DataflowError`].
+    /// Re-raises a dataflow failure as a panic whose payload is the
+    /// structured [`DataflowError`].
+    #[deprecated(note = "build a ResolveRequest::pair(pair) and call Minoaner::run")]
     pub fn resolve(&self, executor: &Executor, pair: &KbPair) -> Resolution {
-        self.resolve_with_rules(executor, pair, RuleSet::FULL)
+        self.run_shared(executor, ResolveRequest::pair(pair))
+            .unwrap_or_else(|e| std::panic::panic_any(e))
+            .into_resolution()
     }
 
     /// End-to-end resolution with an explicit rule set (Table 4 ablations).
     ///
-    /// Thin infallible wrapper over [`Minoaner::try_resolve_with_rules`] —
-    /// the fallible variant is the single implementation; this merely
-    /// unwraps, re-raising any [`DataflowError`] as a panic payload that
-    /// [`DataflowError::from_panic`] can recover.
+    /// Re-raises a dataflow failure as a panic whose payload is the
+    /// structured [`DataflowError`].
+    #[deprecated(note = "build a ResolveRequest::pair(pair).rules(rules) and call Minoaner::run")]
     pub fn resolve_with_rules(&self, executor: &Executor, pair: &KbPair, rules: RuleSet) -> Resolution {
-        self.try_resolve_with_rules(executor, pair, rules)
+        self.run_shared(executor, ResolveRequest::pair(pair).rules(rules))
             .unwrap_or_else(|e| std::panic::panic_any(e))
+            .into_resolution()
     }
 
     /// End-to-end resolution that surfaces dataflow failures as a
     /// structured [`DataflowError`] instead of unwinding through the
-    /// caller. See [`Minoaner::try_resolve_with_rules`].
+    /// caller.
+    #[deprecated(note = "build a ResolveRequest::pair(pair) and call Minoaner::run")]
     pub fn try_resolve(&self, executor: &Executor, pair: &KbPair) -> Result<Resolution, DataflowError> {
-        self.try_resolve_with_rules(executor, pair, RuleSet::FULL)
+        self.run_shared(executor, ResolveRequest::pair(pair)).map(|o| o.into_resolution())
+    }
+
+    /// End-to-end resolution with an explicit rule set, fallible.
+    #[deprecated(note = "build a ResolveRequest::pair(pair).rules(rules) and call Minoaner::run")]
+    pub fn try_resolve_with_rules(
+        &self,
+        executor: &Executor,
+        pair: &KbPair,
+        rules: RuleSet,
+    ) -> Result<Resolution, DataflowError> {
+        self.run_shared(executor, ResolveRequest::pair(pair).rules(rules))
+            .map(|o| o.into_resolution())
+    }
+
+    /// End-to-end resolution that additionally captures a [`RunTrace`].
+    #[deprecated(note = "build a ResolveRequest::pair(pair).rules(rules).trace() and call \
+                         Minoaner::run_on")]
+    pub fn try_resolve_traced(
+        &self,
+        executor: &mut Executor,
+        pair: &KbPair,
+        rules: RuleSet,
+    ) -> Result<(Resolution, RunTrace), DataflowError> {
+        self.run_on(executor, ResolveRequest::pair(pair).rules(rules).trace())
+            .map(|o| o.into_traced())
+    }
+
+    /// Checkpointed end-to-end resolution.
+    #[deprecated(note = "build a ResolveRequest::pair(pair).rules(rules).checkpoint(spec) and \
+                         call Minoaner::run_on")]
+    pub fn try_resolve_checkpointed(
+        &self,
+        executor: &mut Executor,
+        pair: &KbPair,
+        rules: RuleSet,
+        spec: &CheckpointSpec,
+    ) -> Result<(Resolution, RunTrace), DataflowError> {
+        self.run_on(executor, ResolveRequest::pair(pair).rules(rules).checkpoint(spec))
+            .map(|o| o.into_traced())
+    }
+
+    /// Job-scoped resolution: an admission cancellation poll, then a
+    /// traced (and, with a spec, checkpointed) run on the job's executor.
+    #[deprecated(note = "poll Executor::check_cancelled yourself, then build a \
+                         ResolveRequest::pair(pair).rules(rules).trace() (plus .checkpoint(spec)) \
+                         and call Minoaner::run_on")]
+    pub fn try_resolve_job(
+        &self,
+        executor: &mut Executor,
+        pair: &KbPair,
+        rules: RuleSet,
+        checkpoint: Option<&CheckpointSpec>,
+    ) -> Result<(Resolution, RunTrace), DataflowError> {
+        executor.check_cancelled("job:admit")?;
+        let mut req = ResolveRequest::pair(pair).rules(rules).trace();
+        if let Some(spec) = checkpoint {
+            req = req.checkpoint(spec);
+        }
+        self.run_on(executor, req).map(|o| o.into_traced())
     }
 
     /// End-to-end resolution with an explicit rule set — **the** resolver
-    /// implementation; every other `resolve*` entry point delegates here.
+    /// implementation; every request path and legacy wrapper delegates
+    /// here.
     ///
     /// The pipeline's internal stages run on the executor's infallible
     /// operators, which re-raise task failures as a structured panic
@@ -245,7 +309,7 @@ impl Minoaner {
     /// the executor's panic isolation). The executor and its stage log
     /// remain usable after a failure — workers are joined at the stage
     /// barrier before the error propagates.
-    pub fn try_resolve_with_rules(
+    pub(crate) fn resolve_impl(
         &self,
         executor: &Executor,
         pair: &KbPair,
@@ -255,15 +319,15 @@ impl Minoaner {
             .map_err(DataflowError::from_panic)
     }
 
-    /// End-to-end resolution that additionally captures a [`RunTrace`]:
-    /// a [`TraceCollector`] is installed on the executor for the duration
-    /// of the run, and the trace combines the collector's domain counters
-    /// with the executor's annotated stage log.
+    /// The traced-run implementation: a [`TraceCollector`] is installed on
+    /// the executor for the duration of the run, and the trace combines
+    /// the collector's domain counters with the executor's annotated stage
+    /// log.
     ///
     /// Takes `&mut Executor` because installing the observer mutates the
     /// executor's (otherwise lock-free) observer slot. Any previously
     /// installed observer is replaced and cleared afterwards.
-    pub fn try_resolve_traced(
+    pub(crate) fn traced_impl(
         &self,
         executor: &mut Executor,
         pair: &KbPair,
@@ -271,7 +335,7 @@ impl Minoaner {
     ) -> Result<(Resolution, RunTrace), DataflowError> {
         let collector = TraceCollector::new();
         executor.set_observer(collector.clone());
-        let result = self.try_resolve_with_rules(executor, pair, rules);
+        let result = self.resolve_impl(executor, pair, rules);
         executor.clear_observer();
         let resolution = result?;
         let trace = RunTrace::capture(
@@ -284,14 +348,14 @@ impl Minoaner {
         Ok((resolution, trace))
     }
 
-    /// Checkpointed end-to-end resolution: like
-    /// [`Minoaner::try_resolve_traced`], but materializing pipeline state
-    /// at stage barriers per `spec` and — when `spec.resume` is set —
-    /// restoring the newest valid checkpoint instead of recomputing the
-    /// barriers it covers. Restored runs re-emit the checkpoint's counter
-    /// snapshot, so the returned [`RunTrace`]'s domain counters match an
-    /// uninterrupted run's (only the `ckpt/*` accounting differs).
-    pub fn try_resolve_checkpointed(
+    /// The checkpointed-run implementation: like [`Minoaner::traced_impl`],
+    /// but materializing pipeline state at stage barriers per `spec` and —
+    /// when `spec.resume` is set — restoring the newest valid checkpoint
+    /// instead of recomputing the barriers it covers. Restored runs
+    /// re-emit the checkpoint's counter snapshot, so the returned
+    /// [`RunTrace`]'s domain counters match an uninterrupted run's (only
+    /// the `ckpt/*` accounting differs).
+    pub(crate) fn checkpointed_impl(
         &self,
         executor: &mut Executor,
         pair: &KbPair,
@@ -316,30 +380,6 @@ impl Minoaner {
             collector.counters(),
         );
         Ok((resolution, trace))
-    }
-
-    /// Job-scoped resolution: the entry point `minoaner-jobs` runners call.
-    ///
-    /// The executor is expected to carry the job's identity — its
-    /// [`CancelToken`](minoaner_dataflow::CancelToken) and optional
-    /// [`Deadline`](minoaner_dataflow::Deadline) installed by the
-    /// scheduler, plus worker/partition sizing from the job's admission
-    /// grant. With a `checkpoint` spec (typically
-    /// [`CheckpointSpec::for_job`]) the run is crash-safe and resumable;
-    /// without one it is a plain traced run. Either way the returned
-    /// [`RunTrace`] is the job's per-run report.
-    pub fn try_resolve_job(
-        &self,
-        executor: &mut Executor,
-        pair: &KbPair,
-        rules: RuleSet,
-        checkpoint: Option<&CheckpointSpec>,
-    ) -> Result<(Resolution, RunTrace), DataflowError> {
-        executor.check_cancelled("job:admit")?;
-        match checkpoint {
-            Some(spec) => self.try_resolve_checkpointed(executor, pair, rules, spec),
-            None => self.try_resolve_traced(executor, pair, rules),
-        }
     }
 
     /// The pipeline body shared by every resolver entry point: prepare
@@ -541,11 +581,17 @@ mod tests {
         (pair, gt)
     }
 
+    fn resolve(pair: &KbPair, workers: usize) -> Resolution {
+        Minoaner::new()
+            .run(ResolveRequest::pair(pair).workers(workers))
+            .expect("healthy run succeeds")
+            .into_resolution()
+    }
+
     #[test]
     fn resolves_clean_scenario_perfectly() {
         let (pair, gt) = scenario();
-        let exec = Executor::new(2);
-        let res = Minoaner::new().resolve(&exec, &pair);
+        let res = resolve(&pair, 2);
         let mut found = res.matches.clone();
         found.sort_unstable();
         let mut expected = gt.clone();
@@ -556,8 +602,7 @@ mod tests {
     #[test]
     fn rule_counts_sum_to_matches() {
         let (pair, _) = scenario();
-        let exec = Executor::new(2);
-        let res = Minoaner::new().resolve(&exec, &pair);
+        let res = resolve(&pair, 2);
         let c = res.rule_counts;
         assert_eq!(c.r1 + c.r2 + c.r3, res.matches.len() + c.removed_by_r4);
     }
@@ -565,8 +610,7 @@ mod tests {
     #[test]
     fn timings_break_out_the_graph_kernel() {
         let (pair, _) = scenario();
-        let exec = Executor::new(2);
-        let res = Minoaner::new().resolve(&exec, &pair);
+        let res = resolve(&pair, 2);
         let t = &res.timings;
         assert!(t.graph > Duration::ZERO, "graph/* stages must be timed");
         assert!(t.graph <= t.total);
@@ -579,18 +623,19 @@ mod tests {
     #[test]
     fn name_rule_fires_on_distinct_names() {
         let (pair, _) = scenario();
-        let exec = Executor::new(1);
-        let res = Minoaner::new().resolve(&exec, &pair);
+        let res = resolve(&pair, 1);
         assert!(res.rule_counts.r1 > 0, "distinct shared names must be matched by R1");
     }
 
     #[test]
     fn ablation_r1_only_finds_fewer_or_equal_matches() {
         let (pair, _) = scenario();
-        let exec = Executor::new(2);
         let m = Minoaner::new();
-        let full = m.resolve(&exec, &pair);
-        let r1 = m.resolve_with_rules(&exec, &pair, RuleSet::R1_ONLY);
+        let full = resolve(&pair, 2);
+        let r1 = m
+            .run(ResolveRequest::pair(&pair).rules(RuleSet::R1_ONLY).workers(2))
+            .expect("healthy run succeeds")
+            .into_resolution();
         assert!(r1.matches.len() <= full.matches.len());
         assert_eq!(r1.rule_counts.r2, 0);
         assert_eq!(r1.rule_counts.r3, 0);
@@ -599,8 +644,7 @@ mod tests {
     #[test]
     fn timings_cover_matching_share() {
         let (pair, _) = scenario();
-        let exec = Executor::new(2);
-        let res = Minoaner::new().resolve(&exec, &pair);
+        let res = resolve(&pair, 2);
         assert!(res.timings.total >= res.timings.matching);
         let share = res.timings.matching_share();
         assert!((0.0..=100.0).contains(&share));
@@ -610,9 +654,8 @@ mod tests {
     #[test]
     fn deterministic_across_worker_counts() {
         let (pair, _) = scenario();
-        let m = Minoaner::new();
-        let r1 = m.resolve(&Executor::new(1), &pair);
-        let r4 = m.resolve(&Executor::new(4), &pair);
+        let r1 = resolve(&pair, 1);
+        let r4 = resolve(&pair, 4);
         let mut a = r1.matches;
         let mut b = r4.matches;
         a.sort_unstable();
@@ -620,7 +663,10 @@ mod tests {
         assert_eq!(a, b);
     }
 
+    /// The deprecated infallible/fallible wrappers and the request
+    /// spelling all produce the same resolution.
     #[test]
+    #[allow(deprecated)]
     fn try_resolve_agrees_with_resolve_on_healthy_input() {
         let (pair, _) = scenario();
         let m = Minoaner::new();
@@ -638,27 +684,30 @@ mod tests {
     fn cancelled_executor_fails_fast_with_structured_error() {
         use minoaner_dataflow::{CancelReason, CancelToken};
         let (pair, _) = scenario();
-        let mut exec = Executor::new(2);
         let token = CancelToken::new();
-        exec.set_cancel_token(token.clone());
         token.cancel(CancelReason::User);
-        let err = Minoaner::new().try_resolve(&exec, &pair).unwrap_err();
+        let err = Minoaner::new()
+            .run(ResolveRequest::pair(&pair).workers(2).cancel(token))
+            .unwrap_err();
         match err {
             DataflowError::Cancelled { reason, .. } => assert_eq!(reason, CancelReason::User),
             other => panic!("unexpected error: {other}"),
         }
     }
 
+    /// The deprecated job wrapper and the request spelling agree.
     #[test]
+    #[allow(deprecated)]
     fn try_resolve_job_without_checkpoint_matches_traced_run() {
         let (pair, _) = scenario();
         let m = Minoaner::new();
         let mut a = Executor::new(2);
-        let mut b = Executor::new(2);
         let (res_job, trace_job) =
             m.try_resolve_job(&mut a, &pair, RuleSet::FULL, None).expect("job run succeeds");
-        let (res_traced, trace_traced) =
-            m.try_resolve_traced(&mut b, &pair, RuleSet::FULL).expect("traced run succeeds");
+        let (res_traced, trace_traced) = m
+            .run(ResolveRequest::pair(&pair).workers(2).trace())
+            .expect("traced run succeeds")
+            .into_traced();
         let mut x = res_job.matches;
         let mut y = res_traced.matches;
         x.sort_unstable();
@@ -677,8 +726,7 @@ mod tests {
     #[test]
     fn unique_mapping_produces_partial_matching() {
         let (pair, _) = scenario();
-        let exec = Executor::new(2);
-        let res = Minoaner::new().resolve(&exec, &pair);
+        let res = resolve(&pair, 2);
         let mut lefts: Vec<_> = res.matches.iter().map(|&(l, _)| l).collect();
         let mut rights: Vec<_> = res.matches.iter().map(|&(_, r)| r).collect();
         lefts.sort_unstable();

@@ -60,6 +60,7 @@ pub mod observer;
 pub mod ops;
 pub mod pdc;
 pub mod pool;
+pub mod steal;
 pub mod trace;
 
 pub use broadcast::Broadcast;
@@ -73,4 +74,5 @@ pub use metrics::{StageIo, StageLog, StageMetric};
 pub use observer::{Observer, ObserverSlot, TraceCollector};
 pub use pdc::{DetHashMap, DetHashSet, Pdc};
 pub use pool::{Deadline, Executor, ExecutorConfig, FailureAction, FaultPolicy, StageOutput};
+pub use steal::{StealQueues, StealSchedule};
 pub use trace::{RunTrace, TRACE_SCHEMA_VERSION};

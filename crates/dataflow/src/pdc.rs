@@ -111,7 +111,9 @@ impl<T: Send> Pdc<T> {
         let slots: Vec<Mutex<Option<Vec<T>>>> =
             self.parts.into_iter().map(|p| Mutex::new(Some(p))).collect();
         let parts = executor.run_stage(name, n, |i| {
-            let part = slots[i].lock().take().expect("partition taken once");
+            let Some(part) = slots[i].lock().take() else {
+                unreachable!("partition {i} claimed twice (claim-exactly-once violated)");
+            };
             f(i, part)
         });
         let (items_out, _) = partition_sizes(&parts);
@@ -264,7 +266,9 @@ where
         let right_slots: Slots<K, W> =
             right.into_parts().into_iter().map(|p| Mutex::new(Some(p))).collect();
         left.map_partitions(executor, &format!("{name}/probe"), |i, lpart| {
-            let rpart = right_slots[i].lock().take().expect("right partition taken once");
+            let Some(rpart) = right_slots[i].lock().take() else {
+                unreachable!("right partition {i} claimed twice (claim-exactly-once violated)");
+            };
             let mut build: DetHashMap<K, Vec<W>> = DetHashMap::default();
             for (k, w) in rpart {
                 build.entry(k).or_default().push(w);

@@ -26,6 +26,7 @@ use crate::checkpoint::CheckpointPolicy;
 use crate::error::DataflowError;
 use crate::metrics::{StageIo, StageLog, StageMetric};
 use crate::observer::{Observer, ObserverSlot};
+use crate::steal::{StealQueues, StealSchedule};
 
 /// What to do with a task that keeps panicking after its retry budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -185,6 +186,9 @@ pub struct StageOutput<T> {
     pub attempts: usize,
     /// Attempts beyond the first per task (`attempts - tasks run`).
     pub retries: usize,
+    /// Tasks claimed from another worker's queue (always 0 under
+    /// [`StealSchedule::SharedClaim`] and with a single worker).
+    pub steals: usize,
 }
 
 impl<T> StageOutput<T> {
@@ -194,7 +198,10 @@ impl<T> StageOutput<T> {
     /// Panics if any task was skipped.
     pub fn expect_complete(self) -> Vec<T> {
         assert!(self.skipped.is_empty(), "stage skipped {} task(s)", self.skipped.len());
-        self.results.into_iter().map(|r| r.expect("completed task")).collect()
+        let n = self.results.len();
+        let out: Vec<T> = self.results.into_iter().flatten().collect();
+        assert_eq!(out.len(), n, "every result slot is filled when nothing was skipped");
+        out
     }
 }
 
@@ -205,6 +212,7 @@ struct TaskCounters {
     attempts: usize,
     retries: usize,
     skipped: usize,
+    steals: usize,
 }
 
 /// A task's terminal state, written into its result slot.
@@ -233,6 +241,10 @@ pub struct Executor {
     /// and expiry surfaces as [`DataflowError::Cancelled`] with
     /// [`CancelReason::Deadline`] rather than a per-stage timeout.
     deadline: Option<Deadline>,
+    /// How workers pick steal victims ([`StealSchedule::RoundRobin`] by
+    /// default). Changes which worker runs a task, never the stage's
+    /// output — results land in a slot array indexed by partition id.
+    steal: StealSchedule,
 }
 
 impl Default for Executor {
@@ -258,7 +270,22 @@ impl Executor {
             checkpoint: CheckpointPolicy::Off,
             cancel: CancelToken::new(),
             deadline: None,
+            steal: StealSchedule::default(),
         }
+    }
+
+    /// Sets the steal schedule workers use to pick victims. Output is
+    /// bit-identical across schedules (asserted by the `steal-stress` CI
+    /// sweep); the knob exists for determinism stress tests and for
+    /// benchmarking against the pre-upgrade shared-counter protocol
+    /// ([`StealSchedule::SharedClaim`]).
+    pub fn set_steal_schedule(&mut self, schedule: StealSchedule) {
+        self.steal = schedule;
+    }
+
+    /// The active steal schedule.
+    pub fn steal_schedule(&self) -> StealSchedule {
+        self.steal
     }
 
     /// Installs a shared [`CancelToken`]; the party holding another clone
@@ -380,9 +407,10 @@ impl Executor {
     }
 
     /// Runs `n` independent tasks, returning their results in task order,
-    /// and records the stage under `name`. Tasks are pulled dynamically by
-    /// up to [`Self::workers`] worker threads (work-stealing-lite), so
-    /// skewed task sizes still balance.
+    /// and records the stage under `name`. Each of up to [`Self::workers`]
+    /// worker threads owns a contiguous block of task indices and steals
+    /// from a victim's block once its own runs dry (`steal.rs`), so skewed
+    /// task sizes still balance without contending on one claim counter.
     ///
     /// Runs under [`FaultPolicy::none`]: a panicking task fails the stage
     /// immediately. The failure is re-raised in the calling thread as a
@@ -397,7 +425,9 @@ impl Executor {
     {
         match self.try_run_stage_with_policy(name, n, task, FaultPolicy::none()) {
             Ok(out) => {
-                out.results.into_iter().map(|r| r.expect("no skips under FaultPolicy::none")).collect()
+                let results: Vec<T> = out.results.into_iter().flatten().collect();
+                assert_eq!(results.len(), n, "no skips under FaultPolicy::none");
+                results
             }
             Err(e) => std::panic::panic_any(e),
         }
@@ -452,7 +482,13 @@ impl Executor {
         result.map(|results| {
             let skipped: Vec<usize> =
                 results.iter().enumerate().filter_map(|(i, r)| r.is_none().then_some(i)).collect();
-            StageOutput { results, skipped, attempts: counters.attempts, retries: counters.retries }
+            StageOutput {
+                results,
+                skipped,
+                attempts: counters.attempts,
+                retries: counters.retries,
+                steals: counters.steals,
+            }
         })
     }
 
@@ -527,72 +563,102 @@ impl Executor {
         };
 
         let slots: Vec<Mutex<Option<TaskOutcome<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
+        // Per-worker queues of contiguous index blocks; workers whose
+        // block runs dry steal from a victim's back (steal.rs). The
+        // legacy shared counter survives only as the
+        // `StealSchedule::SharedClaim` bench baseline.
+        let queues = StealQueues::split(n, workers);
+        let shared_next = AtomicUsize::new(0);
+        let schedule = self.steal;
         let fatal = AtomicBool::new(false);
         let timed_out = AtomicBool::new(false);
         let cancelled = AtomicBool::new(false);
         let attempts_total = AtomicUsize::new(0);
+        let steals_total = AtomicUsize::new(0);
+
+        // Claims the next task index for worker `w`, or `None` when every
+        // queue is drained. A `Some` claim is exactly-once: both queue
+        // ends move by CAS on one packed word (steal.rs), and the shared
+        // counter hands out each index once by fetch_add.
+        let claim = |w: usize, sweep: &mut u64| -> Option<usize> {
+            if schedule == StealSchedule::SharedClaim {
+                let i = shared_next.fetch_add(1, Ordering::Relaxed);
+                return (i < n).then_some(i);
+            }
+            let c = queues.claim(w, schedule, sweep)?;
+            if c.stolen {
+                steals_total.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(c.index)
+        };
 
         // Invariant relied on below: a worker only exits between claiming
         // an index and writing its slot when it sets `timed_out` or
         // `cancelled`, so when no abort flag is set, every index 0..n has
-        // a populated slot after the join. (Modeled in
-        // dataflow/tests/loom_models.rs.)
-        let worker_loop = || loop {
-            if fatal.load(Ordering::SeqCst)
-                || timed_out.load(Ordering::SeqCst)
-                || cancelled.load(Ordering::SeqCst)
-            {
-                break;
-            }
-            if self.cancel.is_cancelled() {
-                cancelled.store(true, Ordering::SeqCst);
-                break;
-            }
-            if let Some(deadline) = policy.stage_deadline {
-                if start.elapsed() >= deadline {
-                    timed_out.store(true, Ordering::SeqCst);
+        // a populated slot after the join. Claim-exactly-once and the
+        // steal/cancel races are modeled in dataflow/tests/loom_models.rs.
+        let worker_loop = |w: usize| {
+            let mut sweep = 0u64;
+            loop {
+                if fatal.load(Ordering::SeqCst)
+                    || timed_out.load(Ordering::SeqCst)
+                    || cancelled.load(Ordering::SeqCst)
+                {
                     break;
                 }
-            }
-            let i = next.fetch_add(1, Ordering::Relaxed);
-            if i >= n {
-                break;
-            }
-            let (outcome, used) = run_one(i);
-            attempts_total.fetch_add(used as usize, Ordering::Relaxed);
-            let Some(outcome) = outcome else {
-                // Deadline expired or cancellation observed mid-retry: the
-                // slot stays empty, which is fine — the abort result paths
-                // only count completed slots and never read unfinished
-                // ones.
                 if self.cancel.is_cancelled() {
                     cancelled.store(true, Ordering::SeqCst);
-                } else {
-                    timed_out.store(true, Ordering::SeqCst);
+                    break;
                 }
-                break;
-            };
-            let failed = matches!(outcome, TaskOutcome::Failed { .. });
-            *slots[i].lock() = Some(outcome);
-            if failed && policy.on_task_failure == FailureAction::Fail {
-                fatal.store(true, Ordering::SeqCst);
-                break;
+                if let Some(deadline) = policy.stage_deadline {
+                    if start.elapsed() >= deadline {
+                        timed_out.store(true, Ordering::SeqCst);
+                        break;
+                    }
+                }
+                let Some(i) = claim(w, &mut sweep) else {
+                    break;
+                };
+                let (outcome, used) = run_one(i);
+                attempts_total.fetch_add(used as usize, Ordering::Relaxed);
+                let Some(outcome) = outcome else {
+                    // Deadline expired or cancellation observed mid-retry:
+                    // the slot stays empty, which is fine — the abort
+                    // result paths only count completed slots and never
+                    // read unfinished ones.
+                    if self.cancel.is_cancelled() {
+                        cancelled.store(true, Ordering::SeqCst);
+                    } else {
+                        timed_out.store(true, Ordering::SeqCst);
+                    }
+                    break;
+                };
+                let failed = matches!(outcome, TaskOutcome::Failed { .. });
+                *slots[i].lock() = Some(outcome);
+                if failed && policy.on_task_failure == FailureAction::Fail {
+                    fatal.store(true, Ordering::SeqCst);
+                    break;
+                }
             }
         };
 
         if workers <= 1 {
-            worker_loop();
+            worker_loop(0);
         } else {
-            crossbeam::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|_| worker_loop());
+            let worker_loop = &worker_loop;
+            // Tasks are panic-isolated, so a worker unwinding is itself a
+            // bug; re-raise the original payload rather than wrapping it.
+            if let Err(payload) = crossbeam::scope(|scope| {
+                for w in 0..workers {
+                    scope.spawn(move |_| worker_loop(w));
                 }
-            })
-            .expect("dataflow workers never unwind: tasks are panic-isolated");
+            }) {
+                std::panic::panic_any(payload);
+            }
         }
 
         counters.attempts = attempts_total.load(Ordering::Relaxed);
+        counters.steals = steals_total.load(Ordering::Relaxed);
         let ran = slots.iter().filter(|s| s.lock().is_some()).count();
         counters.retries = counters.attempts.saturating_sub(ran);
 
@@ -784,6 +850,54 @@ mod tests {
         });
         assert_eq!(out[0], 4_999_950_000);
         assert_eq!(out[5], 5);
+    }
+
+    #[test]
+    fn steal_schedules_agree_on_results() {
+        // The steal schedule moves tasks between workers, never results
+        // between slots: every schedule must produce the same output.
+        let reference: Vec<usize> = (0..64).map(|i| i * 3 + 1).collect();
+        let schedules = [
+            StealSchedule::RoundRobin,
+            StealSchedule::SharedClaim,
+            StealSchedule::Seeded(0),
+            StealSchedule::Seeded(1),
+            StealSchedule::Seeded(0x5EED),
+        ];
+        for schedule in schedules {
+            let mut exec = Executor::new(4);
+            exec.set_steal_schedule(schedule);
+            assert_eq!(exec.steal_schedule(), schedule);
+            let out = exec.run_stage("sched", 64, |i| i * 3 + 1);
+            assert_eq!(out, reference, "schedule {schedule:?} changed the output");
+        }
+    }
+
+    #[test]
+    fn skewed_stage_steals_from_the_stuck_worker() {
+        // Worker 0 owns the block containing the heavy task 0; worker 1
+        // must drain the rest of worker 0's block by stealing.
+        let exec = Executor::new(2);
+        let out = exec
+            .try_run_stage("skew-steal", 16, |i| {
+                if i == 0 {
+                    std::thread::sleep(Duration::from_millis(40));
+                }
+                i * 2
+            })
+            .unwrap();
+        assert!(out.steals >= 1, "worker 1 never stole from the stuck worker's block");
+        let values = out.expect_complete();
+        assert_eq!(values, (0..16).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shared_claim_mode_never_steals() {
+        let mut exec = Executor::new(4);
+        exec.set_steal_schedule(StealSchedule::SharedClaim);
+        let out = exec.try_run_stage("legacy", 64, |i| i).unwrap();
+        assert_eq!(out.steals, 0);
+        assert_eq!(out.expect_complete(), (0..64).collect::<Vec<_>>());
     }
 
     #[test]

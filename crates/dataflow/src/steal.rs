@@ -1,0 +1,338 @@
+//! Work-stealing task queues for the executor pool.
+//!
+//! The stage engine (`pool.rs`) used to hand out task indices from one
+//! shared claim counter. That balances skew, but every claim of every
+//! worker contends on the same cache line, and there is no locality: a
+//! worker's consecutive tasks are whatever the global counter says, not a
+//! contiguous partition range. This module replaces the counter with one
+//! queue per worker, Chase-Lev style: each queue owns a contiguous,
+//! ascending block of partition indices; the owner claims from the front
+//! of its own block, and a worker whose block is exhausted *steals* from
+//! the back of a victim's block.
+//!
+//! Differences from a textbook Chase-Lev deque, both deliberate:
+//!
+//! * Queues are pre-filled once and never pushed to, so the whole
+//!   unclaimed region of a queue is a single `[head, tail)` interval. Both
+//!   cursors pack into one `AtomicU64`, and every claim — owner or thief —
+//!   is a CAS that shrinks the interval by exactly one index. This makes
+//!   claim-exactly-once a one-line argument (each successful CAS removes
+//!   one distinct index; a failed CAS retries on the fresh value) and
+//!   keeps the protocol small enough to model under loom
+//!   (`dataflow/tests/loom_models.rs`).
+//! * The owner takes the *front* (lowest index), thieves take the *back*.
+//!   A lone worker therefore claims `0..n` in ascending order, preserving
+//!   the pool's documented single-worker sequential semantics; thieves
+//!   still work the opposite end, so owner and thief only collide on the
+//!   last remaining index.
+//!
+//! Determinism: steal order changes which worker runs a task, never what
+//! the task computes or where its result lands (results go into a
+//! pre-sized slot array indexed by partition id). [`StealSchedule`] exists
+//! so tests and CI can sweep many victim orders and assert the output is
+//! bit-identical across all of them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which victim order a stealing worker sweeps, and — for benchmarking the
+/// upgrade — whether to bypass stealing entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StealSchedule {
+    /// Deterministic round-robin: worker `w` tries victims
+    /// `(w+1) % W, (w+2) % W, …`. The default.
+    #[default]
+    RoundRobin,
+    /// Seeded victim order: each sweep starts at a splitmix64-derived
+    /// offset of `(seed, worker, sweep)`. Different seeds exercise
+    /// different steal interleavings; the pool's output must be identical
+    /// across all of them (the `steal-stress` CI job sweeps 50 seeds).
+    Seeded(u64),
+    /// The pre-upgrade protocol — one shared claim counter, no per-worker
+    /// queues — retained so the bench can measure the speedup of the
+    /// work-stealing pool against the pool it replaced.
+    SharedClaim,
+}
+
+impl StealSchedule {
+    /// The first victim index for `worker`'s sweep number `sweep` over
+    /// `workers` queues. Subsequent victims are `(start + j) % workers`.
+    fn sweep_start(self, worker: usize, sweep: u64, workers: usize) -> usize {
+        match self {
+            StealSchedule::RoundRobin | StealSchedule::SharedClaim => (worker + 1) % workers,
+            StealSchedule::Seeded(seed) => {
+                let mix = splitmix64(
+                    seed ^ (worker as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        ^ sweep.wrapping_mul(0xD1B5_4A32_D192_ED03),
+                );
+                (mix % workers as u64) as usize
+            }
+        }
+    }
+}
+
+/// The splitmix64 mixer: deterministic, seed-driven, no entropy (R3-clean).
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+const fn pack(head: u32, tail: u32) -> u64 {
+    ((head as u64) << 32) | tail as u64
+}
+
+const fn unpack(v: u64) -> (u32, u32) {
+    ((v >> 32) as u32, v as u32)
+}
+
+/// One worker's queue: the unclaimed interval `[head, tail)` of its
+/// pre-assigned index block, packed into a single atomic word.
+#[derive(Debug)]
+pub struct StealQueue {
+    /// High 32 bits: `head` (next owner claim). Low 32 bits: `tail`
+    /// (one past the next thief claim). Both move monotonically toward
+    /// each other, so the packed word never repeats a value (no ABA).
+    span: AtomicU64,
+}
+
+impl StealQueue {
+    /// A queue holding the indices `lo..hi`.
+    fn new(lo: u32, hi: u32) -> Self {
+        debug_assert!(lo <= hi);
+        Self { span: AtomicU64::new(pack(lo, hi)) }
+    }
+
+    /// Owner claim: takes the lowest unclaimed index, or `None` when the
+    /// queue is exhausted.
+    pub fn pop_front(&self) -> Option<u32> {
+        let mut cur = self.span.load(Ordering::Acquire);
+        loop {
+            let (head, tail) = unpack(cur);
+            if head >= tail {
+                return None;
+            }
+            match self.span.compare_exchange_weak(
+                cur,
+                pack(head + 1, tail),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(head),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Thief claim: takes the highest unclaimed index, or `None` when the
+    /// queue is exhausted.
+    pub fn steal_back(&self) -> Option<u32> {
+        let mut cur = self.span.load(Ordering::Acquire);
+        loop {
+            let (head, tail) = unpack(cur);
+            if head >= tail {
+                return None;
+            }
+            match self.span.compare_exchange_weak(
+                cur,
+                pack(head, tail - 1),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(tail - 1),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Unclaimed indices remaining (racy snapshot; exact once quiescent).
+    pub fn remaining(&self) -> usize {
+        let (head, tail) = unpack(self.span.load(Ordering::Acquire));
+        (tail - head) as usize
+    }
+}
+
+/// A successful claim: the partition index and whether it was stolen from
+/// another worker's queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Claim {
+    pub index: usize,
+    pub stolen: bool,
+}
+
+/// The per-worker queues of one stage: `n` task indices split into
+/// contiguous ascending blocks, one per worker.
+#[derive(Debug)]
+pub struct StealQueues {
+    queues: Vec<StealQueue>,
+}
+
+impl StealQueues {
+    /// Splits `0..n` into `workers` contiguous blocks of near-equal size
+    /// (the leading blocks take the remainder). Worker `w` owns block `w`.
+    pub fn split(n: usize, workers: usize) -> Self {
+        assert!(workers >= 1, "at least one queue required");
+        assert!(u32::try_from(n).is_ok(), "task count exceeds u32 capacity");
+        let chunk = n.div_ceil(workers);
+        let queues = (0..workers)
+            .map(|w| {
+                let lo = (w * chunk).min(n) as u32;
+                let hi = ((w + 1) * chunk).min(n) as u32;
+                StealQueue::new(lo, hi)
+            })
+            .collect();
+        Self { queues }
+    }
+
+    /// Number of queues (= workers).
+    pub fn len(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Whether there are no queues (never true for a split with ≥1 worker).
+    pub fn is_empty(&self) -> bool {
+        self.queues.is_empty()
+    }
+
+    /// Claims the next index for `worker`: its own queue front first, then
+    /// one sweep over the victims in `schedule` order stealing from the
+    /// back. Returns `None` only after a full sweep found every queue
+    /// empty — and since queues are never refilled, every index has been
+    /// claimed by someone at that point.
+    ///
+    /// `sweep` is the worker's private sweep counter; it advances once per
+    /// steal sweep so seeded schedules vary the victim order over time.
+    pub fn claim(&self, worker: usize, schedule: StealSchedule, sweep: &mut u64) -> Option<Claim> {
+        if let Some(i) = self.queues[worker].pop_front() {
+            return Some(Claim { index: i as usize, stolen: false });
+        }
+        let workers = self.queues.len();
+        if workers == 1 {
+            return None;
+        }
+        let start = schedule.sweep_start(worker, *sweep, workers);
+        *sweep = sweep.wrapping_add(1);
+        for j in 0..workers {
+            let victim = (start + j) % workers;
+            if victim == worker {
+                continue;
+            }
+            if let Some(i) = self.queues[victim].steal_back() {
+                return Some(Claim { index: i as usize, stolen: true });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn split_covers_range_with_contiguous_blocks() {
+        let q = StealQueues::split(10, 3);
+        assert_eq!(q.len(), 3);
+        let sizes: Vec<usize> = q.queues.iter().map(|qq| qq.remaining()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        // ceil(10/3) = 4 → blocks 0..4, 4..8, 8..10.
+        assert_eq!(sizes, vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn owner_pops_ascending() {
+        let q = StealQueues::split(5, 1);
+        let mut sweep = 0;
+        let order: Vec<usize> = std::iter::from_fn(|| {
+            q.claim(0, StealSchedule::RoundRobin, &mut sweep).map(|c| c.index)
+        })
+        .collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn thief_steals_from_the_back() {
+        let q = StealQueues::split(6, 2); // blocks 0..3 and 3..6
+        let mut sweep = 0;
+        // Exhaust worker 1's own block.
+        for expect in 3..6 {
+            let c = q.claim(1, StealSchedule::RoundRobin, &mut sweep);
+            assert_eq!(c, Some(Claim { index: expect, stolen: false }));
+        }
+        // Next claim steals the back of worker 0's block.
+        let c = q.claim(1, StealSchedule::RoundRobin, &mut sweep);
+        assert_eq!(c, Some(Claim { index: 2, stolen: true }));
+    }
+
+    #[test]
+    fn every_index_claimed_exactly_once_across_schedules() {
+        for schedule in [
+            StealSchedule::RoundRobin,
+            StealSchedule::Seeded(1),
+            StealSchedule::Seeded(0xDEAD_BEEF),
+        ] {
+            let q = StealQueues::split(37, 4);
+            let mut seen = BTreeSet::new();
+            let mut sweeps = [0u64; 4];
+            // Interleave claims from all workers until everything is gone.
+            'outer: loop {
+                let mut any = false;
+                for w in 0..4 {
+                    if let Some(c) = q.claim(w, schedule, &mut sweeps[w]) {
+                        assert!(seen.insert(c.index), "index {} claimed twice", c.index);
+                        any = true;
+                    }
+                }
+                if !any {
+                    break 'outer;
+                }
+            }
+            assert_eq!(seen.len(), 37, "schedule {schedule:?} lost indices");
+            assert_eq!(seen.iter().copied().collect::<Vec<_>>(), (0..37).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_split_yields_no_claims() {
+        let q = StealQueues::split(0, 3);
+        let mut sweep = 0;
+        assert_eq!(q.claim(0, StealSchedule::RoundRobin, &mut sweep), None);
+        assert_eq!(q.claim(2, StealSchedule::Seeded(7), &mut sweep), None);
+    }
+
+    #[test]
+    fn concurrent_claims_are_exactly_once() {
+        use std::sync::Mutex;
+        let n = 10_000;
+        let workers = 8;
+        let q = StealQueues::split(n, workers);
+        let claimed: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let q = &q;
+                let claimed = &claimed;
+                scope.spawn(move || {
+                    let mut sweep = 0u64;
+                    let mut local = Vec::new();
+                    while let Some(c) = q.claim(w, StealSchedule::Seeded(w as u64), &mut sweep) {
+                        local.push(c.index);
+                    }
+                    claimed.lock().unwrap().extend(local);
+                });
+            }
+        });
+        let mut all = claimed.into_inner().unwrap();
+        all.sort_unstable();
+        assert_eq!(all.len(), n, "lost or duplicated claims");
+        assert!(all.iter().copied().eq(0..n));
+    }
+
+    #[test]
+    fn seeded_sweep_starts_vary_with_seed() {
+        let starts: BTreeSet<usize> = (0..50)
+            .map(|seed| StealSchedule::Seeded(seed).sweep_start(0, 0, 8))
+            .collect();
+        assert!(starts.len() > 1, "50 seeds all produced the same victim order");
+    }
+}

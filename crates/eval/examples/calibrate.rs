@@ -9,21 +9,22 @@
 // (clippy::disallowed_methods) applies to library targets.
 #![allow(clippy::disallowed_methods)]
 
-use minoaner_core::{Minoaner, RuleSet};
-use minoaner_dataflow::Executor;
+use minoaner_core::{Minoaner, ResolveRequest, RuleSet};
 use minoaner_datagen::{generate, profiles};
 use minoaner_eval::Quality;
 
 fn main() {
     let scale: f64 = std::env::var("SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0);
-    let exec = Executor::default();
     for p in profiles::all_profiles() {
         let p = p.scaled(scale);
         let t0 = std::time::Instant::now();
         let d = generate(&p);
         let gen_t = t0.elapsed();
         let t0 = std::time::Instant::now();
-        let res = Minoaner::new().resolve(&exec, &d.pair);
+        let res = Minoaner::new()
+            .run(ResolveRequest::pair(&d.pair))
+            .expect("healthy run succeeds")
+            .into_resolution();
         let solve_t = t0.elapsed();
         let q = Quality::evaluate(&res.matches, &d.ground_truth);
         println!("{:<18} E1={} E2={} GT={} | {} | r1={} r2={} r3={} -r4={} | gen {:?} solve {:?}",
@@ -32,7 +33,10 @@ fn main() {
             res.rule_counts.removed_by_r4, gen_t, solve_t);
         let m = Minoaner::new();
         for (name, rs) in [("R1", RuleSet::R1_ONLY), ("R2", RuleSet::R2_ONLY), ("R3", RuleSet::R3_ONLY), ("noR4", RuleSet::NO_R4), ("noNbr", RuleSet::NO_NEIGHBORS)] {
-            let r = m.resolve_with_rules(&exec, &d.pair, rs);
+            let r = m
+                .run(ResolveRequest::pair(&d.pair).rules(rs))
+                .expect("healthy run succeeds")
+                .into_resolution();
             let q = Quality::evaluate(&r.matches, &d.ground_truth);
             println!("    {:<6} {}", name, q);
         }

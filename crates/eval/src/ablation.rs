@@ -11,9 +11,9 @@ use minoaner_blocking::sorted_neighborhood::{
 use minoaner_blocking::name::build_name_blocks;
 use minoaner_blocking::purge::{purge_limit_density, purge_with_cap, DEFAULT_SMOOTHING};
 use minoaner_blocking::token::build_token_blocks;
-use minoaner_core::extensions::{default_ensemble, ensemble_resolve, resolve_adaptive};
+use minoaner_core::extensions::{default_ensemble, ensemble_resolve};
 use minoaner_core::matcher::run_matching;
-use minoaner_core::{Minoaner, MinoanerConfig, RuleSet};
+use minoaner_core::{Minoaner, MinoanerConfig, ResolveRequest, RuleSet};
 use minoaner_dataflow::Executor;
 use minoaner_datagen::profiles::all_profiles;
 use minoaner_datagen::GeneratedDataset;
@@ -79,7 +79,10 @@ pub fn pruning_ablation(executor: &Executor, scale: f64) -> Vec<AblationRow> {
     let mut rows = Vec::new();
     for profile in all_profiles() {
         let d = dataset_at_scale(&profile, scale);
-        let fixed = Minoaner::new().resolve(executor, &d.pair);
+        let fixed = Minoaner::new()
+            .run(ResolveRequest::pair(&d.pair).workers(executor.workers()))
+            .unwrap_or_else(|e| std::panic::panic_any(e))
+            .into_resolution();
         let qf = Quality::evaluate(&fixed.matches, &d.ground_truth);
         rows.push(AblationRow {
             experiment: "pruning".into(),
@@ -88,7 +91,10 @@ pub fn pruning_ablation(executor: &Executor, scale: f64) -> Vec<AblationRow> {
             f1: qf.f1,
             detail: format!("{qf}"),
         });
-        let adaptive = resolve_adaptive(executor, &d.pair, &MinoanerConfig::default());
+        let adaptive = Minoaner::new()
+            .run(ResolveRequest::pair(&d.pair).adaptive().workers(executor.workers()))
+            .unwrap_or_else(|e| std::panic::panic_any(e))
+            .into_adaptive();
         let qa = Quality::evaluate(&adaptive.matches, &d.ground_truth);
         rows.push(AblationRow {
             experiment: "pruning".into(),
@@ -209,7 +215,10 @@ pub fn ensemble_ablation(executor: &Executor, scale: f64) -> Vec<AblationRow> {
     let mut rows = Vec::new();
     for profile in all_profiles() {
         let d = dataset_at_scale(&profile, scale);
-        let single = Minoaner::new().resolve(executor, &d.pair);
+        let single = Minoaner::new()
+            .run(ResolveRequest::pair(&d.pair).workers(executor.workers()))
+            .unwrap_or_else(|e| std::panic::panic_any(e))
+            .into_resolution();
         let qs = Quality::evaluate(&single.matches, &d.ground_truth);
         rows.push(AblationRow {
             experiment: "ensemble".into(),

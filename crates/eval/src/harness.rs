@@ -10,7 +10,7 @@ use minoaner_baselines::{
 use minoaner_blocking::name::build_name_blocks;
 use minoaner_blocking::purge::purge_blocks;
 use minoaner_blocking::token::build_token_blocks;
-use minoaner_core::{Minoaner, MinoanerConfig, RuleSet};
+use minoaner_core::{Minoaner, MinoanerConfig, ResolveRequest, RuleSet};
 use minoaner_dataflow::Executor;
 use minoaner_datagen::{generate, DatasetProfile, GeneratedDataset};
 use minoaner_kb::stats::NameStats;
@@ -75,7 +75,10 @@ pub fn run_system(executor: &Executor, dataset: &GeneratedDataset, system: Syste
     let start = Instant::now();
     let (matches, detail) = match system {
         SystemId::Minoaner => {
-            let res = Minoaner::new().resolve(executor, pair);
+            let res = Minoaner::new()
+                .run(ResolveRequest::pair(pair).workers(executor.workers()))
+                .unwrap_or_else(|e| std::panic::panic_any(e))
+                .into_resolution();
             let c = res.rule_counts;
             (res.matches, format!("r1={} r2={} r3={} removed-by-r4={}", c.r1, c.r2, c.r3, c.removed_by_r4))
         }
@@ -118,7 +121,10 @@ pub fn run_ablation(
     config: MinoanerConfig,
 ) -> (Quality, Duration) {
     let start = Instant::now();
-    let res = Minoaner::with_config(config).resolve_with_rules(executor, &dataset.pair, rules);
+    let res = Minoaner::with_config(config)
+        .run(ResolveRequest::pair(&dataset.pair).rules(rules).workers(executor.workers()))
+        .unwrap_or_else(|e| std::panic::panic_any(e))
+        .into_resolution();
     (Quality::evaluate(&res.matches, &dataset.ground_truth), start.elapsed())
 }
 

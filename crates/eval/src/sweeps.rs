@@ -3,8 +3,8 @@
 
 use std::time::Duration;
 
-use minoaner_core::{Minoaner, MinoanerConfig, RuleSet};
-use minoaner_dataflow::{Executor, ExecutorConfig};
+use minoaner_core::{Minoaner, MinoanerConfig, ResolveRequest, RuleSet};
+use minoaner_dataflow::Executor;
 use minoaner_datagen::GeneratedDataset;
 use serde::Serialize;
 
@@ -72,11 +72,14 @@ pub fn sensitivity(executor: &Executor, dataset: &GeneratedDataset) -> Vec<Sensi
     for param in [Parameter::K, Parameter::TopK, Parameter::N, Parameter::Theta] {
         for value in param.sweep_values() {
             let cfg = param.apply(value);
-            let res = Minoaner::with_config(cfg).resolve_with_rules(
-                executor,
-                &dataset.pair,
-                RuleSet::FULL,
-            );
+            let res = Minoaner::with_config(cfg)
+                .run(
+                    ResolveRequest::pair(&dataset.pair)
+                        .rules(RuleSet::FULL)
+                        .workers(executor.workers()),
+                )
+                .unwrap_or_else(|e| std::panic::panic_any(e))
+                .into_resolution();
             let q = Quality::evaluate(&res.matches, &dataset.ground_truth);
             out.push(SensitivityPoint {
                 parameter: param.label(),
@@ -146,8 +149,10 @@ pub fn size_scaling(
         let mut total = Duration::ZERO;
         let mut matching = Duration::ZERO;
         for _ in 0..repetitions.max(1) {
-            let exec = Executor::default();
-            let res = Minoaner::new().resolve(&exec, &d.pair);
+            let res = Minoaner::new()
+                .run(ResolveRequest::pair(&d.pair))
+                .unwrap_or_else(|e| std::panic::panic_any(e))
+                .into_resolution();
             total += res.timings.total;
             matching += res.timings.matching;
         }
@@ -174,8 +179,10 @@ pub fn scalability(dataset: &GeneratedDataset, repetitions: usize) -> Vec<Scalab
         let mut total = Duration::ZERO;
         let mut matching = Duration::ZERO;
         for _ in 0..repetitions.max(1) {
-            let exec = Executor::with_config(ExecutorConfig::for_workers(workers));
-            let res = Minoaner::new().resolve(&exec, &dataset.pair);
+            let res = Minoaner::new()
+                .run(ResolveRequest::pair(&dataset.pair).workers(workers))
+                .unwrap_or_else(|e| std::panic::panic_any(e))
+                .into_resolution();
             total += res.timings.total;
             matching += res.timings.matching;
         }

@@ -2,7 +2,7 @@
 //! reports mean ± standard deviation, so single-seed numbers in
 //! EXPERIMENTS.md can be judged against their natural variation.
 
-use minoaner_core::Minoaner;
+use minoaner_core::{Minoaner, ResolveRequest};
 use minoaner_dataflow::Executor;
 use minoaner_datagen::{generate, DatasetProfile};
 use serde::Serialize;
@@ -50,7 +50,10 @@ pub fn seed_variance(
             let mut p = profile.scaled(scale);
             p.seed = seed;
             let d = generate(&p);
-            let res = Minoaner::new().resolve(executor, &d.pair);
+            let res = Minoaner::new()
+                .run(ResolveRequest::pair(&d.pair).workers(executor.workers()))
+                .unwrap_or_else(|e| std::panic::panic_any(e))
+                .into_resolution();
             let q = Quality::evaluate(&res.matches, &d.ground_truth);
             ps.push(q.precision);
             rs.push(q.recall);

@@ -7,7 +7,7 @@
 //! ```
 
 use minoaner::kb::parser::load_ntriples;
-use minoaner::{Executor, KbPairBuilder, Minoaner, MinoanerConfig, RuleSet, Side};
+use minoaner::{Executor, KbPairBuilder, Minoaner, MinoanerConfig, ResolveRequest, RuleSet, Side};
 
 const LEFT_NT: &str = r#"
 <http://w/FatDuck>   <http://w/label>   "The Fat Duck" .
@@ -102,8 +102,9 @@ fn main() {
     //    as versioned JSON (`minoaner resolve --report run.json` does the
     //    same from the CLI).
     let (_, trace) = resolver
-        .try_resolve_traced(&mut exec, &pair, RuleSet::FULL)
-        .expect("pipeline runs");
+        .run_on(&mut exec, ResolveRequest::pair(&pair).rules(RuleSet::FULL).trace())
+        .expect("pipeline runs")
+        .into_traced();
     println!("\nCounters:");
     for (name, value) in &trace.counters {
         println!("  {name:<36} {value}");

@@ -7,7 +7,7 @@
 
 use minoaner::core::clusters::cluster_matches;
 use minoaner::kb::dirty::DirtyKbBuilder;
-use minoaner::{Executor, Minoaner, Side, Term};
+use minoaner::{Minoaner, ResolveRequest, Side, Term};
 
 fn main() {
     // One crawled KB with several descriptions of the same restaurants
@@ -35,8 +35,10 @@ fn main() {
     }
     let pair = b.finish();
 
-    let exec = Executor::new(2);
-    let res = Minoaner::new().resolve_dirty(&exec, &pair);
+    let res = Minoaner::new()
+        .run(ResolveRequest::pair(&pair).dirty().workers(2))
+        .expect("healthy run succeeds")
+        .into_dirty();
 
     println!("Duplicate pairs:");
     for &(a, z) in &res.duplicates {

@@ -15,7 +15,7 @@
 
 use minoaner::datagen::{generate, profiles};
 use minoaner::eval::{run_system, Quality, SystemId};
-use minoaner::{Executor, Minoaner, Side};
+use minoaner::{Executor, Minoaner, ResolveRequest, Side};
 
 fn main() {
     // A smaller cut of the BBCmusic-DBpedia analogue for a fast demo.
@@ -32,7 +32,10 @@ fn main() {
 
     let exec = Executor::default();
 
-    let res = Minoaner::new().resolve(&exec, pair);
+    let res = Minoaner::new()
+        .run(ResolveRequest::pair(pair))
+        .expect("healthy run succeeds")
+        .into_resolution();
     let q = Quality::evaluate(&res.matches, &dataset.ground_truth);
     println!("MinoanER: {q}");
     let c = res.rule_counts;

@@ -13,22 +13,27 @@
 use minoaner::datagen::{generate, profiles};
 use minoaner::eval::figures::{fig2_points, render_fig2};
 use minoaner::eval::Quality;
-use minoaner::{Executor, Minoaner, RuleSet};
+use minoaner::{Minoaner, ResolveRequest, RuleSet};
 
 fn main() {
     let profile = profiles::yago_imdb().scaled(0.25);
     let dataset = generate(&profile);
-    let exec = Executor::default();
 
     // Where do the matches live on the value/neighbor similarity plane?
     let points = fig2_points(&dataset, 3);
     println!("{}", render_fig2(&points, "Ground-truth similarity regimes (cf. Figure 2)"));
 
     let m = Minoaner::new();
-    let full = m.resolve(&exec, &dataset.pair);
+    let full = m
+        .run(ResolveRequest::pair(&dataset.pair))
+        .expect("healthy run succeeds")
+        .into_resolution();
     let q_full = Quality::evaluate(&full.matches, &dataset.ground_truth);
 
-    let blind = m.resolve_with_rules(&exec, &dataset.pair, RuleSet::NO_NEIGHBORS);
+    let blind = m
+        .run(ResolveRequest::pair(&dataset.pair).rules(RuleSet::NO_NEIGHBORS))
+        .expect("healthy run succeeds")
+        .into_resolution();
     let q_blind = Quality::evaluate(&blind.matches, &dataset.ground_truth);
 
     println!("Full MinoanER (R1+R2+R3+R4): {q_full}");

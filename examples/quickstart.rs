@@ -9,7 +9,7 @@
 //! one pair is only resolvable through its *neighbors* — exactly the
 //! scenario in Figure 1 of the paper.
 
-use minoaner::{Executor, KbPairBuilder, Minoaner, Side, Term};
+use minoaner::{KbPairBuilder, Minoaner, ResolveRequest, Side, Term};
 
 fn main() {
     let mut b = KbPairBuilder::new();
@@ -31,8 +31,10 @@ fn main() {
     b.add_triple(Side::Right, "d:Berkshire", "d:name", Term::Literal("Berkshire county Bray"));
 
     let pair = b.finish();
-    let exec = Executor::new(4);
-    let resolution = Minoaner::new().resolve(&exec, &pair);
+    let resolution = Minoaner::new()
+        .run(ResolveRequest::pair(&pair).workers(4))
+        .expect("healthy run succeeds")
+        .into_resolution();
 
     println!("Resolved {} matches:", resolution.matches.len());
     for &(l, r) in &resolution.matches {

@@ -30,7 +30,7 @@
 //! ## Quickstart
 //!
 //! ```
-//! use minoaner::{Executor, KbPairBuilder, Minoaner, Side, Term};
+//! use minoaner::{KbPairBuilder, Minoaner, ResolveRequest, Side, Term};
 //!
 //! let mut b = KbPairBuilder::new();
 //! b.add_triple(Side::Left, "w:R1", "w:label", Term::Literal("The Fat Duck"));
@@ -41,8 +41,10 @@
 //! b.add_triple(Side::Right, "d:C2", "d:name", Term::Literal("Jonny Lake"));
 //! let pair = b.finish();
 //!
-//! let exec = Executor::new(4);
-//! let resolution = Minoaner::new().resolve(&exec, &pair);
+//! let resolution = Minoaner::new()
+//!     .run(ResolveRequest::pair(&pair).workers(4))
+//!     .expect("healthy run succeeds")
+//!     .into_resolution();
 //! assert_eq!(resolution.matches.len(), 2); // both the restaurants and the chefs
 //! ```
 
@@ -59,7 +61,8 @@ pub use minoaner_kb as kb;
 pub use minoaner_det::{DetHashMap, DetHashSet};
 
 pub use minoaner_core::{
-    CheckpointSpec, MatchOutcome, Minoaner, MinoanerConfig, Resolution, Rule, RuleSet,
+    CheckpointSpec, MatchOutcome, Minoaner, MinoanerConfig, Resolution, ResolveInput,
+    ResolveOutcome, ResolveRequest, Rule, RuleSet,
 };
 pub use minoaner_dataflow::{DataflowError, Executor, ExecutorConfig, FailureAction, FaultPolicy};
 pub use minoaner_eval::Quality;

@@ -23,7 +23,9 @@ use std::sync::Mutex;
 
 use minoaner::dataflow::{CancelReason, RunTrace};
 use minoaner::datagen::{generate, profiles, GeneratedDataset};
-use minoaner::{CheckpointSpec, DataflowError, Executor, Minoaner, Resolution, RuleSet};
+use minoaner::{
+    CheckpointSpec, DataflowError, Executor, Minoaner, Resolution, ResolveRequest, RuleSet,
+};
 use proptest::prelude::*;
 
 /// Number of pipeline barriers (`blocks`, `graph`, `matches`).
@@ -90,7 +92,9 @@ fn run(
     let mut exec = Executor::new(workers);
     let mut spec = CheckpointSpec::new(dir);
     spec.resume = resume;
-    Minoaner::new().try_resolve_job(&mut exec, &d.pair, RuleSet::FULL, Some(&spec))
+    Minoaner::new()
+        .run_on(&mut exec, ResolveRequest::pair(&d.pair).rules(RuleSet::FULL).checkpoint(&spec))
+        .map(|o| o.into_traced())
 }
 
 /// The cancellation safety invariant on disk: every `stage-*` directory
@@ -185,4 +189,33 @@ fn every_barrier_cancel_resumes_to_the_uninterrupted_outcome() {
     for barrier in 0..BARRIERS {
         cancel_resume_roundtrip(barrier, 2, 0.2, &format!("sweep-{barrier}"));
     }
+}
+
+/// The deprecated `try_resolve_job` wrapper and the checkpointed request
+/// are the same computation: identical canonical blob (digest, matches,
+/// rule counts, non-ckpt counters) on an uncancelled run. The wrapper's
+/// extra `job:admit` admission poll is unobservable without a latched
+/// token.
+#[test]
+#[allow(deprecated)]
+fn deprecated_job_wrapper_matches_the_request_path() {
+    let _guard = CANCEL_POINT.lock().unwrap_or_else(|p| p.into_inner());
+    std::env::remove_var("MINOANER_CANCEL_POINT");
+
+    let d = dataset(0.2);
+    let legacy_dir = scratch_dir("legacy-job");
+    let mut exec = Executor::new(2);
+    let spec = CheckpointSpec::new(&legacy_dir);
+    let (legacy_res, legacy_trace) = Minoaner::new()
+        .try_resolve_job(&mut exec, &d.pair, RuleSet::FULL, Some(&spec))
+        .expect("legacy job run succeeds");
+
+    let request_dir = scratch_dir("request-job");
+    let (req_res, req_trace) = run(&request_dir, 2, 0.2, false).expect("request run succeeds");
+
+    assert_eq!(
+        canonical(&legacy_res, &legacy_trace),
+        canonical(&req_res, &req_trace),
+        "wrapper and request spellings diverged"
+    );
 }

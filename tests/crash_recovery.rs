@@ -23,7 +23,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use minoaner::dataflow::RunTrace;
 use minoaner::datagen::{generate, profiles, GeneratedDataset};
-use minoaner::{CheckpointSpec, Executor, Minoaner, Resolution, RuleSet};
+use minoaner::{CheckpointSpec, Executor, Minoaner, Resolution, ResolveRequest, RuleSet};
 
 /// Number of pipeline barriers (`blocks`, `graph`, `matches`).
 const BARRIERS: usize = 3;
@@ -91,8 +91,12 @@ fn child_checkpointed_run() {
     let mut spec = CheckpointSpec::new(ckpt_dir);
     spec.resume = true; // resuming an empty dir is a fresh run
     let (res, trace) = Minoaner::new()
-        .try_resolve_checkpointed(&mut exec, &d.pair, RuleSet::FULL, &spec)
-        .expect("checkpointed run succeeds");
+        .run_on(
+            &mut exec,
+            ResolveRequest::pair(&d.pair).rules(RuleSet::FULL).checkpoint(&spec),
+        )
+        .expect("checkpointed run succeeds")
+        .into_traced();
 
     // First line reports where the run resumed from (0 = fresh); the
     // rest is the canonical comparison blob.
@@ -245,8 +249,12 @@ fn run_in_process(dir: &Path, workers: usize, resume: bool) -> (Resolution, RunT
     let mut spec = CheckpointSpec::new(dir);
     spec.resume = resume;
     Minoaner::new()
-        .try_resolve_checkpointed(&mut exec, &d.pair, RuleSet::FULL, &spec)
+        .run_on(
+            &mut exec,
+            ResolveRequest::pair(&d.pair).rules(RuleSet::FULL).checkpoint(&spec),
+        )
         .expect("checkpointed run succeeds")
+        .into_traced()
 }
 
 /// Newest `stage-*` checkpoint directory under `root`.
@@ -357,8 +365,9 @@ fn checkpointed_run_matches_plain_run() {
     let d = dataset();
     let mut exec = Executor::new(workers);
     let (plain_res, plain_trace) = Minoaner::new()
-        .try_resolve_traced(&mut exec, &d.pair, RuleSet::FULL)
-        .expect("plain run succeeds");
+        .run_on(&mut exec, ResolveRequest::pair(&d.pair).rules(RuleSet::FULL).trace())
+        .expect("plain run succeeds")
+        .into_traced();
 
     let dir = scratch_dir("plain-vs-ckpt");
     let (ckpt_res, ckpt_trace) = run_in_process(&dir, workers, false);

@@ -4,19 +4,34 @@
 use minoaner::datagen::{generate, profiles};
 use minoaner::eval::Quality;
 use minoaner::kb::parser::{load_ntriples, write_ntriples};
-use minoaner::{Executor, KbPairBuilder, Minoaner, Side};
+use minoaner::{KbPair, KbPairBuilder, Minoaner, Resolution, ResolveRequest, Side};
+
+/// Resolves on the engine-default worker count.
+fn resolve(pair: &KbPair) -> Resolution {
+    Minoaner::new()
+        .run(ResolveRequest::pair(pair))
+        .expect("healthy run succeeds")
+        .into_resolution()
+}
+
+/// Resolves with an explicit worker count.
+fn resolve_with(pair: &KbPair, workers: usize) -> Resolution {
+    Minoaner::new()
+        .run(ResolveRequest::pair(pair).workers(workers))
+        .expect("healthy run succeeds")
+        .into_resolution()
+}
 
 /// Quality floors at test scale — lower than the full-scale numbers (the
 /// generator's rates bite harder on small populations) but high enough to
 /// catch real regressions.
 #[test]
 fn pipeline_quality_floors_per_profile() {
-    let exec = Executor::default();
     let floors = [("Restaurant", 0.6, 85.0), ("Rexa-DBLP", 0.15, 85.0), ("BBCmusic-DBpedia", 0.2, 80.0), ("YAGO-IMDb", 0.2, 80.0)];
     for (profile, scale, floor) in floors {
         let p = profiles::all_profiles().into_iter().find(|p| p.name == profile).expect("profile");
         let d = generate(&p.scaled(scale));
-        let res = Minoaner::new().resolve(&exec, &d.pair);
+        let res = resolve(&d.pair);
         let q = Quality::evaluate(&res.matches, &d.ground_truth);
         assert!(q.f1 >= floor, "{profile} @ {scale}: F1 {} below floor {floor}", q.f1);
     }
@@ -26,8 +41,7 @@ fn pipeline_quality_floors_per_profile() {
 fn resolution_is_deterministic_across_runs_and_workers() {
     let d = generate(&profiles::yago_imdb().scaled(0.15));
     let resolve = |workers| {
-        let exec = Executor::new(workers);
-        let mut m = Minoaner::new().resolve(&exec, &d.pair).matches;
+        let mut m = resolve_with(&d.pair, workers).matches;
         m.sort_unstable();
         m
     };
@@ -54,9 +68,8 @@ fn ntriples_round_trip_preserves_resolution() {
     assert_eq!(reloaded.kb(Side::Right).len(), d.pair.kb(Side::Right).len());
     assert_eq!(reloaded.kb(Side::Left).triple_count(), d.pair.kb(Side::Left).triple_count());
 
-    let exec = Executor::new(2);
-    let original = Minoaner::new().resolve(&exec, &d.pair);
-    let round_tripped = Minoaner::new().resolve(&exec, &reloaded);
+    let original = resolve_with(&d.pair, 2);
+    let round_tripped = resolve_with(&reloaded, 2);
     assert_eq!(
         original.matches.len(),
         round_tripped.matches.len(),
@@ -76,10 +89,9 @@ fn ntriples_round_trip_preserves_resolution() {
 
 #[test]
 fn matching_is_one_to_one_on_every_profile() {
-    let exec = Executor::new(2);
     for p in profiles::all_profiles() {
         let d = generate(&p.scaled(0.15));
-        let res = Minoaner::new().resolve(&exec, &d.pair);
+        let res = resolve_with(&d.pair, 2);
         let mut lefts: Vec<_> = res.matches.iter().map(|&(l, _)| l).collect();
         let mut rights: Vec<_> = res.matches.iter().map(|&(_, r)| r).collect();
         lefts.sort_unstable();
@@ -95,8 +107,7 @@ fn matching_is_one_to_one_on_every_profile() {
 #[test]
 fn stage_log_covers_blocking_and_matching() {
     let d = generate(&profiles::restaurant().scaled(0.3));
-    let exec = Executor::new(2);
-    let res = Minoaner::new().resolve(&exec, &d.pair);
+    let res = resolve_with(&d.pair, 2);
     let names: Vec<String> =
         res.timings.stages.stages().iter().map(|s| s.name.clone()).collect();
     for expected in

@@ -31,8 +31,8 @@ use minoaner::dataflow::{CancelReason, RunTrace};
 use minoaner::datagen::{generate, profiles, GeneratedDataset};
 use minoaner::jobs::{JobId, JobOutput, JobScheduler, JobSpec, JobState, Priority, ResourceBudget};
 use minoaner::{
-    CheckpointSpec, DataflowError, Executor, ExecutorConfig, FaultPolicy, Minoaner, Resolution,
-    RuleSet,
+    CheckpointSpec, DataflowError, Executor, ExecutorConfig, FaultPolicy, KbPair, Minoaner,
+    Resolution, ResolveRequest, RuleSet,
 };
 
 /// Serializes the tests in this binary: one arms the process-global
@@ -78,6 +78,18 @@ fn canonical(res: &Resolution, trace: &RunTrace) -> String {
     out
 }
 
+/// The checkpointed-job spelling on the request API: cancellation and
+/// deadline ride on the executor, the checkpoint spec on the request.
+fn resolve_job(
+    exec: &mut Executor,
+    pair: &KbPair,
+    spec: &CheckpointSpec,
+) -> Result<(Resolution, RunTrace), DataflowError> {
+    Minoaner::new()
+        .run_on(exec, ResolveRequest::pair(pair).rules(RuleSet::FULL).checkpoint(spec))
+        .map(|o| o.into_traced())
+}
+
 /// A solo (un-orchestrated) checkpointed run: the reference every
 /// scheduler-driven job of the same scale must match byte-for-byte.
 fn solo_baseline(scale: f64, workers: usize, tag: &str) -> String {
@@ -85,9 +97,8 @@ fn solo_baseline(scale: f64, workers: usize, tag: &str) -> String {
     let d = dataset(scale);
     let mut exec = Executor::new(workers);
     let spec = CheckpointSpec::new(&dir);
-    let (res, trace) = Minoaner::new()
-        .try_resolve_job(&mut exec, &d.pair, RuleSet::FULL, Some(&spec))
-        .expect("solo baseline run succeeds");
+    let (res, trace) =
+        resolve_job(&mut exec, &d.pair, &spec).expect("solo baseline run succeeds");
     canonical(&res, &trace)
 }
 
@@ -108,8 +119,7 @@ fn pipeline_work(
         let mut exec = ctx.executor();
         let mut spec = CheckpointSpec::for_job(&root, &ctx.id().to_string());
         spec.resume = resume;
-        let (res, trace) =
-            Minoaner::new().try_resolve_job(&mut exec, &d.pair, RuleSet::FULL, Some(&spec))?;
+        let (res, trace) = resolve_job(&mut exec, &d.pair, &spec)?;
         let blob = canonical(&res, &trace);
         results.lock().expect("results lock").insert(ctx.id().ordinal(), blob);
         Ok(JobOutput::summary(format!("{} matches", res.matches.len())).with_trace(trace))
@@ -345,8 +355,7 @@ fn cancelled_job_resumes_cleanly() {
             let mut exec = ctx.executor();
             let mut spec = CheckpointSpec::new(&ckpt_dir);
             spec.resume = true;
-            let (res, trace) =
-                Minoaner::new().try_resolve_job(&mut exec, &d.pair, RuleSet::FULL, Some(&spec))?;
+            let (res, trace) = resolve_job(&mut exec, &d.pair, &spec)?;
             assert_eq!(
                 trace.counter("ckpt/resumed_from"),
                 1,
@@ -429,9 +438,8 @@ fn process_crash_mid_job_leaves_resumable_job_dir() {
     let mut exec = Executor::new(2);
     let mut spec = CheckpointSpec::new(&ckpt_dir);
     spec.resume = true;
-    let (res, trace) = Minoaner::new()
-        .try_resolve_job(&mut exec, &d.pair, RuleSet::FULL, Some(&spec))
-        .expect("resume over the crashed job dir succeeds");
+    let (res, trace) =
+        resolve_job(&mut exec, &d.pair, &spec).expect("resume over the crashed job dir succeeds");
     assert_eq!(trace.counter("ckpt/resumed_from"), 2, "resume must pick up past barrier 1");
     assert_eq!(
         canonical(&res, &trace),
@@ -514,8 +522,7 @@ fn chaos_mix_converges_without_leaks() {
                 let mut exec = Executor::new(2);
                 let mut spec = CheckpointSpec::new(ckpt.dir());
                 spec.resume = true;
-                let (res, trace) = Minoaner::new()
-                    .try_resolve_job(&mut exec, &d.pair, RuleSet::FULL, Some(&spec))
+                let (res, trace) = resolve_job(&mut exec, &d.pair, &spec)
                     .expect("resume of cancelled chaos job succeeds");
                 assert_eq!(
                     canonical(&res, &trace),

@@ -1,22 +1,30 @@
 //! Integration tests for the observability layer: run traces captured
-//! through [`Minoaner::try_resolve_traced`] must round-trip through JSON
-//! exactly, must not perturb resolution results, and their domain
+//! through a traced [`minoaner::ResolveRequest`] must round-trip through
+//! JSON exactly, must not perturb resolution results, and their domain
 //! counters must mirror the in-memory [`minoaner::core::RuleCounts`].
+//! The deprecated `try_resolve*` wrappers are pinned here as equivalent
+//! spellings of the same requests until they are removed.
 
 use minoaner::datagen::{generate, profiles, GeneratedDataset};
 use minoaner::dataflow::RunTrace;
-use minoaner::{Executor, Minoaner, RuleSet};
+use minoaner::{Executor, KbPair, Minoaner, Resolution, ResolveRequest, RuleSet};
 
 fn dataset() -> GeneratedDataset {
     generate(&profiles::restaurant().scaled(0.4))
 }
 
+/// One traced run through the request API.
+fn traced(pair: &KbPair, workers: usize) -> (Resolution, RunTrace) {
+    Minoaner::new()
+        .run(ResolveRequest::pair(pair).rules(RuleSet::FULL).trace().workers(workers))
+        .expect("healthy run succeeds")
+        .into_traced()
+}
+
 #[test]
 fn trace_json_round_trip_is_exact() {
     let d = dataset();
-    let mut exec = Executor::new(2);
-    let (_, trace) =
-        Minoaner::new().try_resolve_traced(&mut exec, &d.pair, RuleSet::FULL).unwrap();
+    let (_, trace) = traced(&d.pair, 2);
     trace.validate().expect("captured trace validates");
     let json = trace.to_json().expect("trace serializes");
     let back = RunTrace::from_json(&json).expect("trace JSON parses");
@@ -29,8 +37,14 @@ fn observer_does_not_perturb_resolution() {
     let mut exec = Executor::new(3);
     let m = Minoaner::new();
 
-    let plain = m.try_resolve(&exec, &d.pair).unwrap();
-    let (traced, _) = m.try_resolve_traced(&mut exec, &d.pair, RuleSet::FULL).unwrap();
+    let plain = m
+        .run_on(&mut exec, ResolveRequest::pair(&d.pair))
+        .expect("plain run succeeds")
+        .into_resolution();
+    let (traced, _) = m
+        .run_on(&mut exec, ResolveRequest::pair(&d.pair).rules(RuleSet::FULL).trace())
+        .expect("traced run succeeds")
+        .into_traced();
 
     let mut a = plain.matches.clone();
     let mut b = traced.matches.clone();
@@ -42,16 +56,17 @@ fn observer_does_not_perturb_resolution() {
     // The observer was detached afterwards: a later plain run still works
     // and the executor reports no observer.
     assert!(!exec.observer().is_on(), "observer detached after traced run");
-    let again = m.try_resolve(&exec, &d.pair).unwrap();
+    let again = m
+        .run_on(&mut exec, ResolveRequest::pair(&d.pair))
+        .expect("plain run succeeds")
+        .into_resolution();
     assert_eq!(again.matches.len(), plain.matches.len());
 }
 
 #[test]
 fn per_rule_trace_counters_mirror_rule_counts() {
     let d = dataset();
-    let mut exec = Executor::new(2);
-    let (res, trace) =
-        Minoaner::new().try_resolve_traced(&mut exec, &d.pair, RuleSet::FULL).unwrap();
+    let (res, trace) = traced(&d.pair, 2);
 
     let c = res.rule_counts;
     assert_eq!(trace.counter("matching/r1_matches"), c.r1 as u64);
@@ -64,9 +79,7 @@ fn per_rule_trace_counters_mirror_rule_counts() {
 #[test]
 fn trace_records_stage_io_and_blocking_counters() {
     let d = dataset();
-    let mut exec = Executor::new(2);
-    let (_, trace) =
-        Minoaner::new().try_resolve_traced(&mut exec, &d.pair, RuleSet::FULL).unwrap();
+    let (_, trace) = traced(&d.pair, 2);
 
     assert!(trace.counter("blocking/token_blocks_built") > 0);
     assert!(trace.counter("blocking/token_block_comparisons") > 0);
@@ -88,9 +101,7 @@ fn trace_records_stage_io_and_blocking_counters() {
 #[test]
 fn gamma_pass_is_an_observed_stage_with_item_flow() {
     let d = dataset();
-    let mut exec = Executor::new(2);
-    let (_, trace) =
-        Minoaner::new().try_resolve_traced(&mut exec, &d.pair, RuleSet::FULL).unwrap();
+    let (_, trace) = traced(&d.pair, 2);
 
     let gamma = trace
         .stages
@@ -124,9 +135,7 @@ fn repeated_traced_runs_are_deterministic() {
     let d = dataset();
     let mut runs = Vec::new();
     for workers in [1usize, 2, 8] {
-        let mut exec = Executor::new(workers);
-        let (res, trace) =
-            Minoaner::new().try_resolve_traced(&mut exec, &d.pair, RuleSet::FULL).unwrap();
+        let (res, trace) = traced(&d.pair, workers);
         let mut matches = res.matches.clone();
         matches.sort_unstable();
         runs.push((matches, trace.counters.clone()));
@@ -139,4 +148,46 @@ fn repeated_traced_runs_are_deterministic() {
             assert_eq!(c.get(key), c0.get(key), "counter {key} drifted across runs");
         }
     }
+}
+
+/// The deprecated traced wrapper is the same computation as the traced
+/// request: identical matches, rule counts, stage names and domain
+/// counters (wall times are of course not compared).
+#[test]
+#[allow(deprecated)]
+fn deprecated_traced_wrapper_matches_the_request_spelling() {
+    let d = dataset();
+    let mut exec = Executor::new(2);
+    let (legacy_res, legacy_trace) =
+        Minoaner::new().try_resolve_traced(&mut exec, &d.pair, RuleSet::FULL).expect("wrapper runs");
+    let (req_res, req_trace) = traced(&d.pair, 2);
+
+    assert_eq!(legacy_res.matches, req_res.matches);
+    assert_eq!(legacy_res.rule_counts, req_res.rule_counts);
+    assert_eq!(legacy_trace.counters, req_trace.counters);
+    let names = |t: &RunTrace| t.stages.iter().map(|s| s.name.clone()).collect::<Vec<_>>();
+    assert_eq!(names(&legacy_trace), names(&req_trace));
+    assert_eq!(legacy_trace.workers, req_trace.workers);
+}
+
+/// The deprecated infallible and fallible plain wrappers agree with the
+/// plain request spelling.
+#[test]
+#[allow(deprecated)]
+fn deprecated_plain_wrappers_match_the_request_spelling() {
+    let d = dataset();
+    let exec = Executor::new(2);
+    let m = Minoaner::new();
+
+    let infallible = m.resolve(&exec, &d.pair);
+    let fallible = m.try_resolve(&exec, &d.pair).expect("healthy run succeeds");
+    let request = m
+        .run(ResolveRequest::pair(&d.pair).workers(2))
+        .expect("healthy run succeeds")
+        .into_resolution();
+
+    assert_eq!(infallible.matches, request.matches);
+    assert_eq!(fallible.matches, request.matches);
+    assert_eq!(infallible.rule_counts, request.rule_counts);
+    assert_eq!(fallible.rule_counts, request.rule_counts);
 }

@@ -11,10 +11,13 @@
 
 use minoaner::datagen::{generate, profiles, GeneratedDataset};
 use minoaner::eval::{run_system, Quality, SystemId};
-use minoaner::{Executor, Minoaner, MinoanerConfig, RuleSet};
+use minoaner::{Executor, Minoaner, MinoanerConfig, ResolveRequest, RuleSet};
 
 fn resolve_f1(exec: &Executor, d: &GeneratedDataset, cfg: MinoanerConfig, rules: RuleSet) -> Quality {
-    let res = Minoaner::with_config(cfg).resolve_with_rules(exec, &d.pair, rules);
+    let res = Minoaner::with_config(cfg)
+        .run(ResolveRequest::pair(&d.pair).rules(rules).workers(exec.workers()))
+        .expect("healthy run succeeds")
+        .into_resolution();
     Quality::evaluate(&res.matches, &d.ground_truth)
 }
 

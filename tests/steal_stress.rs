@@ -1,0 +1,90 @@
+//! Steal-schedule determinism stress: the blocking graph's
+//! `weight_digest` must be bit-identical across worker counts {1, 2, 8}
+//! and across many seeded steal schedules — stealing decides which
+//! worker runs a partition, never what the partition computes.
+//!
+//! The seed count defaults to 8 so the workspace test run stays fast;
+//! CI's `steal-stress` job sets `MINOANER_STEAL_SEEDS=50` (in release
+//! mode) for the acceptance sweep.
+
+use minoaner::blocking::graph::{build_blocking_graph, BlockingGraph, GraphConfig};
+use minoaner::blocking::name::build_name_blocks;
+use minoaner::blocking::purge::purge_blocks;
+use minoaner::blocking::token::build_token_blocks;
+use minoaner::blocking::{NameBlocks, TokenBlocks};
+use minoaner::dataflow::StealSchedule;
+use minoaner::datagen::{generate, profiles};
+use minoaner::kb::stats::{NameStats, RelationStats};
+use minoaner::kb::KbPair;
+use minoaner::{Executor, Minoaner, Side};
+
+struct GraphInputs {
+    pair: KbPair,
+    rels: RelationStats,
+    token_blocks: TokenBlocks,
+    name_blocks: NameBlocks,
+    cfg: GraphConfig,
+}
+
+fn prepare_inputs() -> GraphInputs {
+    let pair = generate(&profiles::restaurant().scaled(0.3)).pair;
+    let config = *Minoaner::new().config();
+    let rels = RelationStats::compute(&pair);
+    let name_stats = NameStats::compute(&pair, config.name_attrs_k);
+    let mut token_blocks = build_token_blocks(&pair);
+    let total_entities = pair.kb(Side::Left).len() + pair.kb(Side::Right).len();
+    purge_blocks(&mut token_blocks, total_entities);
+    let name_blocks = build_name_blocks(&pair, &name_stats);
+    let cfg = GraphConfig {
+        top_k: config.top_k,
+        n_relations: config.n_relations,
+        ..GraphConfig::default()
+    };
+    GraphInputs { pair, rels, token_blocks, name_blocks, cfg }
+}
+
+fn build(inputs: &GraphInputs, exec: &Executor) -> BlockingGraph {
+    build_blocking_graph(
+        exec,
+        &inputs.pair,
+        &inputs.rels,
+        &inputs.token_blocks,
+        &inputs.name_blocks,
+        &inputs.cfg,
+    )
+}
+
+fn seed_count() -> u64 {
+    std::env::var("MINOANER_STEAL_SEEDS").ok().and_then(|s| s.parse().ok()).unwrap_or(8).max(1)
+}
+
+#[test]
+fn weight_digest_is_identical_across_workers_and_steal_seeds() {
+    let inputs = prepare_inputs();
+    let baseline = build(&inputs, &Executor::new(1)).weight_digest();
+
+    for workers in [1usize, 2, 8] {
+        for seed in 0..seed_count() {
+            let mut exec = Executor::new(workers);
+            exec.set_steal_schedule(StealSchedule::Seeded(seed));
+            let digest = build(&inputs, &exec).weight_digest();
+            assert_eq!(
+                digest, baseline,
+                "digest drifted at {workers} workers under Seeded({seed})"
+            );
+        }
+    }
+}
+
+#[test]
+fn weight_digest_is_identical_under_the_shared_claim_baseline() {
+    let inputs = prepare_inputs();
+    let baseline = build(&inputs, &Executor::new(1)).weight_digest();
+
+    for workers in [1usize, 2, 8] {
+        let mut exec = Executor::new(workers);
+        exec.set_steal_schedule(StealSchedule::SharedClaim);
+        let digest = build(&inputs, &exec).weight_digest();
+        assert_eq!(digest, baseline, "shared-claim digest drifted at {workers} workers");
+    }
+}

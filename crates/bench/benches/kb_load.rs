@@ -1,0 +1,183 @@
+//! KB load-path bench: text parse vs `.mkb` compile, mmap open and
+//! first-touch materialization, in two parts:
+//!
+//! 1. An instrumented sweep: a datagen world is rendered to N-Triples
+//!    once, then each operation is timed `MINOANER_REPS` times — parsing
+//!    both docs into a `KbPair`, one `write_mkb` compile, `MkbFile::open`
+//!    (header + section-table validation only), and `verify` + `to_pair`
+//!    (checksum and materialize everything `open` deferred). The numbers
+//!    land in `BENCH_kb.json` (schema in `minoaner_bench`); the binary
+//!    re-reads and validates what it wrote and exits nonzero on any
+//!    violation — including `open` being less than 100× faster than the
+//!    parse, the container's headline claim (CI's gate).
+//! 2. A criterion group (`kb/load`) over the same operations.
+//!
+//! Env knobs: `MINOANER_SCALE` (dataset size, default 1.0),
+//! `MINOANER_REPS` (sweep repetitions, default 5), `MINOANER_BENCH_OUT`
+//! (report path, default `BENCH_kb.json`).
+
+// Benchmarks measure wall-clock by definition; the deny wall
+// (clippy::disallowed_methods) applies to library targets.
+#![allow(clippy::disallowed_methods)]
+
+use criterion::Criterion;
+use minoaner_bench::{KbLoadReport, KB_BENCH_SCHEMA_VERSION};
+use minoaner_datagen::profiles;
+use minoaner_eval::{dataset_at_scale, scale_from_env};
+use minoaner_kb::parser::{load_ntriples, write_ntriples};
+use minoaner_kb::{KbPair, KbPairBuilder, MkbFile, Side};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// The rendered inputs every timed operation consumes: the two N-Triples
+/// docs and the compiled container path.
+struct LoadInputs {
+    left_doc: String,
+    right_doc: String,
+    mkb_path: PathBuf,
+}
+
+fn parse_pair(inputs: &LoadInputs) -> KbPair {
+    let mut b = KbPairBuilder::new();
+    load_ntriples(&mut b, Side::Left, &inputs.left_doc).expect("own output parses");
+    load_ntriples(&mut b, Side::Right, &inputs.right_doc).expect("own output parses");
+    b.finish()
+}
+
+fn mean_ms(samples: &[f64]) -> f64 {
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+fn time_reps(reps: usize, mut op: impl FnMut()) -> f64 {
+    let mut ms = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        op();
+        ms.push(t0.elapsed().as_secs_f64() * 1000.0);
+    }
+    mean_ms(&ms)
+}
+
+fn sweep(inputs: &LoadInputs, scale: f64, reps: usize) -> KbLoadReport {
+    let parse_ms_mean = time_reps(reps, || {
+        black_box(parse_pair(inputs));
+    });
+    let reference = parse_pair(inputs);
+
+    let t0 = Instant::now();
+    let mkb_bytes =
+        minoaner_kb::write_mkb(&reference, &inputs.mkb_path).expect("compile succeeds");
+    let compile_ms = t0.elapsed().as_secs_f64() * 1000.0;
+
+    let open_ms_mean = time_reps(reps, || {
+        black_box(MkbFile::open(&inputs.mkb_path).expect("open succeeds"));
+    });
+    let page_in_ms_mean = time_reps(reps, || {
+        let file = MkbFile::open(&inputs.mkb_path).expect("open succeeds");
+        black_box(file.to_pair().expect("materialize succeeds"));
+    });
+
+    // The materialized pair must be the parsed pair, not an approximation
+    // of it — the same gate the round-trip tests enforce, kept here so a
+    // fast-but-wrong load path can never produce a passing report.
+    let mapped = MkbFile::open(&inputs.mkb_path)
+        .and_then(|f| f.to_pair())
+        .expect("materialize succeeds");
+    for side in [Side::Left, Side::Right] {
+        assert_eq!(mapped.kb(side).len(), reference.kb(side).len(), "{side:?} entity count");
+        assert_eq!(
+            mapped.kb(side).triple_count(),
+            reference.kb(side).triple_count(),
+            "{side:?} triple count"
+        );
+    }
+    assert_eq!(mapped.token_space(), reference.token_space(), "token space");
+
+    let entities =
+        (reference.kb(Side::Left).len() + reference.kb(Side::Right).len()) as u64;
+    eprintln!(
+        "kb load sweep: parse {parse_ms_mean:.2} ms, compile {compile_ms:.2} ms, \
+         open {open_ms_mean:.4} ms, page-in {page_in_ms_mean:.2} ms \
+         ({:.0}× open speedup)",
+        parse_ms_mean / open_ms_mean
+    );
+
+    KbLoadReport {
+        schema_version: KB_BENCH_SCHEMA_VERSION,
+        dataset: "restaurant".into(),
+        scale,
+        reps,
+        mkb_bytes,
+        entities,
+        parse_ms_mean,
+        compile_ms,
+        open_ms_mean,
+        page_in_ms_mean,
+        open_speedup_vs_parse: parse_ms_mean / open_ms_mean,
+    }
+}
+
+fn criterion_sweep(inputs: &LoadInputs) {
+    let mut c = Criterion::default().configure_from_args();
+    let mut group = c.benchmark_group("kb/load");
+    group.sample_size(10);
+    group.bench_function("parse", |b| b.iter(|| black_box(parse_pair(inputs))));
+    group.bench_function("open", |b| {
+        b.iter(|| black_box(MkbFile::open(&inputs.mkb_path).expect("open succeeds")))
+    });
+    group.bench_function("page_in", |b| {
+        b.iter(|| {
+            let file = MkbFile::open(&inputs.mkb_path).expect("open succeeds");
+            black_box(file.to_pair().expect("materialize succeeds"))
+        })
+    });
+    group.finish();
+    c.final_summary();
+}
+
+fn main() -> ExitCode {
+    let scale = scale_from_env();
+    let reps: usize =
+        std::env::var("MINOANER_REPS").ok().and_then(|s| s.parse().ok()).unwrap_or(5).max(1);
+    let out_path =
+        std::env::var("MINOANER_BENCH_OUT").unwrap_or_else(|_| "BENCH_kb.json".into());
+
+    let dataset = dataset_at_scale(&profiles::restaurant(), scale);
+    let work_dir = std::env::temp_dir().join(format!("minoaner-kb-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&work_dir).expect("cannot create bench work dir");
+    let inputs = LoadInputs {
+        left_doc: write_ntriples(&dataset.pair, Side::Left),
+        right_doc: write_ntriples(&dataset.pair, Side::Right),
+        mkb_path: work_dir.join("pair.mkb"),
+    };
+
+    let report = sweep(&inputs, scale, reps);
+    let json = report.to_json().expect("cannot serialize bench report");
+    std::fs::write(&out_path, json).expect("cannot write bench report");
+    eprintln!(
+        "wrote {out_path} ({:.0}× open speedup, {} byte container)",
+        report.open_speedup_vs_parse, report.mkb_bytes
+    );
+
+    // Validate what actually landed on disk, not the in-memory value:
+    // this is the schema/speedup gate CI relies on.
+    let on_disk = std::fs::read_to_string(&out_path).expect("cannot re-read bench report");
+    let parsed = match KbLoadReport::from_json(&on_disk) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {out_path} is not valid report JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = parsed.validate() {
+        eprintln!("error: {out_path} failed schema validation: {e}");
+        let _ = std::fs::remove_dir_all(&work_dir);
+        return ExitCode::FAILURE;
+    }
+
+    criterion_sweep(&inputs);
+    let _ = std::fs::remove_dir_all(&work_dir);
+    ExitCode::SUCCESS
+}

@@ -323,6 +323,112 @@ impl GraphReport {
     }
 }
 
+/// Version of the `BENCH_kb.json` schema. Bump on breaking changes to
+/// [`KbLoadReport`].
+pub const KB_BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// The minimum acceptable `.mkb` open speedup over text re-parsing — the
+/// headline claim of the memory-mapped container, enforced by
+/// [`KbLoadReport::validate`] so a regression fails the bench (and CI).
+pub const KB_MIN_OPEN_SPEEDUP: f64 = 100.0;
+
+/// The top-level contents of `BENCH_kb.json`: text parse vs `.mkb`
+/// compile, mmap open, and first-touch materialization on one dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KbLoadReport {
+    /// [`KB_BENCH_SCHEMA_VERSION`] at write time.
+    pub schema_version: u32,
+    /// Datagen profile name.
+    pub dataset: String,
+    /// `MINOANER_SCALE` the dataset was generated at.
+    pub scale: f64,
+    /// Repetitions per timed operation.
+    pub reps: usize,
+    /// Size of the compiled `.mkb` container, bytes.
+    pub mkb_bytes: u64,
+    /// Entities across both sides of the pair.
+    pub entities: u64,
+    /// Mean wall of parsing both N-Triples docs into a [`minoaner_kb::KbPair`],
+    /// milliseconds.
+    pub parse_ms_mean: f64,
+    /// Wall of one `write_mkb` compile (parse excluded), milliseconds.
+    pub compile_ms: f64,
+    /// Mean wall of `MkbFile::open` (header + section-table validation,
+    /// no data touched), milliseconds.
+    pub open_ms_mean: f64,
+    /// Mean wall of first-touch materialization (`verify` checksums +
+    /// `to_pair`), milliseconds — the page-in cost `open` defers.
+    pub page_in_ms_mean: f64,
+    /// `parse_ms_mean / open_ms_mean` — what the container saves on every
+    /// run after the first.
+    pub open_speedup_vs_parse: f64,
+}
+
+impl KbLoadReport {
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses a report previously produced by [`Self::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Checks the report against the schema invariants, returning the
+    /// first violation. Runs after writing `BENCH_kb.json` (and in CI).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema_version != KB_BENCH_SCHEMA_VERSION {
+            return Err(format!(
+                "schema_version {} does not match supported version {KB_BENCH_SCHEMA_VERSION}",
+                self.schema_version
+            ));
+        }
+        if self.dataset.is_empty() {
+            return Err("dataset name is empty".into());
+        }
+        if !(self.scale > 0.0) {
+            return Err(format!("scale must be positive, got {}", self.scale));
+        }
+        if self.reps == 0 {
+            return Err("reps must be ≥ 1".into());
+        }
+        if self.mkb_bytes == 0 {
+            return Err("mkb_bytes is zero — nothing was compiled".into());
+        }
+        if self.entities == 0 {
+            return Err("entities is zero — empty dataset measures nothing".into());
+        }
+        for (name, v) in [
+            ("parse_ms_mean", self.parse_ms_mean),
+            ("compile_ms", self.compile_ms),
+            ("open_ms_mean", self.open_ms_mean),
+            ("page_in_ms_mean", self.page_in_ms_mean),
+        ] {
+            if !(v > 0.0) {
+                return Err(format!("{name} must be positive, got {v}"));
+            }
+        }
+        let expected = self.parse_ms_mean / self.open_ms_mean;
+        if !(self.open_speedup_vs_parse > 0.0)
+            || (self.open_speedup_vs_parse - expected).abs() > 1e-6 * expected.max(1.0)
+        {
+            return Err(format!(
+                "open_speedup_vs_parse {} inconsistent with parse {} / open {} ms",
+                self.open_speedup_vs_parse, self.parse_ms_mean, self.open_ms_mean
+            ));
+        }
+        if self.open_speedup_vs_parse < KB_MIN_OPEN_SPEEDUP {
+            return Err(format!(
+                "open_speedup_vs_parse {:.1} is below the required {KB_MIN_OPEN_SPEEDUP}× — \
+                 mmap open must not re-do per-triple work",
+                self.open_speedup_vs_parse
+            ));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -398,6 +504,58 @@ mod tests {
 
         let mut r = sample();
         r.shared_claim_wall_ms_mean = 0.0;
+        assert!(r.validate().is_err());
+    }
+
+    fn kb_sample() -> KbLoadReport {
+        KbLoadReport {
+            schema_version: KB_BENCH_SCHEMA_VERSION,
+            dataset: "restaurant".into(),
+            scale: 1.0,
+            reps: 5,
+            mkb_bytes: 1 << 20,
+            entities: 1700,
+            parse_ms_mean: 42.0,
+            compile_ms: 55.0,
+            open_ms_mean: 0.02,
+            page_in_ms_mean: 3.5,
+            open_speedup_vs_parse: 42.0 / 0.02,
+        }
+    }
+
+    #[test]
+    fn kb_report_round_trips_and_validates() {
+        let report = kb_sample();
+        report.validate().expect("sample is valid");
+        let back = KbLoadReport::from_json(&report.to_json().unwrap()).unwrap();
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn kb_validation_rejects_sub_100x_open() {
+        let mut r = kb_sample();
+        r.open_ms_mean = r.parse_ms_mean / 50.0;
+        r.open_speedup_vs_parse = 50.0;
+        let err = r.validate().unwrap_err();
+        assert!(err.contains("below the required"), "got {err}");
+    }
+
+    #[test]
+    fn kb_validation_rejects_inconsistent_speedup_and_schema_drift() {
+        let mut r = kb_sample();
+        r.open_speedup_vs_parse *= 3.0;
+        assert!(r.validate().unwrap_err().contains("inconsistent"));
+
+        let mut r = kb_sample();
+        r.schema_version += 1;
+        assert!(r.validate().unwrap_err().contains("schema_version"));
+
+        let mut r = kb_sample();
+        r.mkb_bytes = 0;
+        assert!(r.validate().is_err());
+
+        let mut r = kb_sample();
+        r.open_ms_mean = 0.0;
         assert!(r.validate().is_err());
     }
 

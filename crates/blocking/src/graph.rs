@@ -41,7 +41,7 @@
 //! (test/bench only); the equivalence proptests there pin this kernel to
 //! it with exact `f64` equality.
 
-use minoaner_dataflow::{Executor, StageIo};
+use minoaner_dataflow::{DataflowError, Executor, SpillShuffle, StageIo};
 use minoaner_kb::stats::RelationStats;
 use minoaner_kb::{EntityId, KbPair, Side};
 
@@ -656,9 +656,18 @@ fn gamma_pass(
     }
 
     // Row pass: left-side lists plus every γ entry as (a, b, γ) triples.
+    // Under a memory budget the triples flow through a spill-aware
+    // shuffle keyed by the transpose's reduce partitioning instead of
+    // being concatenated on the heap.
     let tasks = executor.partitions().max(1);
     let chunk = n_left.div_ceil(tasks).max(1);
     let n_tasks = n_left.div_ceil(chunk);
+    let chunk_r = n_right.div_ceil(tasks).max(1);
+    let n_tasks_r = n_right.div_ceil(chunk_r);
+    let shuffle: Option<SpillShuffle<(u32, u32, f64)>> = executor
+        .memory_budget()
+        .map(|budget| SpillShuffle::new("graph-gamma", n_tasks_r, budget.clone()));
+
     let partials = executor.run_stage("graph/gamma", n_tasks, |t| {
         let lo = t * chunk;
         let hi = ((t + 1) * chunk).min(n_left);
@@ -689,55 +698,108 @@ fn gamma_pass(
                 lists.push(select_top_k(scratch, top_k, adaptive));
             }
         });
-        (lists, triples)
+        let produced = triples.len() as u64;
+        if let Some(sh) = &shuffle {
+            // Bucket this task's entries by reduce partition, pre-sorted
+            // by the transpose key (b, a). Keys are unique (one γ entry
+            // per touched cell per row), so the reduce-side k-way merge
+            // reproduces the global sort order exactly.
+            let mut buckets: Vec<Vec<(u32, u32, f64)>> = vec![Vec::new(); n_tasks_r];
+            for tri in triples.drain(..) {
+                buckets[tri.1 as usize / chunk_r].push(tri);
+            }
+            for bucket in &mut buckets {
+                bucket.sort_unstable_by(|x, y| (x.1, x.0).cmp(&(y.1, y.0)));
+            }
+            if let Err(e) = sh.add_run(t, buckets) {
+                std::panic::panic_any(DataflowError::Checkpoint(e));
+            }
+        }
+        (lists, triples, produced)
     });
     let mut left_lists: Vec<Vec<Candidate>> = Vec::with_capacity(n_left);
     let mut triples: Vec<(u32, u32, f64)> = Vec::new();
-    for (lists, part) in partials {
+    let mut total_entries = 0u64;
+    for (lists, part, produced) in partials {
         left_lists.extend(lists);
         triples.extend(part);
+        total_entries += produced;
     }
     executor.annotate_last_stage(
         "graph/gamma",
-        StageIo::items(edges.len() as u64, triples.len() as u64),
+        StageIo::items(edges.len() as u64, total_entries),
     );
-    executor.emit_counter("blocking/gamma_entries", triples.len() as u64);
+    executor.emit_counter("blocking/gamma_entries", total_entries);
 
     // Transpose: re-key the final γ entries by right entity and select.
-    triples.sort_unstable_by(|x, y| (x.1, x.0).cmp(&(y.1, y.0)));
-    let chunk_r = n_right.div_ceil(tasks).max(1);
-    let n_tasks_r = n_right.div_ceil(chunk_r);
-    let partials_r = executor.run_stage("graph/gamma/transpose", n_tasks_r, |t| {
-        let lo = (t * chunk_r) as u32;
-        let hi = ((t + 1) * chunk_r).min(n_right) as u32;
-        let start = triples.partition_point(|&(_, b, _)| b < lo);
-        let end = triples.partition_point(|&(_, b, _)| b < hi);
-        let mut lists: Vec<Vec<Candidate>> = vec![Vec::new(); (hi - lo) as usize];
-        // Universe 0: the transpose only selects, it never accumulates —
-        // but the candidate buffer is still worth reusing.
-        with_scratch(0, |_, scratch| {
-            let mut idx = start;
-            while idx < end {
-                let b = triples[idx].1;
-                let mut run_end = idx;
-                while run_end < end && triples[run_end].1 == b {
-                    run_end += 1;
+    // The sums are already final, so only the (b, a)-sorted order of the
+    // entries matters — produced either by one global sort (in-memory) or
+    // by merging the pre-sorted spill buckets per reduce partition
+    // (budgeted); with unique (b, a) keys both yield the same sequence.
+    let right_lists: Vec<Vec<Candidate>> = if let Some(sh) = shuffle {
+        let partials_r = executor.run_stage("graph/gamma/transpose", n_tasks_r, |t| {
+            let lo = (t * chunk_r) as u32;
+            let hi = ((t + 1) * chunk_r).min(n_right) as u32;
+            let part = match sh.merge_partition(t, |tri| (tri.1, tri.0)) {
+                Ok(part) => part,
+                Err(e) => std::panic::panic_any(DataflowError::Checkpoint(e)),
+            };
+            let mut lists: Vec<Vec<Candidate>> = vec![Vec::new(); (hi - lo) as usize];
+            with_scratch(0, |_, scratch| {
+                let mut idx = 0;
+                while idx < part.len() {
+                    let b = part[idx].1;
+                    let mut run_end = idx;
+                    while run_end < part.len() && part[run_end].1 == b {
+                        run_end += 1;
+                    }
+                    scratch.clear();
+                    for &(a, _, g) in &part[idx..run_end] {
+                        scratch.push((EntityId(a), g));
+                    }
+                    lists[(b - lo) as usize] = select_top_k(scratch, top_k, adaptive);
+                    idx = run_end;
                 }
-                scratch.clear();
-                for &(a, _, g) in &triples[idx..run_end] {
-                    scratch.push((EntityId(a), g));
-                }
-                lists[(b - lo) as usize] = select_top_k(scratch, top_k, adaptive);
-                idx = run_end;
-            }
+            });
+            lists
         });
-        lists
-    });
-    let right_lists: Vec<Vec<Candidate>> = partials_r.into_iter().flatten().collect();
+        let right_lists: Vec<Vec<Candidate>> = partials_r.into_iter().flatten().collect();
+        sh.finish(executor);
+        right_lists
+    } else {
+        triples.sort_unstable_by(|x, y| (x.1, x.0).cmp(&(y.1, y.0)));
+        let partials_r = executor.run_stage("graph/gamma/transpose", n_tasks_r, |t| {
+            let lo = (t * chunk_r) as u32;
+            let hi = ((t + 1) * chunk_r).min(n_right) as u32;
+            let start = triples.partition_point(|&(_, b, _)| b < lo);
+            let end = triples.partition_point(|&(_, b, _)| b < hi);
+            let mut lists: Vec<Vec<Candidate>> = vec![Vec::new(); (hi - lo) as usize];
+            // Universe 0: the transpose only selects, it never accumulates —
+            // but the candidate buffer is still worth reusing.
+            with_scratch(0, |_, scratch| {
+                let mut idx = start;
+                while idx < end {
+                    let b = triples[idx].1;
+                    let mut run_end = idx;
+                    while run_end < end && triples[run_end].1 == b {
+                        run_end += 1;
+                    }
+                    scratch.clear();
+                    for &(a, _, g) in &triples[idx..run_end] {
+                        scratch.push((EntityId(a), g));
+                    }
+                    lists[(b - lo) as usize] = select_top_k(scratch, top_k, adaptive);
+                    idx = run_end;
+                }
+            });
+            lists
+        });
+        partials_r.into_iter().flatten().collect()
+    };
     let retained_right: u64 = right_lists.iter().map(|c| c.len() as u64).sum();
     executor.annotate_last_stage(
         "graph/gamma/transpose",
-        StageIo::items(triples.len() as u64, retained_right),
+        StageIo::items(total_entries, retained_right),
     );
 
     (left_lists, right_lists)
@@ -781,12 +843,38 @@ mod tests {
 
     fn build(pair: &KbPair, cfg: GraphConfig) -> BlockingGraph {
         let exec = Executor::new(2);
+        build_on(&exec, pair, cfg)
+    }
+
+    fn build_on(exec: &Executor, pair: &KbPair, cfg: GraphConfig) -> BlockingGraph {
         let rels = RelationStats::compute(pair);
         let names = NameStats::compute(pair, 2);
         let mut tb = build_token_blocks(pair);
         purge_blocks(&mut tb, pair.kb(Side::Left).len() + pair.kb(Side::Right).len());
         let nb = build_name_blocks(pair, &names);
-        build_blocking_graph(&exec, pair, &rels, &tb, &nb, &cfg)
+        build_blocking_graph(exec, pair, &rels, &tb, &nb, &cfg)
+    }
+
+    #[test]
+    fn zero_memory_budget_forces_spill_and_is_bit_identical() {
+        use minoaner_dataflow::MemoryBudget;
+
+        let pair = figure1_pair();
+        let unconstrained = build(&pair, GraphConfig::default());
+
+        let spill_dir = std::env::temp_dir()
+            .join(format!("gamma-spill-test-{}", std::process::id()));
+        for workers in [1, 2, 8] {
+            let mut exec = Executor::new(workers);
+            exec.set_memory_budget(Some(MemoryBudget::new(0, &spill_dir)));
+            let budgeted = build_on(&exec, &pair, GraphConfig::default());
+            assert_eq!(
+                budgeted.weight_digest(),
+                unconstrained.weight_digest(),
+                "spilled γ pass must be bit-identical ({workers} workers)"
+            );
+        }
+        std::fs::remove_dir_all(&spill_dir).ok();
     }
 
     #[test]

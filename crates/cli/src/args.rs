@@ -16,8 +16,32 @@ pub enum Command {
     Stats(StatsArgs),
     /// Multi-job orchestration: run, list, inspect and cancel jobs.
     Jobs(JobsCmd),
+    /// KB container maintenance: compile text KBs into `.mkb` files.
+    Kb(KbCmd),
     /// Print usage.
     Help,
+}
+
+/// The `minoaner kb` subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KbCmd {
+    /// Parse one or two text KBs and write a memory-mappable `.mkb`
+    /// columnar container.
+    Compile(KbCompileArgs),
+}
+
+/// Arguments of `minoaner kb compile`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KbCompileArgs {
+    /// Left KB path (N-Triples or Turtle).
+    pub left: String,
+    /// Right KB path; `None` compiles a single-KB (dirty-ER style) pair
+    /// whose right side is empty.
+    pub right: Option<String>,
+    /// Output `.mkb` path.
+    pub out: String,
+    /// Skip malformed N-Triples lines instead of aborting the load.
+    pub lenient: bool,
 }
 
 /// The `minoaner jobs` subcommands.
@@ -98,10 +122,18 @@ pub struct JobLine {
 /// Arguments of `minoaner resolve`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ResolveArgs {
-    /// Left KB path (N-Triples).
-    pub left: String,
-    /// Right KB path (N-Triples).
-    pub right: String,
+    /// Left KB path (N-Triples); `None` when loading from `--mkb`.
+    pub left: Option<String>,
+    /// Right KB path (N-Triples); `None` when loading from `--mkb`.
+    pub right: Option<String>,
+    /// Pre-compiled `.mkb` container holding both sides (mutually
+    /// exclusive with `--left`/`--right`).
+    pub mkb: Option<String>,
+    /// Memory budget in bytes for shuffle state; exceeding it spills
+    /// sorted runs to disk instead of growing the heap.
+    pub mem_budget: Option<u64>,
+    /// Directory for spill run files (default: the system temp dir).
+    pub spill_dir: Option<String>,
     /// Optional ground-truth pair list for scoring.
     pub ground_truth: Option<String>,
     /// Worker threads (default: all cores).
@@ -170,6 +202,23 @@ impl fmt::Display for ArgError {
 
 impl std::error::Error for ArgError {}
 
+/// Parses a byte count with an optional `k`/`m`/`g` (or `K`/`M`/`G`)
+/// binary suffix: `"512"` → 512, `"64m"` → 64 MiB, `"2g"` → 2 GiB.
+pub fn parse_bytes(s: &str) -> Result<u64, ArgError> {
+    let err = || ArgError(format!("expected bytes with optional k/m/g suffix (got {s:?})"));
+    let (digits, shift) = match s.as_bytes().last() {
+        Some(b'k' | b'K') => (&s[..s.len() - 1], 10u32),
+        Some(b'm' | b'M') => (&s[..s.len() - 1], 20),
+        Some(b'g' | b'G') => (&s[..s.len() - 1], 30),
+        Some(_) => (s, 0),
+        None => return Err(err()),
+    };
+    let base: u64 = digits.parse().map_err(|_| err())?;
+    base.checked_shl(shift)
+        .filter(|v| v >> shift == base)
+        .ok_or_else(|| ArgError(format!("byte count {s:?} overflows u64")))
+}
+
 pub const USAGE: &str = "\
 minoaner — schema-agnostic entity resolution (MinoanER, EDBT 2019)
 
@@ -179,6 +228,7 @@ USAGE:
     minoaner multi   --kb <a.nt> --kb <b.nt> --kb <c.nt> ... [OPTIONS]
     minoaner stats   --input <kb.nt> [--type-attr <iri>]
     minoaner jobs    run|list|status|cancel --root <dir> [OPTIONS]
+    minoaner kb      compile <left.nt> [<right.nt>] <out.mkb> [--lenient]
     minoaner help
 
 KB files ending in .ttl are parsed as Turtle (subset); everything else as
@@ -204,6 +254,13 @@ EXIT CODES:
 RESOLVE OPTIONS:
     --left <path>           left KB, N-Triples
     --right <path>          right KB, N-Triples
+    --mkb <path>            load both sides from a compiled .mkb container
+                            (memory-mapped; replaces --left/--right)
+    --mem-budget <bytes>    shuffle memory ceiling; accepts k/m/g suffixes
+                            (e.g. 64m). Exceeding it spills sorted runs to
+                            disk; results are bit-identical either way
+    --spill-dir <dir>       where spill run files go (default: system temp;
+                            requires --mem-budget)
     --ground-truth <path>   optional pair list (left-uri <TAB> right-uri) to score against
     --workers <n>           dataflow workers (default: all cores)
     --k <n>                 name attributes per KB (default 2)
@@ -259,6 +316,17 @@ JOBS RUN OPTIONS:
                             shed with a structured reason (default 64)
     --k/--top-k/--n/--theta MinoanER parameters shared by all jobs
     --resume                resume each job from its newest valid checkpoint
+
+    A job with memory=<bytes> resolves under that grant: shuffle state
+    beyond it spills to <root>/job-<id>/spill and is merged back, so the
+    declared admission memory is also the enforced working-set ceiling.
+
+KB COMPILE:
+    minoaner kb compile <left.nt> [<right.nt>] <out.mkb> [--lenient]
+
+    Parses the input KB(s) once and writes a versioned, checksummed
+    columnar container that later runs open via mmap in microseconds
+    (`resolve --mkb`). With one input the right side is left empty.
 ";
 
 /// Parses the command line (excluding `argv[0]`).
@@ -270,6 +338,7 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
         Some("multi") => "multi",
         Some("stats") => "stats",
         Some("jobs") => return parse_jobs(&args[1..]),
+        Some("kb") => return parse_kb(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => return Ok(Command::Help),
         Some(other) => return Err(ArgError(format!("unknown command {other:?}; try `minoaner help`"))),
     };
@@ -290,6 +359,9 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
     let mut report = None;
     let mut checkpoint_dir = None;
     let mut resume = false;
+    let mut mkb = None;
+    let mut mem_budget = None;
+    let mut spill_dir = None;
 
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<String, ArgError> {
@@ -314,6 +386,9 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                 theta = value("--theta")?.parse().map_err(|_| ArgError("--theta expects a float".into()))?
             }
             "--json" => json = true,
+            "--mkb" => mkb = Some(value("--mkb")?),
+            "--mem-budget" => mem_budget = Some(parse_bytes(&value("--mem-budget")?)?),
+            "--spill-dir" => spill_dir = Some(value("--spill-dir")?),
             "--report" => report = Some(value("--report")?),
             "--checkpoint-dir" => checkpoint_dir = Some(value("--checkpoint-dir")?),
             "--resume" => resume = true,
@@ -325,14 +400,29 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
 
     match command {
         "resolve" => {
-            let left = left.ok_or_else(|| ArgError("resolve requires --left".into()))?;
-            let right = right.ok_or_else(|| ArgError("resolve requires --right".into()))?;
+            if mkb.is_some() {
+                if left.is_some() || right.is_some() {
+                    return Err(ArgError(
+                        "--mkb replaces both inputs; drop --left/--right".into(),
+                    ));
+                }
+            } else {
+                if left.is_none() {
+                    return Err(ArgError("resolve requires --left (or --mkb)".into()));
+                }
+                if right.is_none() {
+                    return Err(ArgError("resolve requires --right (or --mkb)".into()));
+                }
+            }
             if resume && checkpoint_dir.is_none() {
                 return Err(ArgError("--resume requires --checkpoint-dir".into()));
             }
+            if spill_dir.is_some() && mem_budget.is_none() {
+                return Err(ArgError("--spill-dir requires --mem-budget".into()));
+            }
             Ok(Command::Resolve(ResolveArgs {
-                left, right, ground_truth, workers, k, top_k, n, theta, json, lenient, report,
-                checkpoint_dir, resume,
+                left, right, mkb, mem_budget, spill_dir, ground_truth, workers, k, top_k, n,
+                theta, json, lenient, report, checkpoint_dir, resume,
             }))
         }
         "dedup" => {
@@ -444,6 +534,41 @@ fn parse_jobs(args: &[String]) -> Result<Command, ArgError> {
     }
 }
 
+/// Parses `minoaner kb <verb> ...` (the slice excludes `kb` itself).
+fn parse_kb(args: &[String]) -> Result<Command, ArgError> {
+    let mut it = args.iter();
+    let verb = it
+        .next()
+        .map(String::as_str)
+        .ok_or_else(|| ArgError("kb requires a subcommand: compile".into()))?;
+    if verb != "compile" {
+        return Err(ArgError(format!("unknown kb subcommand {verb:?}; expected compile")));
+    }
+
+    let mut positionals: Vec<String> = Vec::new();
+    let mut lenient = false;
+    for arg in it {
+        match arg.as_str() {
+            "--lenient" => lenient = true,
+            "--strict" => lenient = false,
+            flag if flag.starts_with("--") => {
+                return Err(ArgError(format!("unknown flag {flag:?} for `kb compile`")))
+            }
+            path => positionals.push(path.to_owned()),
+        }
+    }
+    let (left, right, out) = match positionals.len() {
+        2 => (positionals[0].clone(), None, positionals[1].clone()),
+        3 => (positionals[0].clone(), Some(positionals[1].clone()), positionals[2].clone()),
+        n => {
+            return Err(ArgError(format!(
+                "kb compile takes <left.nt> [<right.nt>] <out.mkb> (got {n} paths)"
+            )))
+        }
+    };
+    Ok(Command::Kb(KbCmd::Compile(KbCompileArgs { left, right, out, lenient })))
+}
+
 /// Parses one `--job` value: comma-separated `key=value` pairs.
 fn parse_job_line(spec: &str) -> Result<JobLine, ArgError> {
     let mut line = JobLine {
@@ -513,11 +638,14 @@ mod tests {
     fn parses_resolve_with_defaults() {
         let cmd = parse(&strings(&["resolve", "--left", "a.nt", "--right", "b.nt"])).unwrap();
         let Command::Resolve(a) = cmd else { panic!("expected resolve") };
-        assert_eq!(a.left, "a.nt");
-        assert_eq!(a.right, "b.nt");
+        assert_eq!(a.left.as_deref(), Some("a.nt"));
+        assert_eq!(a.right.as_deref(), Some("b.nt"));
         assert_eq!((a.k, a.top_k, a.n), (2, 15, 3));
         assert!((a.theta - 0.6).abs() < 1e-12);
         assert!(!a.json);
+        assert_eq!(a.mkb, None);
+        assert_eq!(a.mem_budget, None);
+        assert_eq!(a.spill_dir, None);
     }
 
     #[test]
@@ -683,6 +811,75 @@ mod tests {
                 "should reject {bad:?}"
             );
         }
+    }
+
+    #[test]
+    fn parses_kb_compile() {
+        let cmd = parse(&strings(&["kb", "compile", "a.nt", "b.nt", "out.mkb"])).unwrap();
+        let Command::Kb(KbCmd::Compile(a)) = cmd else { panic!("expected kb compile") };
+        assert_eq!(a.left, "a.nt");
+        assert_eq!(a.right.as_deref(), Some("b.nt"));
+        assert_eq!(a.out, "out.mkb");
+        assert!(!a.lenient);
+
+        let cmd = parse(&strings(&["kb", "compile", "solo.nt", "out.mkb", "--lenient"])).unwrap();
+        let Command::Kb(KbCmd::Compile(a)) = cmd else { panic!() };
+        assert_eq!(a.left, "solo.nt");
+        assert_eq!(a.right, None);
+        assert!(a.lenient);
+    }
+
+    #[test]
+    fn kb_compile_validation_errors() {
+        assert!(parse(&strings(&["kb"])).is_err(), "kb needs a subcommand");
+        assert!(parse(&strings(&["kb", "decompile", "a", "b"])).is_err());
+        assert!(parse(&strings(&["kb", "compile", "only-one.nt"])).is_err());
+        assert!(parse(&strings(&["kb", "compile", "a", "b", "c", "d"])).is_err());
+        assert!(parse(&strings(&["kb", "compile", "a.nt", "out.mkb", "--frob"])).is_err());
+    }
+
+    #[test]
+    fn parses_mkb_and_mem_budget() {
+        let cmd = parse(&strings(&[
+            "resolve", "--mkb", "pair.mkb", "--mem-budget", "64m", "--spill-dir", "/tmp/sp",
+        ]))
+        .unwrap();
+        let Command::Resolve(a) = cmd else { panic!() };
+        assert_eq!(a.mkb.as_deref(), Some("pair.mkb"));
+        assert_eq!(a.mem_budget, Some(64 << 20));
+        assert_eq!(a.spill_dir.as_deref(), Some("/tmp/sp"));
+        assert_eq!((a.left, a.right), (None, None));
+
+        // --mem-budget also composes with plain file inputs.
+        let cmd = parse(&strings(&[
+            "resolve", "--left", "a", "--right", "b", "--mem-budget", "1024",
+        ]))
+        .unwrap();
+        let Command::Resolve(a) = cmd else { panic!() };
+        assert_eq!(a.mem_budget, Some(1024));
+
+        // --mkb conflicts with --left/--right; spill dir needs a budget.
+        assert!(parse(&strings(&["resolve", "--mkb", "p.mkb", "--left", "a"])).is_err());
+        assert!(parse(&strings(&["resolve", "--mkb", "p.mkb", "--right", "b"])).is_err());
+        assert!(parse(&strings(&[
+            "resolve", "--left", "a", "--right", "b", "--spill-dir", "d",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn byte_suffix_parsing() {
+        assert_eq!(parse_bytes("512").unwrap(), 512);
+        assert_eq!(parse_bytes("0").unwrap(), 0);
+        assert_eq!(parse_bytes("2k").unwrap(), 2048);
+        assert_eq!(parse_bytes("64M").unwrap(), 64 << 20);
+        assert_eq!(parse_bytes("3g").unwrap(), 3 << 30);
+        assert!(parse_bytes("").is_err());
+        assert!(parse_bytes("m").is_err());
+        assert!(parse_bytes("1.5g").is_err());
+        assert!(parse_bytes("12q").is_err());
+        assert!(parse_bytes("99999999999999999999g").is_err());
+        assert!(parse_bytes(&format!("{}g", u64::MAX)).is_err(), "shifted-out bits");
     }
 
     #[test]

@@ -18,20 +18,20 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use minoaner_core::{CheckpointSpec, Minoaner, ResolveRequest};
-use minoaner_dataflow::{CheckpointError, DataflowError};
+use minoaner_dataflow::{CheckpointError, DataflowError, MemoryBudget};
 use minoaner_eval::Quality;
 use minoaner_kb::dirty::DirtyKbBuilder;
 use minoaner_kb::parser::{
     load_ntriples_with_mode, parse_ground_truth, parse_line, unescape, ParseMode, ParseReport,
 };
 use minoaner_kb::turtle::load_turtle;
-use minoaner_kb::{KbPairBuilder, Side, Term};
+use minoaner_kb::{write_mkb, KbPair, KbPairBuilder, MkbError, MkbFile, Side, Term};
 
 use minoaner_core::multi::{MultiKb, ObjectTerm};
 
 use args::{
-    parse, Command, DedupArgs, JobLine, JobsCmd, JobsRunArgs, MultiArgs, ResolveArgs, StatsArgs,
-    USAGE,
+    parse, Command, DedupArgs, JobLine, JobsCmd, JobsRunArgs, KbCmd, KbCompileArgs, MultiArgs,
+    ResolveArgs, StatsArgs, USAGE,
 };
 
 /// Exit code for bad arguments or an invalid configuration.
@@ -92,6 +92,18 @@ impl CliError {
     }
 }
 
+impl From<MkbError> for CliError {
+    fn from(e: MkbError) -> Self {
+        match e {
+            // Unreadable/unwritable container file is plain I/O; anything
+            // structural (corruption, schema drift, foreign endianness,
+            // oversized ids) is a rejected input, like a parse failure.
+            MkbError::Io { .. } => CliError::Io(e.to_string()),
+            _ => CliError::Parse(e.to_string()),
+        }
+    }
+}
+
 impl From<DataflowError> for CliError {
     fn from(e: DataflowError) -> Self {
         match e {
@@ -122,6 +134,7 @@ fn main() -> ExitCode {
                 e.exit_code()
             }
         },
+        Ok(Command::Kb(KbCmd::Compile(args))) => run(kb_compile(&args)),
         Ok(Command::Jobs(JobsCmd::List { root })) => run(jobs_list(&root)),
         Ok(Command::Jobs(JobsCmd::Status { root, id })) => run(jobs_status(&root, &id)),
         Ok(Command::Jobs(JobsCmd::Cancel { root, id })) => run(jobs_cancel(&root, &id)),
@@ -231,11 +244,52 @@ fn write_report(path: Option<&str>, trace: &minoaner_dataflow::RunTrace) -> Resu
     Ok(())
 }
 
-fn resolve(args: &ResolveArgs) -> Result<(), CliError> {
+/// Parses the input KB(s) once and writes the memory-mappable `.mkb`
+/// columnar container `resolve --mkb` later opens without re-parsing.
+fn kb_compile(args: &KbCompileArgs) -> Result<(), CliError> {
     let mode = parse_mode(args.lenient);
     let mut builder = KbPairBuilder::new();
     let nl = load_kb(&mut builder, Side::Left, &args.left, mode)?;
-    let nr = load_kb(&mut builder, Side::Right, &args.right, mode)?;
+    let nr = match &args.right {
+        Some(right) => load_kb(&mut builder, Side::Right, right, mode)?,
+        None => 0,
+    };
+    let pair = builder.finish();
+    ensure_parent_dir(&args.out)?;
+    let bytes = write_mkb(&pair, Path::new(&args.out))?;
+    eprintln!(
+        "compiled {} + {} triples ({} + {} entities) into {} ({bytes} bytes)",
+        nl,
+        nr,
+        pair.kb(Side::Left).len(),
+        pair.kb(Side::Right).len(),
+        args.out,
+    );
+    Ok(())
+}
+
+/// Loads the resolve inputs: either both text KBs, or a compiled `.mkb`
+/// container (verified checksums, then materialized into the pair the
+/// pipeline consumes).
+fn load_resolve_pair(args: &ResolveArgs) -> Result<KbPair, CliError> {
+    if let Some(mkb_path) = &args.mkb {
+        let file = MkbFile::open(Path::new(mkb_path))?;
+        let pair = file.to_pair()?;
+        eprintln!(
+            "mapped {mkb_path} ({} bytes): {} + {} entities",
+            file.len_bytes(),
+            pair.kb(Side::Left).len(),
+            pair.kb(Side::Right).len()
+        );
+        return Ok(pair);
+    }
+    let (Some(left), Some(right)) = (&args.left, &args.right) else {
+        return Err(CliError::Usage("resolve requires --left and --right (or --mkb)".into()));
+    };
+    let mode = parse_mode(args.lenient);
+    let mut builder = KbPairBuilder::new();
+    let nl = load_kb(&mut builder, Side::Left, left, mode)?;
+    let nr = load_kb(&mut builder, Side::Right, right, mode)?;
     let pair = builder.finish();
     eprintln!(
         "loaded {} + {} triples ({} + {} entities)",
@@ -244,6 +298,47 @@ fn resolve(args: &ResolveArgs) -> Result<(), CliError> {
         pair.kb(Side::Left).len(),
         pair.kb(Side::Right).len()
     );
+    Ok(pair)
+}
+
+/// Builds the optional shuffle [`MemoryBudget`] from `--mem-budget` /
+/// `--spill-dir`.
+fn resolve_budget(args: &ResolveArgs) -> Option<MemoryBudget> {
+    args.mem_budget.map(|bytes| {
+        let dir = match &args.spill_dir {
+            Some(dir) => std::path::PathBuf::from(dir),
+            None => std::env::temp_dir().join("minoaner-spill"),
+        };
+        MemoryBudget::new(bytes, dir)
+    })
+}
+
+/// Applies the optional `--mem-budget` grant to a request.
+fn with_budget<'a>(
+    req: ResolveRequest<'a>,
+    budget: Option<&MemoryBudget>,
+) -> ResolveRequest<'a> {
+    match budget {
+        Some(b) => req.mem_budget(b.clone()),
+        None => req,
+    }
+}
+
+/// Prints the spill accounting of a budgeted run (one line, greppable).
+fn report_spill(trace: &minoaner_dataflow::RunTrace, budget: Option<&MemoryBudget>) {
+    let Some(budget) = budget else { return };
+    eprintln!(
+        "mem budget {} bytes: spilled {} run(s), {} bytes, {} records",
+        budget.limit(),
+        trace.counter(minoaner_dataflow::SPILL_RUNS_COUNTER),
+        trace.counter(minoaner_dataflow::SPILL_BYTES_COUNTER),
+        trace.counter(minoaner_dataflow::SPILL_RECORDS_COUNTER),
+    );
+}
+
+fn resolve(args: &ResolveArgs) -> Result<(), CliError> {
+    let pair = load_resolve_pair(args)?;
+    let budget = resolve_budget(args);
 
     let config = minoaner_core::MinoanerConfig::builder()
         .name_attrs_k(args.k)
@@ -259,9 +354,8 @@ fn resolve(args: &ResolveArgs) -> Result<(), CliError> {
         // so missing parents of --checkpoint-dir are covered too.
         let mut spec = CheckpointSpec::new(ckpt_dir);
         spec.resume = args.resume;
-        let (res, trace) = minoaner
-            .run(with_workers(ResolveRequest::pair(&pair).checkpoint(&spec), args.workers))?
-            .into_traced();
+        let req = with_budget(ResolveRequest::pair(&pair).checkpoint(&spec), budget.as_ref());
+        let (res, trace) = minoaner.run(with_workers(req, args.workers))?.into_traced();
         if trace.counter("ckpt/resumed_from") > 0 {
             eprintln!(
                 "resumed from checkpoint barrier {} in {ckpt_dir} ({} bytes restored)",
@@ -274,12 +368,15 @@ fn resolve(args: &ResolveArgs) -> Result<(), CliError> {
             trace.counter("ckpt/barriers_written"),
             trace.counter("ckpt/bytes_written"),
         );
+        report_spill(&trace, budget.as_ref());
         write_report(args.report.as_deref(), &trace)?;
         res
-    } else if args.report.is_some() {
-        let (res, trace) = minoaner
-            .run(with_workers(ResolveRequest::pair(&pair).trace(), args.workers))?
-            .into_traced();
+    } else if args.report.is_some() || budget.is_some() {
+        // A budgeted run is always traced so the spill counters can be
+        // reported even without --report.
+        let req = with_budget(ResolveRequest::pair(&pair).trace(), budget.as_ref());
+        let (res, trace) = minoaner.run(with_workers(req, args.workers))?.into_traced();
+        report_spill(&trace, budget.as_ref());
         write_report(args.report.as_deref(), &trace)?;
         res
     } else {
@@ -530,6 +627,15 @@ fn jobs_run(args: &JobsRunArgs) -> Result<JobsOutcome, CliError> {
                 .cancel(ctx.cancel_token().clone());
             if let Some(deadline) = ctx.deadline() {
                 req = req.deadline(deadline);
+            }
+            // The declared admission memory is also the enforced shuffle
+            // ceiling: state beyond it spills under the job's directory.
+            if ctx.memory_bytes() > 0 {
+                let spill = match ctx.job_dir() {
+                    Some(dir) => dir.join("spill"),
+                    None => std::env::temp_dir().join("minoaner-spill"),
+                };
+                req = req.mem_budget(MemoryBudget::new(ctx.memory_bytes(), spill));
             }
             let (res, trace) = minoaner.run(req)?.into_traced();
             if let Some(dir) = ctx.job_dir() {

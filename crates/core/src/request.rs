@@ -33,7 +33,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use minoaner_dataflow::{CancelToken, DataflowError, Deadline, Executor, RunTrace};
+use minoaner_dataflow::{CancelToken, DataflowError, Deadline, Executor, MemoryBudget, RunTrace};
 use minoaner_kb::dirty::canonicalize_dirty_matches;
 use minoaner_kb::KbPair;
 
@@ -75,6 +75,7 @@ pub struct ResolveRequest<'a> {
     adaptive: bool,
     dirty: bool,
     workers: Option<usize>,
+    mem_budget: Option<MemoryBudget>,
 }
 
 impl<'a> ResolveRequest<'a> {
@@ -89,6 +90,7 @@ impl<'a> ResolveRequest<'a> {
             adaptive: false,
             dirty: false,
             workers: None,
+            mem_budget: None,
         }
     }
 
@@ -163,6 +165,19 @@ impl<'a> ResolveRequest<'a> {
     /// [`Minoaner::run_on`], which reuses the caller's executor.
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = Some(workers);
+        self
+    }
+
+    /// Caps the run's shuffle heap at `budget` bytes; data-exchange stages
+    /// that would exceed it degrade to spill-to-disk runs in the budget's
+    /// directory instead of OOMing. Results are bit-identical to an
+    /// unbudgeted run ([`BlockingGraph::weight_digest`] equality is pinned
+    /// by the out-of-core test suite); the budget only moves intermediate
+    /// data between heap and disk.
+    ///
+    /// [`BlockingGraph::weight_digest`]: minoaner_blocking::graph::BlockingGraph::weight_digest
+    pub fn mem_budget(mut self, budget: MemoryBudget) -> Self {
+        self.mem_budget = Some(budget);
         self
     }
 
@@ -344,6 +359,9 @@ impl Minoaner {
         if let Some(deadline) = req.deadline.take() {
             executor.set_deadline(Some(deadline));
         }
+        if let Some(budget) = req.mem_budget.take() {
+            executor.set_memory_budget(Some(budget));
+        }
         if let ResolveInput::Pair(pair) = req.input {
             if !req.adaptive {
                 if let Some(spec) = req.checkpoint {
@@ -370,7 +388,11 @@ impl Minoaner {
     ) -> Result<ResolveOutcome, DataflowError> {
         req.check_preconditions();
         debug_assert!(
-            !req.trace && req.checkpoint.is_none() && req.cancel.is_none() && req.deadline.is_none(),
+            !req.trace
+                && req.checkpoint.is_none()
+                && req.cancel.is_none()
+                && req.deadline.is_none()
+                && req.mem_budget.is_none(),
             "mutating request options require run_on"
         );
         match req.input {

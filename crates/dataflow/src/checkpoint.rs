@@ -437,8 +437,10 @@ fn corrupt(path: &Path, detail: impl Into<String>) -> CheckpointError {
     CheckpointError::Corrupt { path: path.display().to_string(), detail: detail.into() }
 }
 
-/// Writes `bytes` and fsyncs the file before returning.
-fn write_synced(path: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {
+/// Writes `bytes` and fsyncs the file before returning. Shared with the
+/// spill-to-disk shuffle ([`crate::spill`]), which reuses the checkpoint
+/// store's durability protocol for its run files.
+pub(crate) fn write_synced(path: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {
     let mut f = OpenOptions::new()
         .write(true)
         .create(true)
@@ -451,7 +453,7 @@ fn write_synced(path: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {
 }
 
 /// Fsyncs a directory so a committed rename survives power loss.
-fn sync_dir(path: &Path) -> Result<(), CheckpointError> {
+pub(crate) fn sync_dir(path: &Path) -> Result<(), CheckpointError> {
     File::open(path).and_then(|d| d.sync_all()).map_err(|e| io_err(path, &e))
 }
 

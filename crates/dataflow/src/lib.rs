@@ -50,6 +50,7 @@
 //! ```
 
 pub mod broadcast;
+pub mod budget;
 pub mod cancel;
 pub mod checkpoint;
 pub mod error;
@@ -60,10 +61,12 @@ pub mod observer;
 pub mod ops;
 pub mod pdc;
 pub mod pool;
+pub mod spill;
 pub mod steal;
 pub mod trace;
 
 pub use broadcast::Broadcast;
+pub use budget::MemoryBudget;
 pub use cancel::{CancelReason, CancelToken};
 pub use checkpoint::{
     CheckpointError, CheckpointPolicy, CheckpointStore, RecoveredStage, Recovery,
@@ -74,5 +77,8 @@ pub use metrics::{StageIo, StageLog, StageMetric};
 pub use observer::{Observer, ObserverSlot, TraceCollector};
 pub use pdc::{DetHashMap, DetHashSet, Pdc};
 pub use pool::{Deadline, Executor, ExecutorConfig, FailureAction, FaultPolicy, StageOutput};
+pub use spill::{
+    SpillShuffle, Spillable, SPILL_BYTES_COUNTER, SPILL_RECORDS_COUNTER, SPILL_RUNS_COUNTER,
+};
 pub use steal::{StealQueues, StealSchedule};
 pub use trace::{RunTrace, TRACE_SCHEMA_VERSION};

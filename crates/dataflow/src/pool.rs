@@ -21,6 +21,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
+use crate::budget::MemoryBudget;
 use crate::cancel::{CancelReason, CancelToken};
 use crate::checkpoint::CheckpointPolicy;
 use crate::error::DataflowError;
@@ -189,6 +190,12 @@ pub struct StageOutput<T> {
     /// Tasks claimed from another worker's queue (always 0 under
     /// [`StealSchedule::SharedClaim`] and with a single worker).
     pub steals: usize,
+    /// Shallow per-task result footprint in bytes (`size_of::<T>()` per
+    /// filled slot; skipped slots count 0). Heap payloads behind the
+    /// result (`Vec` contents, boxed slices) are *not* traversed — stages
+    /// that exchange bulk data account those against the run's
+    /// [`crate::budget::MemoryBudget`] with their own estimates.
+    pub partition_bytes: Vec<u64>,
 }
 
 impl<T> StageOutput<T> {
@@ -202,6 +209,11 @@ impl<T> StageOutput<T> {
         let out: Vec<T> = self.results.into_iter().flatten().collect();
         assert_eq!(out.len(), n, "every result slot is filled when nothing was skipped");
         out
+    }
+
+    /// Total shallow bytes across all task results.
+    pub fn total_bytes(&self) -> u64 {
+        self.partition_bytes.iter().sum()
     }
 }
 
@@ -245,6 +257,11 @@ pub struct Executor {
     /// default). Changes which worker runs a task, never the stage's
     /// output — results land in a slot array indexed by partition id.
     steal: StealSchedule,
+    /// Optional heap ceiling for data-exchange stages. When set, shuffle
+    /// producers reserve against it and degrade to spill-to-disk runs
+    /// ([`crate::spill`]) instead of buffering without bound. `None`
+    /// (the default) means fully in-memory execution.
+    memory: Option<MemoryBudget>,
 }
 
 impl Default for Executor {
@@ -271,7 +288,21 @@ impl Executor {
             cancel: CancelToken::new(),
             deadline: None,
             steal: StealSchedule::default(),
+            memory: None,
         }
+    }
+
+    /// Installs a memory budget; shuffle stages reserve their buffered
+    /// bytes against it and spill to its directory when over. Budgeted
+    /// and unbudgeted runs produce bit-identical results — the budget
+    /// changes *where* intermediate data lives, never its merge order.
+    pub fn set_memory_budget(&mut self, budget: Option<MemoryBudget>) {
+        self.memory = budget;
+    }
+
+    /// The installed memory budget, if any.
+    pub fn memory_budget(&self) -> Option<&MemoryBudget> {
+        self.memory.as_ref()
     }
 
     /// Sets the steal schedule workers use to pick victims. Output is
@@ -482,12 +513,16 @@ impl Executor {
         result.map(|results| {
             let skipped: Vec<usize> =
                 results.iter().enumerate().filter_map(|(i, r)| r.is_none().then_some(i)).collect();
+            let slot = std::mem::size_of::<T>() as u64;
+            let partition_bytes: Vec<u64> =
+                results.iter().map(|r| if r.is_some() { slot } else { 0 }).collect();
             StageOutput {
                 results,
                 skipped,
                 attempts: counters.attempts,
                 retries: counters.retries,
                 steals: counters.steals,
+                partition_bytes,
             }
         })
     }

@@ -1,0 +1,505 @@
+//! Spill-to-disk shuffle: the out-of-core degradation path for
+//! data-exchange stages running under a [`MemoryBudget`].
+//!
+//! A [`SpillShuffle`] collects *runs* — one per map task, each run holding
+//! one bucket per reduce partition, with every bucket pre-sorted by the
+//! stage's shuffle key. While the budget has headroom, runs stay on the
+//! heap; once [`MemoryBudget::try_reserve`] fails, further runs are
+//! encoded to a checksummed run file using the checkpoint store's
+//! durability protocol (write to a temp name, fsync, rename, fsync the
+//! directory) and dropped from memory. The reduce side then either
+//! k-way-merges the per-run buckets of one partition
+//! ([`SpillShuffle::merge_partition`] — external-sort semantics: because
+//! every bucket is sorted, the merged stream equals the globally sorted
+//! stream) or concatenates them in map order
+//! ([`SpillShuffle::concat_partition`] — plain shuffle semantics).
+//!
+//! Determinism: which runs spill depends on timing, but *merge order
+//! never does* — ties between runs break by map-task index, and each
+//! run's contents are identical whether they round-tripped through disk or not
+//! (the codec is exact, including `f64` bit patterns). Budgeted and
+//! unbudgeted executions therefore produce bit-identical stage output.
+//!
+//! Records implement [`Spillable`], a small fixed-layout binary codec.
+//! The framework deliberately avoids `serde` here: spill files are
+//! process-private scratch (never schema-versioned artifacts), and the
+//! codec guarantees exact round-trips of every bit, which the
+//! `weight_digest` equality acceptance test depends on.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::budget::MemoryBudget;
+use crate::checkpoint::{self, CheckpointError};
+use crate::pool::Executor;
+
+/// Counter name: run files written by spilling shuffles.
+pub const SPILL_RUNS_COUNTER: &str = "spill/runs_written";
+/// Counter name: bytes written to spill run files.
+pub const SPILL_BYTES_COUNTER: &str = "spill/bytes_written";
+/// Counter name: records that round-tripped through disk.
+pub const SPILL_RECORDS_COUNTER: &str = "spill/records";
+
+/// Fixed-layout binary encoding for spillable records.
+///
+/// Implementations must be exact: `read(write(x)) == x` for every value,
+/// including `f64` NaN payloads and signed zeros (encode bit patterns,
+/// not decimal renderings). Provided for the integer/float primitives and
+/// for 2- and 3-tuples of them, which covers the engine's shuffle shapes
+/// (`(key, value)` pairs and the blocking graph's `(a, b, weight)`
+/// triples).
+pub trait Spillable: Sized {
+    /// Appends this record's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decodes one record starting at `*pos`, advancing `*pos` past it.
+    /// Returns `None` on truncated input (corruption is caught by the
+    /// file checksum before decoding starts, but bounds stay checked).
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Self>;
+}
+
+macro_rules! spillable_primitive {
+    ($($t:ty),*) => {$(
+        impl Spillable for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_ne_bytes());
+            }
+
+            fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+                const N: usize = std::mem::size_of::<$t>();
+                let slice = buf.get(*pos..*pos + N)?;
+                *pos += N;
+                let mut b = [0u8; N];
+                b.copy_from_slice(slice);
+                Some(<$t>::from_ne_bytes(b))
+            }
+        }
+    )*};
+}
+
+spillable_primitive!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64, usize);
+
+impl<A: Spillable, B: Spillable> Spillable for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        Some((A::decode(buf, pos)?, B::decode(buf, pos)?))
+    }
+}
+
+impl<A: Spillable, B: Spillable, C: Spillable> Spillable for (A, B, C) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+        self.2.encode(out);
+    }
+
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        Some((A::decode(buf, pos)?, B::decode(buf, pos)?, C::decode(buf, pos)?))
+    }
+}
+
+/// One map task's contribution: per-partition buckets, resident or
+/// on disk.
+enum Run<T> {
+    Memory { buckets: Vec<Vec<T>>, reserved: u64 },
+    Disk { path: PathBuf, table: Vec<BucketMeta> },
+}
+
+/// Where one bucket lives inside a run file.
+#[derive(Debug, Clone, Copy)]
+struct BucketMeta {
+    offset: u64,
+    len: u64,
+    records: u64,
+    fnv: u64,
+}
+
+/// Process-wide sequence so concurrent shuffles in one process never
+/// collide on a spill path (the directory name also carries the pid for
+/// cross-process safety).
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A budget-aware shuffle accumulator (see the module docs).
+pub struct SpillShuffle<T> {
+    partitions: usize,
+    budget: MemoryBudget,
+    dir: PathBuf,
+    runs: Mutex<Vec<(usize, Run<T>)>>,
+    runs_written: AtomicU64,
+    bytes_written: AtomicU64,
+    records_spilled: AtomicU64,
+}
+
+impl<T: Spillable> SpillShuffle<T> {
+    /// A shuffle writing at most `partitions` buckets per run, spilling
+    /// into a fresh subdirectory of the budget's spill dir. `name` tags
+    /// the directory for debuggability; it is sanitized to alphanumerics.
+    pub fn new(name: &str, partitions: usize, budget: MemoryBudget) -> Self {
+        let tag: String =
+            name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect();
+        let dir = budget.spill_dir().join(format!(
+            "{tag}-{}-{}",
+            std::process::id(),
+            SPILL_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        Self {
+            partitions,
+            budget,
+            dir,
+            runs: Mutex::new(Vec::new()),
+            runs_written: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+            records_spilled: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of reduce partitions.
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    /// Adds map task `map_task`'s buckets. Tasks may add out of order and
+    /// concurrently; reads sort by `map_task`, so the outcome is
+    /// independent of arrival order. When the memory budget cannot cover
+    /// the run's estimated footprint, the run is written to disk.
+    pub fn add_run(&self, map_task: usize, buckets: Vec<Vec<T>>) -> Result<(), CheckpointError> {
+        assert_eq!(buckets.len(), self.partitions, "one bucket per reduce partition");
+        let records: u64 = buckets.iter().map(|b| b.len() as u64).sum();
+        let estimate = records * std::mem::size_of::<T>() as u64;
+        let run = if self.budget.try_reserve(estimate) {
+            Run::Memory { buckets, reserved: estimate }
+        } else {
+            let (path, table, bytes) = self.write_run(map_task, &buckets)?;
+            self.runs_written.fetch_add(1, Ordering::Relaxed);
+            self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+            self.records_spilled.fetch_add(records, Ordering::Relaxed);
+            Run::Disk { path, table }
+        };
+        self.runs.lock().push((map_task, run));
+        Ok(())
+    }
+
+    /// Encodes one run to `<dir>/run-<task>.spill` with the checkpoint
+    /// store's atomic protocol. Layout: concatenated bucket payloads; the
+    /// per-bucket offsets/lengths/checksums stay in memory (spill files
+    /// are scratch for this process's lifetime, not recovery artifacts).
+    fn write_run(
+        &self,
+        map_task: usize,
+        buckets: &[Vec<T>],
+    ) -> Result<(PathBuf, Vec<BucketMeta>, u64), CheckpointError> {
+        fs::create_dir_all(&self.dir).map_err(|e| CheckpointError::Io {
+            path: self.dir.display().to_string(),
+            detail: e.to_string(),
+        })?;
+        let mut payload = Vec::new();
+        let mut table = Vec::with_capacity(buckets.len());
+        for bucket in buckets {
+            let start = payload.len() as u64;
+            for record in bucket {
+                record.encode(&mut payload);
+            }
+            let bytes = &payload[start as usize..];
+            table.push(BucketMeta {
+                offset: start,
+                len: bytes.len() as u64,
+                records: bucket.len() as u64,
+                fnv: checkpoint::fnv1a(bytes),
+            });
+        }
+        let path = self.dir.join(format!("run-{map_task}.spill"));
+        let tmp = self.dir.join(format!(".tmp-run-{map_task}.spill"));
+        checkpoint::write_synced(&tmp, &payload)?;
+        fs::rename(&tmp, &path).map_err(|e| CheckpointError::Io {
+            path: path.display().to_string(),
+            detail: e.to_string(),
+        })?;
+        checkpoint::sync_dir(&self.dir)?;
+        Ok((path, table, payload.len() as u64))
+    }
+
+    /// Loads one bucket of one run back, validating its checksum. A
+    /// mismatch (bit rot, torn write that survived the rename) fails
+    /// closed as [`CheckpointError::Corrupt`].
+    fn read_bucket(path: &PathBuf, meta: &BucketMeta) -> Result<Vec<T>, CheckpointError> {
+        let bytes = fs::read(path).map_err(|e| CheckpointError::Io {
+            path: path.display().to_string(),
+            detail: e.to_string(),
+        })?;
+        let (lo, hi) = (meta.offset as usize, (meta.offset + meta.len) as usize);
+        let slice = bytes.get(lo..hi).ok_or_else(|| CheckpointError::Corrupt {
+            path: path.display().to_string(),
+            detail: format!("bucket range {lo}..{hi} out of bounds ({} bytes)", bytes.len()),
+        })?;
+        let actual = checkpoint::fnv1a(slice);
+        if actual != meta.fnv {
+            return Err(CheckpointError::Corrupt {
+                path: path.display().to_string(),
+                detail: format!(
+                    "bucket checksum mismatch (recorded {:016x}, actual {actual:016x})",
+                    meta.fnv
+                ),
+            });
+        }
+        let mut out = Vec::with_capacity(meta.records as usize);
+        let mut pos = 0usize;
+        for _ in 0..meta.records {
+            let record = T::decode(slice, &mut pos).ok_or_else(|| CheckpointError::Corrupt {
+                path: path.display().to_string(),
+                detail: "bucket truncated mid-record".to_owned(),
+            })?;
+            out.push(record);
+        }
+        Ok(out)
+    }
+
+    /// Collects partition `p`'s bucket from every run, in ascending map
+    /// task order. Consumes memory buckets (releasing their share of the
+    /// budget) and re-reads disk buckets with checksum validation.
+    fn take_partition_buckets(&self, p: usize) -> Result<Vec<Vec<T>>, CheckpointError> {
+        assert!(p < self.partitions, "partition out of range");
+        let mut runs = self.runs.lock();
+        runs.sort_by_key(|&(task, _)| task);
+        let mut out = Vec::with_capacity(runs.len());
+        for (_, run) in runs.iter_mut() {
+            match run {
+                Run::Memory { buckets, reserved } => {
+                    let bucket = std::mem::take(&mut buckets[p]);
+                    let share = bucket.len() as u64 * std::mem::size_of::<T>() as u64;
+                    let share = share.min(*reserved);
+                    *reserved -= share;
+                    self.budget.release(share);
+                    out.push(bucket);
+                }
+                Run::Disk { path, table } => out.push(Self::read_bucket(path, &table[p])?),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Reduce-side read with *external-sort* semantics: k-way-merges the
+    /// per-run buckets of partition `p` by `key`. Requires every bucket
+    /// to have been added pre-sorted by that key; the merged output then
+    /// equals the globally sorted concatenation, independent of which
+    /// runs spilled. Ties break by map task order (stable).
+    pub fn merge_partition<K: Ord>(
+        &self,
+        p: usize,
+        key: impl Fn(&T) -> K,
+    ) -> Result<Vec<T>, CheckpointError> {
+        let buckets = self.take_partition_buckets(p)?;
+        let total: usize = buckets.iter().map(Vec::len).sum();
+        let mut iters: Vec<std::vec::IntoIter<T>> =
+            buckets.into_iter().map(Vec::into_iter).collect();
+        let mut heads: Vec<Option<T>> = iters.iter_mut().map(Iterator::next).collect();
+        let mut out = Vec::with_capacity(total);
+        loop {
+            // Linear scan over the run heads: run counts equal map task
+            // counts (tens), so a heap would not pay for itself.
+            let mut best: Option<(usize, K)> = None;
+            for (i, head) in heads.iter().enumerate() {
+                let Some(h) = head else { continue };
+                let k = key(h);
+                // Strict less-than keeps ties on the earlier run.
+                let replace = match &best {
+                    Some((_, bk)) => k < *bk,
+                    None => true,
+                };
+                if replace {
+                    best = Some((i, k));
+                }
+            }
+            let Some((b, _)) = best else { break };
+            let next = iters[b].next();
+            if let Some(record) = std::mem::replace(&mut heads[b], next) {
+                out.push(record);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Reduce-side read with plain shuffle semantics: concatenates
+    /// partition `p`'s buckets in map task order (what an in-memory
+    /// transpose produces).
+    pub fn concat_partition(&self, p: usize) -> Result<Vec<T>, CheckpointError> {
+        let buckets = self.take_partition_buckets(p)?;
+        let total: usize = buckets.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total);
+        for b in buckets {
+            out.extend(b);
+        }
+        Ok(out)
+    }
+
+    /// Run files written so far.
+    pub fn runs_written(&self) -> u64 {
+        self.runs_written.load(Ordering::Relaxed)
+    }
+
+    /// Bytes written to run files so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written.load(Ordering::Relaxed)
+    }
+
+    /// Records that round-tripped through disk.
+    pub fn records_spilled(&self) -> u64 {
+        self.records_spilled.load(Ordering::Relaxed)
+    }
+
+    /// Tears the shuffle down: releases remaining memory reservations,
+    /// deletes the spill directory under a timed `spill/cleanup` stage,
+    /// and emits the `spill/*` counters into the executor's trace. Call
+    /// once after all partitions are read.
+    pub fn finish(self, executor: &Executor) {
+        let runs = std::mem::take(&mut *self.runs.lock());
+        let mut spilled = false;
+        for (_, run) in runs {
+            match run {
+                Run::Memory { reserved, .. } => self.budget.release(reserved),
+                Run::Disk { .. } => spilled = true,
+            }
+        }
+        if spilled {
+            executor.time_stage("spill/cleanup", || {
+                fs::remove_dir_all(&self.dir).ok();
+            });
+        }
+        executor.emit_counter(SPILL_RUNS_COUNTER, self.runs_written());
+        executor.emit_counter(SPILL_BYTES_COUNTER, self.bytes_written());
+        executor.emit_counter(SPILL_RECORDS_COUNTER, self.records_spilled());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::TraceCollector;
+    use std::sync::Arc;
+
+    fn tmp_budget(limit: u64, tag: &str) -> MemoryBudget {
+        let dir = std::env::temp_dir().join(format!("spill-unit-{}-{tag}", std::process::id()));
+        MemoryBudget::new(limit, dir)
+    }
+
+    fn three_runs() -> Vec<Vec<Vec<(u32, u32, f64)>>> {
+        // 2 partitions; each bucket pre-sorted by the (b, a) key.
+        vec![
+            vec![vec![(0, 1, 0.5), (2, 3, 1.5)], vec![(1, 10, 2.5)]],
+            vec![vec![(5, 2, 0.25)], vec![(0, 11, 0.75), (3, 12, 1.25)]],
+            vec![vec![(1, 2, f64::MIN_POSITIVE)], vec![]],
+        ]
+    }
+
+    fn expected_partition(runs: &[Vec<Vec<(u32, u32, f64)>>], p: usize) -> Vec<(u32, u32, f64)> {
+        let mut all: Vec<(u32, u32, f64)> =
+            runs.iter().flat_map(|r| r[p].iter().copied()).collect();
+        all.sort_by(|x, y| (x.1, x.0).cmp(&(y.1, y.0)));
+        all
+    }
+
+    #[test]
+    fn merge_without_spill_equals_global_sort() {
+        let shuffle = SpillShuffle::new("test", 2, tmp_budget(1 << 20, "mem"));
+        for (i, run) in three_runs().into_iter().enumerate() {
+            shuffle.add_run(i, run).expect("in-memory add");
+        }
+        for p in 0..2 {
+            let merged =
+                shuffle.merge_partition(p, |t| (t.1, t.0)).expect("merge");
+            assert_eq!(merged, expected_partition(&three_runs(), p));
+        }
+        assert_eq!(shuffle.runs_written(), 0);
+    }
+
+    #[test]
+    fn merge_with_forced_spill_is_bit_identical() {
+        // Zero budget: every run goes to disk and back.
+        let shuffle = SpillShuffle::new("test", 2, tmp_budget(0, "disk"));
+        for (i, run) in three_runs().into_iter().enumerate() {
+            shuffle.add_run(i, run).expect("spilled add");
+        }
+        assert_eq!(shuffle.runs_written(), 3);
+        assert!(shuffle.bytes_written() > 0);
+        for p in 0..2 {
+            let merged =
+                shuffle.merge_partition(p, |t| (t.1, t.0)).expect("merge");
+            let expected = expected_partition(&three_runs(), p);
+            assert_eq!(merged.len(), expected.len());
+            for (m, e) in merged.iter().zip(&expected) {
+                assert_eq!((m.0, m.1), (e.0, e.1));
+                // Bit-identical floats, not just approximately equal.
+                assert_eq!(m.2.to_bits(), e.2.to_bits());
+            }
+        }
+        let exec = Executor::new(1);
+        shuffle.finish(&exec);
+    }
+
+    #[test]
+    fn concat_preserves_map_task_order_even_when_added_out_of_order() {
+        let shuffle = SpillShuffle::new("test", 1, tmp_budget(0, "order"));
+        shuffle.add_run(2, vec![vec![(9u32, 1u32)]]).expect("add");
+        shuffle.add_run(0, vec![vec![(7u32, 1u32)]]).expect("add");
+        shuffle.add_run(1, vec![vec![(8u32, 1u32)]]).expect("add");
+        let got = shuffle.concat_partition(0).expect("concat");
+        assert_eq!(got, vec![(7, 1), (8, 1), (9, 1)]);
+    }
+
+    #[test]
+    fn corrupt_run_file_fails_closed() {
+        let shuffle: SpillShuffle<(u32, u32)> = SpillShuffle::new("test", 1, tmp_budget(0, "corrupt"));
+        shuffle.add_run(0, vec![vec![(1, 2), (3, 4)]]).expect("add");
+        // Flip a byte in the only run file.
+        let run_path = {
+            let runs = shuffle.runs.lock();
+            match &runs[0].1 {
+                Run::Disk { path, .. } => path.clone(),
+                Run::Memory { .. } => panic!("zero budget must spill"),
+            }
+        };
+        let mut bytes = fs::read(&run_path).expect("read run file");
+        bytes[0] ^= 0x40;
+        fs::write(&run_path, &bytes).expect("rewrite run file");
+        let err = shuffle.concat_partition(0).expect_err("must fail closed");
+        assert!(matches!(err, CheckpointError::Corrupt { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn finish_emits_counters_and_removes_dir() {
+        let budget = tmp_budget(0, "finish");
+        let shuffle: SpillShuffle<u64> = SpillShuffle::new("test", 1, budget.clone());
+        shuffle.add_run(0, vec![vec![1, 2, 3]]).expect("add");
+        let dir = shuffle.dir.clone();
+        assert!(dir.exists());
+        let mut exec = Executor::new(1);
+        let collector = Arc::new(TraceCollector::default());
+        exec.set_observer(collector.clone());
+        shuffle.finish(&exec);
+        assert!(!dir.exists());
+        let counters = collector.counters();
+        assert_eq!(counters.get(SPILL_RUNS_COUNTER).copied(), Some(1));
+        assert_eq!(counters.get(SPILL_RECORDS_COUNTER).copied(), Some(3));
+        assert!(counters.get(SPILL_BYTES_COUNTER).copied().unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn memory_runs_release_budget_on_read_and_finish() {
+        let budget = tmp_budget(1 << 20, "release");
+        let shuffle = SpillShuffle::new("test", 2, budget.clone());
+        shuffle.add_run(0, vec![vec![(1u32, 2u32)], vec![(3u32, 4u32)]]).expect("add");
+        assert!(budget.used() > 0);
+        shuffle.concat_partition(0).expect("read p0");
+        let after_p0 = budget.used();
+        shuffle.concat_partition(1).expect("read p1");
+        assert!(budget.used() < after_p0 || after_p0 == 0);
+        let exec = Executor::new(1);
+        shuffle.finish(&exec);
+        assert_eq!(budget.used(), 0);
+    }
+}

@@ -257,6 +257,7 @@ pub struct JobContext {
     pub(crate) cancel: CancelToken,
     pub(crate) deadline: Option<Deadline>,
     pub(crate) job_dir: Option<PathBuf>,
+    pub(crate) memory_bytes: u64,
 }
 
 impl JobContext {
@@ -292,6 +293,15 @@ impl JobContext {
     /// configured.
     pub fn job_dir(&self) -> Option<&PathBuf> {
         self.job_dir.as_ref()
+    }
+
+    /// The memory grant from the job's [`ResourceBudget`](crate::budget::ResourceBudget)
+    /// admission, in bytes (`0` = unmetered). Work closures that resolve
+    /// under this grant can hand it to the dataflow layer as a
+    /// [`MemoryBudget`](minoaner_dataflow::MemoryBudget) so shuffle stages
+    /// spill instead of exceeding what admission reserved.
+    pub fn memory_bytes(&self) -> u64 {
+        self.memory_bytes
     }
 
     /// An executor sized to the job's grant, wired to its cancellation
@@ -373,9 +383,11 @@ mod tests {
             cancel: CancelToken::new(),
             deadline: None,
             job_dir: None,
+            memory_bytes: 1 << 20,
         };
         let exec = ctx.executor();
         assert_eq!(exec.workers(), 3);
+        assert_eq!(ctx.memory_bytes(), 1 << 20);
         assert!(!exec.cancel_token().is_cancelled());
         ctx.cancel_token().cancel(minoaner_dataflow::CancelReason::User);
         assert!(exec.cancel_token().is_cancelled(), "executor shares the job token");

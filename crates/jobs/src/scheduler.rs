@@ -361,6 +361,7 @@ impl JobScheduler {
                 cancel: record.cancel.clone(),
                 deadline: record.deadline,
                 job_dir: self.inner.root.as_ref().map(|root| control::job_dir(root, head)),
+                memory_bytes: record.spec.memory_bytes,
             };
             let status = Self::status_of(head, record);
             let memory = record.spec.memory_bytes;

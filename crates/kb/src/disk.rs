@@ -1,0 +1,1128 @@
+//! The `.mkb` on-disk columnar container: a compiled [`KbPair`] that opens
+//! in microseconds via `mmap` instead of re-parsing N-Triples.
+//!
+//! # Layout (format version 1)
+//!
+//! All integers are stored in *native* endianness; a header tag rejects
+//! files compiled on a machine of the other endianness instead of silently
+//! misreading them. Every section starts 8-byte aligned so `u32`/`u64`
+//! columns can be viewed in place from the mapping.
+//!
+//! ```text
+//! header   (32 B): magic "MINOANKB" · format version u32 · endian tag u32
+//!                  · section count u32 · flags u32 (bit 0 = dirty pair)
+//!                  · reserved u64
+//! table    (32 B × n): { id u32, pad u32, offset u64, len u64, fnv1a u64 }
+//! sections (8-byte aligned, FNV-1a checksummed):
+//!   arenas   1–4   tokens/literals/attrs/uris interner storage, in
+//!                  interning order: count u64 · offsets u32[count+1]
+//!                  · pad · UTF-8 bytes
+//!   CSR      5     literal token sequences (rows = literal count)
+//!   columns  6,7   per-entity URI symbols (left, right): count u64
+//!                  · u32[count]
+//!   pairs    8,9   per-entity attribute–value columns: rows u64
+//!                  · offsets u32[rows+1] · pad · attr u32[total]
+//!                  · value u32[total] (high bit set ⇒ Ref, clear ⇒ Literal)
+//!   CSR     10,11  per-entity sorted token sets
+//!   columns 12,13  per-entity token occurrence counts
+//! ```
+//!
+//! [`MkbFile::open`] only validates structure (magic, version, endianness,
+//! alignment, section bounds) — the cheap path benchmarked against
+//! re-parsing. [`MkbFile::verify`] checks every section checksum, and
+//! [`MkbFile::to_pair`] verifies before materializing, so a bit-flipped
+//! file fails closed with a typed [`MkbError`] instead of producing a
+//! silently wrong KB.
+
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write as _;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+
+use crate::interner::{Interner, Symbol};
+use crate::model::{AttrId, Entity, EntityId, LiteralId, Side, TokenId, Value};
+use crate::store::{Kb, KbPair};
+
+/// Version of the `.mkb` layout this build reads and writes.
+pub const MKB_FORMAT_VERSION: u32 = 1;
+
+/// Leading magic bytes of every `.mkb` file.
+pub const MKB_MAGIC: [u8; 8] = *b"MINOANKB";
+
+/// Endianness fingerprint: written natively, so a reader on the other
+/// endianness sees the byte-swapped value and rejects the file.
+const ENDIAN_TAG: u32 = 0x0102_0304;
+
+const FLAG_DIRTY: u32 = 1;
+const HEADER_LEN: usize = 32;
+const TABLE_ENTRY_LEN: usize = 32;
+const SECTION_COUNT: usize = 13;
+/// High bit of a stored value word: set ⇒ `Value::Ref`, clear ⇒
+/// `Value::Literal`. Ids must therefore stay below 2³¹.
+const REF_BIT: u32 = 0x8000_0000;
+
+/// Section identifiers, in file order.
+mod section {
+    pub const TOKENS: u32 = 1;
+    pub const LITERALS: u32 = 2;
+    pub const ATTRS: u32 = 3;
+    pub const URIS: u32 = 4;
+    pub const LITERAL_TOKENS: u32 = 5;
+    pub const ENT_URI_L: u32 = 6;
+    pub const ENT_URI_R: u32 = 7;
+    pub const PAIRS_L: u32 = 8;
+    pub const PAIRS_R: u32 = 9;
+    pub const TOKSET_L: u32 = 10;
+    pub const TOKSET_R: u32 = 11;
+    pub const TOKOCC_L: u32 = 12;
+    pub const TOKOCC_R: u32 = 13;
+}
+
+/// A typed `.mkb` failure. Every way a file can be wrong maps to one
+/// variant, so corruption tests (and callers) match on the class instead
+/// of a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MkbError {
+    /// Filesystem error.
+    Io { path: String, detail: String },
+    /// Structural or checksum failure: truncation, bad magic, misaligned
+    /// or out-of-bounds sections, FNV mismatch, out-of-range ids.
+    Corrupt { path: String, detail: String },
+    /// The file's format version is not the one this build reads.
+    SchemaMismatch { found: u32, expected: u32 },
+    /// The file was compiled on a machine of the other endianness.
+    EndianMismatch { found: u32 },
+    /// The pair does not fit the format's 32-bit columns.
+    TooLarge { what: String },
+}
+
+impl fmt::Display for MkbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MkbError::Io { path, detail } => write!(f, "mkb io error at {path}: {detail}"),
+            MkbError::Corrupt { path, detail } => write!(f, "corrupt mkb file {path}: {detail}"),
+            MkbError::SchemaMismatch { found, expected } => {
+                write!(f, "mkb format version {found} (this build reads {expected})")
+            }
+            MkbError::EndianMismatch { found } => {
+                write!(f, "mkb endianness tag {found:#010x} does not match this machine")
+            }
+            MkbError::TooLarge { what } => write!(f, "KB too large for mkb format: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for MkbError {}
+
+fn io_err(path: &Path, e: &std::io::Error) -> MkbError {
+    MkbError::Io { path: path.display().to_string(), detail: e.to_string() }
+}
+
+fn corrupt(path: &Path, detail: impl Into<String>) -> MkbError {
+    MkbError::Corrupt { path: path.display().to_string(), detail: detail.into() }
+}
+
+/// FNV-1a — the same hash family the dataflow checkpoints and the blocking
+/// graph's `weight_digest` use; no external dependency.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+// ───────────────────────────── KbSource ─────────────────────────────
+
+/// Read access to a compiled KB pair, implemented both by the in-memory
+/// [`KbPair`] and by the memory-mapped [`MkbFile`].
+///
+/// The contract: all accessors taking an [`EntityId`] return `None` for
+/// out-of-range ids (never panic — this is the boundary where ids from
+/// user input or foreign files arrive), token sets are sorted and
+/// deduplicated, and symbol/token ids are comparable across both sides
+/// because the interners are shared.
+pub trait KbSource {
+    /// Number of entities on `side`.
+    fn entity_count(&self, side: Side) -> usize;
+    /// Interned URI of an entity, or `None` when out of range.
+    fn entity_uri(&self, side: Side, id: EntityId) -> Option<Symbol>;
+    /// Sorted, deduplicated token set of an entity's literals, or `None`
+    /// when out of range.
+    fn token_set(&self, side: Side, id: EntityId) -> Option<&[TokenId]>;
+    /// Total token occurrences of an entity, or `None` when out of range.
+    fn token_occurrences(&self, side: Side, id: EntityId) -> Option<u32>;
+    /// Resolves a token id to its string, or `None` when out of range.
+    fn token_string(&self, tok: TokenId) -> Option<&str>;
+    /// Resolves a URI symbol to its string, or `None` when out of range.
+    fn uri_string(&self, sym: Symbol) -> Option<&str>;
+    /// Whether this pair is a dirty-ER self-pair.
+    fn dirty(&self) -> bool;
+}
+
+impl KbSource for KbPair {
+    fn entity_count(&self, side: Side) -> usize {
+        self.kb(side).len()
+    }
+
+    fn entity_uri(&self, side: Side, id: EntityId) -> Option<Symbol> {
+        self.kb(side).get(id).map(|e| e.uri)
+    }
+
+    fn token_set(&self, side: Side, id: EntityId) -> Option<&[TokenId]> {
+        let kb = self.kb(side);
+        (id.index() < kb.len()).then(|| kb.tokens_of(id))
+    }
+
+    fn token_occurrences(&self, side: Side, id: EntityId) -> Option<u32> {
+        let kb = self.kb(side);
+        (id.index() < kb.len()).then(|| kb.token_occurrences_of(id))
+    }
+
+    fn token_string(&self, tok: TokenId) -> Option<&str> {
+        (tok.index() < self.tokens().len()).then(|| self.tokens().resolve(Symbol(tok.0)))
+    }
+
+    fn uri_string(&self, sym: Symbol) -> Option<&str> {
+        (sym.index() < self.uris().len()).then(|| self.uris().resolve(sym))
+    }
+
+    fn dirty(&self) -> bool {
+        self.is_dirty()
+    }
+}
+
+// ───────────────────────────── writing ─────────────────────────────
+
+/// Little-endian-free section builder: appends native-endian words and
+/// keeps 8-byte alignment at the seams between scalar and array parts.
+#[derive(Default)]
+struct SectionBuf {
+    buf: Vec<u8>,
+}
+
+impl SectionBuf {
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_ne_bytes());
+    }
+
+    fn u32_iter(&mut self, vs: impl Iterator<Item = u32>) {
+        for v in vs {
+            self.buf.extend_from_slice(&v.to_ne_bytes());
+        }
+        self.pad8();
+    }
+
+    fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+        self.pad8();
+    }
+
+    fn pad8(&mut self) {
+        while self.buf.len() % 8 != 0 {
+            self.buf.push(0);
+        }
+    }
+}
+
+fn checked_u32(n: usize, what: &str) -> Result<u32, MkbError> {
+    u32::try_from(n).map_err(|_| MkbError::TooLarge { what: what.to_owned() })
+}
+
+/// Serializes an interner: count, cumulative byte offsets, concatenated
+/// UTF-8, in interning order (symbols are positional).
+fn arena_section(interner: &Interner) -> Result<Vec<u8>, MkbError> {
+    let mut s = SectionBuf::default();
+    s.u64(interner.len() as u64);
+    let mut offsets = Vec::with_capacity(interner.len() + 1);
+    let mut total = 0usize;
+    offsets.push(0u32);
+    for (_, string) in interner.iter() {
+        total += string.len();
+        offsets.push(checked_u32(total, "interner arena exceeds 4 GiB")?);
+    }
+    s.u32_iter(offsets.into_iter());
+    let mut bytes = Vec::with_capacity(total);
+    for (_, string) in interner.iter() {
+        bytes.extend_from_slice(string.as_bytes());
+    }
+    s.bytes(&bytes);
+    Ok(s.buf)
+}
+
+/// Serializes row-major variable-length u32 data as a CSR section.
+fn csr_section<'a>(rows: impl ExactSizeIterator<Item = &'a [TokenId]> + Clone) -> Result<Vec<u8>, MkbError> {
+    let mut s = SectionBuf::default();
+    s.u64(rows.len() as u64);
+    let mut offsets = Vec::with_capacity(rows.len() + 1);
+    let mut total = 0usize;
+    offsets.push(0u32);
+    for row in rows.clone() {
+        total += row.len();
+        offsets.push(checked_u32(total, "token CSR exceeds u32::MAX entries")?);
+    }
+    s.u32_iter(offsets.into_iter());
+    s.u32_iter(rows.flat_map(|row| row.iter().map(|t| t.0)));
+    Ok(s.buf)
+}
+
+/// Serializes a plain u32 column.
+fn u32_column(vals: impl ExactSizeIterator<Item = u32>) -> Vec<u8> {
+    let mut s = SectionBuf::default();
+    s.u64(vals.len() as u64);
+    s.u32_iter(vals);
+    s.buf
+}
+
+/// Serializes one side's attribute–value pairs as parallel attr/value
+/// columns behind a per-entity CSR offsets table.
+fn pairs_section(kb: &Kb) -> Result<Vec<u8>, MkbError> {
+    let mut s = SectionBuf::default();
+    s.u64(kb.len() as u64);
+    let mut offsets = Vec::with_capacity(kb.len() + 1);
+    let mut total = 0usize;
+    offsets.push(0u32);
+    for e in kb.entities() {
+        total += e.pairs.len();
+        offsets.push(checked_u32(total, "pair columns exceed u32::MAX entries")?);
+    }
+    s.u32_iter(offsets.into_iter());
+    s.u32_iter(kb.entities().iter().flat_map(|e| e.pairs.iter().map(|&(a, _)| a.0)));
+    let mut vals = Vec::with_capacity(total);
+    for e in kb.entities() {
+        for &(_, v) in &e.pairs {
+            let word = match v {
+                Value::Literal(l) => {
+                    if l.0 & REF_BIT != 0 {
+                        return Err(MkbError::TooLarge { what: "literal id exceeds 2^31".into() });
+                    }
+                    l.0
+                }
+                Value::Ref(t) => {
+                    if t.0 & REF_BIT != 0 {
+                        return Err(MkbError::TooLarge { what: "entity id exceeds 2^31".into() });
+                    }
+                    t.0 | REF_BIT
+                }
+            };
+            vals.push(word);
+        }
+    }
+    s.u32_iter(vals.into_iter());
+    Ok(s.buf)
+}
+
+/// Compiles a [`KbPair`] into an `.mkb` container at `path`, atomically:
+/// the bytes land in a `.tmp-` sibling, are fsynced, renamed over the
+/// target, and the directory is fsynced — the same commit protocol as the
+/// dataflow checkpoint store. Returns the file's total size in bytes.
+pub fn write_mkb(pair: &KbPair, path: &Path) -> Result<u64, MkbError> {
+    let left = pair.kb(Side::Left);
+    let right = pair.kb(Side::Right);
+    let literal_rows: Vec<&[TokenId]> =
+        (0..pair.literal_space()).map(|i| pair.literal_token_seq(LiteralId(i as u32))).collect();
+    fn tokset(kb: &Kb) -> Vec<&[TokenId]> {
+        (0..kb.len()).map(|i| kb.tokens_of(EntityId(i as u32))).collect()
+    }
+    let tokset_l = tokset(left);
+    let tokset_r = tokset(right);
+
+    let sections: Vec<(u32, Vec<u8>)> = vec![
+        (section::TOKENS, arena_section(pair.tokens())?),
+        (section::LITERALS, arena_section(pair.literals())?),
+        (section::ATTRS, arena_section(pair.attrs())?),
+        (section::URIS, arena_section(pair.uris())?),
+        (section::LITERAL_TOKENS, csr_section(literal_rows.iter().copied())?),
+        (section::ENT_URI_L, u32_column(left.entities().iter().map(|e| e.uri.0))),
+        (section::ENT_URI_R, u32_column(right.entities().iter().map(|e| e.uri.0))),
+        (section::PAIRS_L, pairs_section(left)?),
+        (section::PAIRS_R, pairs_section(right)?),
+        (section::TOKSET_L, csr_section(tokset_l.iter().copied())?),
+        (section::TOKSET_R, csr_section(tokset_r.iter().copied())?),
+        (section::TOKOCC_L, u32_column((0..left.len()).map(|i| left.token_occurrences_of(EntityId(i as u32))))),
+        (section::TOKOCC_R, u32_column((0..right.len()).map(|i| right.token_occurrences_of(EntityId(i as u32))))),
+    ];
+    debug_assert_eq!(sections.len(), SECTION_COUNT);
+
+    // Assemble header + table + 8-aligned payloads.
+    let table_len = sections.len() * TABLE_ENTRY_LEN;
+    let mut payload_off = HEADER_LEN + table_len;
+    payload_off += (8 - payload_off % 8) % 8;
+    let mut out = Vec::with_capacity(payload_off + sections.iter().map(|(_, b)| b.len()).sum::<usize>());
+    out.extend_from_slice(&MKB_MAGIC);
+    out.extend_from_slice(&MKB_FORMAT_VERSION.to_ne_bytes());
+    out.extend_from_slice(&ENDIAN_TAG.to_ne_bytes());
+    out.extend_from_slice(&(sections.len() as u32).to_ne_bytes());
+    let flags: u32 = if pair.is_dirty() { FLAG_DIRTY } else { 0 };
+    out.extend_from_slice(&flags.to_ne_bytes());
+    out.extend_from_slice(&0u64.to_ne_bytes()); // reserved
+    debug_assert_eq!(out.len(), HEADER_LEN);
+
+    let mut off = payload_off as u64;
+    for (id, bytes) in &sections {
+        out.extend_from_slice(&id.to_ne_bytes());
+        out.extend_from_slice(&0u32.to_ne_bytes());
+        out.extend_from_slice(&off.to_ne_bytes());
+        out.extend_from_slice(&(bytes.len() as u64).to_ne_bytes());
+        out.extend_from_slice(&fnv1a(bytes).to_ne_bytes());
+        off += bytes.len() as u64;
+        debug_assert_eq!(off % 8, 0, "section payloads are 8-byte multiples");
+    }
+    out.resize(payload_off, 0);
+    for (_, bytes) in &sections {
+        out.extend_from_slice(bytes);
+    }
+
+    // Atomic commit: tmp + fsync + rename + dir fsync.
+    let file_name = path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+    if file_name.is_empty() {
+        return Err(io_err(path, &std::io::Error::other("mkb path has no file name")));
+    }
+    let tmp = path.with_file_name(format!(".tmp-{file_name}"));
+    let mut f = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(&tmp)
+        .map_err(|e| io_err(&tmp, &e))?;
+    f.write_all(&out).map_err(|e| io_err(&tmp, &e))?;
+    f.sync_all().map_err(|e| io_err(&tmp, &e))?;
+    drop(f);
+    fs::rename(&tmp, path).map_err(|e| io_err(path, &e))?;
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            File::open(parent).and_then(|d| d.sync_all()).map_err(|e| io_err(parent, &e))?;
+        }
+    }
+    Ok(out.len() as u64)
+}
+
+// ───────────────────────────── mapping ─────────────────────────────
+
+/// Owned read-only byte view of a file. On Unix this is a real
+/// `mmap(PROT_READ, MAP_SHARED)` mapping — page-in is lazy and the pages
+/// are shareable across processes; elsewhere it falls back to an aligned
+/// heap read.
+#[derive(Debug)]
+struct Mapping {
+    #[cfg(unix)]
+    ptr: *mut std::ffi::c_void,
+    #[cfg(unix)]
+    len: usize,
+    #[cfg(not(unix))]
+    buf: Vec<u64>,
+    #[cfg(not(unix))]
+    len: usize,
+}
+
+// The mapping is read-only bytes; no interior mutability.
+unsafe impl Send for Mapping {}
+unsafe impl Sync for Mapping {}
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+    use std::os::raw::c_int;
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_SHARED: c_int = 1;
+
+    // Raw libc symbols: the workspace deliberately carries no `libc` or
+    // `memmap2` dependency, and these are linked by default on every Unix
+    // target.
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+impl Mapping {
+    #[cfg(unix)]
+    fn map(file: &File, len: usize, path: &Path) -> Result<Self, MkbError> {
+        use std::os::unix::io::AsRawFd;
+        // SAFETY: fd is valid for the duration of the call; len > 0 is
+        // guaranteed by the header-size check before mapping. The mapping
+        // is read-only and outlives no borrow of it (Mapping owns it).
+        let ptr = unsafe {
+            sys::mmap(std::ptr::null_mut(), len, sys::PROT_READ, sys::MAP_SHARED, file.as_raw_fd(), 0)
+        };
+        if ptr as isize == -1 {
+            return Err(io_err(path, &std::io::Error::last_os_error()));
+        }
+        Ok(Self { ptr, len })
+    }
+
+    #[cfg(not(unix))]
+    fn map(file: &File, len: usize, path: &Path) -> Result<Self, MkbError> {
+        use std::io::Read as _;
+        let mut buf = vec![0u64; len.div_ceil(8)];
+        // SAFETY: the u64 buffer is a valid writable byte region of `len`
+        // bytes (rounded up allocation); u64 has no invalid bit patterns.
+        let bytes = unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr().cast::<u8>(), len) };
+        let mut f = file;
+        f.read_exact(bytes).map_err(|e| io_err(path, &e))?;
+        Ok(Self { buf, len })
+    }
+
+    fn bytes(&self) -> &[u8] {
+        #[cfg(unix)]
+        // SAFETY: ptr/len came from a successful mmap that this struct
+        // owns until Drop; the pages are mapped readable.
+        unsafe {
+            std::slice::from_raw_parts(self.ptr.cast::<u8>(), self.len)
+        }
+        #[cfg(not(unix))]
+        // SAFETY: buf holds at least len initialized bytes.
+        unsafe {
+            std::slice::from_raw_parts(self.buf.as_ptr().cast::<u8>(), self.len)
+        }
+    }
+}
+
+#[cfg(unix)]
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        // SAFETY: ptr/len are the exact values returned by mmap.
+        unsafe {
+            sys::munmap(self.ptr, self.len);
+        }
+    }
+}
+
+/// Byte ranges of one parsed section's internal arrays (absolute file
+/// offsets, validated 4-aligned and in-bounds at open time).
+#[derive(Debug, Clone)]
+struct ArenaRef {
+    count: usize,
+    offsets: Range<usize>,
+    bytes: Range<usize>,
+}
+
+#[derive(Debug, Clone)]
+struct CsrRef {
+    rows: usize,
+    offsets: Range<usize>,
+    data: Range<usize>,
+}
+
+#[derive(Debug, Clone)]
+struct ColRef {
+    count: usize,
+    data: Range<usize>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SectionMeta {
+    range: (usize, usize),
+    fnv: u64,
+}
+
+/// A structurally validated, memory-mapped `.mkb` file.
+///
+/// All accessors are zero-copy views into the mapping. [`Self::open`]
+/// checks structure only; call [`Self::verify`] (or [`Self::to_pair`],
+/// which verifies first) before trusting the contents of a file that may
+/// have been corrupted at rest.
+#[derive(Debug)]
+pub struct MkbFile {
+    map: Mapping,
+    path: PathBuf,
+    dirty: bool,
+    sections: Vec<SectionMeta>,
+    arenas: [ArenaRef; 4], // tokens, literals, attrs, uris
+    literal_tokens: CsrRef,
+    ent_uri: [ColRef; 2],
+    pairs_offsets: [CsrRef; 2], // data range covers attr column; values follow
+    pairs_vals: [Range<usize>; 2],
+    toksets: [CsrRef; 2],
+    tokocc: [ColRef; 2],
+}
+
+/// Bounds-checked cursor over one section's bytes (absolute offsets).
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    end: usize,
+    path: &'a Path,
+    what: &'a str,
+}
+
+impl<'a> Cursor<'a> {
+    fn u64(&mut self) -> Result<u64, MkbError> {
+        let lo = self.pos;
+        let hi = lo + 8;
+        if hi > self.end {
+            return Err(corrupt(self.path, format!("{}: truncated scalar", self.what)));
+        }
+        self.pos = hi;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.bytes[lo..hi]);
+        Ok(u64::from_ne_bytes(b))
+    }
+
+    /// Claims `n` u32 words, returning their absolute byte range, then
+    /// skips padding to the next 8-byte boundary.
+    fn u32s(&mut self, n: usize) -> Result<Range<usize>, MkbError> {
+        let lo = self.pos;
+        let hi = lo
+            .checked_add(n.checked_mul(4).ok_or_else(|| corrupt(self.path, format!("{}: count overflow", self.what)))?)
+            .ok_or_else(|| corrupt(self.path, format!("{}: count overflow", self.what)))?;
+        if hi > self.end {
+            return Err(corrupt(self.path, format!("{}: truncated array", self.what)));
+        }
+        self.pos = hi + (8 - hi % 8) % 8;
+        if self.pos > self.end {
+            return Err(corrupt(self.path, format!("{}: truncated padding", self.what)));
+        }
+        Ok(lo..hi)
+    }
+
+    /// Claims `n` raw bytes, returning their absolute range, then skips
+    /// padding to the next 8-byte boundary.
+    fn raw(&mut self, n: usize) -> Result<Range<usize>, MkbError> {
+        let lo = self.pos;
+        let hi = lo.checked_add(n).ok_or_else(|| corrupt(self.path, format!("{}: length overflow", self.what)))?;
+        if hi > self.end {
+            return Err(corrupt(self.path, format!("{}: truncated bytes", self.what)));
+        }
+        self.pos = hi + (8 - hi % 8) % 8;
+        if self.pos > self.end {
+            return Err(corrupt(self.path, format!("{}: truncated padding", self.what)));
+        }
+        Ok(lo..hi)
+    }
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&bytes[at..at + 4]);
+    u32::from_ne_bytes(b)
+}
+
+impl MkbFile {
+    /// Opens and structurally validates an `.mkb` file: magic, format
+    /// version, endianness tag, section table, and every section's
+    /// internal offsets/bounds — but *not* the content checksums (see
+    /// [`Self::verify`]). This is the microsecond-scale open path.
+    pub fn open(path: &Path) -> Result<Self, MkbError> {
+        let file = File::open(path).map_err(|e| io_err(path, &e))?;
+        let len = file.metadata().map_err(|e| io_err(path, &e))?.len();
+        let len = usize::try_from(len).map_err(|_| corrupt(path, "file larger than address space"))?;
+        if len < HEADER_LEN {
+            return Err(corrupt(path, format!("file is {len} bytes, smaller than the {HEADER_LEN}-byte header")));
+        }
+        let map = Mapping::map(&file, len, path)?;
+        let bytes = map.bytes();
+        if bytes.as_ptr() as usize % 8 != 0 {
+            return Err(corrupt(path, "mapping is not 8-byte aligned"));
+        }
+
+        if bytes[..8] != MKB_MAGIC {
+            return Err(corrupt(path, "bad magic (not an .mkb file)"));
+        }
+        let version = read_u32(bytes, 8);
+        let endian = read_u32(bytes, 12);
+        // Check endianness before the version: on a swapped machine the
+        // version word is byte-swapped too, and the tag names the real
+        // problem.
+        if endian != ENDIAN_TAG {
+            return Err(MkbError::EndianMismatch { found: endian });
+        }
+        if version != MKB_FORMAT_VERSION {
+            return Err(MkbError::SchemaMismatch { found: version, expected: MKB_FORMAT_VERSION });
+        }
+        let n_sections = read_u32(bytes, 16) as usize;
+        let flags = read_u32(bytes, 20);
+        if n_sections != SECTION_COUNT {
+            return Err(corrupt(path, format!("expected {SECTION_COUNT} sections, found {n_sections}")));
+        }
+        let table_end = HEADER_LEN + n_sections * TABLE_ENTRY_LEN;
+        if table_end > len {
+            return Err(corrupt(path, "truncated section table"));
+        }
+
+        // Parse the table; sections must be in id order, 8-aligned, in
+        // bounds.
+        let mut metas = Vec::with_capacity(n_sections);
+        for i in 0..n_sections {
+            let at = HEADER_LEN + i * TABLE_ENTRY_LEN;
+            let id = read_u32(bytes, at);
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&bytes[at + 8..at + 16]);
+            let off = u64::from_ne_bytes(b) as usize;
+            b.copy_from_slice(&bytes[at + 16..at + 24]);
+            let slen = u64::from_ne_bytes(b) as usize;
+            b.copy_from_slice(&bytes[at + 24..at + 32]);
+            let fnv = u64::from_ne_bytes(b);
+            if id as usize != i + 1 {
+                return Err(corrupt(path, format!("section {i} has id {id}, expected {}", i + 1)));
+            }
+            if off % 8 != 0 {
+                return Err(corrupt(path, format!("section {id} offset {off} is not 8-byte aligned")));
+            }
+            let Some(end) = off.checked_add(slen) else {
+                return Err(corrupt(path, format!("section {id} length overflows")));
+            };
+            if end > len {
+                return Err(corrupt(path, format!("section {id} extends past end of file ({end} > {len})")));
+            }
+            metas.push(SectionMeta { range: (off, end), fnv });
+        }
+
+        let sec = |id: u32| -> SectionMeta { metas[(id - 1) as usize] };
+        let cursor = |id: u32, what: &'static str| -> Cursor<'_> {
+            let m = sec(id);
+            Cursor { bytes, pos: m.range.0, end: m.range.1, path, what }
+        };
+
+        let parse_arena = |id: u32, what: &'static str| -> Result<ArenaRef, MkbError> {
+            let mut c = cursor(id, what);
+            let count = c.u64()? as usize;
+            let offsets = c.u32s(count.checked_add(1).ok_or_else(|| corrupt(path, format!("{what}: count overflow")))?)?;
+            // Offsets must be monotone; the last names the byte length.
+            let mut prev = 0u32;
+            for i in 0..=count {
+                let v = read_u32(bytes, offsets.start + i * 4);
+                if v < prev {
+                    return Err(corrupt(path, format!("{what}: offsets not monotone at {i}")));
+                }
+                prev = v;
+            }
+            let byte_len = prev as usize;
+            let arena_bytes = c.raw(byte_len)?;
+            Ok(ArenaRef { count, offsets, bytes: arena_bytes })
+        };
+
+        let parse_csr = |id: u32, what: &'static str| -> Result<CsrRef, MkbError> {
+            let mut c = cursor(id, what);
+            let rows = c.u64()? as usize;
+            let offsets = c.u32s(rows.checked_add(1).ok_or_else(|| corrupt(path, format!("{what}: count overflow")))?)?;
+            let mut prev = 0u32;
+            for i in 0..=rows {
+                let v = read_u32(bytes, offsets.start + i * 4);
+                if v < prev {
+                    return Err(corrupt(path, format!("{what}: offsets not monotone at {i}")));
+                }
+                prev = v;
+            }
+            let data = c.u32s(prev as usize)?;
+            Ok(CsrRef { rows, offsets, data })
+        };
+
+        let parse_col = |id: u32, what: &'static str| -> Result<ColRef, MkbError> {
+            let mut c = cursor(id, what);
+            let count = c.u64()? as usize;
+            let data = c.u32s(count)?;
+            Ok(ColRef { count, data })
+        };
+
+        // Pairs sections: CSR offsets + attr column + value column.
+        let parse_pairs = |id: u32, what: &'static str| -> Result<(CsrRef, Range<usize>), MkbError> {
+            let mut c = cursor(id, what);
+            let rows = c.u64()? as usize;
+            let offsets = c.u32s(rows.checked_add(1).ok_or_else(|| corrupt(path, format!("{what}: count overflow")))?)?;
+            let mut prev = 0u32;
+            for i in 0..=rows {
+                let v = read_u32(bytes, offsets.start + i * 4);
+                if v < prev {
+                    return Err(corrupt(path, format!("{what}: offsets not monotone at {i}")));
+                }
+                prev = v;
+            }
+            let attrs = c.u32s(prev as usize)?;
+            let vals = c.u32s(prev as usize)?;
+            Ok((CsrRef { rows, offsets, data: attrs }, vals))
+        };
+
+        let arenas = [
+            parse_arena(section::TOKENS, "tokens arena")?,
+            parse_arena(section::LITERALS, "literals arena")?,
+            parse_arena(section::ATTRS, "attrs arena")?,
+            parse_arena(section::URIS, "uris arena")?,
+        ];
+        let literal_tokens = parse_csr(section::LITERAL_TOKENS, "literal tokens")?;
+        let ent_uri = [
+            parse_col(section::ENT_URI_L, "left entity uris")?,
+            parse_col(section::ENT_URI_R, "right entity uris")?,
+        ];
+        let (pairs_l, vals_l) = parse_pairs(section::PAIRS_L, "left pairs")?;
+        let (pairs_r, vals_r) = parse_pairs(section::PAIRS_R, "right pairs")?;
+        let toksets = [
+            parse_csr(section::TOKSET_L, "left token sets")?,
+            parse_csr(section::TOKSET_R, "right token sets")?,
+        ];
+        let tokocc = [
+            parse_col(section::TOKOCC_L, "left token occurrences")?,
+            parse_col(section::TOKOCC_R, "right token occurrences")?,
+        ];
+
+        // Per-side column counts must agree.
+        for side in [Side::Left, Side::Right] {
+            let i = side.index();
+            let n = ent_uri[i].count;
+            if [pairs_l.rows, pairs_r.rows][i] != n
+                || toksets[i].rows != n
+                || tokocc[i].count != n
+            {
+                return Err(corrupt(path, format!("{side:?}: per-entity column counts disagree")));
+            }
+        }
+
+        Ok(Self {
+            map,
+            path: path.to_path_buf(),
+            dirty: flags & FLAG_DIRTY != 0,
+            sections: metas,
+            arenas,
+            literal_tokens,
+            ent_uri,
+            pairs_offsets: [pairs_l, pairs_r],
+            pairs_vals: [vals_l, vals_r],
+            toksets,
+            tokocc,
+        })
+    }
+
+    /// The path this file was opened from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Total mapped bytes.
+    pub fn len_bytes(&self) -> usize {
+        self.map.bytes().len()
+    }
+
+    /// Recomputes every section's FNV-1a checksum against the table. A
+    /// mismatch means bytes changed at rest (bit rot, torn write, tamper)
+    /// and yields [`MkbError::Corrupt`] — never a silent wrong read.
+    pub fn verify(&self) -> Result<(), MkbError> {
+        let bytes = self.map.bytes();
+        for (i, meta) in self.sections.iter().enumerate() {
+            let got = fnv1a(&bytes[meta.range.0..meta.range.1]);
+            if got != meta.fnv {
+                return Err(corrupt(
+                    &self.path,
+                    format!("section {} checksum mismatch ({got:#018x} != {:#018x})", i + 1, meta.fnv),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    // ── zero-copy typed views ──
+
+    fn u32_view(&self, r: &Range<usize>) -> &[u32] {
+        let bytes = &self.map.bytes()[r.clone()];
+        debug_assert_eq!(bytes.as_ptr() as usize % 4, 0, "u32 columns are 4-byte aligned");
+        // SAFETY: the range was validated 4-aligned and in-bounds at open
+        // (sections start 8-aligned; every array start is a multiple of 4
+        // from there), and any u32 bit pattern is valid.
+        unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<u32>(), bytes.len() / 4) }
+    }
+
+    fn token_view(&self, r: &Range<usize>) -> &[TokenId] {
+        let words = self.u32_view(r);
+        // SAFETY: TokenId is #[repr(transparent)] over u32.
+        unsafe { std::slice::from_raw_parts(words.as_ptr().cast::<TokenId>(), words.len()) }
+    }
+
+    fn arena_str(&self, arena: &ArenaRef, idx: usize) -> Option<&str> {
+        if idx >= arena.count {
+            return None;
+        }
+        let offsets = self.u32_view(&arena.offsets);
+        let (lo, hi) = (offsets[idx] as usize, offsets[idx + 1] as usize);
+        let bytes = &self.map.bytes()[arena.bytes.clone()];
+        let slice = bytes.get(lo..hi)?;
+        std::str::from_utf8(slice).ok()
+    }
+
+    fn arena_len(&self, which: usize) -> usize {
+        self.arenas[which].count
+    }
+
+    fn csr_row(&self, csr: &CsrRef, row: usize) -> Option<&[TokenId]> {
+        if row >= csr.rows {
+            return None;
+        }
+        let offsets = self.u32_view(&csr.offsets);
+        let (lo, hi) = (offsets[row] as usize, offsets[row + 1] as usize);
+        let data = self.token_view(&csr.data);
+        data.get(lo..hi)
+    }
+
+    /// Number of distinct tokens in the shared interner.
+    pub fn token_space(&self) -> usize {
+        self.arena_len(0)
+    }
+
+    /// Number of distinct normalized literals.
+    pub fn literal_space(&self) -> usize {
+        self.arena_len(1)
+    }
+
+    /// Number of distinct attributes.
+    pub fn attr_space(&self) -> usize {
+        self.arena_len(2)
+    }
+
+    /// Resolves any interner string: `which` ∈ {0: tokens, 1: literals,
+    /// 2: attrs, 3: uris}. Used by the round-trip property tests.
+    pub fn interner_string(&self, which: usize, sym: Symbol) -> Option<&str> {
+        self.arenas.get(which).and_then(|a| self.arena_str(a, sym.index()))
+    }
+
+    /// Number of interned strings in arena `which` (same indexing as
+    /// [`Self::interner_string`]).
+    pub fn interner_len(&self, which: usize) -> Option<usize> {
+        self.arenas.get(which).map(|a| a.count)
+    }
+
+    /// The token sequence of a normalized literal, or `None` out of range.
+    pub fn literal_token_seq(&self, lit: LiteralId) -> Option<&[TokenId]> {
+        self.csr_row(&self.literal_tokens, lit.index())
+    }
+
+    /// Fully verifies the file and materializes an in-memory [`KbPair`].
+    ///
+    /// Materialization bypasses parsing, normalization and tokenization —
+    /// the columns load directly — so the result is *identical* (not just
+    /// equivalent) to the pair that was compiled: same interner order,
+    /// same ids, same token sets, hence bit-identical resolution results.
+    pub fn to_pair(&self) -> Result<KbPair, MkbError> {
+        self.verify()?;
+        let path = &self.path;
+
+        let mut interners = Vec::with_capacity(4);
+        for (which, arena) in self.arenas.iter().enumerate() {
+            let mut strings: Vec<Box<str>> = Vec::with_capacity(arena.count);
+            for i in 0..arena.count {
+                let s = self
+                    .arena_str(arena, i)
+                    .ok_or_else(|| corrupt(path, format!("arena {which}: invalid UTF-8 or bounds at {i}")))?;
+                strings.push(s.into());
+            }
+            interners.push(Interner::from_strings(strings));
+        }
+        let uris_len = interners[3].len() as u32;
+        let lits_len = interners[1].len() as u32;
+        let attrs_len = interners[2].len() as u32;
+        let toks_len = interners[0].len() as u32;
+        let mut it = interners.into_iter();
+        let (tokens, literals, attrs, uris) = match (it.next(), it.next(), it.next(), it.next()) {
+            (Some(t), Some(l), Some(a), Some(u)) => (t, l, a, u),
+            _ => unreachable!("four arenas were just built"),
+        };
+
+        let mut literal_tokens = Vec::with_capacity(self.literal_tokens.rows);
+        if self.literal_tokens.rows != literals.len() {
+            return Err(corrupt(path, "literal token CSR row count disagrees with literal arena"));
+        }
+        for row in 0..self.literal_tokens.rows {
+            let seq = self
+                .csr_row(&self.literal_tokens, row)
+                .ok_or_else(|| corrupt(path, format!("literal tokens: bad row {row}")))?;
+            if seq.iter().any(|t| t.0 >= toks_len) {
+                return Err(corrupt(path, format!("literal tokens: token id out of range in row {row}")));
+            }
+            literal_tokens.push(seq.to_vec().into_boxed_slice());
+        }
+
+        let build_side = |side: Side| -> Result<Kb, MkbError> {
+            let i = side.index();
+            let n = self.ent_uri[i].count;
+            let uri_col = self.u32_view(&self.ent_uri[i].data);
+            let pair_offsets = self.u32_view(&self.pairs_offsets[i].offsets);
+            let attr_col = self.u32_view(&self.pairs_offsets[i].data);
+            let val_col = self.u32_view(&self.pairs_vals[i]);
+            let mut entities = Vec::with_capacity(n);
+            for e in 0..n {
+                let uri = uri_col[e];
+                if uri >= uris_len {
+                    return Err(corrupt(path, format!("{side:?} entity {e}: uri symbol out of range")));
+                }
+                let (lo, hi) = (pair_offsets[e] as usize, pair_offsets[e + 1] as usize);
+                if hi > attr_col.len() || hi > val_col.len() {
+                    return Err(corrupt(path, format!("{side:?} entity {e}: pair range out of bounds")));
+                }
+                let mut pairs = Vec::with_capacity(hi - lo);
+                for p in lo..hi {
+                    let a = attr_col[p];
+                    if a >= attrs_len {
+                        return Err(corrupt(path, format!("{side:?} entity {e}: attr id out of range")));
+                    }
+                    let w = val_col[p];
+                    let v = if w & REF_BIT != 0 {
+                        let t = w & !REF_BIT;
+                        if t as usize >= n {
+                            return Err(corrupt(path, format!("{side:?} entity {e}: ref target out of range")));
+                        }
+                        Value::Ref(EntityId(t))
+                    } else {
+                        if w >= lits_len {
+                            return Err(corrupt(path, format!("{side:?} entity {e}: literal id out of range")));
+                        }
+                        Value::Literal(LiteralId(w))
+                    };
+                    pairs.push((AttrId(a), v));
+                }
+                entities.push(Entity { uri: Symbol(uri), pairs });
+            }
+
+            let mut token_sets = Vec::with_capacity(n);
+            for e in 0..n {
+                let set = self
+                    .csr_row(&self.toksets[i], e)
+                    .ok_or_else(|| corrupt(path, format!("{side:?} entity {e}: bad token set row")))?;
+                if set.iter().any(|t| t.0 >= toks_len) {
+                    return Err(corrupt(path, format!("{side:?} entity {e}: token id out of range")));
+                }
+                token_sets.push(set.to_vec().into_boxed_slice());
+            }
+            let occ = self.u32_view(&self.tokocc[i].data).to_vec();
+            Ok(Kb::from_parts(side, entities, token_sets, occ))
+        };
+
+        let left = build_side(Side::Left)?;
+        let right = build_side(Side::Right)?;
+        if self.dirty && left.len() != right.len() {
+            return Err(corrupt(path, "dirty flag set but sides differ in length"));
+        }
+        Ok(KbPair::from_parts(tokens, literals, attrs, uris, literal_tokens, [left, right], self.dirty))
+    }
+}
+
+impl KbSource for MkbFile {
+    fn entity_count(&self, side: Side) -> usize {
+        self.ent_uri[side.index()].count
+    }
+
+    fn entity_uri(&self, side: Side, id: EntityId) -> Option<Symbol> {
+        let col = &self.ent_uri[side.index()];
+        (id.index() < col.count).then(|| Symbol(self.u32_view(&col.data)[id.index()]))
+    }
+
+    fn token_set(&self, side: Side, id: EntityId) -> Option<&[TokenId]> {
+        self.csr_row(&self.toksets[side.index()], id.index())
+    }
+
+    fn token_occurrences(&self, side: Side, id: EntityId) -> Option<u32> {
+        let col = &self.tokocc[side.index()];
+        (id.index() < col.count).then(|| self.u32_view(&col.data)[id.index()])
+    }
+
+    fn token_string(&self, tok: TokenId) -> Option<&str> {
+        self.arena_str(&self.arenas[0], tok.index())
+    }
+
+    fn uri_string(&self, sym: Symbol) -> Option<&str> {
+        self.arena_str(&self.arenas[3], sym.index())
+    }
+
+    fn dirty(&self) -> bool {
+        self.dirty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{KbPairBuilder, Term};
+
+    fn sample_pair() -> KbPair {
+        let mut b = KbPairBuilder::new();
+        b.add_triple(Side::Left, "w:Restaurant1", "w:label", Term::Literal("The Fat Duck"));
+        b.add_triple(Side::Left, "w:Restaurant1", "w:hasChef", Term::Uri("w:JohnLakeA"));
+        b.add_triple(Side::Left, "w:JohnLakeA", "w:label", Term::Literal("John Lake A"));
+        b.add_triple(Side::Right, "d:Restaurant2", "d:name", Term::Literal("Fat Duck Bray"));
+        b.add_triple(Side::Right, "d:Restaurant2", "d:headChef", Term::Uri("d:JonnyLake"));
+        b.add_triple(Side::Right, "d:JonnyLake", "d:name", Term::Literal("Jonny Lake"));
+        b.finish()
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mkb-unit-{}-{tag}", std::process::id()));
+        fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    #[test]
+    fn round_trips_a_small_pair() {
+        let pair = sample_pair();
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join("pair.mkb");
+        write_mkb(&pair, &path).expect("write");
+        let mkb = MkbFile::open(&path).expect("open");
+        mkb.verify().expect("verify");
+        let loaded = mkb.to_pair().expect("materialize");
+        assert_eq!(loaded.kb(Side::Left).len(), pair.kb(Side::Left).len());
+        assert_eq!(loaded.kb(Side::Right).len(), pair.kb(Side::Right).len());
+        assert_eq!(loaded.token_space(), pair.token_space());
+        for side in [Side::Left, Side::Right] {
+            for (id, e) in pair.kb(side).iter() {
+                let l = loaded.kb(side).entity(id);
+                assert_eq!(l.uri, e.uri);
+                assert_eq!(l.pairs, e.pairs);
+                assert_eq!(loaded.kb(side).tokens_of(id), pair.kb(side).tokens_of(id));
+                assert_eq!(
+                    loaded.kb(side).token_occurrences_of(id),
+                    pair.kb(side).token_occurrences_of(id)
+                );
+            }
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn kbsource_agrees_between_heap_and_mapped() {
+        let pair = sample_pair();
+        let dir = tmp_dir("source");
+        let path = dir.join("pair.mkb");
+        write_mkb(&pair, &path).expect("write");
+        let mkb = MkbFile::open(&path).expect("open");
+        for side in [Side::Left, Side::Right] {
+            assert_eq!(KbSource::entity_count(&pair, side), mkb.entity_count(side));
+            for i in 0..pair.entity_count(side) {
+                let id = EntityId(i as u32);
+                assert_eq!(pair.entity_uri(side, id), mkb.entity_uri(side, id));
+                assert_eq!(pair.token_set(side, id), mkb.token_set(side, id));
+                assert_eq!(pair.token_occurrences(side, id), mkb.token_occurrences(side, id));
+            }
+            // Out-of-range ids answer None on both implementations.
+            let oob = EntityId(u32::MAX);
+            assert_eq!(pair.entity_uri(side, oob), None);
+            assert_eq!(mkb.entity_uri(side, oob), None);
+            assert_eq!(pair.token_set(side, oob), None);
+            assert_eq!(mkb.token_set(side, oob), None);
+        }
+        assert_eq!(pair.dirty(), mkb.dirty());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_rejects_non_mkb_bytes() {
+        let dir = tmp_dir("magic");
+        let path = dir.join("not.mkb");
+        fs::write(&path, b"definitely not a container file, but long enough").expect("write");
+        let err = MkbFile::open(&path).expect_err("must reject");
+        assert!(matches!(err, MkbError::Corrupt { .. }), "got {err:?}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn error_display_names_the_class() {
+        let e = MkbError::SchemaMismatch { found: 9, expected: 1 };
+        assert!(e.to_string().contains("version 9"));
+        let e = MkbError::EndianMismatch { found: 0x0403_0201 };
+        assert!(e.to_string().contains("endianness"));
+    }
+}

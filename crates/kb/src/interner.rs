@@ -16,6 +16,7 @@ use std::fmt;
 /// wrapper types in [`crate::model`] ([`crate::model::TokenId`],
 /// [`crate::model::AttrId`], …) prevent cross-domain mixups.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct Symbol(pub u32);
 
 impl Symbol {
@@ -62,11 +63,28 @@ impl Interner {
         if let Some(&sym) = self.map.get(s) {
             return sym;
         }
-        let sym = Symbol(u32::try_from(self.strings.len()).expect("interner overflow: >u32::MAX distinct strings"));
+        // Symbols are dense u32s; more than u32::MAX distinct strings is
+        // out of scope for the datasets this framework targets.
+        assert!(self.strings.len() < u32::MAX as usize, "interner overflow: >u32::MAX distinct strings");
+        let sym = Symbol(self.strings.len() as u32);
         let boxed: Box<str> = s.into();
         self.strings.push(boxed.clone());
         self.map.insert(boxed, sym);
         sym
+    }
+
+    /// Rebuilds an interner from its string storage in symbol order — the
+    /// deserialization path of the on-disk `.mkb` container
+    /// ([`crate::disk`]). The lookup map is reconstructed; callers must
+    /// pass distinct strings (guaranteed for storage written by
+    /// [`Self::iter`] order serialization).
+    pub(crate) fn from_strings(strings: Vec<Box<str>>) -> Self {
+        assert!(strings.len() <= u32::MAX as usize, "interner overflow: >u32::MAX distinct strings");
+        let mut map: DetHashMap<Box<str>, Symbol> = minoaner_det::map_with_capacity(strings.len());
+        for (i, s) in strings.iter().enumerate() {
+            map.insert(s.clone(), Symbol(i as u32));
+        }
+        Self { map, strings }
     }
 
     /// Looks up a string without interning it.

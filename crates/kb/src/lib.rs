@@ -25,6 +25,7 @@
 
 pub mod dataset_stats;
 pub mod dirty;
+pub mod disk;
 pub mod interner;
 pub mod model;
 pub mod parser;
@@ -33,6 +34,7 @@ pub mod store;
 pub mod tokenize;
 pub mod turtle;
 
+pub use disk::{write_mkb, KbSource, MkbError, MkbFile, MKB_FORMAT_VERSION};
 pub use interner::{Interner, Symbol};
 pub use model::{AttrId, Entity, EntityId, LiteralId, Side, TokenId, Value};
 pub use parser::{ParseError, ParseMode, ParseReport, SyntaxError};

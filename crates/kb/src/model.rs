@@ -41,6 +41,7 @@ impl Side {
 
 /// Identifier of an entity description *within one KB* (dense, zero-based).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(transparent)]
 pub struct EntityId(pub u32);
 
 impl EntityId {
@@ -53,6 +54,7 @@ impl EntityId {
 
 /// Interned token (a single lower-cased word appearing in literal values).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(transparent)]
 pub struct TokenId(pub u32);
 
 impl TokenId {
@@ -66,6 +68,7 @@ impl TokenId {
 /// schema overlap, where it exists, is visible — but no algorithm in this
 /// workspace *relies* on shared attribute ids (schema-agnosticism).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(transparent)]
 pub struct AttrId(pub u32);
 
 impl AttrId {
@@ -79,6 +82,7 @@ impl AttrId {
 /// entities on equal normalized literals of their name attributes, so full
 /// values are interned alongside their token decomposition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(transparent)]
 pub struct LiteralId(pub u32);
 
 impl LiteralId {

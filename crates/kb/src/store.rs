@@ -40,10 +40,20 @@ impl Kb {
         self.entities.is_empty()
     }
 
+    /// The entity with the given id, or `None` when `id` is out of range.
+    ///
+    /// This is the [`crate::disk::KbSource`] boundary's accessor: ids that
+    /// arrive from outside the KB (user input, foreign files) go through
+    /// here instead of the panicking [`Self::entity`].
+    pub fn get(&self, id: EntityId) -> Option<&Entity> {
+        self.entities.get(id.index())
+    }
+
     /// The entity with the given id.
     ///
     /// # Panics
-    /// Panics if `id` is out of range.
+    /// Panics if `id` is out of range. Use [`Self::get`] for ids that are
+    /// not known-valid.
     pub fn entity(&self, id: EntityId) -> &Entity {
         &self.entities[id.index()]
     }
@@ -85,6 +95,24 @@ impl Kb {
     /// duplicates if an entity is referenced via several relations.
     pub fn neighbors_of(&self, id: EntityId) -> impl Iterator<Item = EntityId> + '_ {
         self.entity(id).relation_pairs().map(|(_, n)| n)
+    }
+
+    /// Assembles a KB from pre-resolved columns — the `.mkb` materialization
+    /// path ([`crate::disk`]), which bypasses the builder's reference
+    /// resolution and tokenization passes. The caller guarantees internal
+    /// consistency (the disk loader checksums and bounds-checks first).
+    pub(crate) fn from_parts(
+        side: Side,
+        entities: Vec<Entity>,
+        token_sets: Vec<Box<[TokenId]>>,
+        token_occurrences: Vec<u32>,
+    ) -> Kb {
+        let uri_index = entities
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.uri, EntityId(i as u32)))
+            .collect();
+        Kb { side, entities, uri_index, token_sets, token_occurrences }
     }
 }
 
@@ -186,6 +214,20 @@ impl KbPair {
             "a dirty pair must mirror the same KB on both sides"
         );
         self.dirty = true;
+    }
+
+    /// Assembles a pair from pre-built components — the `.mkb`
+    /// materialization path ([`crate::disk`]).
+    pub(crate) fn from_parts(
+        tokens: Interner,
+        literals: Interner,
+        attrs: Interner,
+        uris: Interner,
+        literal_tokens: Vec<Box<[TokenId]>>,
+        kbs: [Kb; 2],
+        dirty: bool,
+    ) -> KbPair {
+        KbPair { tokens, literals, attrs, uris, literal_tokens, kbs, dirty }
     }
 }
 

@@ -1,0 +1,125 @@
+//! Out-of-core resolution: a run under a memory budget small enough to
+//! force shuffle spills must produce *bit-identical* results to an
+//! unconstrained in-memory run — same graph digest, same match set, same
+//! rule counts — at every worker count. The budget changes where bytes
+//! live, never what gets computed.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use minoaner::dataflow::{
+    MemoryBudget, RunTrace, SPILL_BYTES_COUNTER, SPILL_RECORDS_COUNTER, SPILL_RUNS_COUNTER,
+};
+use minoaner::datagen::{generate, profiles, GeneratedDataset};
+use minoaner::{Minoaner, Resolution, ResolveRequest};
+
+fn dataset() -> GeneratedDataset {
+    generate(&profiles::restaurant().scaled(0.3))
+}
+
+/// A scratch directory unique per test without consulting any entropy
+/// source (pid + a process-local counter).
+fn scratch_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir()
+        .join(format!("minoaner-out-of-core-{}-{tag}-{n}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clear stale scratch dir");
+    }
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn run_unconstrained(ds: &GeneratedDataset, workers: usize) -> (Resolution, RunTrace) {
+    Minoaner::new()
+        .run(ResolveRequest::pair(&ds.pair).trace().workers(workers))
+        .expect("healthy run succeeds")
+        .into_traced()
+}
+
+fn run_budgeted(
+    ds: &GeneratedDataset,
+    workers: usize,
+    limit: u64,
+    dir: &PathBuf,
+) -> (Resolution, RunTrace) {
+    Minoaner::new()
+        .run(
+            ResolveRequest::pair(&ds.pair)
+                .trace()
+                .workers(workers)
+                .mem_budget(MemoryBudget::new(limit, dir)),
+        )
+        .expect("budgeted run succeeds")
+        .into_traced()
+}
+
+fn assert_same_outcome(base: &Resolution, got: &Resolution, what: &str) {
+    assert_eq!(base.graph_digest, got.graph_digest, "{what}: graph digest diverged");
+    assert_eq!(base.matches, got.matches, "{what}: match set diverged");
+    assert_eq!(base.rule_counts, got.rule_counts, "{what}: rule counts diverged");
+}
+
+#[test]
+fn zero_budget_spills_and_stays_bit_identical_across_workers() {
+    let ds = dataset();
+    let (base, base_trace) = run_unconstrained(&ds, 2);
+    assert_eq!(
+        base_trace.counter(SPILL_RUNS_COUNTER),
+        0,
+        "unconstrained run must not spill"
+    );
+    assert!(!base.matches.is_empty(), "dataset must produce matches to compare");
+
+    for workers in [1usize, 2, 8] {
+        let dir = scratch_dir(&format!("zero-{workers}"));
+        let (res, trace) = run_budgeted(&ds, workers, 0, &dir);
+
+        assert!(
+            trace.counter(SPILL_RUNS_COUNTER) > 0,
+            "{workers} workers: a zero budget must force at least one spill"
+        );
+        assert!(trace.counter(SPILL_BYTES_COUNTER) > 0, "{workers} workers: bytes counter");
+        assert!(trace.counter(SPILL_RECORDS_COUNTER) > 0, "{workers} workers: records counter");
+        assert_same_outcome(&base, &res, &format!("{workers} workers, zero budget"));
+
+        // Spill runs are scratch state: the shuffle cleans up after
+        // itself once every partition is merged.
+        let leftovers = std::fs::read_dir(&dir)
+            .map(|entries| entries.count())
+            .unwrap_or(0);
+        assert_eq!(leftovers, 0, "{workers} workers: spill dir must be empty after the run");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn partial_budget_mixes_memory_and_disk_runs_identically() {
+    let ds = dataset();
+    let (base, _) = run_unconstrained(&ds, 2);
+
+    // A small-but-nonzero budget: some map tasks keep their runs in
+    // memory, the rest spill — the merge must interleave both kinds.
+    let dir = scratch_dir("partial");
+    let (res, trace) = run_budgeted(&ds, 2, 16 * 1024, &dir);
+    assert!(
+        trace.counter(SPILL_RUNS_COUNTER) > 0,
+        "16 KiB must be too small for the gamma shuffle of this dataset"
+    );
+    assert_same_outcome(&base, &res, "partial budget");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn generous_budget_never_spills_but_is_still_identical() {
+    let ds = dataset();
+    let (base, _) = run_unconstrained(&ds, 2);
+
+    let dir = scratch_dir("generous");
+    let (res, trace) = run_budgeted(&ds, 2, u64::MAX, &dir);
+    assert_eq!(trace.counter(SPILL_RUNS_COUNTER), 0, "unlimited budget must not spill");
+    assert_same_outcome(&base, &res, "generous budget");
+    assert!(!dir.join("nonexistent").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -383,8 +383,12 @@ where
     for (k, v) in part {
         match index.get(&k) {
             Some(&i) => {
-                let prev = values[i].take().expect("value present");
-                values[i] = Some(combine(prev, v));
+                // The slot is refilled right after every take, so it is
+                // always occupied here; combine with the previous value.
+                values[i] = Some(match values[i].take() {
+                    Some(prev) => combine(prev, v),
+                    None => v,
+                });
             }
             None => {
                 index.insert(k, values.len());
@@ -396,7 +400,7 @@ where
     pairs.sort_by_key(|&(_, i)| i);
     pairs
         .into_iter()
-        .map(|(k, i)| (k, values[i].take().expect("value present")))
+        .filter_map(|(k, i)| values[i].take().map(|v| (k, v)))
         .collect()
 }
 

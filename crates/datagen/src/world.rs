@@ -155,17 +155,17 @@ pub fn generate(profile: &DatasetProfile) -> GeneratedDataset {
     }
 
     let pair = builder.finish();
+    // Every matched world entity was materialized into both views above,
+    // so each lookup succeeds; `filter_map` keeps that invariant panic-free.
     let mut ground_truth: Vec<(EntityId, EntityId)> = (0..profile.matches)
-        .map(|w| {
+        .filter_map(|w| {
             let l = pair
                 .kb(Side::Left)
-                .entity_by_uri(pair.uris().get(&entity_uri(Side::Left, w)).expect("left uri"))
-                .expect("left entity");
+                .entity_by_uri(pair.uris().get(&entity_uri(Side::Left, w))?)?;
             let r = pair
                 .kb(Side::Right)
-                .entity_by_uri(pair.uris().get(&entity_uri(Side::Right, w)).expect("right uri"))
-                .expect("right entity");
-            (l, r)
+                .entity_by_uri(pair.uris().get(&entity_uri(Side::Right, w))?)?;
+            Some((l, r))
         })
         .collect();
     ground_truth.sort_unstable();
@@ -258,10 +258,12 @@ fn materialize_view(
         tokens.shuffle(rng);
         let mut values: Vec<String> = tokens.chunks(4).map(|c| c.join(" ")).collect();
         if values.len() >= 2 && tokens.len() % 4 == 1 {
-            let tail = values.pop().expect("non-empty");
-            let last = values.last_mut().expect("non-empty");
-            last.push(' ');
-            last.push_str(&tail);
+            if let Some(tail) = values.pop() {
+                if let Some(last) = values.last_mut() {
+                    last.push(' ');
+                    last.push_str(&tail);
+                }
+            }
         }
         for value in &values {
             let attr_idx = rng.gen_range(0..kbp.attributes.max(1));

@@ -402,17 +402,17 @@ pub fn write_mkb(pair: &KbPair, path: &Path) -> Result<u64, MkbError> {
 
 /// Owned read-only byte view of a file. On Unix this is a real
 /// `mmap(PROT_READ, MAP_SHARED)` mapping — page-in is lazy and the pages
-/// are shareable across processes; elsewhere it falls back to an aligned
-/// heap read.
+/// are shareable across processes; elsewhere (and under Miri, which cannot
+/// model foreign mmap memory) it falls back to an aligned heap read.
 #[derive(Debug)]
 struct Mapping {
-    #[cfg(unix)]
+    #[cfg(all(unix, not(miri)))]
     ptr: *mut std::ffi::c_void,
-    #[cfg(unix)]
+    #[cfg(all(unix, not(miri)))]
     len: usize,
-    #[cfg(not(unix))]
+    #[cfg(any(not(unix), miri))]
     buf: Vec<u64>,
-    #[cfg(not(unix))]
+    #[cfg(any(not(unix), miri))]
     len: usize,
 }
 
@@ -420,7 +420,7 @@ struct Mapping {
 unsafe impl Send for Mapping {}
 unsafe impl Sync for Mapping {}
 
-#[cfg(unix)]
+#[cfg(all(unix, not(miri)))]
 mod sys {
     use std::ffi::c_void;
     use std::os::raw::c_int;
@@ -445,7 +445,7 @@ mod sys {
 }
 
 impl Mapping {
-    #[cfg(unix)]
+    #[cfg(all(unix, not(miri)))]
     fn map(file: &File, len: usize, path: &Path) -> Result<Self, MkbError> {
         use std::os::unix::io::AsRawFd;
         // SAFETY: fd is valid for the duration of the call; len > 0 is
@@ -460,7 +460,7 @@ impl Mapping {
         Ok(Self { ptr, len })
     }
 
-    #[cfg(not(unix))]
+    #[cfg(any(not(unix), miri))]
     fn map(file: &File, len: usize, path: &Path) -> Result<Self, MkbError> {
         use std::io::Read as _;
         let mut buf = vec![0u64; len.div_ceil(8)];
@@ -473,13 +473,13 @@ impl Mapping {
     }
 
     fn bytes(&self) -> &[u8] {
-        #[cfg(unix)]
+        #[cfg(all(unix, not(miri)))]
         // SAFETY: ptr/len came from a successful mmap that this struct
         // owns until Drop; the pages are mapped readable.
         unsafe {
             std::slice::from_raw_parts(self.ptr.cast::<u8>(), self.len)
         }
-        #[cfg(not(unix))]
+        #[cfg(any(not(unix), miri))]
         // SAFETY: buf holds at least len initialized bytes.
         unsafe {
             std::slice::from_raw_parts(self.buf.as_ptr().cast::<u8>(), self.len)
@@ -487,7 +487,7 @@ impl Mapping {
     }
 }
 
-#[cfg(unix)]
+#[cfg(all(unix, not(miri)))]
 impl Drop for Mapping {
     fn drop(&mut self) {
         // SAFETY: ptr/len are the exact values returned by mmap.

@@ -1,0 +1,691 @@
+//! `effect-contracts.toml` — declared effect contracts over the call
+//! graph, with the same shrink-only ratchet semantics as `lint-allow.toml`.
+//!
+//! A contract names a set of *root* functions and a set of *forbidden*
+//! effects: no function reachable from a root (over resolved call edges)
+//! may carry a forbidden effect as a **direct** effect. Checking direct
+//! effects at every reachable function is equivalent to checking the
+//! propagated set at the root — every transitive effect originates at some
+//! reachable function's direct site — and it is what makes precise witness
+//! chains (root → … → offending function, plus the offending line)
+//! possible.
+//!
+//! ```toml
+//! # Ceiling on unresolved call sites (see graph.rs). Ratchet-down only:
+//! # more unresolved sites than this fails; fewer demands lowering it.
+//! [limits]
+//! unresolved_calls = 40
+//!
+//! [[contract]]
+//! name = "graph-kernel-deterministic"
+//! roots = ["minoaner_blocking::graph::build_blocking_graph"]
+//! forbid = ["WallClock", "Entropy", "UnorderedIter"]
+//!
+//! # Audited exceptions. `function` may end in `::*` to cover a subtree.
+//! # `count` ratchets the number of (function, effect) violations the
+//! # entry absorbs — exactly, shrink-only. Without `count` the entry is a
+//! # blanket exemption and goes stale when it stops matching.
+//! [[allow]]
+//! contract = "graph-kernel-deterministic"
+//! function = "minoaner_dataflow::pool::Executor::*"
+//! effect = "WallClock"
+//! count = 2
+//! reason = "stage timing: recorded wall times never influence results"
+//! ```
+//!
+//! Parsed by hand (TOML subset) because the lint crate builds with zero
+//! dependencies; same discipline as `allow.rs`.
+
+use crate::effects::{effect_name, parse_effect, EffectMask, EffectSets};
+use crate::graph::{CallGraph, SymbolTable};
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+pub struct Contract {
+    pub name: String,
+    /// Root patterns: exact fn paths or `prefix::*` subtree globs.
+    pub roots: Vec<String>,
+    pub forbid: EffectMask,
+    pub line: u32,
+}
+
+#[derive(Debug, Clone)]
+pub struct ContractAllow {
+    pub contract: String,
+    pub function: String,
+    pub effect: EffectMask,
+    pub count: Option<usize>,
+    pub reason: String,
+    pub line: u32,
+}
+
+#[derive(Debug, Default)]
+pub struct ContractsFile {
+    pub contracts: Vec<Contract>,
+    pub allows: Vec<ContractAllow>,
+    /// Ceiling on unresolved call sites; `None` means "must be zero".
+    pub unresolved_ceiling: Option<usize>,
+}
+
+/// A forbidden direct effect at a function reachable from a contract root.
+#[derive(Debug, Clone)]
+pub struct EffectViolation {
+    pub contract: String,
+    pub function: String,
+    pub effect: EffectMask,
+    pub file: String,
+    pub line: u32,
+    /// The offending pattern, e.g. "`Instant::now()`".
+    pub what: String,
+    /// Shortest call chain from a contract root to the function
+    /// (inclusive at both ends).
+    pub witness: Vec<String>,
+    /// Audit reason if an `[[allow]]` entry absorbs this violation.
+    pub allowed_reason: Option<String>,
+}
+
+/// Outcome of evaluating one contract.
+#[derive(Debug, Clone)]
+pub struct ContractResult {
+    pub name: String,
+    /// Fn paths the root patterns matched.
+    pub roots: Vec<String>,
+    pub reachable: usize,
+    pub forbid: EffectMask,
+    /// All violations, allowed ones included (with their reasons).
+    pub violations: Vec<EffectViolation>,
+}
+
+impl ContractResult {
+    pub fn open_violations(&self) -> impl Iterator<Item = &EffectViolation> {
+        self.violations.iter().filter(|v| v.allowed_reason.is_none())
+    }
+}
+
+/// `pattern` is either an exact path or `prefix::*`.
+pub fn path_matches(pattern: &str, path: &str) -> bool {
+    match pattern.strip_suffix("::*") {
+        Some(prefix) => path.strip_prefix(prefix).is_some_and(|rest| rest.starts_with("::")),
+        None => pattern == path,
+    }
+}
+
+// ───────────────────────────── parsing ─────────────────────────────
+
+pub fn parse(src: &str) -> Result<ContractsFile, String> {
+    enum Section {
+        None,
+        Limits,
+        Contract(Contract),
+        Allow(ContractAllow),
+    }
+    let mut file = ContractsFile::default();
+    let mut section = Section::None;
+
+    let finish = |s: Section, file: &mut ContractsFile| -> Result<(), String> {
+        match s {
+            Section::None | Section::Limits => Ok(()),
+            Section::Contract(c) => {
+                if c.name.is_empty() || c.roots.is_empty() || c.forbid == 0 {
+                    return Err(format!(
+                        "effect-contracts.toml:{}: contract needs `name`, `roots` and `forbid`",
+                        c.line
+                    ));
+                }
+                if file.contracts.iter().any(|x| x.name == c.name) {
+                    return Err(format!(
+                        "effect-contracts.toml:{}: duplicate contract `{}`",
+                        c.line, c.name
+                    ));
+                }
+                file.contracts.push(c);
+                Ok(())
+            }
+            Section::Allow(a) => {
+                if a.contract.is_empty() || a.function.is_empty() || a.effect == 0 {
+                    return Err(format!(
+                        "effect-contracts.toml:{}: allow needs `contract`, `function` and `effect`",
+                        a.line
+                    ));
+                }
+                if a.reason.is_empty() {
+                    return Err(format!(
+                        "effect-contracts.toml:{}: allow for {} needs a `reason`",
+                        a.line, a.function
+                    ));
+                }
+                if a.count == Some(0) {
+                    return Err(format!(
+                        "effect-contracts.toml:{}: count = 0 — delete the entry instead",
+                        a.line
+                    ));
+                }
+                if file
+                    .allows
+                    .iter()
+                    .any(|x| x.contract == a.contract && x.function == a.function && x.effect == a.effect)
+                {
+                    return Err(format!(
+                        "effect-contracts.toml:{}: duplicate allow for {} / {} / {}",
+                        a.line,
+                        a.contract,
+                        a.function,
+                        effect_name(a.effect)
+                    ));
+                }
+                file.allows.push(a);
+                Ok(())
+            }
+        }
+    };
+
+    // Join multi-line arrays (`roots = [` … `]`) into one logical line so
+    // the per-line parser below sees balanced brackets. Section headers
+    // (`[[contract]]`) are already balanced and pass through untouched.
+    let raw_lines: Vec<&str> = src.lines().collect();
+    let mut logical: Vec<(u32, String)> = Vec::new();
+    let mut i = 0usize;
+    while i < raw_lines.len() {
+        let lineno = i as u32 + 1;
+        let line = raw_lines[i].trim();
+        i += 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut joined = line.to_string();
+        let depth = |s: &str| {
+            s.chars().fold(0i32, |d, c| d + (c == '[') as i32 - (c == ']') as i32)
+        };
+        let mut d = depth(&joined);
+        while d > 0 && i < raw_lines.len() {
+            let cont = raw_lines[i].trim();
+            i += 1;
+            if cont.is_empty() || cont.starts_with('#') {
+                continue;
+            }
+            joined.push(' ');
+            joined.push_str(cont);
+            d += depth(cont);
+        }
+        logical.push((lineno, joined));
+    }
+
+    for (lineno, line) in logical {
+        let line = line.as_str();
+        match line {
+            "[limits]" => {
+                finish(std::mem::replace(&mut section, Section::Limits), &mut file)?;
+                continue;
+            }
+            "[[contract]]" => {
+                let fresh = Contract { name: String::new(), roots: Vec::new(), forbid: 0, line: lineno };
+                finish(std::mem::replace(&mut section, Section::Contract(fresh)), &mut file)?;
+                continue;
+            }
+            "[[allow]]" => {
+                let fresh = ContractAllow {
+                    contract: String::new(),
+                    function: String::new(),
+                    effect: 0,
+                    count: None,
+                    reason: String::new(),
+                    line: lineno,
+                };
+                finish(std::mem::replace(&mut section, Section::Allow(fresh)), &mut file)?;
+                continue;
+            }
+            _ => {}
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!(
+                "effect-contracts.toml:{lineno}: expected `key = value`, got `{line}`"
+            ));
+        };
+        let key = key.trim();
+        let value = value.trim();
+        match &mut section {
+            Section::None => {
+                return Err(format!(
+                    "effect-contracts.toml:{lineno}: `{key}` outside of a section"
+                ));
+            }
+            Section::Limits => match key {
+                "unresolved_calls" => {
+                    file.unresolved_ceiling = Some(value.parse::<usize>().map_err(|_| {
+                        format!("effect-contracts.toml:{lineno}: unresolved_calls must be an integer")
+                    })?);
+                }
+                _ => {
+                    return Err(format!(
+                        "effect-contracts.toml:{lineno}: unknown [limits] key `{key}`"
+                    ))
+                }
+            },
+            Section::Contract(c) => match key {
+                "name" => c.name = unquote(value, lineno)?,
+                "roots" => c.roots = parse_string_array(value, lineno)?,
+                "forbid" => {
+                    for name in parse_string_array(value, lineno)? {
+                        c.forbid |= parse_effect(&name).ok_or_else(|| {
+                            format!("effect-contracts.toml:{lineno}: unknown effect `{name}`")
+                        })?;
+                    }
+                }
+                _ => {
+                    return Err(format!(
+                        "effect-contracts.toml:{lineno}: unknown contract key `{key}`"
+                    ))
+                }
+            },
+            Section::Allow(a) => match key {
+                "contract" => a.contract = unquote(value, lineno)?,
+                "function" => a.function = unquote(value, lineno)?,
+                "effect" => {
+                    let name = unquote(value, lineno)?;
+                    a.effect = parse_effect(&name).ok_or_else(|| {
+                        format!("effect-contracts.toml:{lineno}: unknown effect `{name}`")
+                    })?;
+                }
+                "count" => {
+                    a.count = Some(value.parse::<usize>().map_err(|_| {
+                        format!("effect-contracts.toml:{lineno}: count must be an integer")
+                    })?);
+                }
+                "reason" => a.reason = unquote(value, lineno)?,
+                _ => {
+                    return Err(format!(
+                        "effect-contracts.toml:{lineno}: unknown allow key `{key}`"
+                    ))
+                }
+            },
+        }
+    }
+    finish(section, &mut file)?;
+    Ok(file)
+}
+
+fn unquote(value: &str, lineno: u32) -> Result<String, String> {
+    value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| {
+            format!("effect-contracts.toml:{lineno}: expected a quoted string, got `{value}`")
+        })
+}
+
+fn parse_string_array(value: &str, lineno: u32) -> Result<Vec<String>, String> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| {
+            format!("effect-contracts.toml:{lineno}: expected `[\"…\", …]`, got `{value}`")
+        })?;
+    let mut out = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        out.push(unquote(part, lineno)?);
+    }
+    Ok(out)
+}
+
+// ───────────────────────────── evaluation ─────────────────────────────
+
+/// Evaluates every contract: multi-source BFS from the matched roots over
+/// resolved edges, collecting forbidden direct effects with shortest
+/// witness chains, then applies the allowlist ratchet.
+pub fn evaluate(
+    file: &ContractsFile,
+    table: &SymbolTable,
+    graph: &CallGraph,
+    effects: &EffectSets,
+) -> (Vec<ContractResult>, Vec<String>) {
+    let mut results = Vec::new();
+    let mut policy_errors = Vec::new();
+
+    for contract in &file.contracts {
+        let mut roots: Vec<usize> = Vec::new();
+        for pattern in &contract.roots {
+            let matched: Vec<usize> = table
+                .fns
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| !f.is_test && path_matches(pattern, &f.path))
+                .map(|(i, _)| i)
+                .collect();
+            if matched.is_empty() {
+                policy_errors.push(format!(
+                    "contract `{}`: root pattern `{}` matches no function — \
+                     update it if the function moved",
+                    contract.name, pattern
+                ));
+            }
+            roots.extend(matched);
+        }
+        roots.sort_unstable();
+        roots.dedup();
+
+        // BFS with parent pointers for shortest witness chains.
+        let mut parent: Vec<Option<usize>> = vec![None; table.len()];
+        let mut seen: Vec<bool> = vec![false; table.len()];
+        let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        for &r in &roots {
+            seen[r] = true;
+            queue.push_back(r);
+        }
+        let mut reachable = 0usize;
+        let mut violations: Vec<EffectViolation> = Vec::new();
+        while let Some(f) = queue.pop_front() {
+            reachable += 1;
+            let bad = effects.direct[f] & contract.forbid;
+            if bad != 0 {
+                let mut chain = vec![f];
+                let mut cur = f;
+                while let Some(p) = parent[cur] {
+                    chain.push(p);
+                    cur = p;
+                }
+                chain.reverse();
+                let witness: Vec<String> =
+                    chain.iter().map(|&i| table.fns[i].path.clone()).collect();
+                for (mask, _) in crate::effects::ALL_EFFECTS {
+                    if bad & mask == 0 {
+                        continue;
+                    }
+                    let site = effects.site(f, *mask);
+                    violations.push(EffectViolation {
+                        contract: contract.name.clone(),
+                        function: table.fns[f].path.clone(),
+                        effect: *mask,
+                        file: table.fns[f].file.clone(),
+                        line: site.map(|s| s.line).unwrap_or(table.fns[f].line),
+                        what: site.map(|s| s.what.clone()).unwrap_or_default(),
+                        witness: witness.clone(),
+                        allowed_reason: None,
+                    });
+                }
+            }
+            for &g in &graph.edges[f] {
+                if !seen[g] {
+                    seen[g] = true;
+                    parent[g] = Some(f);
+                    queue.push_back(g);
+                }
+            }
+        }
+        violations.sort_by(|a, b| {
+            (&a.function, effect_name(a.effect)).cmp(&(&b.function, effect_name(b.effect)))
+        });
+        results.push(ContractResult {
+            name: contract.name.clone(),
+            roots: roots.iter().map(|&i| table.fns[i].path.clone()).collect(),
+            reachable,
+            forbid: contract.forbid,
+            violations,
+        });
+    }
+
+    apply_allows(file, &mut results, &mut policy_errors);
+
+    // Unresolved ceiling: ratchet-down only.
+    let actual = graph.unresolved.len();
+    match file.unresolved_ceiling {
+        None if actual > 0 => policy_errors.push(format!(
+            "{actual} unresolved call site(s) but no [limits] unresolved_calls ceiling — add one"
+        )),
+        Some(max) if actual > max => policy_errors.push(format!(
+            "{actual} unresolved call site(s) exceed the ceiling of {max} — \
+             improve resolution or justify raising the ceiling"
+        )),
+        Some(max) if actual < max => policy_errors.push(format!(
+            "ratchet: {actual} unresolved call site(s), ceiling is {max} — lower it to {actual}"
+        )),
+        _ => {}
+    }
+
+    (results, policy_errors)
+}
+
+fn apply_allows(
+    file: &ContractsFile,
+    results: &mut [ContractResult],
+    policy_errors: &mut Vec<String>,
+) {
+    for allow in &file.allows {
+        let Some(result) = results.iter_mut().find(|r| r.name == allow.contract) else {
+            policy_errors.push(format!(
+                "allow entry for unknown contract `{}` (function {})",
+                allow.contract, allow.function
+            ));
+            continue;
+        };
+        let mut matched = 0usize;
+        for v in &mut result.violations {
+            if v.effect == allow.effect
+                && v.allowed_reason.is_none()
+                && path_matches(&allow.function, &v.function)
+            {
+                v.allowed_reason = Some(allow.reason.clone());
+                matched += 1;
+            }
+        }
+        match allow.count {
+            None => {
+                if matched == 0 {
+                    policy_errors.push(format!(
+                        "stale allow: `{}` / {} no longer matches any {} violation — delete it",
+                        allow.contract,
+                        allow.function,
+                        effect_name(allow.effect)
+                    ));
+                }
+            }
+            Some(max) => {
+                if matched == 0 {
+                    policy_errors.push(format!(
+                        "stale allow: `{}` / {} no longer matches any {} violation — delete it",
+                        allow.contract,
+                        allow.function,
+                        effect_name(allow.effect)
+                    ));
+                } else if matched > max {
+                    policy_errors.push(format!(
+                        "`{}` / {}: {} {} violations but the allow entry covers {} — \
+                         fix the new ones, the allowlist only shrinks",
+                        allow.contract,
+                        allow.function,
+                        matched,
+                        effect_name(allow.effect),
+                        max
+                    ));
+                } else if matched < max {
+                    policy_errors.push(format!(
+                        "ratchet: `{}` / {} now matches {} {} violations (entry says {}) — \
+                         lower the count to {}",
+                        allow.contract,
+                        allow.function,
+                        matched,
+                        effect_name(allow.effect),
+                        max,
+                        matched
+                    ));
+                }
+            }
+        }
+    }
+
+    // Over-ratcheted allows must not hide *new* violations: any violation
+    // still un-absorbed stays open, which the caller reports. Nothing to
+    // do here — absorption is per-violation above.
+    let _ = policy_errors;
+}
+
+/// Per-effect counts of open (un-allowed) violations across all contracts.
+pub fn open_counts(results: &[ContractResult]) -> BTreeMap<&'static str, usize> {
+    let mut out = BTreeMap::new();
+    for r in results {
+        for v in r.open_violations() {
+            *out.entry(effect_name(v.effect)).or_insert(0) += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::effects::{EffectSets, ENTROPY, PANIC, WALL_CLOCK};
+    use crate::graph::{scan_file, SymbolTable};
+    use crate::lexer::lex;
+    use crate::rules;
+
+    const SAMPLE: &str = r#"
+[limits]
+unresolved_calls = 3
+
+[[contract]]
+name = "kernel"
+roots = ["minoaner_kb::demo::entry"]
+forbid = ["WallClock", "Entropy"]
+
+[[allow]]
+contract = "kernel"
+function = "minoaner_kb::demo::timed"
+effect = "WallClock"
+count = 1
+reason = "stage timing only"
+"#;
+
+    #[test]
+    fn parses_limits_contracts_and_allows() {
+        let file = parse(SAMPLE).unwrap();
+        assert_eq!(file.unresolved_ceiling, Some(3));
+        assert_eq!(file.contracts.len(), 1);
+        assert_eq!(file.contracts[0].forbid, WALL_CLOCK | ENTROPY);
+        assert_eq!(file.allows.len(), 1);
+        assert_eq!(file.allows[0].count, Some(1));
+    }
+
+    #[test]
+    fn multi_line_arrays_are_joined() {
+        let src = "\
+[[contract]]
+name = \"kernel\"
+roots = [
+  \"a::b\",
+  # a comment inside the array
+  \"c::d\",
+]
+forbid = [\"Panic\"]
+";
+        let file = parse(src).unwrap();
+        assert_eq!(file.contracts[0].roots, ["a::b", "c::d"]);
+        assert_eq!(file.contracts[0].forbid, PANIC);
+    }
+
+    #[test]
+    fn rejects_malformed_entries() {
+        assert!(parse("[[contract]]\nname = \"x\"\nforbid = [\"Panic\"]").is_err(), "missing roots");
+        assert!(parse("[[contract]]\nname = \"x\"\nroots = [\"a\"]\nforbid = [\"Nope\"]").is_err());
+        assert!(
+            parse("[[allow]]\ncontract = \"c\"\nfunction = \"f\"\neffect = \"Panic\"").is_err(),
+            "missing reason"
+        );
+        assert!(parse("x = 1").is_err(), "key outside section");
+    }
+
+    #[test]
+    fn glob_patterns_match_subtrees() {
+        assert!(path_matches("a::b::*", "a::b::c"));
+        assert!(path_matches("a::b::*", "a::b::c::d"));
+        assert!(!path_matches("a::b::*", "a::bc::d"));
+        assert!(!path_matches("a::b::*", "a::b"));
+        assert!(path_matches("a::b", "a::b"));
+        assert!(!path_matches("a::b", "a::b::c"));
+    }
+
+    fn world() -> (SymbolTable, crate::graph::CallGraph, EffectSets) {
+        let src = "\
+            pub fn entry() { middle(); }\n\
+            fn middle() { timed(); noisy(); }\n\
+            fn timed() { let t = Instant::now(); }\n\
+            fn noisy() { let r = rand::thread_rng(); }\n\
+            fn unrelated() { let x: Option<u32> = None; x.unwrap(); }\n";
+        let toks = lex(src);
+        let spans = rules::cfg_test_spans(&toks);
+        let mut table = SymbolTable::default();
+        scan_file(&mut table, "crates/kb/src/demo.rs", "minoaner_kb", &["demo".into()], &toks, &spans, false);
+        let graph = table.resolve();
+        let hash = crate::effects::std_hash_idents(&toks);
+        let mut direct = Vec::new();
+        let mut sites = Vec::new();
+        for f in &table.fns {
+            let ranges = f.body.clone().map(|b| vec![b]).unwrap_or_default();
+            let (m, s) = crate::effects::scan_direct(&toks, &ranges, &hash, f.is_test);
+            direct.push(m);
+            sites.push(s);
+        }
+        let effects = EffectSets::propagate(direct, sites, &graph);
+        (table, graph, effects)
+    }
+
+    #[test]
+    fn violations_carry_shortest_witness_chains() {
+        let (table, graph, effects) = world();
+        let file = parse(SAMPLE).unwrap();
+        let (results, errors) = evaluate(&file, &table, &graph, &effects);
+        assert_eq!(results.len(), 1);
+        let r = &results[0];
+        // `timed` (WallClock, allowed) and `noisy` (Entropy, open);
+        // `unrelated`'s Panic is out of contract scope.
+        assert_eq!(r.violations.len(), 2, "{:#?}", r.violations);
+        let open: Vec<_> = r.open_violations().collect();
+        assert_eq!(open.len(), 1);
+        assert_eq!(open[0].function, "minoaner_kb::demo::noisy");
+        assert_eq!(
+            open[0].witness,
+            ["minoaner_kb::demo::entry", "minoaner_kb::demo::middle", "minoaner_kb::demo::noisy"]
+        );
+        assert!(open[0].what.contains("thread_rng"));
+        // Ceiling is 3 but there are 0 unresolved — ratchet message.
+        assert!(errors.iter().any(|e| e.contains("lower it to 0")), "{errors:?}");
+        // Root that matches nothing is a policy error.
+        let mut bad = parse(SAMPLE).unwrap();
+        bad.contracts[0].roots = vec!["minoaner_kb::demo::gone".into()];
+        let (_, errors) = evaluate(&bad, &table, &graph, &effects);
+        assert!(errors.iter().any(|e| e.contains("matches no function")));
+    }
+
+    #[test]
+    fn allow_ratchet_reports_drift() {
+        let (table, graph, effects) = world();
+        let mut file = parse(SAMPLE).unwrap();
+        file.unresolved_ceiling = Some(0);
+        // Absorb the Entropy violation too so only ratchet drift remains.
+        file.allows.push(ContractAllow {
+            contract: "kernel".into(),
+            function: "minoaner_kb::demo::noisy".into(),
+            effect: ENTROPY,
+            count: Some(2), // says 2, actual 1 → ratchet error
+            reason: "test".into(),
+            line: 0,
+        });
+        let (results, errors) = evaluate(&file, &table, &graph, &effects);
+        assert!(results[0].open_violations().next().is_none());
+        assert!(errors.iter().any(|e| e.contains("lower the count to 1")), "{errors:?}");
+        // Stale entry: allow for a function with no violations.
+        file.allows.push(ContractAllow {
+            contract: "kernel".into(),
+            function: "minoaner_kb::demo::entry".into(),
+            effect: PANIC,
+            count: None,
+            reason: "test".into(),
+            line: 0,
+        });
+        let (_, errors) = evaluate(&file, &table, &graph, &effects);
+        assert!(errors.iter().any(|e| e.contains("stale allow")), "{errors:?}");
+    }
+}

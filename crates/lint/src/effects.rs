@@ -1,0 +1,398 @@
+//! The effect lattice: per-function direct effects and their transitive
+//! propagation over the call graph (DESIGN.md §17).
+//!
+//! Effects form a powerset lattice over six atoms; "inference" is two
+//! steps:
+//!
+//! 1. **Direct effects** — token-level patterns inside one function body,
+//!    the same vocabulary rules R2–R4 use (so a direct effect is exactly
+//!    "this function contains a bad call *site*").
+//! 2. **Propagation** — a fixpoint of `full(f) = direct(f) ∪ ⋃ full(g)`
+//!    over resolved call edges `f → g`, upgrading the guarantee to "no bad
+//!    call *path*". Monotone over a finite lattice, so the fixpoint exists
+//!    and the worklist terminates.
+//!
+//! External calls contribute nothing (the atoms external code could
+//! contribute — clocks, entropy, fs — are all caught as direct token
+//! patterns at the call site itself). Unresolved calls also contribute
+//! nothing but are *counted* and gated by the ceiling in
+//! `effect-contracts.toml`; see `graph.rs` for the resolution policy.
+
+use crate::graph::{is_keyword, CallGraph};
+use crate::lexer::{Tok, TokKind};
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+pub type EffectMask = u8;
+
+pub const PANIC: EffectMask = 1 << 0;
+pub const WALL_CLOCK: EffectMask = 1 << 1;
+pub const ENTROPY: EffectMask = 1 << 2;
+pub const UNORDERED_ITER: EffectMask = 1 << 3;
+pub const UNSAFE_MEM: EffectMask = 1 << 4;
+pub const BLOCKING_IO: EffectMask = 1 << 5;
+
+pub const ALL_EFFECTS: &[(EffectMask, &str)] = &[
+    (PANIC, "Panic"),
+    (WALL_CLOCK, "WallClock"),
+    (ENTROPY, "Entropy"),
+    (UNORDERED_ITER, "UnorderedIter"),
+    (UNSAFE_MEM, "UnsafeMem"),
+    (BLOCKING_IO, "BlockingIo"),
+];
+
+pub fn effect_name(mask: EffectMask) -> &'static str {
+    ALL_EFFECTS
+        .iter()
+        .find(|(m, _)| *m == mask)
+        .map(|(_, n)| *n)
+        .unwrap_or("?")
+}
+
+pub fn parse_effect(name: &str) -> Option<EffectMask> {
+    ALL_EFFECTS.iter().find(|(_, n)| *n == name).map(|(m, _)| *m)
+}
+
+pub fn mask_names(mask: EffectMask) -> Vec<&'static str> {
+    ALL_EFFECTS
+        .iter()
+        .filter(|(m, _)| mask & m != 0)
+        .map(|(_, n)| *n)
+        .collect()
+}
+
+/// One concrete occurrence of a direct effect inside a function body —
+/// the "offending site" a contract violation's witness chain ends at.
+#[derive(Debug, Clone)]
+pub struct DirectSite {
+    pub effect: EffectMask,
+    pub line: u32,
+    /// Human description of the pattern, e.g. "`Instant::now()`".
+    pub what: String,
+}
+
+/// Direct and propagated effect sets for every function in the table,
+/// index-aligned with `SymbolTable::fns`.
+#[derive(Debug, Default)]
+pub struct EffectSets {
+    pub direct: Vec<EffectMask>,
+    pub full: Vec<EffectMask>,
+    /// First direct occurrence per (fn, effect) for witness reporting.
+    pub sites: Vec<Vec<DirectSite>>,
+}
+
+impl EffectSets {
+    /// Propagates per-function direct effects to the fixpoint
+    /// `full(f) = direct(f) ∪ ⋃_{f→g} full(g)` over resolved edges.
+    pub fn propagate(direct: Vec<EffectMask>, sites: Vec<Vec<DirectSite>>, graph: &CallGraph) -> EffectSets {
+        let n = direct.len();
+        let mut full = direct.clone();
+        // Chaotic iteration to fixpoint: the lattice has height ≤ 6 per
+        // node, so this loops at most a handful of times over the edges.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for caller in 0..n {
+                let mut acc = full[caller];
+                for &callee in &graph.edges[caller] {
+                    acc |= full[callee];
+                }
+                if acc != full[caller] {
+                    full[caller] = acc;
+                    changed = true;
+                }
+            }
+        }
+        EffectSets { direct, full, sites }
+    }
+
+    /// The first recorded site of `effect` in `f`'s body, if any.
+    pub fn site(&self, f: usize, effect: EffectMask) -> Option<&DirectSite> {
+        self.sites[f].iter().find(|s| s.effect == effect)
+    }
+}
+
+/// Identifiers that, appearing as `x :: y` heads or method names, mark a
+/// blocking filesystem/IO operation. Curated for this workspace's std
+/// usage plus the raw `mmap` syscalls in `kb::disk`.
+const BLOCKING_IO_QUALIFIED: &[(&str, &str)] = &[
+    ("File", "open"),
+    ("File", "create"),
+    ("OpenOptions", "new"),
+    ("fs", "read"),
+    ("fs", "write"),
+    ("fs", "read_to_string"),
+    ("fs", "read_dir"),
+    ("fs", "create_dir_all"),
+    ("fs", "create_dir"),
+    ("fs", "remove_file"),
+    ("fs", "remove_dir_all"),
+    ("fs", "rename"),
+    ("fs", "copy"),
+    ("fs", "metadata"),
+    ("fs", "canonicalize"),
+    ("sys", "mmap"),
+    ("sys", "munmap"),
+];
+
+const BLOCKING_IO_METHODS: &[&str] = &[
+    "read_exact", "read_to_end", "read_to_string", "write_all", "sync_all", "sync_data",
+    "set_len", "seek",
+];
+
+/// Scans one function's own token ranges for direct effects. `hash_idents`
+/// is the file-level set of identifiers bound to *std* `HashMap`/`HashSet`
+/// types (not the Det wrappers — their iteration order is insertion-
+/// deterministic); `is_test` suppresses the Panic atom, matching R4's
+/// "non-test code" scope.
+pub fn scan_direct(
+    toks: &[Tok],
+    ranges: &[Range<usize>],
+    hash_idents: &BTreeSet<&str>,
+    is_test: bool,
+) -> (EffectMask, Vec<DirectSite>) {
+    let mut mask: EffectMask = 0;
+    let mut sites: Vec<DirectSite> = Vec::new();
+    let add = |mask: &mut EffectMask, sites: &mut Vec<DirectSite>, e: EffectMask, line: u32, what: String| {
+        if *mask & e == 0 {
+            sites.push(DirectSite { effect: e, line, what });
+        }
+        *mask |= e;
+    };
+
+    for r in ranges {
+        let mut i = r.start;
+        while i < r.end {
+            let t = &toks[i];
+
+            // ── Panic ──
+            if !is_test {
+                if t.is_punct(".")
+                    && i + 2 < r.end
+                    && toks[i + 1].kind == TokKind::Ident
+                    && (toks[i + 1].text == "unwrap" || toks[i + 1].text == "expect")
+                    && toks[i + 2].is_punct("(")
+                    && !(i > 0 && toks[i - 1].is_ident("self"))
+                {
+                    add(&mut mask, &mut sites, PANIC, toks[i + 1].line, format!("`.{}()`", toks[i + 1].text));
+                }
+                if t.kind == TokKind::Ident
+                    && matches!(t.text.as_str(), "panic" | "unreachable" | "todo" | "unimplemented")
+                    && i + 1 < r.end
+                    && toks[i + 1].is_punct("!")
+                {
+                    add(&mut mask, &mut sites, PANIC, t.line, format!("`{}!`", t.text));
+                }
+                // Indexing `expr[…]`: `[` directly after an identifier,
+                // `)` or `]` is an index expression; after a keyword,
+                // punctuation or `#` it is a pattern/type/array/attr.
+                if t.is_punct("[") && i > r.start {
+                    let prev = &toks[i - 1];
+                    let indexes = (prev.kind == TokKind::Ident && !is_keyword(&prev.text))
+                        || prev.is_punct(")")
+                        || prev.is_punct("]");
+                    if indexes {
+                        add(&mut mask, &mut sites, PANIC, t.line, "`[…]` indexing".to_string());
+                    }
+                }
+            }
+
+            // ── WallClock ──
+            if t.kind == TokKind::Ident
+                && (t.text == "Instant" || t.text == "SystemTime")
+                && i + 2 < r.end
+                && toks[i + 1].is_punct("::")
+                && toks[i + 2].is_ident("now")
+            {
+                add(&mut mask, &mut sites, WALL_CLOCK, t.line, format!("`{}::now()`", t.text));
+            }
+
+            // ── Entropy ──
+            if t.kind == TokKind::Ident
+                && matches!(t.text.as_str(), "thread_rng" | "from_entropy" | "OsRng")
+            {
+                add(&mut mask, &mut sites, ENTROPY, t.line, format!("`{}`", t.text));
+            }
+
+            // ── UnorderedIter ──
+            if t.kind == TokKind::Ident
+                && hash_idents.contains(t.text.as_str())
+                && i + 2 < r.end
+                && toks[i + 1].is_punct(".")
+                && toks[i + 2].kind == TokKind::Ident
+                && matches!(
+                    toks[i + 2].text.as_str(),
+                    "iter" | "iter_mut" | "into_iter" | "keys" | "values" | "values_mut"
+                        | "into_values" | "drain"
+                )
+            {
+                add(
+                    &mut mask,
+                    &mut sites,
+                    UNORDERED_ITER,
+                    toks[i + 2].line,
+                    format!("`{}.{}()` over a std hash map", t.text, toks[i + 2].text),
+                );
+            }
+
+            // ── UnsafeMem ──
+            if t.is_ident("unsafe") {
+                add(&mut mask, &mut sites, UNSAFE_MEM, t.line, "`unsafe` block".to_string());
+            }
+
+            // ── BlockingIo ──
+            if t.kind == TokKind::Ident && i + 2 < r.end && toks[i + 1].is_punct("::") {
+                let head = t.text.as_str();
+                let tail = toks[i + 2].text.as_str();
+                if toks[i + 2].kind == TokKind::Ident
+                    && BLOCKING_IO_QUALIFIED.contains(&(head, tail))
+                {
+                    add(&mut mask, &mut sites, BLOCKING_IO, t.line, format!("`{head}::{tail}`"));
+                }
+            }
+            if t.is_punct(".")
+                && i + 2 < r.end
+                && toks[i + 1].kind == TokKind::Ident
+                && toks[i + 2].is_punct("(")
+                && BLOCKING_IO_METHODS.contains(&toks[i + 1].text.as_str())
+            {
+                add(
+                    &mut mask,
+                    &mut sites,
+                    BLOCKING_IO,
+                    toks[i + 1].line,
+                    format!("`.{}()`", toks[i + 1].text),
+                );
+            }
+
+            i += 1;
+        }
+    }
+    (mask, sites)
+}
+
+/// File-level set of identifiers bound to *std* hash containers (the
+/// `UnorderedIter` receivers). Unlike R2's helper this excludes the Det
+/// wrappers, whose iteration order is deterministic given insertion order.
+pub fn std_hash_idents(toks: &[Tok]) -> BTreeSet<&str> {
+    let mut set = BTreeSet::new();
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        if i + 1 < toks.len() && toks[i + 1].is_punct(":") {
+            let window = &toks[i + 2..toks.len().min(i + 8)];
+            if window
+                .iter()
+                .take_while(|t| !t.is_punct(",") && !t.is_punct(")") && !t.is_punct("="))
+                .any(|t| t.is_ident("HashMap") || t.is_ident("HashSet"))
+            {
+                set.insert(toks[i].text.as_str());
+            }
+        }
+        if toks[i].is_ident("let") {
+            let mut j = i + 1;
+            if j < toks.len() && toks[j].is_ident("mut") {
+                j += 1;
+            }
+            if j + 3 < toks.len()
+                && toks[j].kind == TokKind::Ident
+                && toks[j + 1].is_punct("=")
+                && (toks[j + 2].is_ident("HashMap") || toks[j + 2].is_ident("HashSet"))
+                && toks[j + 3].is_punct("::")
+            {
+                set.insert(toks[j].text.as_str());
+            }
+        }
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn scan(src: &str) -> (EffectMask, Vec<DirectSite>) {
+        let toks = lex(src);
+        let hash = std_hash_idents(&toks);
+        scan_direct(&toks, std::slice::from_ref(&(0..toks.len())), &hash, false)
+    }
+
+    #[test]
+    fn panic_family_detected() {
+        let (m, sites) = scan("fn f(x: Option<u32>) -> u32 { x.unwrap() }");
+        assert_eq!(m, PANIC);
+        assert_eq!(sites.len(), 1);
+        let (m, _) = scan("fn f() { panic!(\"boom\") }");
+        assert_eq!(m, PANIC);
+        let (m, _) = scan("fn f(v: &[u32]) -> u32 { v[0] }");
+        assert_eq!(m, PANIC);
+        let (m, _) = scan("fn f(&mut self) { self.expect(\".\"); }");
+        assert_eq!(m, 0, "parser combinator `self.expect` is not a panic");
+    }
+
+    #[test]
+    fn indexing_heuristic_skips_types_patterns_attrs() {
+        let (m, _) = scan("fn f(x: [u8; 4]) -> Vec<[u8; 2]> { let [a, b] = [1, 2]; vec![a, b] }");
+        assert_eq!(m, 0, "array types, slice patterns, literals and macros are not indexing");
+        let (m, _) = scan("fn f(v: Vec<u32>, i: usize) -> u32 { v[i] }");
+        assert_eq!(m, PANIC);
+        let (m, _) = scan("fn f(v: Vec<Vec<u32>>) -> u32 { v[0][1] }");
+        assert_eq!(m, PANIC);
+    }
+
+    #[test]
+    fn clock_entropy_unsafe_io_detected() {
+        let (m, _) = scan("fn f() { let t = Instant::now(); }");
+        assert_eq!(m, WALL_CLOCK);
+        let (m, _) = scan("fn f() { let r = rand::thread_rng(); }");
+        assert_eq!(m, ENTROPY);
+        let (m, _) = scan("fn f(p: *const u8) -> u8 { unsafe { *p } }");
+        assert_eq!(m, UNSAFE_MEM);
+        let (m, _) = scan("fn f(p: &Path) { let _ = File::open(p); }");
+        assert_eq!(m, BLOCKING_IO);
+        let (m, _) = scan("fn f(file: &mut File, buf: &mut [u8]) { file.read_exact(buf); }");
+        assert!(m & BLOCKING_IO != 0);
+    }
+
+    #[test]
+    fn unordered_iter_only_fires_on_std_maps() {
+        let (m, _) = scan("fn f(m: &HashMap<u32, u32>) { for (k, v) in m.iter() {} }");
+        assert!(m & UNORDERED_ITER != 0);
+        let (m, _) = scan("fn f(m: &DetHashMap<u32, u32>) { for (k, v) in m.iter() {} }");
+        assert_eq!(m & UNORDERED_ITER, 0);
+    }
+
+    #[test]
+    fn test_fns_skip_panic_but_keep_clock() {
+        let toks = lex("fn f() { x.unwrap(); let t = Instant::now(); }");
+        let hash = BTreeSet::new();
+        let (m, _) = scan_direct(&toks, std::slice::from_ref(&(0..toks.len())), &hash, true);
+        assert_eq!(m, WALL_CLOCK);
+    }
+
+    #[test]
+    fn propagation_reaches_fixpoint_through_cycles() {
+        // 0 → 1 → 2 → 0 (cycle), 2 → 3. Effect seeded only at 3.
+        let graph = CallGraph {
+            edges: vec![vec![1], vec![2], vec![0, 3], vec![]],
+            resolved_calls: 4,
+            external_calls: 0,
+            unresolved: Vec::new(),
+        };
+        let sets = EffectSets::propagate(vec![0, 0, 0, WALL_CLOCK], vec![vec![]; 4], &graph);
+        assert_eq!(sets.full, vec![WALL_CLOCK; 4]);
+        assert_eq!(sets.direct, vec![0, 0, 0, WALL_CLOCK]);
+    }
+
+    #[test]
+    fn effect_names_round_trip() {
+        for &(mask, name) in ALL_EFFECTS {
+            assert_eq!(parse_effect(name), Some(mask));
+            assert_eq!(effect_name(mask), name);
+        }
+        assert_eq!(parse_effect("Nope"), None);
+        assert_eq!(mask_names(PANIC | BLOCKING_IO), vec!["Panic", "BlockingIo"]);
+    }
+}

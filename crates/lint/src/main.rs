@@ -1,7 +1,12 @@
-//! CLI: `minoaner-lint check [--json] [--root PATH] [--allow PATH]`
+//! CLI: `minoaner-lint <check|effects> [--json] [--root PATH] [...]`
 //!
-//! Exit codes: 0 clean, 1 violations or allowlist policy errors, 2 usage
-//! or I/O error.
+//! * `check [--json] [--root PATH] [--allow PATH]` — token rules R1–R5
+//!   against `lint-allow.toml`.
+//! * `effects [--json] [--root PATH] [--contracts PATH]` — call-graph
+//!   effect analysis against `effect-contracts.toml`.
+//!
+//! Exit codes: 0 clean, 1 violations or policy errors, 2 usage or I/O
+//! error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -9,13 +14,30 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: minoaner-lint check [--json] [--root PATH] [--allow PATH]\n\
+         \x20      minoaner-lint effects [--json] [--root PATH] [--contracts PATH]\n\
          \n\
          Rules (DESIGN.md §12):"
     );
     for (id, desc) in minoaner_lint::rules::RULES {
         eprintln!("  {id}: {desc}");
     }
+    eprintln!("\nEffect contracts are documented in DESIGN.md §17.");
     ExitCode::from(2)
+}
+
+fn default_root() -> PathBuf {
+    // When run via `cargo run -p minoaner-lint`, the manifest dir is
+    // crates/lint; the workspace root is two levels up.
+    match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(d) => {
+            let p = PathBuf::from(d);
+            p.parent()
+                .and_then(|p| p.parent())
+                .map(|p| p.to_path_buf())
+                .unwrap_or(p)
+        }
+        Err(_) => PathBuf::from("."),
+    }
 }
 
 fn main() -> ExitCode {
@@ -23,13 +45,14 @@ fn main() -> ExitCode {
     let Some(cmd) = args.next() else {
         return usage();
     };
-    if cmd != "check" {
+    if cmd != "check" && cmd != "effects" {
         return usage();
     }
 
     let mut json = false;
     let mut root: Option<PathBuf> = None;
-    let mut allow: Option<PathBuf> = None;
+    let mut conf: Option<PathBuf> = None;
+    let conf_flag = if cmd == "check" { "--allow" } else { "--contracts" };
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
@@ -37,46 +60,43 @@ fn main() -> ExitCode {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => return usage(),
             },
-            "--allow" => match args.next() {
-                Some(p) => allow = Some(PathBuf::from(p)),
+            a if a == conf_flag => match args.next() {
+                Some(p) => conf = Some(PathBuf::from(p)),
                 None => return usage(),
             },
             _ => return usage(),
         }
     }
 
-    let root = root.unwrap_or_else(|| {
-        // When run via `cargo run -p minoaner-lint`, the manifest dir is
-        // crates/lint; the workspace root is two levels up.
-        match std::env::var("CARGO_MANIFEST_DIR") {
-            Ok(d) => {
-                let p = PathBuf::from(d);
-                p.parent()
-                    .and_then(|p| p.parent())
-                    .map(|p| p.to_path_buf())
-                    .unwrap_or(p)
+    let root = root.unwrap_or_else(default_root);
+    let (text, json_text, clean) = if cmd == "check" {
+        let conf = conf.unwrap_or_else(|| root.join("lint-allow.toml"));
+        match minoaner_lint::run_check(&root, &conf) {
+            Ok(report) => (report.render_text(), report.render_json(), report.clean()),
+            Err(e) => {
+                eprintln!("minoaner-lint: {e}");
+                return ExitCode::from(2);
             }
-            Err(_) => PathBuf::from("."),
         }
-    });
-    let allow = allow.unwrap_or_else(|| root.join("lint-allow.toml"));
+    } else {
+        let conf = conf.unwrap_or_else(|| root.join("effect-contracts.toml"));
+        match minoaner_lint::run_effects(&root, &conf) {
+            Ok(report) => (report.render_text(), report.render_json(), report.clean()),
+            Err(e) => {
+                eprintln!("minoaner-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
 
-    match minoaner_lint::run_check(&root, &allow) {
-        Ok(report) => {
-            if json {
-                println!("{}", report.render_json());
-            } else {
-                print!("{}", report.render_text());
-            }
-            if report.clean() {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::from(1)
-            }
-        }
-        Err(e) => {
-            eprintln!("minoaner-lint: {e}");
-            ExitCode::from(2)
-        }
+    if json {
+        println!("{json_text}");
+    } else {
+        print!("{text}");
+    }
+    if clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
     }
 }

@@ -32,15 +32,17 @@ pub const RULES: &[(&str, &str)] = &[
     ("R2", "no f64/f32 accumulation over hash-map iteration — sort keys first"),
     ("R3", "no wall-clock or entropy outside timing/trace/fault-inject modules"),
     ("R4", "no unwrap()/expect() in library code outside the ratcheted allowlist"),
+    ("R5", "every `unsafe` block/fn/impl must carry a `// SAFETY:` comment on the preceding line"),
 ];
 
-pub fn run_all(path: &str, class: FileClass, toks: &[Tok]) -> Vec<Violation> {
+pub fn run_all(path: &str, class: FileClass, src: &str, toks: &[Tok]) -> Vec<Violation> {
     let mut out = Vec::new();
     r1_std_hash(path, toks, &mut out);
     if class == FileClass::Library {
         r2_float_accum(path, toks, &mut out);
         r3_wallclock_entropy(path, toks, &mut out);
         r4_unwrap(path, toks, &mut out);
+        r5_unsafe_safety(path, src, toks, &mut out);
     }
     out
 }
@@ -388,9 +390,52 @@ fn r4_unwrap(path: &str, toks: &[Tok], out: &mut Vec<Violation>) {
     }
 }
 
+/// R5: each `unsafe` keyword (block, fn, impl, trait) must be justified
+/// by a `// SAFETY:` comment in the contiguous comment block immediately
+/// above its line. Two `unsafe impl`s stacked under one comment each need
+/// their own justification — the audit is per `unsafe`, not per block of
+/// code. Pre-existing debt is ratcheted per file via `lint-allow.toml`.
+fn r5_unsafe_safety(path: &str, src: &str, toks: &[Tok], out: &mut Vec<Violation>) {
+    let test_spans = cfg_test_spans(toks);
+    let in_test = |idx: usize| test_spans.iter().any(|&(a, b)| idx >= a && idx < b);
+    let lines: Vec<&str> = src.lines().collect();
+    let mut flagged_lines = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("unsafe") || in_test(i) || !flagged_lines.insert(t.line) {
+            continue;
+        }
+        // Walk upward through the contiguous `//` comment block (doc
+        // comments count too) looking for a SAFETY marker.
+        let mut ok = false;
+        let mut ln = t.line as usize; // 1-based; lines[ln - 2] is the line above
+        while ln >= 2 {
+            let above = lines.get(ln - 2).map(|l| l.trim()).unwrap_or("");
+            if !above.starts_with("//") {
+                break;
+            }
+            let body = above.trim_start_matches('/').trim_start_matches('!').trim_start();
+            if body.starts_with("SAFETY:") {
+                ok = true;
+                break;
+            }
+            ln -= 1;
+        }
+        if !ok {
+            out.push(Violation {
+                rule: "R5",
+                path: path.to_string(),
+                line: t.line,
+                message: "`unsafe` without a `// SAFETY:` comment on the preceding line; \
+                          state the invariant that makes this sound"
+                    .to_string(),
+            });
+        }
+    }
+}
+
 /// Token spans of `#[cfg(test)] mod … { … }` (and `cfg(all(test, …))`)
 /// bodies, plus `#[test] fn` / `#[cfg(test)] fn` items.
-fn cfg_test_spans(toks: &[Tok]) -> Vec<(usize, usize)> {
+pub(crate) fn cfg_test_spans(toks: &[Tok]) -> Vec<(usize, usize)> {
     let mut spans = Vec::new();
     let mut i = 0;
     while i < toks.len() {
@@ -471,7 +516,7 @@ mod tests {
     use crate::lexer::lex;
 
     fn check(src: &str) -> Vec<Violation> {
-        run_all("test.rs", FileClass::Library, &lex(src))
+        run_all("test.rs", FileClass::Library, src, &lex(src))
     }
 
     fn rules_of(v: &[Violation]) -> Vec<&'static str> {
@@ -558,9 +603,57 @@ mod tests {
 
     #[test]
     fn tests_and_benches_only_get_r1() {
-        let toks = lex("fn f() { let t = Instant::now(); let x: Option<u32> = None; x.unwrap(); }");
-        assert!(run_all("t.rs", FileClass::TestOrBench, &toks).is_empty());
-        let toks = lex("use std::collections::HashMap;");
-        assert_eq!(run_all("t.rs", FileClass::TestOrBench, &toks).len(), 1);
+        let src = "fn f() { let t = Instant::now(); let x: Option<u32> = None; x.unwrap(); }";
+        assert!(run_all("t.rs", FileClass::TestOrBench, src, &lex(src)).is_empty());
+        let src = "use std::collections::HashMap;";
+        assert_eq!(run_all("t.rs", FileClass::TestOrBench, src, &lex(src)).len(), 1);
+    }
+
+    #[test]
+    fn r5_flags_uncommented_unsafe() {
+        let v = check("fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}");
+        assert_eq!(rules_of(&v), ["R5"]);
+        assert_eq!(v[0].line, 2);
+        let v = check("unsafe impl Send for X {}\n");
+        assert_eq!(rules_of(&v), ["R5"]);
+    }
+
+    #[test]
+    fn r5_accepts_safety_comment_block() {
+        let v = check(
+            "fn f(p: *const u8) -> u8 {\n\
+             \x20   // SAFETY: caller guarantees p is valid for reads.\n\
+             \x20   unsafe { *p }\n}",
+        );
+        assert!(v.is_empty(), "{v:?}");
+        // The marker may sit anywhere in the contiguous comment block.
+        let v = check(
+            "// SAFETY: the mapping is read-only bytes.\n\
+             // No interior mutability anywhere.\n\
+             unsafe impl Send for X {}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn r5_requires_one_comment_per_unsafe() {
+        // The second impl's preceding line is code, not a comment.
+        let v = check(
+            "// SAFETY: read-only bytes.\n\
+             unsafe impl Send for X {}\n\
+             unsafe impl Sync for X {}\n",
+        );
+        assert_eq!(rules_of(&v), ["R5"]);
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn r5_skips_test_code_and_strings() {
+        let v = check(
+            "#[cfg(test)]\nmod tests {\n    fn f(p: *const u8) -> u8 { unsafe { *p } }\n}",
+        );
+        assert!(v.is_empty(), "{v:?}");
+        let v = check("fn f() -> &'static str { \"unsafe\" }");
+        assert!(v.is_empty(), "{v:?}");
     }
 }

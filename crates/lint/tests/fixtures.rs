@@ -11,7 +11,7 @@ fn fixture(rel: &str) -> Vec<Violation> {
         .join(rel);
     let src = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
-    run_all(rel, FileClass::Library, &lex(&src))
+    run_all(rel, FileClass::Library, &src, &lex(&src))
 }
 
 fn rules_of(v: &[Violation]) -> Vec<&'static str> {
@@ -40,6 +40,16 @@ fn bad_r3_wallclock_flagged() {
 fn bad_r4_unwrap_flagged() {
     let v = fixture("bad/r4_unwrap.rs");
     assert_eq!(rules_of(&v), ["R4", "R4"], "{v:#?}");
+}
+
+#[test]
+fn bad_r5_unsafe_flagged() {
+    let v = fixture("bad/r5_unsafe.rs");
+    assert_eq!(rules_of(&v), ["R5", "R5", "R5"], "{v:#?}");
+    // One violation per `unsafe`: the Send impl's comment lacks the
+    // SAFETY: marker, and the Sync impl has no comment of its own.
+    assert_eq!(v[0].line, 6);
+    assert_eq!(v[1].line, 7);
 }
 
 #[test]

@@ -1,0 +1,11 @@
+//! R5 fixture: three `unsafe` occurrences without a SAFETY justification.
+
+pub struct Raw(*const u8);
+
+// The mapping is read-only bytes — a comment, but not a SAFETY: marker.
+unsafe impl Send for Raw {}
+unsafe impl Sync for Raw {}
+
+pub fn deref(r: &Raw) -> u8 {
+    unsafe { *r.0 }
+}

@@ -25,3 +25,10 @@ pub fn parse_port(s: &str) -> Result<u16, std::num::ParseIntError> {
 pub fn label() -> &'static str {
     "not a HashMap, just a string"
 }
+
+pub fn first_byte(bytes: &[u8]) -> Option<u8> {
+    let p = bytes.first()?;
+    // Comments may precede the justification without breaking the block.
+    // SAFETY: `p` comes from `bytes.first()`, so it is valid for reads.
+    Some(unsafe { std::ptr::read(p) })
+}

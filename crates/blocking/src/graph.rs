@@ -41,7 +41,7 @@
 //! (test/bench only); the equivalence proptests there pin this kernel to
 //! it with exact `f64` equality.
 
-use minoaner_dataflow::{DataflowError, Executor, SpillShuffle, StageIo};
+use minoaner_dataflow::{Executor, SpillShuffle, StageIo};
 use minoaner_kb::stats::RelationStats;
 use minoaner_kb::{EntityId, KbPair, Side};
 
@@ -712,7 +712,7 @@ fn gamma_pass(
                 bucket.sort_unstable_by(|x, y| (x.1, x.0).cmp(&(y.1, y.0)));
             }
             if let Err(e) = sh.add_run(t, buckets) {
-                std::panic::panic_any(DataflowError::Checkpoint(e));
+                std::panic::panic_any(e);
             }
         }
         (lists, triples, produced)
@@ -742,7 +742,7 @@ fn gamma_pass(
             let hi = ((t + 1) * chunk_r).min(n_right) as u32;
             let part = match sh.merge_partition(t, |tri| (tri.1, tri.0)) {
                 Ok(part) => part,
-                Err(e) => std::panic::panic_any(DataflowError::Checkpoint(e)),
+                Err(e) => std::panic::panic_any(e),
             };
             let mut lists: Vec<Vec<Candidate>> = vec![Vec::new(); (hi - lo) as usize];
             with_scratch(0, |_, scratch| {

@@ -96,6 +96,9 @@ pub struct JobsRunArgs {
     pub lenient: bool,
     /// Resume each job from its newest valid checkpoint.
     pub resume: bool,
+    /// On a checkpoint I/O failure, keep each job running uncheckpointed
+    /// instead of failing it.
+    pub degrade_ckpt: bool,
 }
 
 /// One `--job` specification: `left=<path>,right=<path>` plus optional
@@ -153,6 +156,9 @@ pub struct ResolveArgs {
     pub checkpoint_dir: Option<String>,
     /// Resume from the newest valid checkpoint in `checkpoint_dir`.
     pub resume: bool,
+    /// On a checkpoint I/O failure, keep running uncheckpointed instead of
+    /// failing the run (`ckpt/degraded` counts the degradations).
+    pub degrade_ckpt: bool,
 }
 
 /// Arguments of `minoaner dedup`.
@@ -250,6 +256,8 @@ EXIT CODES:
     5  checkpoint failure (snapshot I/O error, corrupt/incompatible checkpoint)
     6  run cancelled (user request, job deadline, or scheduler shutdown;
        for `jobs run`: at least one job was cancelled and none failed)
+    7  disk full (ENOSPC/quota on a spill write; the run's scratch
+       directory is cleaned up before exit — free space and retry)
 
 RESOLVE OPTIONS:
     --left <path>           left KB, N-Triples
@@ -274,6 +282,9 @@ RESOLVE OPTIONS:
                             barrier under <dir> (created if missing)
     --resume                resume from the newest valid checkpoint in
                             --checkpoint-dir instead of recomputing
+    --degrade-on-ckpt-error keep running (uncheckpointed) when checkpoint I/O
+                            fails instead of aborting; degradations are
+                            counted in the ckpt/degraded trace counter
 
 DEDUP OPTIONS:
     --input <path>          the dirty KB, N-Triples
@@ -316,6 +327,8 @@ JOBS RUN OPTIONS:
                             shed with a structured reason (default 64)
     --k/--top-k/--n/--theta MinoanER parameters shared by all jobs
     --resume                resume each job from its newest valid checkpoint
+    --degrade-on-ckpt-error keep jobs running (uncheckpointed) when their
+                            checkpoint I/O fails instead of failing them
 
     A job with memory=<bytes> resolves under that grant: shuffle state
     beyond it spills to <root>/job-<id>/spill and is merged back, so the
@@ -359,6 +372,7 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
     let mut report = None;
     let mut checkpoint_dir = None;
     let mut resume = false;
+    let mut degrade_ckpt = false;
     let mut mkb = None;
     let mut mem_budget = None;
     let mut spill_dir = None;
@@ -392,6 +406,7 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
             "--report" => report = Some(value("--report")?),
             "--checkpoint-dir" => checkpoint_dir = Some(value("--checkpoint-dir")?),
             "--resume" => resume = true,
+            "--degrade-on-ckpt-error" => degrade_ckpt = true,
             "--lenient" => lenient = true,
             "--strict" => lenient = false,
             other => return Err(ArgError(format!("unknown flag {other:?}; try `minoaner help`"))),
@@ -417,12 +432,15 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
             if resume && checkpoint_dir.is_none() {
                 return Err(ArgError("--resume requires --checkpoint-dir".into()));
             }
+            if degrade_ckpt && checkpoint_dir.is_none() {
+                return Err(ArgError("--degrade-on-ckpt-error requires --checkpoint-dir".into()));
+            }
             if spill_dir.is_some() && mem_budget.is_none() {
                 return Err(ArgError("--spill-dir requires --mem-budget".into()));
             }
             Ok(Command::Resolve(ResolveArgs {
                 left, right, mkb, mem_budget, spill_dir, ground_truth, workers, k, top_k, n,
-                theta, json, lenient, report, checkpoint_dir, resume,
+                theta, json, lenient, report, checkpoint_dir, resume, degrade_ckpt,
             }))
         }
         "dedup" => {
@@ -464,6 +482,7 @@ fn parse_jobs(args: &[String]) -> Result<Command, ArgError> {
     let mut theta = 0.6f64;
     let mut lenient = false;
     let mut resume = false;
+    let mut degrade_ckpt = false;
 
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<String, ArgError> {
@@ -504,6 +523,7 @@ fn parse_jobs(args: &[String]) -> Result<Command, ArgError> {
             "--lenient" => lenient = true,
             "--strict" => lenient = false,
             "--resume" => resume = true,
+            "--degrade-on-ckpt-error" => degrade_ckpt = true,
             other => return Err(ArgError(format!("unknown flag {other:?} for `jobs {verb}`"))),
         }
     }
@@ -516,7 +536,7 @@ fn parse_jobs(args: &[String]) -> Result<Command, ArgError> {
             }
             Ok(Command::Jobs(JobsCmd::Run(JobsRunArgs {
                 root, jobs, budget_workers, budget_memory, max_running, max_queued,
-                k, top_k, n, theta, lenient, resume,
+                k, top_k, n, theta, lenient, resume, degrade_ckpt,
             })))
         }
         "list" => Ok(Command::Jobs(JobsCmd::List { root })),
@@ -689,6 +709,32 @@ mod tests {
         assert!(!a.resume);
         // --resume without a directory to resume from is a usage error.
         assert!(parse(&strings(&["resolve", "--left", "a", "--right", "b", "--resume"])).is_err());
+    }
+
+    #[test]
+    fn parses_degrade_on_ckpt_error() {
+        let cmd = parse(&strings(&[
+            "resolve", "--left", "a", "--right", "b", "--checkpoint-dir", "ck",
+            "--degrade-on-ckpt-error",
+        ]))
+        .unwrap();
+        let Command::Resolve(a) = cmd else { panic!() };
+        assert!(a.degrade_ckpt);
+        let cmd = parse(&strings(&["resolve", "--left", "a", "--right", "b"])).unwrap();
+        let Command::Resolve(a) = cmd else { panic!() };
+        assert!(!a.degrade_ckpt, "fail-fast by default");
+        // Degrading what is not checkpointed is a usage error.
+        assert!(parse(&strings(&[
+            "resolve", "--left", "a", "--right", "b", "--degrade-on-ckpt-error",
+        ]))
+        .is_err());
+        let cmd = parse(&strings(&[
+            "jobs", "run", "--root", "r", "--job", "left=a.nt,right=b.nt",
+            "--degrade-on-ckpt-error",
+        ]))
+        .unwrap();
+        let Command::Jobs(JobsCmd::Run(a)) = cmd else { panic!() };
+        assert!(a.degrade_ckpt);
     }
 
     #[test]

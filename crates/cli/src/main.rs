@@ -8,7 +8,8 @@
 //! Bad input never panics the binary: every failure is mapped to a
 //! contexted message on stderr and a stable exit code — 1 for I/O, 2 for
 //! bad arguments or configuration, 3 for parse failures, 4 for dataflow
-//! execution failures, 5 for checkpoint failures, 6 for cancelled runs.
+//! execution failures, 5 for checkpoint failures, 6 for cancelled runs,
+//! 7 for a full disk (ENOSPC on a spill write).
 
 mod args;
 
@@ -18,7 +19,7 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use minoaner_core::{CheckpointSpec, Minoaner, ResolveRequest};
-use minoaner_dataflow::{CheckpointError, DataflowError, MemoryBudget};
+use minoaner_dataflow::{CheckpointError, DataflowError, DegradeOnCkptError, MemoryBudget};
 use minoaner_eval::Quality;
 use minoaner_kb::dirty::DirtyKbBuilder;
 use minoaner_kb::parser::{
@@ -48,6 +49,11 @@ const EXIT_CHECKPOINT: u8 = 5;
 /// shutdown) — deliberate interruption, not a failure, so it gets its own
 /// code: retrying with `--resume` is expected to succeed.
 const EXIT_CANCELLED: u8 = 6;
+/// Exit code for a full disk (ENOSPC/quota exceeded on a spill write) —
+/// distinct from [`EXIT_DATAFLOW`] because the fix is operational (free
+/// space, point `--spill-dir` elsewhere) rather than a bug to report. The
+/// run's scratch directory is cleaned up before exit.
+const EXIT_DISK_FULL: u8 = 7;
 
 /// A CLI failure: a user-facing message plus the exit code class it maps
 /// to. Everything the subcommands can hit is funneled through this type so
@@ -66,6 +72,8 @@ enum CliError {
     Checkpoint(CheckpointError),
     /// The run was cancelled cooperatively (exit 6).
     Cancelled(String),
+    /// A spill write hit ENOSPC or a quota (exit 7).
+    DiskFull(DataflowError),
 }
 
 impl fmt::Display for CliError {
@@ -75,6 +83,9 @@ impl fmt::Display for CliError {
             CliError::Dataflow(e) => write!(f, "dataflow execution failed: {e}"),
             CliError::Checkpoint(e) => write!(f, "checkpointing failed: {e}"),
             CliError::Cancelled(m) => write!(f, "run cancelled: {m}"),
+            CliError::DiskFull(e) => {
+                write!(f, "{e} — free space or point --spill-dir at a roomier volume")
+            }
         }
     }
 }
@@ -88,6 +99,7 @@ impl CliError {
             CliError::Dataflow(_) => ExitCode::from(EXIT_DATAFLOW),
             CliError::Checkpoint(_) => ExitCode::from(EXIT_CHECKPOINT),
             CliError::Cancelled(_) => ExitCode::from(EXIT_CANCELLED),
+            CliError::DiskFull(_) => ExitCode::from(EXIT_DISK_FULL),
         }
     }
 }
@@ -111,6 +123,7 @@ impl From<DataflowError> for CliError {
             cancelled @ DataflowError::Cancelled { .. } => {
                 CliError::Cancelled(cancelled.to_string())
             }
+            full @ DataflowError::DiskFull { .. } => CliError::DiskFull(full),
             other => CliError::Dataflow(other),
         }
     }
@@ -354,8 +367,17 @@ fn resolve(args: &ResolveArgs) -> Result<(), CliError> {
         // so missing parents of --checkpoint-dir are covered too.
         let mut spec = CheckpointSpec::new(ckpt_dir);
         spec.resume = args.resume;
+        if args.degrade_ckpt {
+            spec.on_error = DegradeOnCkptError::Continue;
+        }
         let req = with_budget(ResolveRequest::pair(&pair).checkpoint(&spec), budget.as_ref());
         let (res, trace) = minoaner.run(with_workers(req, args.workers))?.into_traced();
+        if trace.counter("ckpt/degraded") > 0 {
+            eprintln!(
+                "warning: checkpointing degraded mid-run ({} event(s)); output is complete but {ckpt_dir} cannot resume this run",
+                trace.counter("ckpt/degraded"),
+            );
+        }
         if trace.counter("ckpt/resumed_from") > 0 {
             eprintln!(
                 "resumed from checkpoint barrier {} in {ckpt_dir} ({} bytes restored)",
@@ -613,11 +635,15 @@ fn jobs_run(args: &JobsRunArgs) -> Result<JobsOutcome, CliError> {
         let job_name = spec.name.clone();
         let root = args.root.clone();
         let resume = args.resume;
+        let degrade_ckpt = args.degrade_ckpt;
         let job_config = config.clone();
         let submitted = sched.submit(spec, move |ctx| {
             let minoaner = Minoaner::with_config(job_config);
             let mut ckpt = CheckpointSpec::for_job(&root, &ctx.id().to_string());
             ckpt.resume = resume;
+            if degrade_ckpt {
+                ckpt.on_error = DegradeOnCkptError::Continue;
+            }
             // The admission grant travels on the request: the budgeted
             // worker count sizes the executor `run` builds, and the job's
             // cancellation token and deadline are installed on it.

@@ -14,7 +14,8 @@ use minoaner_blocking::purge::{purge_blocks, PurgeReport};
 use minoaner_blocking::token::build_token_blocks_parallel;
 use minoaner_blocking::{NameBlocks, TokenBlocks};
 use minoaner_dataflow::{
-    CheckpointStore, DataflowError, Executor, RunTrace, StageIo, StageLog, TraceCollector,
+    CheckpointStore, DataflowError, DegradeOnCkptError, Executor, RunTrace, StageIo, StageLog,
+    TraceCollector,
 };
 use minoaner_kb::stats::{NameStats, RelationStats};
 use minoaner_kb::{EntityId, KbPair};
@@ -428,20 +429,45 @@ impl Minoaner {
         let start = Instant::now();
         executor.check_cancelled("barrier:start")?;
         let fingerprint = resume::run_fingerprint(&self.config, rules, pair);
-        let store = CheckpointStore::open(spec.dir())?;
+        let degrade = spec.on_error == DegradeOnCkptError::Continue;
+        // Under `Continue`, a store that cannot even open (or restore)
+        // degrades the run to uncheckpointed from the start: `None` here
+        // means every barrier commit below is a no-op.
+        let mut store = match CheckpointStore::open_with(spec.dir(), spec.vfs.clone()) {
+            Ok(store) => Some(store),
+            Err(_) if degrade => {
+                executor.emit_counter("ckpt/degraded", 1);
+                None
+            }
+            Err(e) => return Err(e.into()),
+        };
         let policy = executor.checkpoint_policy().clone();
 
         let mut restored = None;
         if spec.resume {
-            let recovery = executor.time_stage("ckpt/restore", || store.recover_latest(fingerprint))?;
-            executor.emit_counter("ckpt/rejected", recovery.rejected.len() as u64);
-            if let Some(stage) = recovery.stage {
-                executor.emit_counter("ckpt/bytes_restored", stage.total_bytes());
-                executor.emit_counter("ckpt/resumed_from", stage.barrier as u64 + 1);
-                for (name, value) in &stage.counters {
-                    executor.emit_counter(name, *value);
+            if let Some(open_store) = &store {
+                let recovery =
+                    executor.time_stage("ckpt/restore", || open_store.recover_latest(fingerprint));
+                match recovery {
+                    Ok(recovery) => {
+                        executor.emit_counter("ckpt/rejected", recovery.rejected.len() as u64);
+                        if let Some(stage) = recovery.stage {
+                            executor.emit_counter("ckpt/bytes_restored", stage.total_bytes());
+                            executor.emit_counter("ckpt/resumed_from", stage.barrier as u64 + 1);
+                            for (name, value) in &stage.counters {
+                                executor.emit_counter(name, *value);
+                            }
+                            restored = Some(stage);
+                        }
+                    }
+                    Err(_) if degrade => {
+                        // The checkpoint directory is unreadable: recompute
+                        // from scratch and stop trusting the store.
+                        store = None;
+                        executor.emit_counter("ckpt/degraded", 1);
+                    }
+                    Err(e) => return Err(e.into()),
                 }
-                restored = Some(stage);
             }
         }
 
@@ -463,8 +489,9 @@ impl Minoaner {
                     _ => {
                         let blocks = self.prepare_blocks(executor, pair);
                         if policy.should_checkpoint(resume::BARRIER_BLOCKS, "blocks") {
-                            resume::write_barrier(
-                                &store,
+                            resume::commit_barrier(
+                                &mut store,
+                                degrade,
                                 collector,
                                 executor,
                                 fingerprint,
@@ -483,8 +510,9 @@ impl Minoaner {
                 executor.check_cancelled("barrier:blocks")?;
                 let graph = self.build_graph_from_blocks(executor, pair, &blocks);
                 if policy.should_checkpoint(resume::BARRIER_GRAPH, "graph") {
-                    resume::write_barrier(
-                        &store,
+                    resume::commit_barrier(
+                        &mut store,
+                        degrade,
                         collector,
                         executor,
                         fingerprint,
@@ -501,8 +529,9 @@ impl Minoaner {
         let graph_digest = graph.weight_digest();
         let outcome = run_matching(executor, pair, &graph, &self.config, rules);
         if policy.should_checkpoint(resume::BARRIER_MATCHES, "matches") {
-            resume::write_barrier(
-                &store,
+            resume::commit_barrier(
+                &mut store,
+                degrade,
                 collector,
                 executor,
                 fingerprint,

@@ -125,6 +125,12 @@ impl<'a> ResolveRequest<'a> {
     /// `spec.resume` is set — restores the newest valid checkpoint instead
     /// of recomputing the barriers it covers. Checkpointed runs always
     /// carry a trace.
+    ///
+    /// The spec also carries the run's graceful-degradation policy: with
+    /// [`CheckpointSpec::degrade_on_error`], a checkpoint I/O failure
+    /// latches checkpointing off for the rest of the run (observable as
+    /// the `ckpt/degraded` counter in the trace) instead of failing it —
+    /// the output stays bit-identical, the run is merely not resumable.
     pub fn checkpoint(mut self, spec: &'a CheckpointSpec) -> Self {
         self.checkpoint = Some(spec);
         self

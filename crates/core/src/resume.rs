@@ -21,9 +21,10 @@ use std::path::{Path, PathBuf};
 use minoaner_blocking::graph::BlockingGraph;
 use minoaner_blocking::purge::PurgeReport;
 use minoaner_dataflow::checkpoint::fnv1a;
+use minoaner_dataflow::vfs::{self, VfsRef};
 use minoaner_dataflow::{
-    CheckpointError, CheckpointPolicy, CheckpointStore, DataflowError, Executor, RecoveredStage,
-    TraceCollector,
+    CheckpointError, CheckpointPolicy, CheckpointStore, DataflowError, DegradeOnCkptError,
+    Executor, RecoveredStage, TraceCollector,
 };
 use minoaner_kb::{EntityId, KbPair, Side};
 
@@ -51,17 +52,49 @@ pub struct CheckpointSpec {
     pub resume: bool,
     /// Which stage barriers to materialize (default: every barrier).
     pub policy: CheckpointPolicy,
+    /// What a checkpoint I/O failure does to the run (default:
+    /// [`DegradeOnCkptError::Fail`]). Under
+    /// [`DegradeOnCkptError::Continue`] a failed barrier write (or a
+    /// failed restore scan) latches checkpointing off for the rest of the
+    /// run and bumps the `ckpt/degraded` counter; the run's output is
+    /// unaffected — it is merely no longer resumable.
+    pub on_error: DegradeOnCkptError,
+    /// The filesystem checkpoint I/O goes through — the production
+    /// default from [`vfs::default_vfs`] unless the chaos harness
+    /// injects a fault plan via [`Self::with_vfs`].
+    pub vfs: VfsRef,
 }
 
 impl CheckpointSpec {
     /// A spec that checkpoints every barrier under `dir`, without resuming.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
-        Self { dir: dir.into(), resume: false, policy: CheckpointPolicy::EveryN(1) }
+        Self {
+            dir: dir.into(),
+            resume: false,
+            policy: CheckpointPolicy::EveryN(1),
+            on_error: DegradeOnCkptError::Fail,
+            vfs: vfs::default_vfs(),
+        }
     }
 
     /// The same spec with resume enabled.
     pub fn resuming(mut self) -> Self {
         self.resume = true;
+        self
+    }
+
+    /// The same spec with [`DegradeOnCkptError::Continue`]: checkpoint
+    /// I/O failures degrade the run to uncheckpointed instead of
+    /// failing it.
+    pub fn degrade_on_error(mut self) -> Self {
+        self.on_error = DegradeOnCkptError::Continue;
+        self
+    }
+
+    /// The same spec writing through an explicit
+    /// [`Vfs`](minoaner_dataflow::vfs::Vfs).
+    pub fn with_vfs(mut self, vfs: VfsRef) -> Self {
+        self.vfs = vfs;
         self
     }
 
@@ -248,6 +281,35 @@ pub(crate) fn write_barrier(
     #[cfg(feature = "fault-inject")]
     minoaner_dataflow::faultinject::maybe_cancel_after(barrier, executor.cancel_token());
     Ok(())
+}
+
+/// [`write_barrier`] under a degradation policy. With `store` already
+/// latched off (`None`) this is a no-op; otherwise a checkpoint-class
+/// failure under `degrade` latches the store off, bumps `ckpt/degraded`
+/// and lets the run continue, while under the default policy (or for
+/// non-checkpoint errors) the failure propagates.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn commit_barrier(
+    store: &mut Option<CheckpointStore>,
+    degrade: bool,
+    collector: &TraceCollector,
+    executor: &Executor,
+    fingerprint: u64,
+    barrier: usize,
+    name: &str,
+    parts: Vec<(String, Vec<u8>)>,
+) -> Result<(), DataflowError> {
+    let Some(open_store) = store.as_ref() else { return Ok(()) };
+    match write_barrier(open_store, collector, executor, fingerprint, barrier, name, parts) {
+        Ok(()) => Ok(()),
+        Err(DataflowError::Checkpoint(_) | DataflowError::DiskFull { .. }) if degrade => {
+            *store = None;
+            executor.emit_counter("ckpt/degraded", 1);
+            executor.emit_counter("ckpt/degraded_at", barrier as u64 + 1);
+            Ok(())
+        }
+        Err(e) => Err(e),
+    }
 }
 
 #[cfg(test)]

@@ -13,22 +13,40 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use minoaner_det::vfs::{self, VfsRef};
+
 /// A byte budget shared by every stage of one run.
 ///
 /// Cloning is cheap and shares the accounting: the executor, the spill
 /// shuffle and any stage helpers all observe the same `used` counter.
+/// The budget also carries the [`VfsRef`] spill run files are written
+/// through, so fault injection reaches the spill path wherever the budget
+/// travels.
 #[derive(Debug, Clone)]
 pub struct MemoryBudget {
     limit: u64,
     spill_dir: PathBuf,
     used: Arc<AtomicU64>,
+    vfs: VfsRef,
 }
 
 impl MemoryBudget {
     /// A budget of `limit` bytes, spilling to `spill_dir` when exceeded.
     /// The directory is created lazily by the first spill.
     pub fn new(limit: u64, spill_dir: impl Into<PathBuf>) -> Self {
-        Self { limit, spill_dir: spill_dir.into(), used: Arc::new(AtomicU64::new(0)) }
+        Self {
+            limit,
+            spill_dir: spill_dir.into(),
+            used: Arc::new(AtomicU64::new(0)),
+            vfs: vfs::default_vfs(),
+        }
+    }
+
+    /// Replaces the filesystem spills are written through — the chaos
+    /// harness's injection point for the spill path.
+    pub fn with_vfs(mut self, vfs: VfsRef) -> Self {
+        self.vfs = vfs;
+        self
     }
 
     /// The byte ceiling.
@@ -39,6 +57,11 @@ impl MemoryBudget {
     /// Where run files go when a reservation fails.
     pub fn spill_dir(&self) -> &Path {
         &self.spill_dir
+    }
+
+    /// The filesystem spill run files are written through.
+    pub fn vfs(&self) -> &VfsRef {
+        &self.vfs
     }
 
     /// Bytes currently reserved.

@@ -34,9 +34,9 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::fs::{self, File, OpenOptions};
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
+
+use minoaner_det::vfs::{self, Vfs, VfsRef};
 
 /// Version of the checkpoint directory layout and manifest schema.
 ///
@@ -76,6 +76,25 @@ impl CheckpointPolicy {
             CheckpointPolicy::AtStages(stages) => !stages.is_empty(),
         }
     }
+}
+
+/// What a pipeline run does when a checkpoint write (or the store open /
+/// restore scan) fails.
+///
+/// Checkpointing is an availability feature: losing it costs resumability,
+/// not correctness — the determinism contract guarantees an uncheckpointed
+/// rerun produces bit-identical output. `Continue` encodes that tradeoff:
+/// on the first checkpoint I/O failure the run latches checkpointing off,
+/// emits a `ckpt/degraded` counter into the run trace, and finishes
+/// normally. `Fail` (the default) propagates the error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradeOnCkptError {
+    /// Propagate checkpoint failures as run failures (the default).
+    #[default]
+    Fail,
+    /// Degrade to running uncheckpointed; surface `ckpt/degraded` in the
+    /// run trace instead of failing.
+    Continue,
 }
 
 /// A checkpoint subsystem failure. String-typed context keeps the enum
@@ -292,18 +311,26 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 /// A checkpoint directory: writes barriers atomically, recovers the newest
-/// valid one.
+/// valid one. All filesystem traffic flows through the store's [`Vfs`]
+/// handle (lint rule R6), so the chaos harness can fail any operation.
 #[derive(Debug)]
 pub struct CheckpointStore {
     root: PathBuf,
+    vfs: VfsRef,
 }
 
 impl CheckpointStore {
     /// Opens (creating if necessary, including missing parents) the
-    /// checkpoint root directory.
+    /// checkpoint root directory on the real filesystem.
     pub fn open(root: &Path) -> Result<Self, CheckpointError> {
-        fs::create_dir_all(root).map_err(|e| io_err(root, &e))?;
-        Ok(Self { root: root.to_path_buf() })
+        Self::open_with(root, vfs::default_vfs())
+    }
+
+    /// Opens the store against an explicit [`Vfs`] — the seam the chaos
+    /// sweep uses to inject faults into every durable operation.
+    pub fn open_with(root: &Path, vfs: VfsRef) -> Result<Self, CheckpointError> {
+        vfs.create_dir_all(root).map_err(|e| io_err(root, &e))?;
+        Ok(Self { root: root.to_path_buf(), vfs })
     }
 
     /// The root directory this store writes under.
@@ -323,19 +350,39 @@ impl CheckpointStore {
         parts: &[(String, Vec<u8>)],
         counters: &BTreeMap<String, u64>,
     ) -> Result<u64, CheckpointError> {
-        let final_dir = self.root.join(stage_dir_name(barrier, stage));
         let tmp_dir = self.root.join(format!(".tmp-{}", stage_dir_name(barrier, stage)));
-        if tmp_dir.exists() {
-            fs::remove_dir_all(&tmp_dir).map_err(|e| io_err(&tmp_dir, &e))?;
+        let result = self.write_stage_inner(&tmp_dir, barrier, stage, fingerprint, parts, counters);
+        if result.is_err() {
+            // A failed commit must not leak staging scratch: the `.tmp-`
+            // directory is removed best-effort (the original error is what
+            // the caller needs to see, and on e.g. a full disk the removal
+            // is the one operation that still tends to succeed).
+            let _ = self.vfs.remove_dir_all(&tmp_dir);
         }
-        fs::create_dir_all(&tmp_dir).map_err(|e| io_err(&tmp_dir, &e))?;
+        result
+    }
+
+    fn write_stage_inner(
+        &self,
+        tmp_dir: &Path,
+        barrier: usize,
+        stage: &str,
+        fingerprint: u64,
+        parts: &[(String, Vec<u8>)],
+        counters: &BTreeMap<String, u64>,
+    ) -> Result<u64, CheckpointError> {
+        let final_dir = self.root.join(stage_dir_name(barrier, stage));
+        if tmp_dir.exists() {
+            self.vfs.remove_dir_all(tmp_dir).map_err(|e| io_err(tmp_dir, &e))?;
+        }
+        self.vfs.create_dir_all(tmp_dir).map_err(|e| io_err(tmp_dir, &e))?;
 
         let mut entries = Vec::with_capacity(parts.len());
         let mut total = 0u64;
         for (i, (name, bytes)) in parts.iter().enumerate() {
             let file_name = format!("part-{i:03}-{}.bin", sanitize(name));
             let path = tmp_dir.join(&file_name);
-            write_synced(&path, bytes)?;
+            write_synced(&*self.vfs, &path, bytes)?;
             total += bytes.len() as u64;
             entries.push(PartEntry {
                 name: name.clone(),
@@ -360,14 +407,14 @@ impl CheckpointStore {
         };
         let body_text = body.encode();
         let manifest = format!("{:016x}\n{body_text}", fnv1a(body_text.as_bytes()));
-        write_synced(&tmp_dir.join("MANIFEST"), manifest.as_bytes())?;
-        sync_dir(&tmp_dir)?;
+        write_synced(&*self.vfs, &tmp_dir.join("MANIFEST"), manifest.as_bytes())?;
+        sync_dir(&*self.vfs, tmp_dir)?;
 
         if final_dir.exists() {
-            fs::remove_dir_all(&final_dir).map_err(|e| io_err(&final_dir, &e))?;
+            self.vfs.remove_dir_all(&final_dir).map_err(|e| io_err(&final_dir, &e))?;
         }
-        fs::rename(&tmp_dir, &final_dir).map_err(|e| io_err(&final_dir, &e))?;
-        sync_dir(&self.root)?;
+        self.vfs.rename(tmp_dir, &final_dir).map_err(|e| io_err(&final_dir, &e))?;
+        sync_dir(&*self.vfs, &self.root)?;
 
         // Process-level crash point: the barrier is fully committed —
         // resume must pick it up and skip all work before it.
@@ -383,12 +430,12 @@ impl CheckpointStore {
     /// scan falls back to the previous good checkpoint.
     pub fn recover_latest(&self, fingerprint: u64) -> Result<Recovery, CheckpointError> {
         let mut found: Vec<(usize, PathBuf)> = Vec::new();
-        let dir = fs::read_dir(&self.root).map_err(|e| io_err(&self.root, &e))?;
-        for entry in dir {
-            let entry = entry.map_err(|e| io_err(&self.root, &e))?;
-            let name = entry.file_name().to_string_lossy().into_owned();
+        for path in self.vfs.list_dir(&self.root).map_err(|e| io_err(&self.root, &e))? {
+            let Some(name) = path.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+                continue;
+            };
             if let Some(barrier) = parse_stage_dir_name(&name) {
-                found.push((barrier, entry.path()));
+                found.push((barrier, path));
             }
         }
         // Newest barrier first; ties (same barrier, different stage name)
@@ -397,7 +444,7 @@ impl CheckpointStore {
 
         let mut recovery = Recovery::default();
         for (barrier, path) in found {
-            match load_stage(&path, barrier, fingerprint) {
+            match load_stage(&*self.vfs, &path, barrier, fingerprint) {
                 Ok(stage) => {
                     recovery.stage = Some(stage);
                     break;
@@ -437,34 +484,31 @@ fn corrupt(path: &Path, detail: impl Into<String>) -> CheckpointError {
     CheckpointError::Corrupt { path: path.display().to_string(), detail: detail.into() }
 }
 
-/// Writes `bytes` and fsyncs the file before returning. Shared with the
-/// spill-to-disk shuffle ([`crate::spill`]), which reuses the checkpoint
-/// store's durability protocol for its run files.
-pub(crate) fn write_synced(path: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {
-    let mut f = OpenOptions::new()
-        .write(true)
-        .create(true)
-        .truncate(true)
-        .open(path)
-        .map_err(|e| io_err(path, &e))?;
-    f.write_all(bytes).map_err(|e| io_err(path, &e))?;
-    f.sync_all().map_err(|e| io_err(path, &e))?;
-    Ok(())
+/// Writes `bytes` and fsyncs the file before returning, converting I/O
+/// failures into the checkpoint error type.
+pub(crate) fn write_synced(
+    vfs: &dyn Vfs,
+    path: &Path,
+    bytes: &[u8],
+) -> Result<(), CheckpointError> {
+    vfs::write_synced(vfs, path, bytes).map_err(|e| io_err(path, &e))
 }
 
 /// Fsyncs a directory so a committed rename survives power loss.
-pub(crate) fn sync_dir(path: &Path) -> Result<(), CheckpointError> {
-    File::open(path).and_then(|d| d.sync_all()).map_err(|e| io_err(path, &e))
+pub(crate) fn sync_dir(vfs: &dyn Vfs, path: &Path) -> Result<(), CheckpointError> {
+    vfs.sync_dir(path).map_err(|e| io_err(path, &e))
 }
 
 /// Loads and fully validates one committed barrier directory.
 fn load_stage(
+    vfs: &dyn Vfs,
     dir: &Path,
     barrier: usize,
     fingerprint: u64,
 ) -> Result<RecoveredStage, CheckpointError> {
     let manifest_path = dir.join("MANIFEST");
-    let manifest = fs::read_to_string(&manifest_path)
+    let manifest = vfs
+        .read_to_string(&manifest_path)
         .map_err(|e| corrupt(&manifest_path, format!("manifest unreadable: {e}")))?;
     let (hash_line, body_text) = manifest
         .split_once('\n')
@@ -506,7 +550,7 @@ fn load_stage(
     for entry in &body.parts {
         let path = dir.join(&entry.file);
         let bytes =
-            fs::read(&path).map_err(|e| corrupt(&path, format!("part unreadable: {e}")))?;
+            vfs.read(&path).map_err(|e| corrupt(&path, format!("part unreadable: {e}")))?;
         if bytes.len() as u64 != entry.bytes {
             return Err(corrupt(
                 &path,
@@ -528,6 +572,7 @@ fn load_stage(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     /// Unique scratch directory without entropy (R3): pid + counter.
@@ -735,6 +780,38 @@ mod tests {
         assert_eq!(ManifestBody::decode(&text), Ok(body));
         assert!(ManifestBody::decode("version 1\n").is_err(), "missing required records");
         assert!(ManifestBody::decode("bogus record\n").is_err());
+    }
+
+    #[test]
+    fn failed_commit_at_every_op_leaves_no_staging_scratch() {
+        use minoaner_det::vfs::{FaultFs, FaultKind, FaultPlan};
+        // Enumerate the ops of one clean open + write_stage.
+        let root = scratch("chaos-ref");
+        let probe = FaultFs::new(FaultPlan::none());
+        let store = CheckpointStore::open_with(&root, probe.clone()).unwrap();
+        store.write_stage(0, "blocks", 1, &sample_parts(), &counters()).unwrap();
+        let n_ops = probe.op_count();
+        fs::remove_dir_all(&root).unwrap();
+        assert!(n_ops > 5, "expected a multi-op commit protocol, saw {n_ops}");
+
+        // Fail each op in turn (op 0 is the store-open create_dir): the
+        // write must surface a typed error and leave zero `.tmp-` scratch,
+        // and a retry against the real filesystem must then succeed.
+        for k in 1..n_ops {
+            let root = scratch("chaos");
+            let ffs = FaultFs::new(FaultPlan::fail_op(k, FaultKind::Enospc));
+            let store = CheckpointStore::open_with(&root, ffs).unwrap();
+            let err = store.write_stage(0, "blocks", 1, &sample_parts(), &counters());
+            assert!(matches!(err, Err(CheckpointError::Io { .. })), "op {k}: {err:?}");
+            for entry in fs::read_dir(&root).unwrap() {
+                let name = entry.unwrap().file_name().to_string_lossy().into_owned();
+                assert!(!name.starts_with(".tmp-"), "op {k} leaked staging scratch {name}");
+            }
+            let retry = CheckpointStore::open(&root).unwrap();
+            retry.write_stage(0, "blocks", 1, &sample_parts(), &counters()).unwrap();
+            assert_eq!(retry.recover_latest(1).unwrap().stage.unwrap().parts, sample_parts());
+            fs::remove_dir_all(&root).unwrap();
+        }
     }
 
     #[test]

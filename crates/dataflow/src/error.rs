@@ -53,6 +53,20 @@ pub enum DataflowError {
     /// callers (e.g. the CLI's exit-code mapping) can distinguish
     /// checkpoint failures from execution failures.
     Checkpoint(CheckpointError),
+    /// A durable-path write ran out of disk space (ENOSPC / quota).
+    ///
+    /// Raised by the spill-to-disk shuffle when a run file cannot land,
+    /// with the guarantee that the shuffle's scratch directory has been
+    /// removed (its `Drop` guard sweeps the run files even on unwind), so
+    /// the operator can free space and retry without hunting for leaks.
+    DiskFull {
+        /// The stage whose spill hit the full disk (e.g. `graph-gamma`).
+        stage: String,
+        /// The path that could not be written.
+        path: String,
+        /// The rendered OS error.
+        detail: String,
+    },
     /// The run was cancelled cooperatively via a
     /// [`CancelToken`](crate::cancel::CancelToken) — by an explicit
     /// request, a job deadline, or a scheduler shutdown.
@@ -83,6 +97,7 @@ impl DataflowError {
             DataflowError::TaskPanicked { stage, .. } => stage,
             DataflowError::StageTimeout { stage, .. } => stage,
             DataflowError::Checkpoint(_) => "<checkpoint>",
+            DataflowError::DiskFull { stage, .. } => stage,
             DataflowError::Cancelled { stage, .. } => stage,
         }
     }
@@ -140,6 +155,9 @@ impl fmt::Display for DataflowError {
                 "stage {stage:?}: deadline of {deadline:?} exceeded with {completed}/{tasks} tasks complete"
             ),
             DataflowError::Checkpoint(e) => write!(f, "{e}"),
+            DataflowError::DiskFull { stage, path, detail } => {
+                write!(f, "stage {stage:?}: disk full writing {path}: {detail}")
+            }
             DataflowError::Cancelled { stage, reason, completed, tasks } => write!(
                 f,
                 "stage {stage:?}: cancelled ({reason}) with {completed}/{tasks} tasks complete"

@@ -65,13 +65,19 @@ pub mod spill;
 pub mod steal;
 pub mod trace;
 
+/// The virtual-filesystem seam every durable path writes through —
+/// re-exported from `minoaner-det` so `kb` (det-only deps) and `jobs`
+/// (dataflow deps) reach the same types without a dependency cycle.
+pub use minoaner_det::vfs;
+
 pub use broadcast::Broadcast;
 pub use budget::MemoryBudget;
 pub use cancel::{CancelReason, CancelToken};
 pub use checkpoint::{
-    CheckpointError, CheckpointPolicy, CheckpointStore, RecoveredStage, Recovery,
-    CHECKPOINT_SCHEMA_VERSION,
+    CheckpointError, CheckpointPolicy, CheckpointStore, DegradeOnCkptError, RecoveredStage,
+    Recovery, CHECKPOINT_SCHEMA_VERSION,
 };
+pub use minoaner_det::vfs::{FaultFs, FaultKind, FaultPlan, RealFs, Vfs, VfsRef};
 pub use error::DataflowError;
 pub use metrics::{StageIo, StageLog, StageMetric};
 pub use observer::{Observer, ObserverSlot, TraceCollector};

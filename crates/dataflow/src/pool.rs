@@ -231,6 +231,11 @@ struct TaskCounters {
 enum TaskOutcome<T> {
     Ok(T),
     Failed { payload: String, attempts: u32 },
+    /// The task raised a structured engine error via
+    /// `panic_any(DataflowError)` (spill/checkpoint IO helpers inside
+    /// infallible operator closures). Carried through typed so the
+    /// stage surfaces it as-is instead of a stringified TaskPanicked.
+    Raised { error: DataflowError },
 }
 
 /// Runs dataflow stages on a fixed number of workers, recording per-stage
@@ -568,6 +573,17 @@ impl Executor {
                 match std::panic::catch_unwind(AssertUnwindSafe(|| task(i))) {
                     Ok(value) => return (Some(TaskOutcome::Ok(value)), attempt),
                     Err(payload) => {
+                        // A `panic_any(DataflowError)` payload is a
+                        // structured engine failure (full disk, torn
+                        // checkpoint), not a flaky task: retrying cannot
+                        // help and would re-run side-effecting IO, so it
+                        // is terminal on the first attempt and kept typed.
+                        let payload = match payload.downcast::<DataflowError>() {
+                            Ok(error) => {
+                                return (Some(TaskOutcome::Raised { error: *error }), attempt);
+                            }
+                            Err(other) => other,
+                        };
                         if attempt > policy.max_retries {
                             let payload = DataflowError::panic_message(payload.as_ref());
                             return (
@@ -668,7 +684,8 @@ impl Executor {
                     }
                     break;
                 };
-                let failed = matches!(outcome, TaskOutcome::Failed { .. });
+                let failed =
+                    matches!(outcome, TaskOutcome::Failed { .. } | TaskOutcome::Raised { .. });
                 *slots[i].lock() = Some(outcome);
                 if failed && policy.on_task_failure == FailureAction::Fail {
                     fatal.store(true, Ordering::SeqCst);
@@ -701,14 +718,20 @@ impl Executor {
             // Report the lowest-indexed failed task for determinism.
             for (i, slot) in slots.iter().enumerate() {
                 let guard = slot.lock();
-                if let Some(TaskOutcome::Failed { payload, attempts }) = guard.as_ref() {
-                    let err = DataflowError::TaskPanicked {
-                        stage: stage.to_owned(),
-                        task: i,
-                        attempts: *attempts,
-                        payload: payload.clone(),
-                    };
-                    return (Err(err), counters);
+                match guard.as_ref() {
+                    Some(TaskOutcome::Failed { payload, attempts }) => {
+                        let err = DataflowError::TaskPanicked {
+                            stage: stage.to_owned(),
+                            task: i,
+                            attempts: *attempts,
+                            payload: payload.clone(),
+                        };
+                        return (Err(err), counters);
+                    }
+                    Some(TaskOutcome::Raised { error }) => {
+                        return (Err(error.clone()), counters);
+                    }
+                    _ => {}
                 }
             }
             unreachable!("fatal flag set without a failed slot");
@@ -758,7 +781,7 @@ impl Executor {
         for slot in slots {
             match slot.into_inner() {
                 Some(TaskOutcome::Ok(value)) => results.push(Some(value)),
-                Some(TaskOutcome::Failed { .. }) => {
+                Some(TaskOutcome::Failed { .. }) | Some(TaskOutcome::Raised { .. }) => {
                     counters.skipped += 1;
                     results.push(None);
                 }

@@ -26,14 +26,16 @@
 //! codec guarantees exact round-trips of every bit, which the
 //! `weight_digest` equality acceptance test depends on.
 
-use std::fs;
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
+use minoaner_det::vfs;
+
 use crate::budget::MemoryBudget;
 use crate::checkpoint::{self, CheckpointError};
+use crate::error::DataflowError;
 use crate::pool::Executor;
 
 /// Counter name: run files written by spilling shuffles.
@@ -126,14 +128,23 @@ struct BucketMeta {
 static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// A budget-aware shuffle accumulator (see the module docs).
+///
+/// All filesystem traffic flows through the budget's [`vfs::Vfs`] handle
+/// (lint rule R6); a write that hits a full disk surfaces as the typed
+/// [`DataflowError::DiskFull`]. The spill directory is scratch with a hard
+/// cleanup guarantee: [`SpillShuffle::finish`] removes it on success, and
+/// the `Drop` guard removes it on every error/unwind path, so a failed run
+/// never leaks run files.
 pub struct SpillShuffle<T> {
     partitions: usize,
+    tag: String,
     budget: MemoryBudget,
     dir: PathBuf,
     runs: Mutex<Vec<(usize, Run<T>)>>,
     runs_written: AtomicU64,
     bytes_written: AtomicU64,
     records_spilled: AtomicU64,
+    cleaned: AtomicBool,
 }
 
 impl<T: Spillable> SpillShuffle<T> {
@@ -150,12 +161,32 @@ impl<T: Spillable> SpillShuffle<T> {
         ));
         Self {
             partitions,
+            tag,
             budget,
             dir,
             runs: Mutex::new(Vec::new()),
             runs_written: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
             records_spilled: AtomicU64::new(0),
+            cleaned: AtomicBool::new(false),
+        }
+    }
+
+    /// Wraps a filesystem failure: a full disk becomes the typed
+    /// [`DataflowError::DiskFull`] (the caller-facing contract for spill
+    /// ENOSPC), anything else the checkpoint I/O error.
+    fn fs_err(&self, path: &Path, e: &std::io::Error) -> DataflowError {
+        if vfs::is_disk_full(e) {
+            DataflowError::DiskFull {
+                stage: self.tag.clone(),
+                path: path.display().to_string(),
+                detail: e.to_string(),
+            }
+        } else {
+            DataflowError::Checkpoint(CheckpointError::Io {
+                path: path.display().to_string(),
+                detail: e.to_string(),
+            })
         }
     }
 
@@ -168,7 +199,7 @@ impl<T: Spillable> SpillShuffle<T> {
     /// concurrently; reads sort by `map_task`, so the outcome is
     /// independent of arrival order. When the memory budget cannot cover
     /// the run's estimated footprint, the run is written to disk.
-    pub fn add_run(&self, map_task: usize, buckets: Vec<Vec<T>>) -> Result<(), CheckpointError> {
+    pub fn add_run(&self, map_task: usize, buckets: Vec<Vec<T>>) -> Result<(), DataflowError> {
         assert_eq!(buckets.len(), self.partitions, "one bucket per reduce partition");
         let records: u64 = buckets.iter().map(|b| b.len() as u64).sum();
         let estimate = records * std::mem::size_of::<T>() as u64;
@@ -193,11 +224,9 @@ impl<T: Spillable> SpillShuffle<T> {
         &self,
         map_task: usize,
         buckets: &[Vec<T>],
-    ) -> Result<(PathBuf, Vec<BucketMeta>, u64), CheckpointError> {
-        fs::create_dir_all(&self.dir).map_err(|e| CheckpointError::Io {
-            path: self.dir.display().to_string(),
-            detail: e.to_string(),
-        })?;
+    ) -> Result<(PathBuf, Vec<BucketMeta>, u64), DataflowError> {
+        let disk = self.budget.vfs().clone();
+        disk.create_dir_all(&self.dir).map_err(|e| self.fs_err(&self.dir, &e))?;
         let mut payload = Vec::new();
         let mut table = Vec::with_capacity(buckets.len());
         for bucket in buckets {
@@ -215,45 +244,46 @@ impl<T: Spillable> SpillShuffle<T> {
         }
         let path = self.dir.join(format!("run-{map_task}.spill"));
         let tmp = self.dir.join(format!(".tmp-run-{map_task}.spill"));
-        checkpoint::write_synced(&tmp, &payload)?;
-        fs::rename(&tmp, &path).map_err(|e| CheckpointError::Io {
-            path: path.display().to_string(),
-            detail: e.to_string(),
-        })?;
-        checkpoint::sync_dir(&self.dir)?;
+        let committed = vfs::write_synced(&*disk, &tmp, &payload)
+            .map_err(|e| self.fs_err(&tmp, &e))
+            .and_then(|()| disk.rename(&tmp, &path).map_err(|e| self.fs_err(&path, &e)))
+            .and_then(|()| disk.sync_dir(&self.dir).map_err(|e| self.fs_err(&self.dir, &e)));
+        if let Err(e) = committed {
+            // The Drop guard removes the whole spill dir on unwind, but a
+            // caller may also tolerate the error and keep the shuffle
+            // alive — never leave a torn `.tmp-` behind either way.
+            let _ = disk.remove_file(&tmp);
+            return Err(e);
+        }
         Ok((path, table, payload.len() as u64))
     }
 
     /// Loads one bucket of one run back, validating its checksum. A
     /// mismatch (bit rot, torn write that survived the rename) fails
     /// closed as [`CheckpointError::Corrupt`].
-    fn read_bucket(path: &PathBuf, meta: &BucketMeta) -> Result<Vec<T>, CheckpointError> {
-        let bytes = fs::read(path).map_err(|e| CheckpointError::Io {
-            path: path.display().to_string(),
-            detail: e.to_string(),
-        })?;
+    fn read_bucket(&self, path: &PathBuf, meta: &BucketMeta) -> Result<Vec<T>, DataflowError> {
+        let bytes =
+            self.budget.vfs().read(path).map_err(|e| self.fs_err(path, &e))?;
         let (lo, hi) = (meta.offset as usize, (meta.offset + meta.len) as usize);
-        let slice = bytes.get(lo..hi).ok_or_else(|| CheckpointError::Corrupt {
-            path: path.display().to_string(),
-            detail: format!("bucket range {lo}..{hi} out of bounds ({} bytes)", bytes.len()),
-        })?;
+        let slice = bytes.get(lo..hi).ok_or_else(|| spill_corrupt(
+            path,
+            format!("bucket range {lo}..{hi} out of bounds ({} bytes)", bytes.len()),
+        ))?;
         let actual = checkpoint::fnv1a(slice);
         if actual != meta.fnv {
-            return Err(CheckpointError::Corrupt {
-                path: path.display().to_string(),
-                detail: format!(
+            return Err(spill_corrupt(
+                path,
+                format!(
                     "bucket checksum mismatch (recorded {:016x}, actual {actual:016x})",
                     meta.fnv
                 ),
-            });
+            ));
         }
         let mut out = Vec::with_capacity(meta.records as usize);
         let mut pos = 0usize;
         for _ in 0..meta.records {
-            let record = T::decode(slice, &mut pos).ok_or_else(|| CheckpointError::Corrupt {
-                path: path.display().to_string(),
-                detail: "bucket truncated mid-record".to_owned(),
-            })?;
+            let record = T::decode(slice, &mut pos)
+                .ok_or_else(|| spill_corrupt(path, "bucket truncated mid-record".to_owned()))?;
             out.push(record);
         }
         Ok(out)
@@ -262,7 +292,7 @@ impl<T: Spillable> SpillShuffle<T> {
     /// Collects partition `p`'s bucket from every run, in ascending map
     /// task order. Consumes memory buckets (releasing their share of the
     /// budget) and re-reads disk buckets with checksum validation.
-    fn take_partition_buckets(&self, p: usize) -> Result<Vec<Vec<T>>, CheckpointError> {
+    fn take_partition_buckets(&self, p: usize) -> Result<Vec<Vec<T>>, DataflowError> {
         assert!(p < self.partitions, "partition out of range");
         let mut runs = self.runs.lock();
         runs.sort_by_key(|&(task, _)| task);
@@ -277,7 +307,7 @@ impl<T: Spillable> SpillShuffle<T> {
                     self.budget.release(share);
                     out.push(bucket);
                 }
-                Run::Disk { path, table } => out.push(Self::read_bucket(path, &table[p])?),
+                Run::Disk { path, table } => out.push(self.read_bucket(path, &table[p])?),
             }
         }
         Ok(out)
@@ -292,7 +322,7 @@ impl<T: Spillable> SpillShuffle<T> {
         &self,
         p: usize,
         key: impl Fn(&T) -> K,
-    ) -> Result<Vec<T>, CheckpointError> {
+    ) -> Result<Vec<T>, DataflowError> {
         let buckets = self.take_partition_buckets(p)?;
         let total: usize = buckets.iter().map(Vec::len).sum();
         let mut iters: Vec<std::vec::IntoIter<T>> =
@@ -327,7 +357,7 @@ impl<T: Spillable> SpillShuffle<T> {
     /// Reduce-side read with plain shuffle semantics: concatenates
     /// partition `p`'s buckets in map task order (what an in-memory
     /// transpose produces).
-    pub fn concat_partition(&self, p: usize) -> Result<Vec<T>, CheckpointError> {
+    pub fn concat_partition(&self, p: usize) -> Result<Vec<T>, DataflowError> {
         let buckets = self.take_partition_buckets(p)?;
         let total: usize = buckets.iter().map(Vec::len).sum();
         let mut out = Vec::with_capacity(total);
@@ -367,19 +397,44 @@ impl<T: Spillable> SpillShuffle<T> {
         }
         if spilled {
             executor.time_stage("spill/cleanup", || {
-                fs::remove_dir_all(&self.dir).ok();
+                self.budget.vfs().remove_dir_all(&self.dir).ok();
             });
         }
+        self.cleaned.store(true, Ordering::Relaxed);
         executor.emit_counter(SPILL_RUNS_COUNTER, self.runs_written());
         executor.emit_counter(SPILL_BYTES_COUNTER, self.bytes_written());
         executor.emit_counter(SPILL_RECORDS_COUNTER, self.records_spilled());
     }
 }
 
+impl<T> Drop for SpillShuffle<T> {
+    /// Guaranteed scratch cleanup: whether the stage finished, errored, or
+    /// unwound mid-merge, the spill directory never outlives the shuffle.
+    /// [`SpillShuffle::finish`] already handled the success path; this
+    /// guard sweeps the error paths (best-effort — on a still-broken disk
+    /// there is nothing more to do than try).
+    fn drop(&mut self) {
+        if !self.cleaned.load(Ordering::Relaxed) && self.dir.exists() {
+            let _ = self.budget.vfs().remove_dir_all(&self.dir);
+        }
+    }
+}
+
+/// A spill-file validation failure (bit rot, torn write): fails closed as
+/// a checkpoint corruption error.
+fn spill_corrupt(path: &Path, detail: String) -> DataflowError {
+    DataflowError::Checkpoint(CheckpointError::Corrupt {
+        path: path.display().to_string(),
+        detail,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::observer::TraceCollector;
+    use minoaner_det::vfs::{FaultFs, FaultKind, FaultPlan, OpClass};
+    use std::fs;
     use std::sync::Arc;
 
     fn tmp_budget(limit: u64, tag: &str) -> MemoryBudget {
@@ -467,7 +522,55 @@ mod tests {
         bytes[0] ^= 0x40;
         fs::write(&run_path, &bytes).expect("rewrite run file");
         let err = shuffle.concat_partition(0).expect_err("must fail closed");
-        assert!(matches!(err, CheckpointError::Corrupt { .. }), "got {err:?}");
+        assert!(
+            matches!(err, DataflowError::Checkpoint(CheckpointError::Corrupt { .. })),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn enospc_during_spill_surfaces_typed_disk_full_and_drop_cleans_scratch() {
+        // Op 0 is the spill-dir create, op 1 the run payload write: fail
+        // the write with ENOSPC.
+        let ffs = FaultFs::new(FaultPlan::fail_op(1, FaultKind::Enospc));
+        let budget = tmp_budget(0, "enospc").with_vfs(ffs);
+        let shuffle: SpillShuffle<u64> = SpillShuffle::new("gamma", 1, budget);
+        let dir = shuffle.dir.clone();
+        let err = shuffle.add_run(0, vec![vec![1, 2, 3]]).expect_err("disk is full");
+        assert!(matches!(err, DataflowError::DiskFull { .. }), "got {err:?}");
+        drop(shuffle);
+        assert!(!dir.exists(), "Drop guard must remove the spill scratch dir");
+    }
+
+    #[test]
+    fn merge_phase_read_failure_leaves_no_orphaned_run_files() {
+        // Probe run: find the op index of the first merge-phase read.
+        let probe = FaultFs::new(FaultPlan::none());
+        let shuffle: SpillShuffle<(u32, u32)> =
+            SpillShuffle::new("test", 1, tmp_budget(0, "mergeprobe").with_vfs(probe.clone()));
+        shuffle.add_run(0, vec![vec![(1, 2)]]).expect("add");
+        shuffle.add_run(1, vec![vec![(3, 4)]]).expect("add");
+        shuffle.merge_partition(0, |t| t.0).expect("clean merge");
+        let read_op = probe
+            .ops()
+            .iter()
+            .find(|r| r.class == OpClass::Read)
+            .map(|r| r.index)
+            .expect("merge must read spilled runs");
+        drop(shuffle);
+
+        // Real run: fail that read with EIO mid-merge.
+        let ffs = FaultFs::new(FaultPlan::fail_op(read_op, FaultKind::Eio));
+        let shuffle: SpillShuffle<(u32, u32)> =
+            SpillShuffle::new("test", 1, tmp_budget(0, "mergefail").with_vfs(ffs));
+        let dir = shuffle.dir.clone();
+        shuffle.add_run(0, vec![vec![(1, 2)]]).expect("add");
+        shuffle.add_run(1, vec![vec![(3, 4)]]).expect("add");
+        assert!(dir.exists(), "runs spilled to disk");
+        let err = shuffle.merge_partition(0, |t| t.0).expect_err("read fails");
+        assert!(matches!(err, DataflowError::Checkpoint(CheckpointError::Io { .. })), "{err:?}");
+        drop(shuffle);
+        assert!(!dir.exists(), "no orphaned run files after a merge-phase failure");
     }
 
     #[test]

@@ -26,6 +26,8 @@
 // blanket R1 entry for this file in lint-allow.toml.
 #![allow(clippy::disallowed_types)]
 
+pub mod vfs;
+
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hash, Hasher};

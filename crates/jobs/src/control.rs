@@ -17,10 +17,10 @@
 //! serialization dependencies (and exactly as strict as the schema).
 
 use std::fmt;
-use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use minoaner_dataflow::vfs::{self, Vfs};
 use minoaner_dataflow::CancelReason;
 
 use crate::job::{JobId, JobState, JobStatus, Priority};
@@ -70,18 +70,43 @@ impl From<io::Error> for ControlError {
 /// Atomically writes `status` into its job directory under `root`,
 /// creating the directory if needed.
 pub fn write_status(root: &Path, status: &JobStatus) -> io::Result<()> {
+    write_status_with(&*vfs::default_vfs(), root, status)
+}
+
+/// [`write_status`] through an explicit [`Vfs`] — the chaos harness's
+/// injection point.
+///
+/// Follows the workspace's full atomic-commit protocol: the snapshot is
+/// written to a `.tmp-` sibling, fsynced, renamed over `status.json`, and
+/// the directory is fsynced so the rename survives a crash. On any failure
+/// the temporary is removed best-effort, so a failed transition never
+/// leaks scratch into the job directory (`list_statuses` would skip it
+/// anyway — recovery scanners ignore `.tmp-` names — but the leak-scan in
+/// the chaos sweep holds every durable path to the stronger contract).
+pub fn write_status_with(vfs: &dyn Vfs, root: &Path, status: &JobStatus) -> io::Result<()> {
     let dir = job_dir(root, status.id);
-    fs::create_dir_all(&dir)?;
+    vfs.create_dir_all(&dir)?;
     let json = status_to_json(status);
-    let tmp = dir.join(".status.json.tmp");
-    fs::write(&tmp, json.as_bytes())?;
-    fs::rename(&tmp, dir.join("status.json"))
+    let tmp = dir.join(".tmp-status.json");
+    let committed = vfs::write_synced(vfs, &tmp, json.as_bytes())
+        .and_then(|()| vfs.rename(&tmp, &dir.join("status.json")))
+        .and_then(|()| vfs.sync_dir(&dir));
+    if let Err(e) = committed {
+        let _ = vfs.remove_file(&tmp);
+        return Err(e);
+    }
+    Ok(())
 }
 
 /// Reads the status snapshot from a job directory.
 pub fn read_status(dir: &Path) -> Result<JobStatus, ControlError> {
+    read_status_with(&*vfs::default_vfs(), dir)
+}
+
+/// [`read_status`] through an explicit [`Vfs`].
+pub fn read_status_with(vfs: &dyn Vfs, dir: &Path) -> Result<JobStatus, ControlError> {
     let path = dir.join("status.json");
-    let json = fs::read_to_string(&path)?;
+    let json = vfs.read_to_string(&path)?;
     status_from_json(&json).map_err(|detail| ControlError::Malformed { path, detail })
 }
 
@@ -90,20 +115,27 @@ pub fn read_status(dir: &Path) -> Result<JobStatus, ControlError> {
 /// status file is torn mid-create) are skipped rather than failing the
 /// whole listing.
 pub fn list_statuses(root: &Path) -> io::Result<Vec<JobStatus>> {
-    let entries = match fs::read_dir(root) {
+    list_statuses_with(&*vfs::default_vfs(), root)
+}
+
+/// [`list_statuses`] through an explicit [`Vfs`].
+pub fn list_statuses_with(vfs: &dyn Vfs, root: &Path) -> io::Result<Vec<JobStatus>> {
+    let entries = match vfs.list_dir(root) {
         Ok(entries) => entries,
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
         Err(e) => return Err(e),
     };
     let mut statuses = Vec::new();
-    for entry in entries {
-        let entry = entry?;
-        let name = entry.file_name();
-        let Some(id) = name.to_str().and_then(|n| n.strip_prefix("job-")).and_then(JobId::parse)
+    for path in entries {
+        let Some(id) = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .and_then(|n| n.strip_prefix("job-"))
+            .and_then(JobId::parse)
         else {
             continue;
         };
-        if let Ok(status) = read_status(&entry.path()) {
+        if let Ok(status) = read_status_with(vfs, &path) {
             if status.id == id {
                 statuses.push(status);
             }
@@ -118,11 +150,22 @@ pub fn list_statuses(root: &Path) -> io::Result<Vec<JobStatus>> {
 /// [`poll_control`](crate::JobScheduler::poll_control). Returns `false`
 /// (writing nothing) when the job directory does not exist.
 pub fn request_cancel(root: &Path, id: JobId, reason: CancelReason) -> io::Result<bool> {
+    request_cancel_with(&*vfs::default_vfs(), root, id, reason)
+}
+
+/// [`request_cancel`] through an explicit [`Vfs`]. The marker is advisory
+/// (re-droppable at will), so it is a plain write with no fsync.
+pub fn request_cancel_with(
+    vfs: &dyn Vfs,
+    root: &Path,
+    id: JobId,
+    reason: CancelReason,
+) -> io::Result<bool> {
     let dir = job_dir(root, id);
     if !dir.is_dir() {
         return Ok(false);
     }
-    fs::write(dir.join("CANCEL"), reason.as_str().as_bytes())?;
+    vfs.write_file(&dir.join("CANCEL"), reason.as_str().as_bytes())?;
     Ok(true)
 }
 
@@ -131,7 +174,12 @@ pub fn request_cancel(root: &Path, id: JobId, reason: CancelReason) -> io::Resul
 /// [`CancelReason::User`] — a cancel request must never be dropped on a
 /// parse error.
 pub fn cancel_request(dir: &Path) -> Option<CancelReason> {
-    let raw = fs::read_to_string(dir.join("CANCEL")).ok()?;
+    cancel_request_with(&*vfs::default_vfs(), dir)
+}
+
+/// [`cancel_request`] through an explicit [`Vfs`].
+pub fn cancel_request_with(vfs: &dyn Vfs, dir: &Path) -> Option<CancelReason> {
+    let raw = vfs.read_to_string(&dir.join("CANCEL")).ok()?;
     Some(CancelReason::parse(raw.trim()).unwrap_or(CancelReason::User))
 }
 
@@ -415,6 +463,9 @@ impl Cursor<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
+
+    use minoaner_dataflow::vfs::{FaultFs, FaultKind, FaultPlan};
 
     fn sample(id: u64, state: JobState) -> JobStatus {
         JobStatus {
@@ -467,6 +518,49 @@ mod tests {
         assert_eq!(read, a);
         let listed = list_statuses(&root).expect("list");
         assert_eq!(listed, vec![a.clone(), b.clone()], "ascending by id, junk skipped");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn failed_status_write_at_every_op_leaks_nothing_and_keeps_the_old_snapshot() {
+        let root = std::env::temp_dir().join(format!("minoaner-jobs-chaos-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        let old = sample(3, JobState::Running);
+        write_status(&root, &old).expect("seed old snapshot");
+        let new = JobStatus { state: JobState::Completed, ..old.clone() };
+
+        // Probe run: enumerate the ops one status transition performs.
+        let probe = FaultFs::new(FaultPlan::none());
+        write_status_with(&*probe, &root, &new).expect("probe transition");
+        let n_ops = probe.op_count();
+        assert!(n_ops >= 5, "create_dir + write + sync + rename + sync_dir, got {n_ops}");
+        write_status(&root, &old).expect("reset to old snapshot");
+
+        let dir = job_dir(&root, old.id);
+        for k in 0..n_ops {
+            for kind in FaultKind::ALL {
+                let faulty = FaultFs::new(FaultPlan::fail_op(k, kind));
+                let result = write_status_with(&*faulty, &root, &new);
+                assert!(result.is_err(), "op {k} fault {kind:?} must surface");
+                // No scratch: nothing but status.json (and the CANCEL-free
+                // job layout) may remain.
+                for entry in fs::read_dir(&dir).expect("scan job dir") {
+                    let name = entry.expect("entry").file_name();
+                    let name = name.to_string_lossy().into_owned();
+                    assert!(
+                        !name.starts_with(".tmp-"),
+                        "op {k} fault {kind:?} leaked scratch {name}"
+                    );
+                }
+                // A reader still sees a coherent snapshot — old or new,
+                // never torn (rename is atomic; the tmp was fsynced).
+                let seen = read_status(&dir).expect("snapshot stays readable");
+                assert!(seen == old || seen == new, "torn snapshot: {seen:?}");
+                // Retry on a healed filesystem lands the transition.
+                write_status(&root, &new).expect("retry succeeds");
+                write_status(&root, &old).expect("reset for next k");
+            }
+        }
         let _ = fs::remove_dir_all(&root);
     }
 

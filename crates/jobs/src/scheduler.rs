@@ -22,11 +22,13 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 
 use parking_lot::{Condvar, Mutex};
 
+use minoaner_dataflow::vfs::{self, VfsRef};
 use minoaner_dataflow::{CancelReason, CancelToken, DataflowError, Deadline};
 
 use crate::budget::ResourceBudget;
@@ -70,6 +72,15 @@ struct SchedState {
 struct SchedInner {
     budget: ResourceBudget,
     root: Option<PathBuf>,
+    /// The filesystem the control plane writes through — [`RealFs`]
+    /// (via [`vfs::default_vfs`]) in production, a
+    /// [`FaultFs`](minoaner_dataflow::vfs::FaultFs) under the chaos sweep.
+    vfs: VfsRef,
+    /// How many status-file writes have failed. This is the graceful
+    /// degradation policy for the control plane made observable: a
+    /// status-write failure must never kill a healthy job, so failures
+    /// are counted here (and the job carries on) instead of propagating.
+    status_write_failures: AtomicU64,
     state: Mutex<SchedState>,
     /// Signalled on every terminal transition (and on dispatch), so
     /// `wait`/`wait_all` can block instead of polling.
@@ -78,10 +89,14 @@ struct SchedInner {
 
 impl SchedInner {
     /// Best-effort status persistence: control-plane visibility must not
-    /// fail the job, so I/O errors are swallowed here.
+    /// fail the job, so I/O errors are swallowed here — but counted, so
+    /// operators (and the chaos harness) can tell a silent control plane
+    /// from a healthy one.
     fn persist(&self, status: &JobStatus) {
         if let Some(root) = &self.root {
-            let _ = control::write_status(root, status);
+            if control::write_status_with(&*self.vfs, root, status).is_err() {
+                self.status_write_failures.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -96,25 +111,46 @@ impl JobScheduler {
     /// A scheduler over `budget` with no control root: pure in-process
     /// orchestration, no status files.
     pub fn new(budget: ResourceBudget) -> Self {
-        Self::build(budget, None)
+        Self::build(budget, None, vfs::default_vfs())
     }
 
     /// A scheduler that mirrors every job-state transition into
     /// `root/job-<id>/status.json` and honours `CANCEL` markers on
     /// [`poll_control`](Self::poll_control).
     pub fn with_control_root(budget: ResourceBudget, root: impl Into<PathBuf>) -> Self {
-        Self::build(budget, Some(root.into()))
+        Self::build(budget, Some(root.into()), vfs::default_vfs())
     }
 
-    fn build(budget: ResourceBudget, root: Option<PathBuf>) -> Self {
+    /// [`with_control_root`](Self::with_control_root) over an explicit
+    /// [`Vfs`](minoaner_dataflow::vfs::Vfs) — the chaos harness's
+    /// injection point for control-plane writes.
+    pub fn with_control_root_vfs(
+        budget: ResourceBudget,
+        root: impl Into<PathBuf>,
+        vfs: VfsRef,
+    ) -> Self {
+        Self::build(budget, Some(root.into()), vfs)
+    }
+
+    fn build(budget: ResourceBudget, root: Option<PathBuf>, vfs: VfsRef) -> Self {
         Self {
             inner: Arc::new(SchedInner {
                 budget,
                 root,
+                vfs,
+                status_write_failures: AtomicU64::new(0),
                 state: Mutex::new(SchedState::default()),
                 terminal: Condvar::new(),
             }),
         }
+    }
+
+    /// How many control-plane status writes have failed so far. Always
+    /// zero without a control root; under a faulted filesystem this counts
+    /// the transitions that went unrecorded while the jobs themselves
+    /// carried on.
+    pub fn status_write_failures(&self) -> u64 {
+        self.inner.status_write_failures.load(Ordering::Relaxed)
     }
 
     /// The budget this scheduler admits against.
@@ -297,7 +333,9 @@ impl JobScheduler {
         };
         let mut applied = 0;
         for id in live {
-            if let Some(reason) = control::cancel_request(&control::job_dir(&root, id)) {
+            if let Some(reason) =
+                control::cancel_request_with(&*self.inner.vfs, &control::job_dir(&root, id))
+            {
                 if self.cancel(id, reason) {
                     applied += 1;
                 }
@@ -748,6 +786,34 @@ mod tests {
         assert_eq!(on_disk.cancel_reason, Some(CancelReason::User));
         sched.wait_all();
         assert_eq!(sched.poll_control(), 0, "terminal jobs ignore markers");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn status_write_failures_never_kill_a_healthy_job() {
+        use minoaner_dataflow::vfs::{FaultFs, FaultKind, FaultPlan};
+        let root =
+            std::env::temp_dir().join(format!("minoaner-jobs-degraded-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        // Every control-plane operation fails: the disk under the control
+        // root is gone for the whole run.
+        let faulty = FaultFs::new(FaultPlan::fail_from(0, FaultKind::Eio));
+        let sched =
+            JobScheduler::with_control_root_vfs(ResourceBudget::new(2, 0), &root, faulty.clone());
+        let id = sched
+            .submit(JobSpec::new("healthy"), |_| Ok(JobOutput::summary("12 matches")))
+            .expect("admit despite dead control plane");
+        let status = sched.wait(id).expect("known job");
+        assert_eq!(status.state, JobState::Completed, "job survives: {status:?}");
+        assert_eq!(status.summary.as_deref(), Some("12 matches"));
+        sched.wait_all();
+        // The degradation is observable, not silent.
+        assert!(
+            sched.status_write_failures() >= 2,
+            "queued + running + completed transitions all failed, got {}",
+            sched.status_write_failures()
+        );
+        assert!(!faulty.fired().is_empty(), "the fault plan actually fired");
         let _ = std::fs::remove_dir_all(&root);
     }
 }

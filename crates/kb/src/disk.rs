@@ -35,10 +35,11 @@
 //! silently wrong KB.
 
 use std::fmt;
-use std::fs::{self, File, OpenOptions};
-use std::io::Write as _;
+use std::fs::File;
 use std::ops::Range;
 use std::path::{Path, PathBuf};
+
+use minoaner_det::vfs::{self, Vfs};
 
 use crate::interner::{Interner, Symbol};
 use crate::model::{AttrId, Entity, EntityId, LiteralId, Side, TokenId, Value};
@@ -318,6 +319,14 @@ fn pairs_section(kb: &Kb) -> Result<Vec<u8>, MkbError> {
 /// target, and the directory is fsynced — the same commit protocol as the
 /// dataflow checkpoint store. Returns the file's total size in bytes.
 pub fn write_mkb(pair: &KbPair, path: &Path) -> Result<u64, MkbError> {
+    write_mkb_with(pair, path, &*vfs::default_vfs())
+}
+
+/// [`write_mkb`] against an explicit [`Vfs`] — the chaos harness's
+/// injection seam for the compile path. A failed commit removes the
+/// `.tmp-` sibling (best-effort) so a full disk never leaks scratch, and
+/// a pre-existing `.mkb` at `path` is left untouched until the rename.
+pub fn write_mkb_with(pair: &KbPair, path: &Path, vfs: &dyn Vfs) -> Result<u64, MkbError> {
     let left = pair.kb(Side::Left);
     let right = pair.kb(Side::Right);
     let literal_rows: Vec<&[TokenId]> =
@@ -380,20 +389,18 @@ pub fn write_mkb(pair: &KbPair, path: &Path) -> Result<u64, MkbError> {
         return Err(io_err(path, &std::io::Error::other("mkb path has no file name")));
     }
     let tmp = path.with_file_name(format!(".tmp-{file_name}"));
-    let mut f = OpenOptions::new()
-        .write(true)
-        .create(true)
-        .truncate(true)
-        .open(&tmp)
-        .map_err(|e| io_err(&tmp, &e))?;
-    f.write_all(&out).map_err(|e| io_err(&tmp, &e))?;
-    f.sync_all().map_err(|e| io_err(&tmp, &e))?;
-    drop(f);
-    fs::rename(&tmp, path).map_err(|e| io_err(path, &e))?;
-    if let Some(parent) = path.parent() {
-        if !parent.as_os_str().is_empty() {
-            File::open(parent).and_then(|d| d.sync_all()).map_err(|e| io_err(parent, &e))?;
-        }
+    let committed = vfs::write_synced(vfs, &tmp, &out)
+        .map_err(|e| io_err(&tmp, &e))
+        .and_then(|()| vfs.rename(&tmp, path).map_err(|e| io_err(path, &e)))
+        .and_then(|()| match path.parent() {
+            Some(parent) if !parent.as_os_str().is_empty() => {
+                vfs.sync_dir(parent).map_err(|e| io_err(parent, &e))
+            }
+            _ => Ok(()),
+        });
+    if let Err(e) = committed {
+        let _ = vfs.remove_file(&tmp);
+        return Err(e);
     }
     Ok(out.len() as u64)
 }
@@ -675,6 +682,21 @@ impl MkbFile {
                 return Err(corrupt(path, format!("section {id} extends past end of file ({end} > {len})")));
             }
             metas.push(SectionMeta { range: (off, end), fnv });
+        }
+
+        // External-truncation guard: `len` came from the stat above, but
+        // another process may have truncated the file between that stat
+        // and the mmap — touching a page past the new EOF would SIGBUS
+        // during the section validation below. Re-stat now so a
+        // stat-to-map race surfaces as a typed error instead. A
+        // truncation *after* this check can still SIGBUS on first access;
+        // that residual contract is documented in DESIGN.md §18.
+        let now = file.metadata().map_err(|e| io_err(path, &e))?.len();
+        if now < len as u64 {
+            return Err(corrupt(
+                path,
+                format!("file truncated while opening ({now} bytes now, {len} at map time)"),
+            ));
         }
 
         let sec = |id: u32| -> SectionMeta { metas[(id - 1) as usize] };
@@ -1037,6 +1059,7 @@ impl KbSource for MkbFile {
 mod tests {
     use super::*;
     use crate::store::{KbPairBuilder, Term};
+    use std::fs;
 
     fn sample_pair() -> KbPair {
         let mut b = KbPairBuilder::new();
@@ -1105,6 +1128,40 @@ mod tests {
             assert_eq!(mkb.token_set(side, oob), None);
         }
         assert_eq!(pair.dirty(), mkb.dirty());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn faulted_compile_leaks_no_scratch_and_preserves_the_old_file() {
+        use minoaner_det::vfs::{FaultFs, FaultKind, FaultPlan};
+        let pair = sample_pair();
+        let dir = tmp_dir("faulted");
+        let path = dir.join("pair.mkb");
+        write_mkb(&pair, &path).expect("seed a good file");
+        let good = fs::read(&path).expect("read good file");
+
+        // Enumerate the commit's ops, then fail each one in turn.
+        let probe = FaultFs::new(FaultPlan::none());
+        write_mkb_with(&pair, &path, &*probe).expect("probe compile");
+        let n_ops = probe.op_count();
+        assert!(n_ops >= 4, "write + sync + rename + dir sync, saw {n_ops}");
+        for k in 0..n_ops {
+            for kind in FaultKind::ALL {
+                let ffs = FaultFs::new(FaultPlan::fail_op(k, kind));
+                let err = write_mkb_with(&pair, &path, &*ffs).expect_err("commit must fail");
+                assert!(matches!(err, MkbError::Io { .. }), "op {k} {kind:?}: {err:?}");
+                for entry in fs::read_dir(&dir).expect("scan dir") {
+                    let name = entry.expect("entry").file_name().to_string_lossy().into_owned();
+                    assert!(!name.starts_with(".tmp-"), "op {k} {kind:?} leaked {name}");
+                }
+                // Failures before the rename leave the old file bytes
+                // untouched; a failed dir-sync after the rename has
+                // already (legitimately) replaced them with the
+                // identical recompiled bytes.
+                assert_eq!(fs::read(&path).expect("read"), good, "op {k} {kind:?}");
+                MkbFile::open(&path).expect("old file still opens").verify().expect("valid");
+            }
+        }
         fs::remove_dir_all(&dir).ok();
     }
 

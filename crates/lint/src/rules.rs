@@ -33,6 +33,19 @@ pub const RULES: &[(&str, &str)] = &[
     ("R3", "no wall-clock or entropy outside timing/trace/fault-inject modules"),
     ("R4", "no unwrap()/expect() in library code outside the ratcheted allowlist"),
     ("R5", "every `unsafe` block/fn/impl must carry a `// SAFETY:` comment on the preceding line"),
+    ("R6", "no direct std::fs/File/OpenOptions in durable-path modules — route I/O through the Vfs"),
+];
+
+/// The modules whose writes must survive a crash (checkpoint barriers,
+/// spill runs, the `.mkb` container, job status files). Every byte they
+/// persist has to flow through the `Vfs` seam so the chaos harness can
+/// fault-inject it — a direct `std::fs` call here is a blind spot the
+/// ENOSPC/EIO sweep cannot reach.
+const R6_DURABLE_PATHS: &[&str] = &[
+    "crates/dataflow/src/checkpoint.rs",
+    "crates/dataflow/src/spill.rs",
+    "crates/jobs/src/control.rs",
+    "crates/kb/src/disk.rs",
 ];
 
 pub fn run_all(path: &str, class: FileClass, src: &str, toks: &[Tok]) -> Vec<Violation> {
@@ -43,6 +56,7 @@ pub fn run_all(path: &str, class: FileClass, src: &str, toks: &[Tok]) -> Vec<Vio
         r3_wallclock_entropy(path, toks, &mut out);
         r4_unwrap(path, toks, &mut out);
         r5_unsafe_safety(path, src, toks, &mut out);
+        r6_vfs_only(path, toks, &mut out);
     }
     out
 }
@@ -433,6 +447,46 @@ fn r5_unsafe_safety(path: &str, src: &str, toks: &[Tok], out: &mut Vec<Violation
     }
 }
 
+/// R6: direct filesystem access in one of the [`R6_DURABLE_PATHS`]
+/// modules. Detected shapes: the path segment `fs` (any `…::fs` /
+/// `fs::…` mention, including `use std::fs…`), and `File::` /
+/// `OpenOptions::` constructor calls. Test modules are exempt — tests
+/// exercise the real filesystem to verify the Vfs against it. The one
+/// legitimate residue (the mmap site needs a real descriptor) is
+/// ratcheted in `lint-allow.toml`.
+fn r6_vfs_only(path: &str, toks: &[Tok], out: &mut Vec<Violation>) {
+    if !R6_DURABLE_PATHS.contains(&path) {
+        return;
+    }
+    let test_spans = cfg_test_spans(toks);
+    let in_test = |idx: usize| test_spans.iter().any(|&(a, b)| idx >= a && idx < b);
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || in_test(i) {
+            continue;
+        }
+        let hit = match t.text.as_str() {
+            "fs" => {
+                (i > 0 && toks[i - 1].is_punct("::"))
+                    || (i + 1 < toks.len() && toks[i + 1].is_punct("::"))
+            }
+            "File" | "OpenOptions" => i + 1 < toks.len() && toks[i + 1].is_punct("::"),
+            _ => false,
+        };
+        if hit {
+            out.push(Violation {
+                rule: "R6",
+                path: path.to_string(),
+                line: t.line,
+                message: format!(
+                    "direct `{}` filesystem access in a durable-path module; route it \
+                     through the `Vfs` so the chaos sweep can fault-inject it",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
 /// Token spans of `#[cfg(test)] mod … { … }` (and `cfg(all(test, …))`)
 /// bodies, plus `#[test] fn` / `#[cfg(test)] fn` items.
 pub(crate) fn cfg_test_spans(toks: &[Tok]) -> Vec<(usize, usize)> {
@@ -645,6 +699,30 @@ mod tests {
         );
         assert_eq!(rules_of(&v), ["R5"]);
         assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn r6_flags_direct_fs_only_in_durable_modules() {
+        let src = "use std::fs::File;\n\
+                   fn f(p: &std::path::Path) { let _ = std::fs::write(p, b\"x\"); }\n\
+                   fn g(p: &std::path::Path) { let _ = File::create(p); }\n\
+                   #[cfg(test)]\nmod tests {\n    fn h() { let _ = std::fs::read(\"x\"); }\n}";
+        let toks = lex(src);
+        let v = run_all("crates/dataflow/src/spill.rs", FileClass::Library, src, &toks);
+        assert_eq!(rules_of(&v), ["R6", "R6", "R6"], "{v:#?}");
+        assert_eq!((v[0].line, v[1].line, v[2].line), (1, 2, 3));
+        // The same source anywhere else is not a durable path: no R6.
+        let v = run_all("crates/kb/src/parser.rs", FileClass::Library, src, &toks);
+        assert!(v.is_empty(), "{v:#?}");
+    }
+
+    #[test]
+    fn r6_ignores_vfs_locals_and_other_idents() {
+        let src = "fn f(disk: &dyn Vfs) { disk.write_file(p, b); }\n\
+                   fn g() { let file = open(); MkbFile::open(p); }";
+        let toks = lex(src);
+        let v = run_all("crates/kb/src/disk.rs", FileClass::Library, src, &toks);
+        assert!(v.is_empty(), "{v:#?}");
     }
 
     #[test]

@@ -53,6 +53,22 @@ fn bad_r5_unsafe_flagged() {
 }
 
 #[test]
+fn bad_r6_direct_fs_flagged_under_durable_path() {
+    // R6 is path-gated to the durable modules, so the fixture source is
+    // linted twice: once as a durable path (flagged) and once under its
+    // own fixture path (clean).
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/bad/r6_direct_fs.rs");
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let toks = lex(&src);
+    let v = run_all("crates/dataflow/src/checkpoint.rs", FileClass::Library, &src, &toks);
+    assert_eq!(rules_of(&v), ["R6", "R6", "R6"], "{v:#?}");
+    let v = run_all("bad/r6_direct_fs.rs", FileClass::Library, &src, &toks);
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
 fn good_fixture_is_clean() {
     let v = fixture("good/clean.rs");
     assert!(v.is_empty(), "{v:#?}");

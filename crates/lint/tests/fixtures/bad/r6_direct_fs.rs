@@ -1,0 +1,16 @@
+//! R6 fixture: direct filesystem access that bypasses the `Vfs` seam.
+//! Expected: 3 violations when linted under a durable-path name (the rule
+//! is path-gated, so the fixture suite lints this source as if it were
+//! `crates/dataflow/src/checkpoint.rs`).
+
+use std::fs::File;
+use std::io;
+use std::path::Path;
+
+pub fn write_direct(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    std::fs::write(path, bytes)
+}
+
+pub fn create_direct(path: &Path) -> io::Result<File> {
+    File::create(path)
+}
